@@ -1,0 +1,76 @@
+// Ablation (DESIGN.md): R-tree build strategies for the MBR-filtering
+// substrate — Guttman quadratic-split insertion, R*-split insertion, and
+// STR bulk loading — compared by build time and by the number of nodes a
+// window-query workload touches (the classic I/O proxy).
+
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "index/rtree.h"
+
+namespace hasj::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  const BenchArgs args = ParseArgs(argc, argv, 0.1);
+  PrintHeader("Ablation: R-tree build strategies (WATER MBRs)", args);
+  const data::Dataset water = Generate(data::WaterProfile(args.scale), args);
+  PrintDataset(water);
+  std::vector<index::RTree::Entry> entries;
+  for (size_t i = 0; i < water.size(); ++i) {
+    entries.push_back({water.mbr(i), static_cast<int64_t>(i)});
+  }
+
+  // Window-query workload: 1000 windows of ~1% extent area.
+  const geom::Box extent = water.Bounds();
+  Rng rng(args.seed + 17);
+  std::vector<geom::Box> windows;
+  const double ww = extent.Width() * 0.1, wh = extent.Height() * 0.1;
+  for (int q = 0; q < 1000; ++q) {
+    const double x = rng.Uniform(extent.min_x, extent.max_x - ww);
+    const double y = rng.Uniform(extent.min_y, extent.max_y - wh);
+    windows.emplace_back(x, y, x + ww, y + wh);
+  }
+
+  const auto report = [&](const char* name, const index::RTree& tree,
+                          double build_ms) {
+    int64_t nodes = 0, results = 0;
+    Stopwatch watch;
+    for (const geom::Box& w : windows) {
+      nodes += tree.NodesTouched(w);
+      results += static_cast<int64_t>(tree.QueryIntersects(w).size());
+    }
+    std::printf("%-22s build %8.1f ms   query %8.2f ms   nodes/query %6.1f"
+                "   results %lld\n",
+                name, build_ms, watch.ElapsedMillis(),
+                static_cast<double>(nodes) / static_cast<double>(windows.size()),
+                static_cast<long long>(results));
+  };
+
+  {
+    Stopwatch watch;
+    index::RTree tree(16, index::SplitPolicy::kQuadratic);
+    for (const auto& e : entries) tree.Insert(e.box, e.id);
+    report("insert + quadratic", tree, watch.ElapsedMillis());
+  }
+  {
+    Stopwatch watch;
+    index::RTree tree(16, index::SplitPolicy::kRStar);
+    for (const auto& e : entries) tree.Insert(e.box, e.id);
+    report("insert + R* split", tree, watch.ElapsedMillis());
+  }
+  {
+    Stopwatch watch;
+    auto copy = entries;
+    const index::RTree tree = index::RTree::BulkLoad(std::move(copy), 16);
+    report("STR bulk load", tree, watch.ElapsedMillis());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace hasj::bench
+
+int main(int argc, char** argv) { return hasj::bench::Main(argc, argv); }

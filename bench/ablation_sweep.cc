@@ -1,0 +1,65 @@
+// Ablation (DESIGN.md): software intersection-test variants on the same
+// MBR-join candidate pairs — plane sweep vs brute force, with and without
+// the restricted-search-space optimization. The paper credits restricted
+// search with a 30-40% practical improvement.
+
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "common/stopwatch.h"
+#include "core/join.h"
+
+namespace hasj::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  const BenchArgs args = ParseArgs(argc, argv, 0.02);
+  PrintHeader("Ablation: software intersection-test variants (WATER join "
+              "PRISM candidates)",
+              args);
+  const data::Dataset a = Generate(data::WaterProfile(args.scale), args);
+  const data::Dataset b = Generate(data::PrismProfile(args.scale), args);
+  PrintDataset(a);
+  PrintDataset(b);
+  const auto candidates =
+      index::JoinIntersects(a.BuildRTree(), b.BuildRTree());
+  std::printf("# candidate pairs: %zu\n", candidates.size());
+
+  struct Config {
+    const char* name;
+    bool sweep;
+    bool restricted;
+  };
+  const Config configs[] = {
+      {"sweep+restricted", true, true},
+      {"sweep", true, false},
+      {"brute+restricted", false, true},
+      {"brute", false, false},
+  };
+  std::printf("%-18s %12s %10s %10s\n", "variant", "compare_ms", "vs_best",
+              "results");
+  double best = 0.0;
+  for (const Config& config : configs) {
+    algo::SoftwareIntersectOptions options;
+    options.use_sweep = config.sweep;
+    options.restricted_search = config.restricted;
+    Stopwatch watch;
+    long long results = 0;
+    for (const auto& [ia, ib] : candidates) {
+      results += algo::PolygonsIntersect(a.polygon(static_cast<size_t>(ia)),
+                                         b.polygon(static_cast<size_t>(ib)),
+                                         options);
+    }
+    const double ms = watch.ElapsedMillis();
+    if (best == 0.0) best = ms;
+    std::printf("%-18s %12.1f %9.2fx %10lld\n", config.name, ms, ms / best,
+                results);
+  }
+  std::printf("# paper: restricted search buys ~30-40%% in practice.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace hasj::bench
+
+int main(int argc, char** argv) { return hasj::bench::Main(argc, argv); }

@@ -1,0 +1,55 @@
+// Figure 10 reproduction: intersection-selection cost breakdown (MBR
+// filtering / interior filtering / geometry comparison) as a function of
+// the interior filter's tiling level, software-only intersection test.
+// Datasets: WATER and PRISM; query set: STATES50 (averaged per query).
+
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "core/selection.h"
+
+namespace hasj::bench {
+namespace {
+
+void RunDataset(const data::Dataset& dataset, const data::Dataset& queries) {
+  PrintDataset(dataset);
+  const core::IntersectionSelection selection(dataset);
+  std::printf("%-6s %10s %10s %10s %10s %8s %8s\n", "level", "mbr_ms",
+              "filter_ms", "compare_ms", "total_ms", "flt_hits", "results");
+  for (int level = 0; level <= 6; ++level) {
+    core::StageCosts costs;
+    core::StageCounts counts;
+    for (const geom::Polygon& query : queries.polygons()) {
+      core::SelectionOptions options;
+      options.interior_tiling_level = level;
+      const core::SelectionResult r = selection.Run(query, options);
+      costs += r.costs;
+      counts += r.counts;
+    }
+    const double n = static_cast<double>(queries.size());
+    std::printf("%-6d %10.3f %10.3f %10.3f %10.3f %8.1f %8.1f\n", level,
+                costs.mbr_ms / n, costs.filter_ms / n, costs.compare_ms / n,
+                costs.total_ms() / n, counts.filter_hits / n,
+                counts.results / n);
+  }
+}
+
+int Main(int argc, char** argv) {
+  const BenchArgs args = ParseArgs(argc, argv, 0.05);
+  PrintHeader(
+      "Figure 10: selection cost breakdown vs interior-filter tiling level "
+      "(software test, average per STATES50 query)",
+      args);
+  const data::Dataset queries = Generate(data::States50Profile(args.scale), args);
+  RunDataset(Generate(data::WaterProfile(args.scale), args), queries);
+  RunDataset(Generate(data::PrismProfile(args.scale), args), queries);
+  std::printf(
+      "# paper shape: MBR cost ~0; compare cost shrinks <10%% as level "
+      "rises; filter overhead grows at high levels, lifting total cost.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace hasj::bench
+
+int main(int argc, char** argv) { return hasj::bench::Main(argc, argv); }

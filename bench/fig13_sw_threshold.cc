@@ -1,0 +1,54 @@
+// Figure 13 reproduction: effect of the software threshold on the
+// hardware-assisted intersection join LANDC ⋈ LANDO at 8x8 and 16x16
+// window resolutions. Pairs with n+m <= threshold skip the hardware test.
+
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "core/join.h"
+
+namespace hasj::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  const BenchArgs args = ParseArgs(argc, argv, 0.02);
+  PrintHeader(
+      "Figure 13: sw_threshold sweep for the hardware-assisted "
+      "LANDC join LANDO",
+      args);
+  const data::Dataset a = Generate(data::LandcProfile(args.scale), args);
+  const data::Dataset b = Generate(data::LandoProfile(args.scale), args);
+  PrintDataset(a);
+  PrintDataset(b);
+  const core::IntersectionJoin join(a, b);
+  core::JoinOptions sw_options;
+  sw_options.use_hw = false;
+  const core::JoinResult sw = join.Run(sw_options);
+  std::printf("# software compare_ms=%.1f\n", sw.costs.compare_ms);
+
+  std::printf("%-10s %8s %12s %12s %14s\n", "res", "thresh", "compare_ms",
+              "hw_tests", "thresh_skips");
+  for (int resolution : {8, 16}) {
+    for (int threshold : {0, 100, 200, 300, 500, 700, 900, 1200, 1600, 2000}) {
+      core::JoinOptions options;
+      options.use_hw = true;
+      options.hw.resolution = resolution;
+      options.hw.sw_threshold = threshold;
+      const core::JoinResult r = join.Run(options);
+      std::printf("%dx%-7d %8d %12.1f %12lld %14lld\n", resolution,
+                  resolution, threshold, r.costs.compare_ms,
+                  static_cast<long long>(r.hw_counters.hw_tests),
+                  static_cast<long long>(r.hw_counters.sw_threshold_skips));
+    }
+  }
+  std::printf(
+      "# paper shape: cost dips to an optimum (~300 at 8x8, ~900 at 16x16) "
+      "then drifts back toward the software curve; flat within ~12%% over "
+      "a wide threshold range.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace hasj::bench
+
+int main(int argc, char** argv) { return hasj::bench::Main(argc, argv); }

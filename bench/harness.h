@@ -1,0 +1,69 @@
+#ifndef HASJ_BENCH_HARNESS_H_
+#define HASJ_BENCH_HARNESS_H_
+
+// Shared scaffolding for the paper-figure reproduction harnesses. Each
+// fig*/table* binary regenerates one table or figure of the paper: it
+// builds the synthetic stand-in datasets (scaled down by --scale to fit a
+// single-core run), executes the paper's query pipeline, and prints the
+// same series the figure plots. EXPERIMENTS.md interprets the output.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "data/catalogs.h"
+#include "data/dataset.h"
+#include "data/generator.h"
+
+namespace hasj::bench {
+
+struct BenchArgs {
+  double scale = 0.02;  // fraction of the Table 2 object counts
+  uint64_t seed = 0;    // extra seed offset for the generators (0 = default)
+};
+
+inline BenchArgs ParseArgs(int argc, char** argv, double default_scale) {
+  BenchArgs args;
+  args.scale = default_scale;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--scale=", 8) == 0) {
+      args.scale = std::atof(argv[i] + 8);
+    } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      args.seed = static_cast<uint64_t>(std::atoll(argv[i] + 7));
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf("usage: %s [--scale=F] [--seed=N]\n", argv[0]);
+      std::exit(0);
+    }
+  }
+  if (args.scale <= 0.0 || args.scale > 1.0) {
+    std::fprintf(stderr, "--scale must be in (0, 1]\n");
+    std::exit(1);
+  }
+  return args;
+}
+
+inline data::Dataset Generate(data::GeneratorProfile profile,
+                              const BenchArgs& args) {
+  if (args.seed != 0) profile.seed ^= args.seed;
+  return data::GenerateDataset(profile);
+}
+
+inline void PrintHeader(const char* title, const BenchArgs& args) {
+  std::printf("# %s\n", title);
+  std::printf("# scale=%g seed=%llu (synthetic stand-ins for the paper's "
+              "datasets; see DESIGN.md)\n",
+              args.scale, static_cast<unsigned long long>(args.seed));
+}
+
+inline void PrintDataset(const data::Dataset& ds) {
+  const data::DatasetStats s = ds.Stats();
+  std::printf("# dataset %-9s N=%-6lld vertices min=%lld max=%lld avg=%.0f\n",
+              ds.name().c_str(), static_cast<long long>(s.count),
+              static_cast<long long>(s.min_vertices),
+              static_cast<long long>(s.max_vertices), s.mean_vertices);
+}
+
+}  // namespace hasj::bench
+
+#endif  // HASJ_BENCH_HARNESS_H_

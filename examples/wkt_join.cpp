@@ -1,0 +1,101 @@
+// Command-line spatial join over real data: two files of WKT polygons
+// (one per line; export shapefiles with
+// `ogr2ogr -f CSV -lco GEOMETRY=AS_WKT out.csv in.shp`), intersection or
+// within-distance predicate, results to stdout as "i j [overlap_area]".
+//
+//   ./build/examples/wkt_join A.wkt B.wkt                # intersection
+//   ./build/examples/wkt_join A.wkt B.wkt --within=0.5   # distance
+//   ./build/examples/wkt_join A.wkt B.wkt --software     # no hw filter
+//
+// With no arguments, generates two small demo datasets, saves them next to
+// the binary, and joins those.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "geom/clip.h"
+#include "hasj.h"
+
+namespace {
+
+hasj::data::Dataset LoadOrDie(const std::string& path, const char* name) {
+  auto loaded = hasj::data::LoadDataset(path, name);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+    std::exit(1);
+  }
+  return *std::move(loaded);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hasj;
+
+  std::string path_a, path_b;
+  double within = -1.0;
+  bool use_hw = true;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--within=", 9) == 0) {
+      within = std::atof(argv[i] + 9);
+    } else if (std::strcmp(argv[i], "--software") == 0) {
+      use_hw = false;
+    } else if (path_a.empty()) {
+      path_a = argv[i];
+    } else {
+      path_b = argv[i];
+    }
+  }
+
+  data::Dataset a, b;
+  if (path_a.empty() || path_b.empty()) {
+    std::fprintf(stderr, "no input files; generating demo datasets\n");
+    a = data::GenerateDataset(data::LandcProfile(0.005));
+    b = data::GenerateDataset(data::LandoProfile(0.005));
+    (void)data::SaveDataset(a, "wkt_join_demo_a.wkt");
+    (void)data::SaveDataset(b, "wkt_join_demo_b.wkt");
+  } else {
+    a = LoadOrDie(path_a, "A");
+    b = LoadOrDie(path_b, "B");
+  }
+  std::fprintf(stderr, "A: %zu polygons, B: %zu polygons\n", a.size(),
+               b.size());
+
+  if (within >= 0.0) {
+    const core::WithinDistanceJoin join(a, b);
+    core::DistanceJoinOptions options;
+    options.use_hw = use_hw;
+    const core::DistanceJoinResult r = join.Run(within, options);
+    for (const auto& [i, j] : r.pairs) {
+      std::printf("%lld %lld\n", static_cast<long long>(i),
+                  static_cast<long long>(j));
+    }
+    std::fprintf(stderr,
+                 "%lld pairs within %g (mbr %.1f ms, filters %.1f ms, "
+                 "compare %.1f ms)\n",
+                 static_cast<long long>(r.counts.results), within,
+                 r.costs.mbr_ms, r.costs.filter_ms, r.costs.compare_ms);
+    return 0;
+  }
+
+  const core::IntersectionJoin join(a, b);
+  core::JoinOptions options;
+  options.use_hw = use_hw;
+  const core::JoinResult r = join.Run(options);
+  for (const auto& [i, j] : r.pairs) {
+    // Overlap-area estimate: A's polygon clipped to B's MBR — the cheap
+    // first-order overlay statistic.
+    const double approx_area = geom::ClippedArea(
+        a.polygon(static_cast<size_t>(i)), b.mbr(static_cast<size_t>(j)));
+    std::printf("%lld %lld %.6g\n", static_cast<long long>(i),
+                static_cast<long long>(j), approx_area);
+  }
+  std::fprintf(stderr,
+               "%lld intersecting pairs (mbr %.1f ms, compare %.1f ms, "
+               "hw rejects %lld)\n",
+               static_cast<long long>(r.counts.results), r.costs.mbr_ms,
+               r.costs.compare_ms,
+               static_cast<long long>(r.hw_counters.hw_rejects));
+  return 0;
+}

@@ -1,0 +1,41 @@
+#include "algo/convex_hull.h"
+
+#include <algorithm>
+
+#include "geom/predicates.h"
+
+namespace hasj::algo {
+
+std::vector<geom::Point> ConvexHull(std::span<const geom::Point> points) {
+  std::vector<geom::Point> pts(points.begin(), points.end());
+  std::sort(pts.begin(), pts.end());
+  pts.erase(std::unique(pts.begin(), pts.end()), pts.end());
+  const size_t n = pts.size();
+  if (n <= 2) return pts;
+
+  std::vector<geom::Point> hull(2 * n);
+  size_t k = 0;
+  // Lower hull.
+  for (size_t i = 0; i < n; ++i) {
+    while (k >= 2 &&
+           geom::Orient2d(hull[k - 2], hull[k - 1], pts[i]) <= 0) {
+      --k;
+    }
+    hull[k++] = pts[i];
+  }
+  // Upper hull.
+  for (size_t i = n - 1, t = k + 1; i-- > 0;) {
+    while (k >= t && geom::Orient2d(hull[k - 2], hull[k - 1], pts[i]) <= 0) {
+      --k;
+    }
+    hull[k++] = pts[i];
+  }
+  hull.resize(k - 1);  // last point equals the first
+  return hull;
+}
+
+geom::Polygon ConvexHullPolygon(const geom::Polygon& polygon) {
+  return geom::Polygon(ConvexHull(polygon.vertices()));
+}
+
+}  // namespace hasj::algo

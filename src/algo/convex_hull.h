@@ -1,0 +1,23 @@
+#ifndef HASJ_ALGO_CONVEX_HULL_H_
+#define HASJ_ALGO_CONVEX_HULL_H_
+
+#include <span>
+#include <vector>
+
+#include "geom/point.h"
+#include "geom/polygon.h"
+
+namespace hasj::algo {
+
+// Convex hull (Andrew's monotone chain, O(n log n)), returned
+// counter-clockwise without collinear points. Degenerate inputs (all points
+// collinear) return the 2-point chain. Backs the geometric false-hit filter
+// (Brinkhoff et al.'s convex-hull approximation, Table 1 of the paper).
+std::vector<geom::Point> ConvexHull(std::span<const geom::Point> points);
+
+// Hull of a polygon's vertices as a Polygon.
+geom::Polygon ConvexHullPolygon(const geom::Polygon& polygon);
+
+}  // namespace hasj::algo
+
+#endif  // HASJ_ALGO_CONVEX_HULL_H_

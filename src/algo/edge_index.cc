@@ -1,0 +1,35 @@
+#include "algo/edge_index.h"
+
+#include <utility>
+#include <vector>
+
+#include "common/macros.h"
+#include "geom/segment.h"
+
+namespace hasj::algo {
+namespace {
+
+index::RTree BuildEdgeTree(const geom::Polygon& polygon) {
+  std::vector<index::RTree::Entry> entries;
+  entries.reserve(polygon.size());
+  for (size_t i = 0; i < polygon.size(); ++i) {
+    entries.push_back({polygon.edge(i).Bounds(), static_cast<int64_t>(i)});
+  }
+  return index::RTree::BulkLoad(std::move(entries), 8);
+}
+
+}  // namespace
+
+EdgeIndex::EdgeIndex(const geom::Polygon& polygon)
+    : polygon_(&polygon), tree_(BuildEdgeTree(polygon)) {
+  HASJ_CHECK(polygon.size() >= 3);
+}
+
+bool EdgeIndex::BoundariesIntersect(const EdgeIndex& a, const EdgeIndex& b) {
+  return index::JoinDetect(a.tree_, b.tree_, [&](int64_t ea, int64_t eb) {
+    return geom::SegmentsIntersect(a.polygon_->edge(static_cast<size_t>(ea)),
+                                   b.polygon_->edge(static_cast<size_t>(eb)));
+  });
+}
+
+}  // namespace hasj::algo

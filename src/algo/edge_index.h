@@ -1,0 +1,36 @@
+#ifndef HASJ_ALGO_EDGE_INDEX_H_
+#define HASJ_ALGO_EDGE_INDEX_H_
+
+#include "geom/polygon.h"
+#include "index/rtree.h"
+
+namespace hasj::algo {
+
+// Per-polygon edge R-tree: the runtime analog of Brinkhoff et al.'s
+// TR*-tree refinement technique (Table 1 of the paper). An STR-packed
+// R-tree over the polygon's edge MBRs; boundary intersection between two
+// indexed polygons becomes an early-exit synchronized tree traversal with
+// exact segment tests at candidate leaf pairs — O(log) descent into the
+// region where a crossing can exist instead of a full sweep. Built in
+// O(n log n); worthwhile when the polygon participates in many pairs and
+// the index can be cached, which is why the paper classifies TR*-trees as
+// a pre-processing technique.
+//
+// Keeps a pointer to the polygon; the polygon must outlive the index.
+class EdgeIndex {
+ public:
+  explicit EdgeIndex(const geom::Polygon& polygon);
+
+  const geom::Polygon& polygon() const { return *polygon_; }
+
+  // Exact: true iff the two polygon boundaries intersect (touching counts).
+  static bool BoundariesIntersect(const EdgeIndex& a, const EdgeIndex& b);
+
+ private:
+  const geom::Polygon* polygon_;
+  index::RTree tree_;
+};
+
+}  // namespace hasj::algo
+
+#endif  // HASJ_ALGO_EDGE_INDEX_H_

@@ -1,0 +1,28 @@
+#ifndef HASJ_ALGO_POINT_IN_POLYGON_H_
+#define HASJ_ALGO_POINT_IN_POLYGON_H_
+
+#include "geom/point.h"
+#include "geom/polygon.h"
+
+namespace hasj::algo {
+
+enum class PointLocation {
+  kInside,
+  kOutside,
+  kBoundary,
+};
+
+// Exact point location against a simple polygon via the crossing-number rule
+// (the paper's ray-shooting Point-in-Polygon test, O(n)). Boundary cases are
+// decided exactly with the robust orientation predicate, so a point on an
+// edge or vertex is always reported kBoundary.
+PointLocation LocatePoint(geom::Point p, const geom::Polygon& polygon);
+
+// Convenience for closed-region predicates: inside or on the boundary.
+inline bool ContainsPoint(const geom::Polygon& polygon, geom::Point p) {
+  return LocatePoint(p, polygon) != PointLocation::kOutside;
+}
+
+}  // namespace hasj::algo
+
+#endif  // HASJ_ALGO_POINT_IN_POLYGON_H_

@@ -1,0 +1,193 @@
+#include "algo/segment_tests.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/macros.h"
+#include "geom/predicates.h"
+
+namespace hasj::algo {
+
+bool BruteRedBlueIntersect(std::span<const geom::Segment> red,
+                           std::span<const geom::Segment> blue) {
+  for (const geom::Segment& r : red) {
+    for (const geom::Segment& b : blue) {
+      if (geom::SegmentsIntersect(r, b)) return true;
+    }
+  }
+  return false;
+}
+
+std::vector<geom::Segment> EdgesInWindow(const geom::Polygon& polygon,
+                                         const geom::Box& window) {
+  std::vector<geom::Segment> out;
+  const size_t n = polygon.size();
+  for (size_t i = 0; i < n; ++i) {
+    const geom::Segment e = polygon.edge(i);
+    if (geom::SegmentIntersectsBox(e, window)) out.push_back(e);
+  }
+  return out;
+}
+
+namespace {
+
+// Internal segment representation for the sweep: endpoints normalized to
+// lexicographic order (left to right; verticals bottom to top).
+struct SweepSeg {
+  geom::Point a;
+  geom::Point b;
+  int color;
+  int id;
+  bool vertical;
+};
+
+// Position of the sweep-front segment `n` (its left endpoint is exactly on
+// the sweep line) relative to the active segment `t` (which spans the sweep
+// line): +1 above, -1 below, 0 collinear with t. Ties at the point are
+// broken by slope (the order just right of the sweep line).
+int RelPos(const SweepSeg* n, const SweepSeg* t) {
+  const int at_point = geom::Orient2d(t->a, t->b, n->a);
+  if (at_point != 0) return at_point;
+  return geom::Orient2d(t->a, t->b, n->b);
+}
+
+// Orders active segments bottom-to-top at the current sweep position. Only
+// comparisons involving the segment currently being inserted (or used as a
+// probe) ever occur; `current` identifies it.
+struct StatusLess {
+  const SweepSeg* const* current;
+
+  bool operator()(const SweepSeg* u, const SweepSeg* v) const {
+    if (u == v) return false;
+    if (u == *current) {
+      const int r = RelPos(u, v);
+      return r != 0 ? r < 0 : u->id < v->id;
+    }
+    HASJ_DCHECK(v == *current);
+    const int r = RelPos(v, u);
+    return r != 0 ? r > 0 : u->id < v->id;
+  }
+};
+
+enum class EventType { kInsert = 0, kVertical = 1, kRemove = 2 };
+
+struct Event {
+  geom::Point p;
+  EventType type;
+  SweepSeg* seg;
+};
+
+bool CrossColorIntersect(const SweepSeg* u, const SweepSeg* v) {
+  if (u->color == v->color) return false;
+  return geom::SegmentsIntersect(geom::Segment(u->a, u->b),
+                                 geom::Segment(v->a, v->b));
+}
+
+}  // namespace
+
+bool SweepRedBlueIntersect(std::span<const geom::Segment> red,
+                           std::span<const geom::Segment> blue) {
+  std::vector<SweepSeg> segs;
+  segs.reserve(red.size() + blue.size());
+  int next_id = 0;
+  auto add = [&](const geom::Segment& s, int color) {
+    SweepSeg ss;
+    ss.a = s.a;
+    ss.b = s.b;
+    if (ss.b < ss.a) std::swap(ss.a, ss.b);
+    ss.color = color;
+    ss.id = next_id++;
+    ss.vertical = ss.a.x == ss.b.x;  // includes degenerate point segments
+    segs.push_back(ss);
+  };
+  for (const geom::Segment& s : red) add(s, 0);
+  for (const geom::Segment& s : blue) add(s, 1);
+
+  std::vector<Event> events;
+  events.reserve(2 * segs.size());
+  for (SweepSeg& s : segs) {
+    if (s.vertical) {
+      events.push_back({s.a, EventType::kVertical, &s});
+    } else {
+      events.push_back({s.a, EventType::kInsert, &s});
+      events.push_back({s.b, EventType::kRemove, &s});
+    }
+  }
+  // Process inserts, then verticals, then removals at equal x so that
+  // segments meeting exactly at x are simultaneously active when tested.
+  std::sort(events.begin(), events.end(), [](const Event& x, const Event& y) {
+    if (x.p.x != y.p.x) return x.p.x < y.p.x;
+    if (x.type != y.type) return static_cast<int>(x.type) < static_cast<int>(y.type);
+    if (x.p.y != y.p.y) return x.p.y < y.p.y;
+    return x.seg->id < y.seg->id;
+  });
+
+  const SweepSeg* current = nullptr;
+  using Status = std::set<SweepSeg*, StatusLess>;
+  Status status{StatusLess{&current}};
+  std::vector<Status::iterator> handle(segs.size());
+
+  // Verticals already processed at the current x (for vertical-vertical
+  // overlap testing; they never enter the status structure).
+  std::vector<SweepSeg*> verticals_here;
+  double verticals_x = 0.0;
+
+  for (const Event& e : events) {
+    switch (e.type) {
+      case EventType::kInsert: {
+        current = e.seg;
+        const auto [it, inserted] = status.insert(e.seg);
+        HASJ_CHECK(inserted);
+        handle[static_cast<size_t>(e.seg->id)] = it;
+        if (const auto nx = std::next(it);
+            nx != status.end() && CrossColorIntersect(e.seg, *nx)) {
+          return true;
+        }
+        if (it != status.begin() &&
+            CrossColorIntersect(e.seg, *std::prev(it))) {
+          return true;
+        }
+        break;
+      }
+      case EventType::kRemove: {
+        const auto it = handle[static_cast<size_t>(e.seg->id)];
+        SweepSeg* below = it != status.begin() ? *std::prev(it) : nullptr;
+        const auto nx = std::next(it);
+        SweepSeg* above = nx != status.end() ? *nx : nullptr;
+        status.erase(it);
+        // The removed segment's neighbors become adjacent: test them.
+        if (below != nullptr && above != nullptr &&
+            CrossColorIntersect(below, above)) {
+          return true;
+        }
+        break;
+      }
+      case EventType::kVertical: {
+        if (!verticals_here.empty() && verticals_x != e.p.x) {
+          verticals_here.clear();
+        }
+        for (SweepSeg* other : verticals_here) {
+          if (CrossColorIntersect(e.seg, other)) return true;
+        }
+        verticals_here.push_back(e.seg);
+        verticals_x = e.p.x;
+
+        // Walk the status from just below the vertical's bottom endpoint
+        // upward until an active segment is strictly above its top.
+        current = e.seg;
+        auto it = status.lower_bound(e.seg);
+        if (it != status.begin() && CrossColorIntersect(e.seg, *std::prev(it))) {
+          return true;
+        }
+        for (; it != status.end(); ++it) {
+          if (CrossColorIntersect(e.seg, *it)) return true;
+          if (geom::Orient2d((*it)->a, (*it)->b, e.seg->b) < 0) break;
+        }
+        break;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace hasj::algo

@@ -1,0 +1,36 @@
+#ifndef HASJ_ALGO_SEGMENT_TESTS_H_
+#define HASJ_ALGO_SEGMENT_TESTS_H_
+
+#include <span>
+#include <vector>
+
+#include "geom/box.h"
+#include "geom/polygon.h"
+#include "geom/segment.h"
+
+namespace hasj::algo {
+
+// O(|red| * |blue|) exact red-blue segment intersection detection. Reference
+// implementation used to validate the plane sweep and as the small-input
+// fast path.
+bool BruteRedBlueIntersect(std::span<const geom::Segment> red,
+                           std::span<const geom::Segment> blue);
+
+// Shamos-Hoey plane-sweep red-blue intersection detection,
+// O((n+m) log(n+m)). Requires that segments of the same color intersect at
+// most at shared endpoints (true for edge sets of simple polygons); detects
+// every red-blue intersection including endpoint touching and collinear
+// overlap. This is the paper's software Segment Intersection Test.
+bool SweepRedBlueIntersect(std::span<const geom::Segment> red,
+                           std::span<const geom::Segment> blue);
+
+// Edges of `polygon` that intersect `window`, the restricted-search-space
+// optimization of Brinkhoff et al. used by the paper's software test
+// (Figure 9(b)): only edges meeting the intersection of the two MBRs can
+// participate in a boundary crossing.
+std::vector<geom::Segment> EdgesInWindow(const geom::Polygon& polygon,
+                                         const geom::Box& window);
+
+}  // namespace hasj::algo
+
+#endif  // HASJ_ALGO_SEGMENT_TESTS_H_

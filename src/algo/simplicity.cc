@@ -1,0 +1,33 @@
+#include "algo/simplicity.h"
+
+#include "geom/predicates.h"
+#include "geom/segment.h"
+
+namespace hasj::algo {
+
+bool IsSimple(const geom::Polygon& polygon) {
+  const size_t n = polygon.size();
+  if (n < 3) return false;
+  if (!polygon.Validate().ok()) return false;
+
+  for (size_t i = 0; i < n; ++i) {
+    const geom::Segment ei = polygon.edge(i);
+
+    // Adjacent edge (i, i+1): a spike folds edge i+1 back onto edge i, which
+    // shows as the far endpoint of one edge lying on the other.
+    const size_t next = (i + 1) % n;
+    const geom::Segment en = polygon.edge(next);
+    if (geom::OnSegment(ei.a, ei.b, en.b) || geom::OnSegment(en.a, en.b, ei.a)) {
+      return false;
+    }
+
+    // Non-adjacent edges must be disjoint.
+    for (size_t j = i + 2; j < n; ++j) {
+      if (i == 0 && j == n - 1) continue;  // wrap-around adjacency
+      if (geom::SegmentsIntersect(ei, polygon.edge(j))) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace hasj::algo

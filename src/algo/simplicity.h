@@ -1,0 +1,16 @@
+#ifndef HASJ_ALGO_SIMPLICITY_H_
+#define HASJ_ALGO_SIMPLICITY_H_
+
+#include "geom/polygon.h"
+
+namespace hasj::algo {
+
+// Exact simplicity test: no two non-adjacent edges intersect, and adjacent
+// edges meet only at their shared vertex (no spikes / collinear backtracks).
+// O(n^2); intended for validating generated and loaded data, not for hot
+// query paths.
+bool IsSimple(const geom::Polygon& polygon);
+
+}  // namespace hasj::algo
+
+#endif  // HASJ_ALGO_SIMPLICITY_H_

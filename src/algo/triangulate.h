@@ -1,0 +1,27 @@
+#ifndef HASJ_ALGO_TRIANGULATE_H_
+#define HASJ_ALGO_TRIANGULATE_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "geom/polygon.h"
+
+namespace hasj::algo {
+
+// Ear-clipping triangulation of a simple polygon (O(n^2) worst case).
+// Returns up to n-2 vertex-index triples with counter-clockwise
+// orientation (degenerate collinear corners are clipped without emitting a
+// triangle); the triangles partition the polygon, so their areas sum to
+// the polygon area.
+//
+// Graphics hardware renders only convex primitives, so the paper's §3
+// "general strategy" — render both polygons filled and look for a
+// doubly-colored pixel — must triangulate concave polygons in software
+// first. This is exactly the cost Algorithm 3.1 avoids by rendering edge
+// chains; bench/ablation_filled measures the difference.
+std::vector<std::array<int32_t, 3>> Triangulate(const geom::Polygon& polygon);
+
+}  // namespace hasj::algo
+
+#endif  // HASJ_ALGO_TRIANGULATE_H_

@@ -1,0 +1,32 @@
+#ifndef HASJ_COMMON_MACROS_H_
+#define HASJ_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// HASJ_CHECK(cond): always-on invariant check. Prints the failing condition
+// with its location and aborts. Used for programmer errors; recoverable
+// conditions go through Status instead.
+#define HASJ_CHECK(cond)                                                     \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "HASJ_CHECK failed: %s at %s:%d\n", #cond,        \
+                   __FILE__, __LINE__);                                      \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+// HASJ_DCHECK(cond): debug-only invariant check, compiled out in NDEBUG
+// builds so it can guard hot paths.
+#ifdef NDEBUG
+#define HASJ_DCHECK(cond) \
+  do {                    \
+  } while (0)
+#else
+#define HASJ_DCHECK(cond) HASJ_CHECK(cond)
+#endif
+
+#define HASJ_PREDICT_FALSE(x) (__builtin_expect(false || (x), false))
+#define HASJ_PREDICT_TRUE(x) (__builtin_expect(false || (x), true))
+
+#endif  // HASJ_COMMON_MACROS_H_

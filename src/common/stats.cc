@@ -1,0 +1,19 @@
+#include "common/stats.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace hasj {
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+std::string RunningStats::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "count=%lld min=%.6g max=%.6g mean=%.6g stddev=%.6g",
+                static_cast<long long>(count_), min(), max(), mean(),
+                stddev());
+  return buf;
+}
+
+}  // namespace hasj

@@ -1,0 +1,50 @@
+#ifndef HASJ_COMMON_STATS_H_
+#define HASJ_COMMON_STATS_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace hasj {
+
+// Streaming count/min/max/mean/variance accumulator (Welford). Used for
+// dataset statistics (Table 2) and benchmark summaries.
+class RunningStats {
+ public:
+  RunningStats() = default;
+
+  void Add(double x) {
+    ++count_;
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    sum_ += x;
+  }
+
+  int64_t count() const { return count_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double sum() const { return sum_; }
+  double variance() const {
+    return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+  }
+  double stddev() const;
+
+  // "count=… min=… max=… mean=… stddev=…" for logs.
+  std::string ToString() const;
+
+ private:
+  int64_t count_ = 0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+};
+
+}  // namespace hasj
+
+#endif  // HASJ_COMMON_STATS_H_

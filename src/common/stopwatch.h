@@ -1,0 +1,31 @@
+#ifndef HASJ_COMMON_STOPWATCH_H_
+#define HASJ_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace hasj {
+
+// Wall-clock stopwatch. The paper measures per-stage computational cost with
+// wall-clock time (§4.1.1); query pipelines use this to attribute cost to
+// MBR filtering / intermediate filtering / geometry comparison.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  // Seconds elapsed since construction or last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace hasj
+
+#endif  // HASJ_COMMON_STOPWATCH_H_

@@ -1,0 +1,53 @@
+#ifndef HASJ_CORE_DISTANCE_JOIN_H_
+#define HASJ_CORE_DISTANCE_JOIN_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "algo/polygon_distance.h"
+#include "core/hw_config.h"
+#include "core/query_stats.h"
+#include "data/dataset.h"
+#include "index/rtree.h"
+
+namespace hasj::core {
+
+struct DistanceJoinOptions {
+  // Intermediate filters (Chan's runtime filters; positives only).
+  bool use_zero_object_filter = true;
+  bool use_one_object_filter = true;
+  // Geometry comparison with the hardware-assisted distance test.
+  bool use_hw = false;
+  HwConfig hw;
+  algo::DistanceOptions sw;
+};
+
+struct DistanceJoinResult {
+  std::vector<std::pair<int64_t, int64_t>> pairs;  // ids within distance d
+  StageCosts costs;
+  StageCounts counts;
+  int64_t zero_object_hits = 0;
+  int64_t one_object_hits = 0;
+  HwCounters hw_counters;
+};
+
+// Within-distance join A ⋈_dist B (the buffer query of Chan [4]): all object
+// pairs within distance d. Pipeline: MBR distance join -> 0-Object filter
+// -> 1-Object filter -> geometry comparison (Figures 14-16).
+class WithinDistanceJoin {
+ public:
+  WithinDistanceJoin(const data::Dataset& a, const data::Dataset& b);
+
+  DistanceJoinResult Run(double d, const DistanceJoinOptions& options = {}) const;
+
+ private:
+  const data::Dataset& a_;
+  const data::Dataset& b_;
+  index::RTree rtree_a_;
+  index::RTree rtree_b_;
+};
+
+}  // namespace hasj::core
+
+#endif  // HASJ_CORE_DISTANCE_JOIN_H_

@@ -1,0 +1,64 @@
+#include "core/distance_selection.h"
+
+#include "common/stopwatch.h"
+#include "core/hw_distance.h"
+#include "filter/object_filters.h"
+
+namespace hasj::core {
+
+WithinDistanceSelection::WithinDistanceSelection(const data::Dataset& dataset)
+    : dataset_(dataset), rtree_(dataset.BuildRTree()) {}
+
+DistanceSelectionResult WithinDistanceSelection::Run(
+    const geom::Polygon& query, double d,
+    const DistanceSelectionOptions& options) const {
+  DistanceSelectionResult result;
+  Stopwatch watch;
+
+  // Stage 1: MBR distance filtering.
+  const std::vector<int64_t> candidates =
+      rtree_.QueryWithinDistance(query.Bounds(), d);
+  result.counts.candidates = static_cast<int64_t>(candidates.size());
+  result.costs.mbr_ms = watch.ElapsedMillis();
+
+  // Stage 2: 0/1-Object distance upper-bound filters.
+  watch.Restart();
+  std::vector<int64_t> undecided;
+  undecided.reserve(candidates.size());
+  for (int64_t id : candidates) {
+    const geom::Box& mbr = dataset_.mbr(static_cast<size_t>(id));
+    if (options.use_zero_object_filter &&
+        filter::ZeroObjectUpperBound(mbr, query.Bounds()) <= d) {
+      result.ids.push_back(id);
+      ++result.zero_object_hits;
+      ++result.counts.filter_hits;
+      continue;
+    }
+    if (options.use_one_object_filter &&
+        filter::OneObjectUpperBound(query, mbr) <= d) {
+      result.ids.push_back(id);
+      ++result.one_object_hits;
+      ++result.counts.filter_hits;
+      continue;
+    }
+    undecided.push_back(id);
+  }
+  result.costs.filter_ms = watch.ElapsedMillis();
+
+  // Stage 3: geometry comparison through the shared refinement engine.
+  watch.Restart();
+  HwConfig hw_config = options.hw;
+  hw_config.enable_hw = options.use_hw;
+  HwDistanceTester tester(hw_config, options.sw);
+  for (int64_t id : undecided) {
+    const geom::Polygon& object = dataset_.polygon(static_cast<size_t>(id));
+    ++result.counts.compared;
+    if (tester.Test(object, query, d)) result.ids.push_back(id);
+  }
+  result.costs.compare_ms = watch.ElapsedMillis();
+  result.counts.results = static_cast<int64_t>(result.ids.size());
+  result.hw_counters = tester.counters();
+  return result;
+}
+
+}  // namespace hasj::core

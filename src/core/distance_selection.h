@@ -1,0 +1,52 @@
+#ifndef HASJ_CORE_DISTANCE_SELECTION_H_
+#define HASJ_CORE_DISTANCE_SELECTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "algo/polygon_distance.h"
+#include "core/hw_config.h"
+#include "core/query_stats.h"
+#include "data/dataset.h"
+#include "geom/polygon.h"
+#include "index/rtree.h"
+
+namespace hasj::core {
+
+struct DistanceSelectionOptions {
+  // Intermediate filters (Chan's runtime filters; positives only).
+  bool use_zero_object_filter = true;
+  bool use_one_object_filter = true;
+  bool use_hw = false;
+  HwConfig hw;
+  algo::DistanceOptions sw;
+};
+
+struct DistanceSelectionResult {
+  std::vector<int64_t> ids;  // objects within distance d of the query
+  StageCosts costs;
+  StageCounts counts;
+  int64_t zero_object_hits = 0;
+  int64_t one_object_hits = 0;
+  HwCounters hw_counters;
+};
+
+// Within-distance selection ("all objects within d of this polygon" — the
+// selection form of the paper's buffer query): MBR distance filtering via
+// the R-tree, 0/1-Object filters, then the software or hardware-assisted
+// distance test.
+class WithinDistanceSelection {
+ public:
+  explicit WithinDistanceSelection(const data::Dataset& dataset);
+
+  DistanceSelectionResult Run(const geom::Polygon& query, double d,
+                              const DistanceSelectionOptions& options = {}) const;
+
+ private:
+  const data::Dataset& dataset_;
+  index::RTree rtree_;
+};
+
+}  // namespace hasj::core
+
+#endif  // HASJ_CORE_DISTANCE_SELECTION_H_

@@ -1,0 +1,62 @@
+#ifndef HASJ_CORE_HW_CONFIG_H_
+#define HASJ_CORE_HW_CONFIG_H_
+
+#include <cstdint>
+
+#include "glsim/context.h"
+
+namespace hasj::core {
+
+// How the hardware segment test is executed.
+enum class HwBackend {
+  // Faithful Algorithm 3.1: color buffer at (0.5, 0.5, 0.5), accumulation
+  // buffer GL_LOAD / GL_ACCUM / GL_RETURN, hardware Minmax search for
+  // (1, 1, 1). Demonstrates the exact paper mechanics.
+  kFaithful,
+  // Decision-identical fast path (the default): rasterize the first
+  // boundary into a bitmask, probe it while rasterizing the second.
+  kBitmask,
+};
+
+// Configuration of the hardware-assisted tests (Algorithm 3.1 and its
+// distance extension).
+struct HwConfig {
+  // false disables the hardware filter: the tester runs the pure software
+  // refinement through the same engine (sharing the cached point locators),
+  // which is the software baseline of the figure benchmarks.
+  bool enable_hw = true;
+  // Rendering window is resolution x resolution pixels (paper sweeps 1-32;
+  // 8x8 is the recommended balance, §5).
+  int resolution = 8;
+  // Skip the hardware test when the two polygons have at most this many
+  // vertices combined (§4.3's sw_threshold; 0 = always use hardware).
+  int sw_threshold = 0;
+  HwBackend backend = HwBackend::kBitmask;
+  // Anti-aliased line width in pixels for the intersection test; the paper
+  // assumes the pixel diagonal.
+  double line_width = 1.4142135623730951;
+  // In the faithful backend, search the color buffer with the hardware
+  // Minmax function; false models the slow readback scan (§3.2 ablation).
+  bool use_minmax = true;
+  // Hardware limits (GeForce4-like 10-pixel maximum anti-aliased width).
+  glsim::HwLimits limits;
+};
+
+// Observability into how often each path decided the outcome and where the
+// time went.
+struct HwCounters {
+  int64_t tests = 0;             // total Test() calls
+  int64_t pip_hits = 0;          // decided by the point-in-polygon step
+  int64_t sw_threshold_skips = 0;  // hardware skipped, software test direct
+  int64_t hw_tests = 0;          // hardware segment tests executed
+  int64_t hw_rejects = 0;        // pairs rejected by the hardware test
+  int64_t sw_tests = 0;          // software segment/distance tests run
+  int64_t width_fallbacks = 0;   // distance only: width limit exceeded
+  double pip_ms = 0.0;           // point-in-polygon step wall time
+  double hw_ms = 0.0;            // hardware (rendering + search) wall time
+  double sw_ms = 0.0;            // software segment/distance test wall time
+};
+
+}  // namespace hasj::core
+
+#endif  // HASJ_CORE_HW_CONFIG_H_

@@ -1,0 +1,205 @@
+#include "core/hw_distance.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "algo/point_in_polygon.h"
+#include "common/macros.h"
+#include "common/stopwatch.h"
+#include "glsim/raster.h"
+
+namespace hasj::core {
+namespace {
+
+constexpr float kOverlapThreshold = 0.999f;
+
+// Expands the shorter dimension so the box is square (isotropic pixels).
+geom::Box SquareUp(const geom::Box& b) {
+  const double side = std::max(b.Width(), b.Height());
+  const geom::Point c = b.Center();
+  return geom::Box(c.x - side * 0.5, c.y - side * 0.5, c.x + side * 0.5,
+                   c.y + side * 0.5);
+}
+
+}  // namespace
+
+HwDistanceTester::HwDistanceTester(const HwConfig& config,
+                                   const algo::DistanceOptions& sw_options)
+    : config_(config),
+      sw_options_(sw_options),
+      ctx_(config.resolution, config.resolution),
+      mask_a_(config.resolution, config.resolution),
+      mask_b_(config.resolution, config.resolution) {
+  HASJ_CHECK(config.resolution >= 1);
+  ctx_.set_limits(config.limits);
+}
+
+bool HwDistanceTester::Test(const geom::Polygon& p, const geom::Polygon& q,
+                            double d) {
+  HASJ_CHECK(d >= 0.0);
+  ++counters_.tests;
+  if (geom::MinDistance(p.Bounds(), q.Bounds()) > d) return false;
+
+  // Containment makes the distance 0 with possibly distant boundaries, so a
+  // hardware reject (boundaries not within d) does not rule it out. As in
+  // the intersection tester, the O(n+m) point-in-polygon check is deferred
+  // to the reject path and guarded by MBR nesting; the software distance
+  // test handles containment itself.
+  const auto containment = [&]() {
+    Stopwatch watch;
+    const bool pip =
+        (q.Bounds().Contains(p.Bounds()) && PolygonContains(q, p.vertex(0))) ||
+        (p.Bounds().Contains(q.Bounds()) && PolygonContains(p, q.vertex(0)));
+    counters_.pip_ms += watch.ElapsedMillis();
+    if (pip) ++counters_.pip_hits;
+    return pip;
+  };
+  const auto boundaries_within = [&]() {
+    ++counters_.sw_tests;
+    Stopwatch watch;
+    const bool result = algo::BoundariesWithinDistance(p, q, d, sw_options_);
+    counters_.sw_ms += watch.ElapsedMillis();
+    return result;
+  };
+
+  // Pure software mode: same refinement without the hardware filter.
+  if (!config_.enable_hw) return boundaries_within() || containment();
+
+  const int64_t total_vertices =
+      static_cast<int64_t>(p.size()) + static_cast<int64_t>(q.size());
+  if (total_vertices <= config_.sw_threshold) {
+    ++counters_.sw_threshold_skips;
+    return boundaries_within() || containment();
+  }
+
+  // Viewport: the smaller object's MBR expanded by d/2 (§3.2), squared up.
+  // Any point within d/2 of the smaller boundary — in particular the
+  // midpoint of a realizing distance pair — lands inside it.
+  const bool p_smaller = p.Bounds().Area() <= q.Bounds().Area();
+  const geom::Box base = (p_smaller ? p : q).Bounds().Expanded(d * 0.5);
+  const geom::Box viewport = SquareUp(base);
+  const double side = std::max(viewport.Width(), viewport.Height());
+
+  // Equation 1: line and point width in pixels covering a dilation of d.
+  const double scale = config_.resolution / std::max(side, 1e-300);
+  const double width_px =
+      std::max(config_.line_width, std::ceil(d * scale));
+  if (width_px > config_.limits.max_line_width ||
+      width_px > config_.limits.max_point_size) {
+    ++counters_.width_fallbacks;
+    return boundaries_within() || containment();
+  }
+
+  // Edges whose d/2-dilation can reach the viewport (cheap conservative
+  // bounding-box clip; extra edges only add pixels).
+  const geom::Box clip = viewport.Expanded(d * 0.5);
+  std::vector<geom::Segment> ep, eq;
+  for (size_t i = 0; i < p.size(); ++i) {
+    if (p.edge(i).Bounds().Intersects(clip)) ep.push_back(p.edge(i));
+  }
+  // Empty clip sets preclude a close boundary pair but not containment.
+  if (ep.empty()) return containment();
+  for (size_t i = 0; i < q.size(); ++i) {
+    if (q.edge(i).Bounds().Intersects(clip)) eq.push_back(q.edge(i));
+  }
+  if (eq.empty()) return containment();
+
+  ++counters_.hw_tests;
+  Stopwatch watch;
+  const bool overlap = HwDilatedBoundariesOverlap(ep, eq, viewport, width_px);
+  counters_.hw_ms += watch.ElapsedMillis();
+  if (!overlap) {
+    ++counters_.hw_rejects;
+    return containment();
+  }
+
+  return boundaries_within() || containment();
+}
+
+bool HwDistanceTester::PolygonContains(const geom::Polygon& outer,
+                                       geom::Point pt) {
+  if (outer.size() < 64) return algo::ContainsPoint(outer, pt);
+  auto it = locators_.find(&outer);
+  if (it == locators_.end()) {
+    it = locators_.emplace(&outer, algo::PointLocator(outer)).first;
+  }
+  return it->second.Contains(pt);
+}
+
+bool HwDistanceTester::HwDilatedBoundariesOverlap(
+    const std::vector<geom::Segment>& ep, const std::vector<geom::Segment>& eq,
+    const geom::Box& viewport, double width_px) {
+  ctx_.SetDataRect(viewport);
+  const int res = config_.resolution;
+
+  if (config_.backend == HwBackend::kBitmask) {
+    // Draw the smaller edge set (it saturates the mask anyway when dense)
+    // and probe with the larger one, stopping at the first shared pixel.
+    const std::vector<geom::Segment>& first = ep.size() <= eq.size() ? ep : eq;
+    const std::vector<geom::Segment>& second = ep.size() <= eq.size() ? eq : ep;
+
+    mask_a_.Clear();
+    int unset = res * res;  // stop drawing once the window saturates
+    const auto set = [&](int x, int y) {
+      if (!mask_a_.Test(x, y)) {
+        mask_a_.Set(x, y);
+        --unset;
+      }
+    };
+    // Chained edges share endpoints; draw each capsule end cap once.
+    for (size_t i = 0; i < first.size() && unset > 0; ++i) {
+      const geom::Point a = ctx_.ToWindow(first[i].a);
+      const geom::Point b = ctx_.ToWindow(first[i].b);
+      glsim::RasterizeLineAA(a, b, width_px, res, res, set);
+      if (i == 0 || !(first[i - 1].b == first[i].a)) {
+        glsim::RasterizeWidePoint(a, width_px, res, res, set);
+      }
+      glsim::RasterizeWidePoint(b, width_px, res, res, set);
+    }
+    bool found = false;
+    const auto probe = [&](int x, int y) {
+      found = found || mask_a_.Test(x, y);
+    };
+    for (size_t i = 0; i < second.size() && !found; ++i) {
+      const geom::Point a = ctx_.ToWindow(second[i].a);
+      const geom::Point b = ctx_.ToWindow(second[i].b);
+      glsim::RasterizeLineAA(a, b, width_px, res, res, probe);
+      if (i == 0 || !(second[i - 1].b == second[i].a)) {
+        glsim::RasterizeWidePoint(a, width_px, res, res, probe);
+      }
+      if (!found) glsim::RasterizeWidePoint(b, width_px, res, res, probe);
+    }
+    return found;
+  }
+
+  ctx_.SetLineWidth(width_px);
+  ctx_.SetPointSize(width_px);
+  ctx_.SetColor(glsim::Rgb{0.5f, 0.5f, 0.5f});
+  const auto draw = [&](const std::vector<geom::Segment>& edges) {
+    for (size_t i = 0; i < edges.size(); ++i) {
+      ctx_.DrawSegment(edges[i].a, edges[i].b);
+      // Chained edges share endpoints; draw each end cap once.
+      if (i == 0 || !(edges[i - 1].b == edges[i].a)) {
+        const geom::Point pt[1] = {edges[i].a};
+        ctx_.DrawPoints(pt);
+      }
+      const geom::Point pt[1] = {edges[i].b};
+      ctx_.DrawPoints(pt);
+    }
+  };
+  ctx_.Clear();
+  ctx_.ClearAccum();
+  draw(ep);
+  ctx_.Accum(glsim::AccumOp::kLoad, 1.0f);
+  ctx_.Clear();
+  draw(eq);
+  ctx_.Accum(glsim::AccumOp::kAccum, 1.0f);
+  ctx_.Accum(glsim::AccumOp::kReturn, 1.0f);
+
+  if (config_.use_minmax) {
+    return ctx_.Minmax().max.r >= kOverlapThreshold;
+  }
+  return ctx_.color_buffer().AnyPixelAtLeast(kOverlapThreshold);
+}
+
+}  // namespace hasj::core

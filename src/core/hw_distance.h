@@ -1,0 +1,63 @@
+#ifndef HASJ_CORE_HW_DISTANCE_H_
+#define HASJ_CORE_HW_DISTANCE_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "algo/point_locator.h"
+#include "algo/polygon_distance.h"
+#include "core/hw_config.h"
+#include "geom/polygon.h"
+#include "geom/segment.h"
+#include "glsim/context.h"
+#include "glsim/pixel_mask.h"
+
+namespace hasj::core {
+
+// Hardware-assisted within-distance test (the distance extension of
+// Algorithm 3.1, §3.1): each polygon boundary is rendered dilated by D/2 —
+// edges as anti-aliased lines of width D and vertices as wide points of
+// size D (together a capsule per edge, the exact Minkowski dilation) — and
+// a shared pixel is a necessary condition for the boundaries being within
+// distance D.
+//
+// Deviations from exact paper mechanics, both conservative (see DESIGN.md):
+//  * the viewport (the smaller object's MBR expanded by D/2, §3.2) is
+//    squared up so pixels are isotropic and the pixel line width
+//    ceil(D * resolution / side) dilates by at least D/2 in every
+//    direction;
+//  * when the needed width exceeds the hardware line-width limit the test
+//    falls back to software, exactly as the paper's implementation does
+//    (§4.4 explains the resulting degradation at large D).
+class HwDistanceTester {
+ public:
+  explicit HwDistanceTester(const HwConfig& config = {},
+                            const algo::DistanceOptions& sw_options = {});
+
+  // Exact result: true iff the closed regions are within distance d.
+  bool Test(const geom::Polygon& p, const geom::Polygon& q, double d);
+
+  const HwConfig& config() const { return config_; }
+  const HwCounters& counters() const { return counters_; }
+  void ResetCounters() { counters_ = HwCounters{}; }
+
+ private:
+  bool HwDilatedBoundariesOverlap(const std::vector<geom::Segment>& ep,
+                                  const std::vector<geom::Segment>& eq,
+                                  const geom::Box& viewport, double width_px);
+
+  // Cached-locator containment; see HwIntersectionTester::PolygonContains.
+  bool PolygonContains(const geom::Polygon& outer, geom::Point pt);
+
+  HwConfig config_;
+  algo::DistanceOptions sw_options_;
+  HwCounters counters_;
+  glsim::RenderContext ctx_;
+  glsim::PixelMask mask_a_;
+  glsim::PixelMask mask_b_;
+  std::unordered_map<const geom::Polygon*, algo::PointLocator> locators_;
+};
+
+}  // namespace hasj::core
+
+#endif  // HASJ_CORE_HW_DISTANCE_H_

@@ -1,0 +1,67 @@
+#ifndef HASJ_CORE_HW_INTERSECTION_H_
+#define HASJ_CORE_HW_INTERSECTION_H_
+
+#include <unordered_map>
+
+#include "algo/point_locator.h"
+#include "algo/polygon_intersect.h"
+#include "core/hw_config.h"
+#include "geom/polygon.h"
+#include "glsim/context.h"
+#include "glsim/pixel_mask.h"
+
+namespace hasj::core {
+
+// Algorithm 3.1: hardware-assisted polygon intersection test.
+//
+//   1. Software point-in-polygon test (handles containment; O(n+m)).
+//   2. Hardware segment intersection test: render both boundaries as
+//      anti-aliased line chains into a small window projected onto
+//      MBR(P) ∩ MBR(Q); if no pixel is colored by both, the boundaries
+//      cannot cross and the pair is rejected.
+//   3. Software segment intersection test (exact) for survivors.
+//
+// The hardware step is a conservative filter: the anti-aliased
+// rasterization rule colors every pixel a segment passes through, so two
+// crossing boundaries always share a pixel. Exactness therefore never
+// depends on the window resolution.
+//
+// The tester owns a render context sized to config.resolution and reuses it
+// across calls, as a real implementation reuses its off-screen window.
+class HwIntersectionTester {
+ public:
+  explicit HwIntersectionTester(
+      const HwConfig& config = {},
+      const algo::SoftwareIntersectOptions& sw_options = {});
+
+  // Exact result: true iff the closed regions intersect.
+  bool Test(const geom::Polygon& p, const geom::Polygon& q);
+
+  const HwConfig& config() const { return config_; }
+  const HwCounters& counters() const { return counters_; }
+  void ResetCounters() { counters_ = HwCounters{}; }
+
+ private:
+  // True if some pixel is covered by both boundaries within the window
+  // projected onto `viewport`.
+  bool HwBoundariesOverlap(const geom::Polygon& p, const geom::Polygon& q,
+                           const geom::Box& viewport);
+
+  // Closed-region containment of `pt` in `outer`, via a lazily built and
+  // cached point locator for large polygons. Cache keys are polygon
+  // addresses: polygons passed to Test() must outlive the tester or at
+  // least stay put between calls (true for dataset-owned polygons).
+  bool PolygonContains(const geom::Polygon& outer, geom::Point pt);
+
+  HwConfig config_;
+  algo::SoftwareIntersectOptions sw_options_;
+  HwCounters counters_;
+  glsim::RenderContext ctx_;
+  glsim::PixelMask mask_a_;
+  glsim::PixelMask mask_b_;
+  std::unordered_map<const geom::Polygon*, algo::PointLocator> locators_;
+};
+
+}  // namespace hasj::core
+
+#endif  // HASJ_CORE_HW_INTERSECTION_H_

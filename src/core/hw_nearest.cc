@@ -1,0 +1,64 @@
+#include "core/hw_nearest.h"
+
+#include <utility>
+
+#include "common/macros.h"
+
+namespace hasj::core {
+namespace {
+
+geom::Box SiteWindow(const std::vector<geom::Point>& sites) {
+  geom::Box box = geom::Box::Empty();
+  for (const geom::Point& p : sites) box.Extend(p);
+  const double margin =
+      0.05 * std::max({box.Width(), box.Height(), 1e-9});
+  return box.Expanded(margin);
+}
+
+index::RTree SiteTree(const std::vector<geom::Point>& sites) {
+  std::vector<index::RTree::Entry> entries;
+  entries.reserve(sites.size());
+  for (size_t i = 0; i < sites.size(); ++i) {
+    entries.push_back({geom::Box(sites[i].x, sites[i].y, sites[i].x,
+                                 sites[i].y),
+                       static_cast<int64_t>(i)});
+  }
+  return index::RTree::BulkLoad(std::move(entries));
+}
+
+}  // namespace
+
+HwNearestNeighbor::HwNearestNeighbor(std::vector<geom::Point> sites,
+                                     int resolution)
+    : sites_(std::move(sites)),
+      diagram_(glsim::RenderVoronoi(sites_, SiteWindow(sites_), resolution)),
+      tree_(SiteTree(sites_)) {
+  HASJ_CHECK(!sites_.empty());
+}
+
+int64_t HwNearestNeighbor::QueryApproximate(geom::Point q) const {
+  int x, y;
+  diagram_.PixelOf(q, x, y);
+  return diagram_.site_at(x, y);
+}
+
+int64_t HwNearestNeighbor::Query(geom::Point q) const {
+  // The hinted site bounds the nearest distance from above; every site that
+  // can beat it lies within that radius of q.
+  const int64_t hint = QueryApproximate(q);
+  const double bound =
+      geom::Distance(q, sites_[static_cast<size_t>(hint)]);
+  const geom::Box probe(q.x, q.y, q.x, q.y);
+  int64_t best = hint;
+  double best_d = bound;
+  for (int64_t id : tree_.QueryWithinDistance(probe, bound)) {
+    const double d = geom::Distance(q, sites_[static_cast<size_t>(id)]);
+    if (d < best_d || (d == best_d && id < best)) {
+      best = id;
+      best_d = d;
+    }
+  }
+  return best;
+}
+
+}  // namespace hasj::core

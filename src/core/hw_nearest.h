@@ -1,0 +1,45 @@
+#ifndef HASJ_CORE_HW_NEAREST_H_
+#define HASJ_CORE_HW_NEAREST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/box.h"
+#include "geom/point.h"
+#include "glsim/voronoi.h"
+#include "index/rtree.h"
+
+namespace hasj::core {
+
+// Nearest-neighbor queries via a hardware-rendered Voronoi diagram — the
+// paper's §5 future-work direction, implemented on the glsim substrate.
+//
+// The diagram gives the exact nearest site of each *pixel center*; for an
+// arbitrary query point that is only an approximation (off by at most the
+// pixel diagonal). Query() refines it to an exact answer: the hinted
+// site's distance is an upper bound, and an R-tree range probe within that
+// bound enumerates every site that could be closer.
+class HwNearestNeighbor {
+ public:
+  // Renders the diagram once over the sites' bounding box (5% margin).
+  HwNearestNeighbor(std::vector<geom::Point> sites, int resolution);
+
+  size_t size() const { return sites_.size(); }
+  const geom::Point& site(size_t id) const { return sites_[id]; }
+
+  // Exact nearest site index (smallest index on ties).
+  int64_t Query(geom::Point q) const;
+
+  // The raw pixel answer: exact for pixel centers, within one pixel
+  // diagonal of optimal elsewhere. O(1).
+  int64_t QueryApproximate(geom::Point q) const;
+
+ private:
+  std::vector<geom::Point> sites_;
+  glsim::VoronoiDiagram diagram_;
+  index::RTree tree_;
+};
+
+}  // namespace hasj::core
+
+#endif  // HASJ_CORE_HW_NEAREST_H_

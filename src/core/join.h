@@ -1,0 +1,56 @@
+#ifndef HASJ_CORE_JOIN_H_
+#define HASJ_CORE_JOIN_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "algo/polygon_intersect.h"
+#include "core/hw_config.h"
+#include "core/query_stats.h"
+#include "data/dataset.h"
+#include "index/rtree.h"
+
+namespace hasj::core {
+
+struct JoinOptions {
+  bool use_hw = false;
+  HwConfig hw;
+  algo::SoftwareIntersectOptions sw;
+  // Rasterization intermediate filter (Zimbrão & Souza, Table 1 of the
+  // paper): per-polygon raster signatures, built lazily once per run,
+  // prove candidate pairs intersecting or disjoint before geometry
+  // comparison. Value = signature grid size; 0 disables (the paper's
+  // evaluated configuration).
+  int raster_filter_grid = 0;
+};
+
+struct JoinResult {
+  std::vector<std::pair<int64_t, int64_t>> pairs;  // intersecting (a, b) ids
+  StageCosts costs;
+  StageCounts counts;
+  int64_t raster_positives = 0;  // pairs proven intersecting by the filter
+  int64_t raster_negatives = 0;  // pairs proven disjoint by the filter
+  HwCounters hw_counters;
+};
+
+// Intersection join A ⋈ B: all object pairs with intersecting geometries.
+// MBR filtering is a synchronized R-tree traversal; geometry comparison is
+// the software or hardware-assisted intersection test (Figures 12-13).
+class IntersectionJoin {
+ public:
+  // Keeps references to both datasets; builds both R-trees once.
+  IntersectionJoin(const data::Dataset& a, const data::Dataset& b);
+
+  JoinResult Run(const JoinOptions& options = {}) const;
+
+ private:
+  const data::Dataset& a_;
+  const data::Dataset& b_;
+  index::RTree rtree_a_;
+  index::RTree rtree_b_;
+};
+
+}  // namespace hasj::core
+
+#endif  // HASJ_CORE_JOIN_H_

@@ -1,0 +1,100 @@
+#include "core/selection.h"
+
+#include <optional>
+
+#include "common/stopwatch.h"
+#include "core/hw_intersection.h"
+#include "filter/interior_filter.h"
+
+namespace hasj::core {
+
+IntersectionSelection::IntersectionSelection(const data::Dataset& dataset)
+    : dataset_(dataset), rtree_(dataset.BuildRTree()) {}
+
+IntersectionSelection::~IntersectionSelection() = default;
+
+const filter::RasterSignature& IntersectionSelection::SignatureOf(
+    int64_t id, int grid) const {
+  if (signature_grid_ != grid) {
+    signatures_.clear();
+    signatures_.resize(dataset_.size());
+    signature_grid_ = grid;
+  }
+  auto& slot = signatures_[static_cast<size_t>(id)];
+  if (slot == nullptr) {
+    slot = std::make_unique<filter::RasterSignature>(
+        dataset_.polygon(static_cast<size_t>(id)), grid);
+  }
+  return *slot;
+}
+
+SelectionResult IntersectionSelection::Run(
+    const geom::Polygon& query, const SelectionOptions& options) const {
+  SelectionResult result;
+  Stopwatch watch;
+
+  // Stage 1: MBR filtering.
+  const std::vector<int64_t> candidates =
+      rtree_.QueryIntersects(query.Bounds());
+  result.counts.candidates = static_cast<int64_t>(candidates.size());
+  result.costs.mbr_ms = watch.ElapsedMillis();
+
+  // Stage 2: intermediate filtering (interior filter and/or raster
+  // signature filter; the latter can also prove negatives).
+  watch.Restart();
+  std::vector<int64_t> undecided;
+  undecided.reserve(candidates.size());
+  std::optional<filter::InteriorFilter> interior;
+  if (options.interior_tiling_level >= 0) {
+    interior.emplace(query, options.interior_tiling_level);
+  }
+  std::optional<filter::RasterSignature> query_signature;
+  if (options.raster_filter_grid > 0) {
+    query_signature.emplace(query, options.raster_filter_grid);
+  }
+  for (int64_t id : candidates) {
+    if (interior.has_value() &&
+        interior->IdentifiesPositive(dataset_.mbr(static_cast<size_t>(id)))) {
+      result.ids.push_back(id);
+      ++result.counts.filter_hits;
+      continue;
+    }
+    if (query_signature.has_value()) {
+      switch (filter::CompareRasterSignatures(
+          SignatureOf(id, options.raster_filter_grid), *query_signature)) {
+        case filter::RasterFilterDecision::kIntersect:
+          result.ids.push_back(id);
+          ++result.raster_positives;
+          ++result.counts.filter_hits;
+          continue;
+        case filter::RasterFilterDecision::kDisjoint:
+          ++result.raster_negatives;
+          ++result.counts.filter_hits;
+          continue;
+        case filter::RasterFilterDecision::kUnknown:
+          break;
+      }
+    }
+    undecided.push_back(id);
+  }
+  result.costs.filter_ms = watch.ElapsedMillis();
+
+  // Stage 3: geometry comparison. The tester is the refinement engine for
+  // both modes (use_hw toggles the hardware filter), so the software
+  // baseline shares the cached point locators.
+  watch.Restart();
+  HwConfig hw_config = options.hw;
+  hw_config.enable_hw = options.use_hw;
+  HwIntersectionTester tester(hw_config, options.sw);
+  for (int64_t id : undecided) {
+    const geom::Polygon& object = dataset_.polygon(static_cast<size_t>(id));
+    ++result.counts.compared;
+    if (tester.Test(object, query)) result.ids.push_back(id);
+  }
+  result.costs.compare_ms = watch.ElapsedMillis();
+  result.counts.results = static_cast<int64_t>(result.ids.size());
+  result.hw_counters = tester.counters();
+  return result;
+}
+
+}  // namespace hasj::core

@@ -1,0 +1,70 @@
+#ifndef HASJ_CORE_SELECTION_H_
+#define HASJ_CORE_SELECTION_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "algo/polygon_intersect.h"
+#include "core/hw_config.h"
+#include "core/query_stats.h"
+#include "data/dataset.h"
+#include "filter/raster_signature.h"
+#include "geom/polygon.h"
+#include "index/rtree.h"
+
+namespace hasj::core {
+
+struct SelectionOptions {
+  // Interior-filter tiling level l (grid 2^l x 2^l); negative disables the
+  // intermediate filter (Figure 10 sweeps 0..6).
+  int interior_tiling_level = -1;
+  // Rasterization intermediate filter (Zimbrão & Souza, Table 1): candidate
+  // signatures are cached in the selection object across queries, so the
+  // build cost amortizes the way pre-processing techniques do in the
+  // paper's taxonomy. Value = signature grid size; 0 disables.
+  int raster_filter_grid = 0;
+  // Geometry comparison with the hardware-assisted test (Algorithm 3.1)
+  // instead of the software-only test.
+  bool use_hw = false;
+  HwConfig hw;
+  algo::SoftwareIntersectOptions sw;
+};
+
+struct SelectionResult {
+  std::vector<int64_t> ids;  // objects intersecting the query polygon
+  StageCosts costs;
+  StageCounts counts;
+  int64_t raster_positives = 0;  // decided intersecting by the raster filter
+  int64_t raster_negatives = 0;  // decided disjoint by the raster filter
+  HwCounters hw_counters;        // zero unless use_hw
+};
+
+// Intersection selection: all dataset objects intersecting a query polygon,
+// processed as MBR filtering (R-tree) -> intermediate filters (interior
+// and/or raster) -> geometry comparison, the paper's Figure 8 pipeline.
+//
+// Not thread-safe: Run() populates the lazy per-object signature cache.
+class IntersectionSelection {
+ public:
+  // Keeps a reference to the dataset; builds the R-tree once.
+  explicit IntersectionSelection(const data::Dataset& dataset);
+  ~IntersectionSelection();
+
+  SelectionResult Run(const geom::Polygon& query,
+                      const SelectionOptions& options = {}) const;
+
+ private:
+  const filter::RasterSignature& SignatureOf(int64_t id, int grid) const;
+
+  const data::Dataset& dataset_;
+  index::RTree rtree_;
+  // Lazy raster signatures, keyed by object id; invalidated when a run
+  // requests a different grid size.
+  mutable std::vector<std::unique_ptr<filter::RasterSignature>> signatures_;
+  mutable int signature_grid_ = 0;
+};
+
+}  // namespace hasj::core
+
+#endif  // HASJ_CORE_SELECTION_H_

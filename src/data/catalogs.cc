@@ -1,0 +1,114 @@
+#include "data/catalogs.h"
+
+namespace hasj::data {
+namespace {
+
+// Wyoming at 1:100,000 scale (the LANDC / LANDO source extent).
+const geom::Box kWyoming(-111.05, 41.0, -104.05, 45.0);
+// Contiguous United States (STATES50 / PRISM / WATER).
+const geom::Box kConusBox(-124.7, 24.5, -66.9, 49.4);
+
+}  // namespace
+
+GeneratorProfile LandcProfile(double scale) {
+  GeneratorProfile p;
+  p.name = "LANDC";
+  p.count = 14731;
+  p.min_vertices = 3;
+  p.max_vertices = 4397;
+  p.mean_vertices = 192.0;
+  p.sigma = 1.15;
+  p.extent = kWyoming;
+  // Land cover tessellates the state; generated blobs overlap their
+  // neighbors, giving the dense candidate sets a real tessellation has.
+  p.coverage = 1.4;
+  p.clusters = 0;
+  p.roughness = 0.5;
+  p.seed = 0x1a2dc001;
+  return p.Scaled(scale);
+}
+
+GeneratorProfile LandoProfile(double scale) {
+  GeneratorProfile p;
+  p.name = "LANDO";
+  p.count = 33860;
+  p.min_vertices = 3;
+  p.max_vertices = 8807;
+  p.mean_vertices = 20.0;
+  // Mean 20 with max 8,807 is an extremely skewed distribution: mostly tiny
+  // parcels plus a few huge management areas.
+  p.sigma = 1.0;
+  p.extent = kWyoming;
+  p.coverage = 1.2;
+  p.clusters = 0;
+  p.roughness = 0.4;
+  p.seed = 0x1a2dc002;
+  return p.Scaled(scale);
+}
+
+GeneratorProfile States50Profile(double scale) {
+  GeneratorProfile p;
+  p.name = "STATES50";
+  p.count = 31;
+  p.min_vertices = 4;
+  p.max_vertices = 10744;
+  p.mean_vertices = 138.0;
+  p.sigma = 1.3;
+  p.extent = kConusBox;
+  // State boundaries cover the country about once.
+  p.coverage = 1.0;
+  p.clusters = 0;
+  p.roughness = 0.35;
+  p.seed = 0x1a2dc003;
+  // The query set keeps all 31 objects at every scale; only the extent
+  // shrinks, in lockstep with the data datasets.
+  GeneratorProfile scaled = p.Scaled(scale);
+  scaled.count = p.count;
+  return scaled;
+}
+
+GeneratorProfile PrismProfile(double scale) {
+  GeneratorProfile p;
+  p.name = "PRISM";
+  p.count = 6243;
+  p.min_vertices = 3;
+  p.max_vertices = 29556;
+  p.mean_vertices = 68.0;
+  // Precipitation contours: very heavy complexity tail (few enormous
+  // isohyet polygons dominate the comparison cost). Mostly long smooth
+  // bands, which create the close-parallel non-crossing boundary pairs
+  // that make the refinement step expensive on this dataset.
+  p.sigma = 1.5;
+  p.extent = kConusBox;
+  p.coverage = 1.1;
+  p.clusters = 0;
+  p.roughness = 0.55;
+  p.snake_fraction = 0.85;
+  p.snake_curvature = 0.12;
+  p.follow_terrain = true;
+  p.seed = 0x1a2dc004;
+  return p.Scaled(scale);
+}
+
+GeneratorProfile WaterProfile(double scale) {
+  GeneratorProfile p;
+  p.name = "WATER";
+  p.count = 21866;
+  p.min_vertices = 3;
+  p.max_vertices = 39360;
+  p.mean_vertices = 91.0;
+  p.sigma = 1.45;
+  p.extent = kConusBox;
+  // Water bodies cluster along river systems and coasts; most complex
+  // objects are elongated rivers rather than round lakes.
+  p.coverage = 0.7;
+  p.clusters = 24;
+  p.roughness = 0.6;
+  p.snake_fraction = 0.65;
+  p.snake_curvature = 0.3;
+  p.follow_terrain = true;
+  p.seed = 0x1a2dc005;
+  return p.Scaled(scale);
+}
+
+}  // namespace hasj::data

@@ -1,0 +1,44 @@
+#include "data/dataset.h"
+
+#include <cmath>
+
+namespace hasj::data {
+
+DatasetStats Dataset::Stats() const {
+  DatasetStats s;
+  s.count = static_cast<int64_t>(polygons_.size());
+  s.extent = extent_;
+  if (polygons_.empty()) return s;
+  RunningStats vertices, widths, heights;
+  for (const geom::Polygon& p : polygons_) {
+    vertices.Add(static_cast<double>(p.size()));
+    widths.Add(p.Bounds().Width());
+    heights.Add(p.Bounds().Height());
+  }
+  s.min_vertices = static_cast<int64_t>(vertices.min());
+  s.max_vertices = static_cast<int64_t>(vertices.max());
+  s.mean_vertices = vertices.mean();
+  s.total_vertices = static_cast<int64_t>(vertices.sum());
+  s.mean_mbr_width = widths.mean();
+  s.mean_mbr_height = heights.mean();
+  return s;
+}
+
+index::RTree Dataset::BuildRTree(int max_entries) const {
+  std::vector<index::RTree::Entry> entries;
+  entries.reserve(polygons_.size());
+  for (size_t i = 0; i < polygons_.size(); ++i) {
+    entries.push_back({polygons_[i].Bounds(), static_cast<int64_t>(i)});
+  }
+  return index::RTree::BulkLoad(std::move(entries), max_entries);
+}
+
+double BaseDistance(const Dataset& a, const Dataset& b) {
+  const DatasetStats sa = a.Stats();
+  const DatasetStats sb = b.Stats();
+  const double da = std::sqrt(sa.mean_mbr_width * sa.mean_mbr_height);
+  const double db = std::sqrt(sb.mean_mbr_width * sb.mean_mbr_height);
+  return (da + db) * 0.5;
+}
+
+}  // namespace hasj::data

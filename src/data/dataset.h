@@ -1,0 +1,68 @@
+#ifndef HASJ_DATA_DATASET_H_
+#define HASJ_DATA_DATASET_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/stats.h"
+#include "geom/box.h"
+#include "geom/polygon.h"
+#include "index/rtree.h"
+
+namespace hasj::data {
+
+// Summary statistics in the shape of the paper's Table 2.
+struct DatasetStats {
+  int64_t count = 0;
+  int64_t min_vertices = 0;
+  int64_t max_vertices = 0;
+  double mean_vertices = 0.0;
+  int64_t total_vertices = 0;
+  geom::Box extent;
+  double mean_mbr_width = 0.0;
+  double mean_mbr_height = 0.0;
+};
+
+// An in-memory polygon dataset: the unit the query pipelines operate on.
+// Object ids are positions in the polygon vector.
+class Dataset {
+ public:
+  Dataset() = default;
+  explicit Dataset(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  size_t size() const { return polygons_.size(); }
+  bool empty() const { return polygons_.empty(); }
+  const geom::Polygon& polygon(size_t id) const { return polygons_[id]; }
+  const geom::Box& mbr(size_t id) const { return polygons_[id].Bounds(); }
+  const std::vector<geom::Polygon>& polygons() const { return polygons_; }
+
+  void Add(geom::Polygon polygon) {
+    extent_.Extend(polygon.Bounds());
+    polygons_.push_back(std::move(polygon));
+  }
+
+  const geom::Box& Bounds() const { return extent_; }
+
+  DatasetStats Stats() const;
+
+  // STR bulk-loaded R-tree over the MBRs (ids = positions).
+  index::RTree BuildRTree(int max_entries = 16) const;
+
+ private:
+  std::string name_;
+  std::vector<geom::Polygon> polygons_;
+  geom::Box extent_ = geom::Box::Empty();
+};
+
+// The paper's Equation 2: the base query distance for a within-distance
+// join is the mean of the two datasets' average MBR diagonals
+// (sqrt(mean width * mean height) per dataset).
+double BaseDistance(const Dataset& a, const Dataset& b);
+
+}  // namespace hasj::data
+
+#endif  // HASJ_DATA_DATASET_H_

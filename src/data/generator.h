@@ -1,0 +1,86 @@
+#ifndef HASJ_DATA_GENERATOR_H_
+#define HASJ_DATA_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "data/dataset.h"
+#include "geom/box.h"
+#include "geom/polygon.h"
+
+namespace hasj::data {
+
+// Recipe for a synthetic polygon dataset calibrated to the statistics of a
+// real dataset (paper Table 2). The generator substitutes for the paper's
+// Wyoming / US shapefiles (DESIGN.md "Substitutions"): what the hardware
+// technique's behaviour depends on is the vertex-count distribution, the
+// shapes' concavity, and the MBR overlap density — all of which the profile
+// controls.
+struct GeneratorProfile {
+  std::string name;
+  // Object count and Table 2 vertex-count statistics. Counts are drawn from
+  // a log-normal fitted to mean_vertices with tail weight `sigma`, clipped
+  // to [min_vertices, max_vertices].
+  int64_t count = 0;
+  int min_vertices = 3;
+  int max_vertices = 1000;
+  double mean_vertices = 50.0;
+  double sigma = 1.0;  // log-normal shape: larger = heavier complexity tail
+  // Spatial layout.
+  geom::Box extent;
+  double coverage = 1.0;   // sum of object MBR areas / extent area
+  int clusters = 0;        // 0 = uniform centers; >0 = clustered layout
+  double roughness = 0.45; // radial noise amplitude: 0 = convex-ish blobs
+  // Fraction of objects generated as elongated "snake" polygons (rivers,
+  // precipitation contour bands) instead of radial blobs. Snakes produce
+  // the close-parallel non-crossing boundary pairs that dominate the
+  // refinement cost of the paper's WATER and PRISM datasets.
+  double snake_fraction = 0.0;
+  double snake_curvature = 0.25;  // radians of heading drift per step
+  // Snakes follow a shared deterministic terrain flow field instead of
+  // independent random walks. Rivers and precipitation contours both trace
+  // the same topography, so nearby objects run locally parallel — the
+  // close-but-disjoint configurations whose refinement dominates the
+  // paper's WATER ⋈ PRISM workloads.
+  bool follow_terrain = false;
+  uint64_t seed = 1;
+
+  // Same distributions, `fraction` of the objects; for bench scaling.
+  GeneratorProfile Scaled(double fraction) const;
+};
+
+// Generates a dataset of simple (star-shaped, strongly concave) polygons
+// matching the profile. Deterministic in profile.seed.
+Dataset GenerateDataset(const GeneratorProfile& profile);
+
+// Generates one random simple polygon: `vertices` vertices star-shaped
+// around `center` with mean radius `radius` and multi-octave radial noise
+// of relative amplitude `roughness`. Always simple by construction.
+geom::Polygon GenerateBlobPolygon(geom::Point center, double radius,
+                                  int vertices, double roughness,
+                                  uint64_t seed);
+
+// Generates one elongated simple polygon (a buffered meandering path, like
+// a river or a contour band): `vertices` total vertices, overall extent on
+// the order of `radius`, rotated by a random angle. Simple by construction
+// (x-monotone path with curvature and width bounds chosen so the two offset
+// chains cannot cross).
+geom::Polygon GenerateSnakePolygon(geom::Point center, double radius,
+                                   int vertices, double curvature,
+                                   uint64_t seed);
+
+// The shared terrain flow direction (radians) at a point: a fixed smooth
+// pseudo-random field, identical for every dataset so that objects from
+// different layers correlate like real topography-driven features do.
+double TerrainFlowAngle(geom::Point p);
+
+// Terrain-following variant of GenerateSnakePolygon: the path is steered
+// toward the flow field (deviation bounded, so the polygon stays simple by
+// the same monotonicity argument) and built directly in world coordinates.
+geom::Polygon GenerateTerrainSnakePolygon(geom::Point center, double radius,
+                                          int vertices, double curvature,
+                                          uint64_t seed);
+
+}  // namespace hasj::data
+
+#endif  // HASJ_DATA_GENERATOR_H_

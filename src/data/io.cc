@@ -1,0 +1,41 @@
+#include "data/io.h"
+
+#include <fstream>
+#include <utility>
+
+#include "geom/wkt.h"
+
+namespace hasj::data {
+
+Status SaveDataset(const Dataset& dataset, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::NotFound("cannot open for writing: " + path);
+  out << "# hasj dataset: " << dataset.name() << "\n";
+  for (const geom::Polygon& p : dataset.polygons()) {
+    out << geom::ToWkt(p) << "\n";
+  }
+  out.flush();
+  if (!out) return Status::Internal("write failed: " + path);
+  return Status::Ok();
+}
+
+Result<Dataset> LoadDataset(const std::string& path, std::string name) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open for reading: " + path);
+  Dataset dataset(name.empty() ? path : std::move(name));
+  std::string line;
+  int64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    Result<geom::Polygon> poly = geom::ParseWktPolygon(line);
+    if (!poly.ok()) {
+      return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
+                                     ": " + poly.status().message());
+    }
+    dataset.Add(std::move(poly).value());
+  }
+  return dataset;
+}
+
+}  // namespace hasj::data

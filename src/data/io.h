@@ -1,0 +1,19 @@
+#ifndef HASJ_DATA_IO_H_
+#define HASJ_DATA_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace hasj::data {
+
+// Plain-text dataset format: one WKT POLYGON per line; '#' lines are
+// comments. Lets users run the pipelines on real data (e.g. shapefiles
+// exported with ogr2ogr to WKT) instead of the synthetic profiles.
+Status SaveDataset(const Dataset& dataset, const std::string& path);
+Result<Dataset> LoadDataset(const std::string& path, std::string name = "");
+
+}  // namespace hasj::data
+
+#endif  // HASJ_DATA_IO_H_

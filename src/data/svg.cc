@@ -1,0 +1,47 @@
+#include "data/svg.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+namespace hasj::data {
+
+Status WriteSvg(const Dataset& dataset, const std::string& path,
+                size_t max_polygons, int pixel_width) {
+  if (dataset.empty()) return Status::InvalidArgument("empty dataset");
+  const size_t n = max_polygons == 0
+                       ? dataset.size()
+                       : std::min(max_polygons, dataset.size());
+
+  geom::Box extent = geom::Box::Empty();
+  for (size_t i = 0; i < n; ++i) extent.Extend(dataset.mbr(i));
+  const double scale = pixel_width / std::max(extent.Width(), 1e-12);
+  const int pixel_height =
+      std::max(1, static_cast<int>(extent.Height() * scale));
+
+  std::ofstream out(path);
+  if (!out) return Status::NotFound("cannot open for writing: " + path);
+  out << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << pixel_width
+      << "\" height=\"" << pixel_height << "\">\n";
+  out << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+
+  char buf[64];
+  for (size_t i = 0; i < n; ++i) {
+    const geom::Polygon& p = dataset.polygon(i);
+    out << "<polygon points=\"";
+    for (const geom::Point& v : p.vertices()) {
+      // SVG y grows downward.
+      std::snprintf(buf, sizeof(buf), "%.2f,%.2f ",
+                    (v.x - extent.min_x) * scale,
+                    (extent.max_y - v.y) * scale);
+      out << buf;
+    }
+    out << "\" fill=\"none\" stroke=\"black\" stroke-width=\"0.6\"/>\n";
+  }
+  out << "</svg>\n";
+  out.flush();
+  if (!out) return Status::Internal("write failed: " + path);
+  return Status::Ok();
+}
+
+}  // namespace hasj::data

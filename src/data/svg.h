@@ -1,0 +1,19 @@
+#ifndef HASJ_DATA_SVG_H_
+#define HASJ_DATA_SVG_H_
+
+#include <cstddef>
+#include <string>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace hasj::data {
+
+// Renders the first `max_polygons` polygons of a dataset to an SVG file
+// (the Figure 1 analog: eyeballing the generated shapes). 0 = all.
+Status WriteSvg(const Dataset& dataset, const std::string& path,
+                size_t max_polygons = 0, int pixel_width = 800);
+
+}  // namespace hasj::data
+
+#endif  // HASJ_DATA_SVG_H_

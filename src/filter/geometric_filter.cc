@@ -1,0 +1,16 @@
+#include "filter/geometric_filter.h"
+
+#include "algo/convex_hull.h"
+#include "algo/polygon_intersect.h"
+
+namespace hasj::filter {
+
+GeometricFilter::GeometricFilter(const geom::Polygon& polygon)
+    : hull_(algo::ConvexHullPolygon(polygon)) {}
+
+bool GeometricFilter::DefinitelyDisjoint(const GeometricFilter& other) const {
+  if (hull_.size() < 3 || other.hull_.size() < 3) return false;  // degenerate
+  return !algo::PolygonsIntersect(hull_, other.hull_);
+}
+
+}  // namespace hasj::filter

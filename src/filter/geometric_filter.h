@@ -1,0 +1,29 @@
+#ifndef HASJ_FILTER_GEOMETRIC_FILTER_H_
+#define HASJ_FILTER_GEOMETRIC_FILTER_H_
+
+#include "geom/polygon.h"
+
+namespace hasj::filter {
+
+// Convex-hull geometric filter (Brinkhoff et al. [5], Table 1 of the
+// paper): a pre-processing technique approximating each polygon by its
+// convex hull. Disjoint hulls prove the polygons disjoint (false-hit
+// detection); hull intersection is undecided. Implemented as an extension
+// beyond the paper's evaluated runtime filters, for the filter-comparison
+// ablation.
+class GeometricFilter {
+ public:
+  explicit GeometricFilter(const geom::Polygon& polygon);
+
+  const geom::Polygon& hull() const { return hull_; }
+
+  // True: the underlying polygons are definitely disjoint.
+  bool DefinitelyDisjoint(const GeometricFilter& other) const;
+
+ private:
+  geom::Polygon hull_;
+};
+
+}  // namespace hasj::filter
+
+#endif  // HASJ_FILTER_GEOMETRIC_FILTER_H_

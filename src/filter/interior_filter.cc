@@ -1,0 +1,119 @@
+#include "filter/interior_filter.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "algo/point_in_polygon.h"
+#include "common/macros.h"
+#include "geom/segment.h"
+
+namespace hasj::filter {
+
+InteriorFilter::InteriorFilter(const geom::Polygon& query, int tiling_level)
+    : level_(tiling_level), n_(1 << tiling_level), mbr_(query.Bounds()) {
+  HASJ_CHECK(tiling_level >= 0 && tiling_level <= 12);
+  tile_w_ = mbr_.Width() / n_;
+  tile_h_ = mbr_.Height() / n_;
+
+  // Phase 1: mark tiles crossed by the polygon boundary. Each edge marks
+  // the tiles its bounding box spans that it actually (exactly) intersects.
+  std::vector<uint8_t> boundary(static_cast<size_t>(n_) * n_, 0);
+  const auto tile_box = [&](int i, int j) {
+    return geom::Box(mbr_.min_x + i * tile_w_, mbr_.min_y + j * tile_h_,
+                     mbr_.min_x + (i + 1) * tile_w_,
+                     mbr_.min_y + (j + 1) * tile_h_);
+  };
+  const auto clamp_idx = [&](double v, double lo, double tile) {
+    if (tile <= 0.0) return 0;
+    const int idx = static_cast<int>(std::floor((v - lo) / tile));
+    return std::clamp(idx, 0, n_ - 1);
+  };
+  for (size_t e = 0; e < query.size(); ++e) {
+    const geom::Segment seg = query.edge(e);
+    const geom::Box sb = seg.Bounds();
+    const int i0 = clamp_idx(sb.min_x, mbr_.min_x, tile_w_);
+    const int i1 = clamp_idx(sb.max_x, mbr_.min_x, tile_w_);
+    const int j0 = clamp_idx(sb.min_y, mbr_.min_y, tile_h_);
+    const int j1 = clamp_idx(sb.max_y, mbr_.min_y, tile_h_);
+    for (int j = j0; j <= j1; ++j) {
+      for (int i = i0; i <= i1; ++i) {
+        if (boundary[static_cast<size_t>(j) * n_ + i]) continue;
+        if (geom::SegmentIntersectsBox(seg, tile_box(i, j))) {
+          boundary[static_cast<size_t>(j) * n_ + i] = 1;
+        }
+      }
+    }
+  }
+
+  // Phase 2: classify non-boundary tiles. Within a run of consecutive
+  // non-boundary tiles in a row, all tiles have the same inside/outside
+  // status (a status change would require the boundary to cross the shared
+  // tile edge, marking both tiles), so one point-in-polygon test per run
+  // suffices.
+  interior_.assign(static_cast<size_t>(n_) * n_, 0);
+  for (int j = 0; j < n_; ++j) {
+    int i = 0;
+    while (i < n_) {
+      if (boundary[static_cast<size_t>(j) * n_ + i]) {
+        ++i;
+        continue;
+      }
+      int end = i;
+      while (end < n_ && !boundary[static_cast<size_t>(j) * n_ + end]) ++end;
+      const geom::Box probe = tile_box(i, j);
+      const bool inside =
+          algo::LocatePoint(probe.Center(), query) == algo::PointLocation::kInside;
+      if (inside) {
+        for (int k = i; k < end; ++k) {
+          interior_[static_cast<size_t>(j) * n_ + k] = 1;
+          ++interior_count_;
+        }
+      }
+      i = end;
+    }
+  }
+
+  // 2D prefix sums for O(1) "all tiles in a range are interior" queries.
+  prefix_.assign(static_cast<size_t>(n_ + 1) * (n_ + 1), 0);
+  for (int j = 0; j < n_; ++j) {
+    for (int i = 0; i < n_; ++i) {
+      prefix_[static_cast<size_t>(j + 1) * (n_ + 1) + (i + 1)] =
+          interior_[static_cast<size_t>(j) * n_ + i] +
+          prefix_[static_cast<size_t>(j) * (n_ + 1) + (i + 1)] +
+          prefix_[static_cast<size_t>(j + 1) * (n_ + 1) + i] -
+          prefix_[static_cast<size_t>(j) * (n_ + 1) + i];
+    }
+  }
+}
+
+bool InteriorFilter::IsInteriorTile(int i, int j) const {
+  HASJ_CHECK(i >= 0 && i < n_ && j >= 0 && j < n_);
+  return interior_[static_cast<size_t>(j) * n_ + i] != 0;
+}
+
+bool InteriorFilter::IdentifiesPositive(const geom::Box& candidate_mbr) const {
+  if (candidate_mbr.IsEmpty()) return false;
+  // Anything outside the query MBR cannot be covered by interior tiles.
+  if (!mbr_.Contains(candidate_mbr)) return false;
+  if (tile_w_ <= 0.0 || tile_h_ <= 0.0) return false;
+
+  const int i0 = std::clamp(
+      static_cast<int>(std::floor((candidate_mbr.min_x - mbr_.min_x) / tile_w_)),
+      0, n_ - 1);
+  const int i1 = std::clamp(
+      static_cast<int>(std::floor((candidate_mbr.max_x - mbr_.min_x) / tile_w_)),
+      0, n_ - 1);
+  const int j0 = std::clamp(
+      static_cast<int>(std::floor((candidate_mbr.min_y - mbr_.min_y) / tile_h_)),
+      0, n_ - 1);
+  const int j1 = std::clamp(
+      static_cast<int>(std::floor((candidate_mbr.max_y - mbr_.min_y) / tile_h_)),
+      0, n_ - 1);
+  const int64_t covered = PrefixCount(i1, j1) - PrefixCount(i0 - 1, j1) -
+                          PrefixCount(i1, j0 - 1) + PrefixCount(i0 - 1, j0 - 1);
+  const int64_t total =
+      static_cast<int64_t>(i1 - i0 + 1) * static_cast<int64_t>(j1 - j0 + 1);
+  return covered == total;
+}
+
+}  // namespace hasj::filter

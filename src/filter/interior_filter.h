@@ -1,0 +1,55 @@
+#ifndef HASJ_FILTER_INTERIOR_FILTER_H_
+#define HASJ_FILTER_INTERIOR_FILTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/box.h"
+#include "geom/polygon.h"
+
+namespace hasj::filter {
+
+// Interior filter (Badawy & Aref [2]): partitions the query polygon's MBR
+// into 2^level x 2^level tiles and keeps the tiles completely inside the
+// polygon as an interior approximation (paper Figure 9(a)). A candidate
+// whose MBR is fully covered by interior tiles is a guaranteed positive for
+// the intersection predicate (the object lies inside the query polygon), so
+// it can skip geometry comparison. The filter never produces negatives.
+//
+// Construction cost is the "interior filter overhead" of Figure 10; it is
+// amortized over all candidates of one selection query.
+class InteriorFilter {
+ public:
+  InteriorFilter(const geom::Polygon& query, int tiling_level);
+
+  int tiling_level() const { return level_; }
+  int grid_size() const { return n_; }
+  int64_t interior_tile_count() const { return interior_count_; }
+
+  // True: candidate definitely intersects the query polygon.
+  // False: undecided (candidate proceeds to geometry comparison).
+  bool IdentifiesPositive(const geom::Box& candidate_mbr) const;
+
+  // Whether tile (i, j) (column, row) is an interior tile; for tests.
+  bool IsInteriorTile(int i, int j) const;
+
+ private:
+  // Inclusive prefix count of interior tiles in [0..i] x [0..j].
+  int64_t PrefixCount(int i, int j) const {
+    if (i < 0 || j < 0) return 0;
+    return prefix_[static_cast<size_t>(j + 1) * (n_ + 1) + (i + 1)];
+  }
+
+  int level_;
+  int n_;  // 2^level
+  geom::Box mbr_;
+  double tile_w_ = 0.0;
+  double tile_h_ = 0.0;
+  int64_t interior_count_ = 0;
+  std::vector<uint8_t> interior_;  // row-major n_*n_
+  std::vector<int64_t> prefix_;    // (n_+1)*(n_+1) 2D prefix sums
+};
+
+}  // namespace hasj::filter
+
+#endif  // HASJ_FILTER_INTERIOR_FILTER_H_

@@ -1,0 +1,65 @@
+#include "filter/object_filters.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+#include "geom/segment.h"
+
+namespace hasj::filter {
+
+double ZeroObjectUpperBound(const geom::Box& a, const geom::Box& b) {
+  return geom::MinMaxDistance(a, b);
+}
+
+namespace {
+
+// Upper bound on the distance from a point to the polygon boundary: the
+// minimum over a strided subset of edges (a subset of the boundary can only
+// raise the minimum, so the bound stays admissible). The cap keeps the
+// filter O(1)-ish per candidate even for polygons with tens of thousands of
+// edges, at the price of a slightly weaker bound.
+constexpr size_t kMaxEdgesConsidered = 64;
+
+double DistanceToBoundary(geom::Point q, const geom::Polygon& p) {
+  const size_t n = p.size();
+  const size_t stride = n <= kMaxEdgesConsidered ? 1 : n / kMaxEdgesConsidered;
+  double best = geom::Distance(q, p.edge(0));
+  for (size_t i = stride; i < n; i += stride) {
+    best = std::min(best, geom::Distance(q, p.edge(i)));
+  }
+  return best;
+}
+
+// Lipschitz over-estimate of max_{q in [a,b]} dist(q, boundary of p).
+double MaxDistanceAlongSide(geom::Point a, geom::Point b,
+                            const geom::Polygon& p, int samples) {
+  const double len = geom::Distance(a, b);
+  const double gap = len / (samples - 1);
+  double max_sampled = 0.0;
+  for (int i = 0; i < samples; ++i) {
+    const double t = static_cast<double>(i) / (samples - 1);
+    const geom::Point q = a + (b - a) * t;
+    max_sampled = std::max(max_sampled, DistanceToBoundary(q, p));
+  }
+  // dist(., boundary) is 1-Lipschitz, so between samples it can exceed the
+  // sampled maximum by at most half the sample gap.
+  return max_sampled + gap * 0.5;
+}
+
+}  // namespace
+
+double OneObjectUpperBound(const geom::Polygon& p, const geom::Box& other_mbr,
+                           int samples_per_side) {
+  HASJ_CHECK(samples_per_side >= 2);
+  const geom::Point p00{other_mbr.min_x, other_mbr.min_y};
+  const geom::Point p10{other_mbr.max_x, other_mbr.min_y};
+  const geom::Point p11{other_mbr.max_x, other_mbr.max_y};
+  const geom::Point p01{other_mbr.min_x, other_mbr.max_y};
+  const double s0 = MaxDistanceAlongSide(p00, p10, p, samples_per_side);
+  const double s1 = MaxDistanceAlongSide(p10, p11, p, samples_per_side);
+  const double s2 = MaxDistanceAlongSide(p11, p01, p, samples_per_side);
+  const double s3 = MaxDistanceAlongSide(p01, p00, p, samples_per_side);
+  return std::min(std::min(s0, s1), std::min(s2, s3));
+}
+
+}  // namespace hasj::filter

@@ -1,0 +1,31 @@
+#ifndef HASJ_FILTER_OBJECT_FILTERS_H_
+#define HASJ_FILTER_OBJECT_FILTERS_H_
+
+#include "geom/box.h"
+#include "geom/polygon.h"
+
+namespace hasj::filter {
+
+// Distance upper-bound filters for the within-distance join (Chan [4]).
+// Both return an upper bound U on the distance between the two objects;
+// U <= D identifies the pair as a definite positive, skipping geometry
+// comparison. Neither can produce a false positive.
+
+// 0-Object filter: uses only the two MBRs. Since an object touches every
+// side of its own MBR, min over side pairs of the max side-to-side distance
+// bounds the object distance from above.
+double ZeroObjectUpperBound(const geom::Box& a, const geom::Box& b);
+
+// 1-Object filter: retrieves the actual geometry of one object (the paper
+// uses the larger one) and bounds the distance against the other object's
+// MBR: U = min over the MBR's sides s of max_{q in s} dist(q, boundary of
+// p). The inner max is over-estimated with the 1-Lipschitz bound
+// max <= max_i dist(sample_i, p) + gap/2, which keeps U a valid upper bound
+// (DESIGN.md "Substitutions"); `samples_per_side` trades filter selectivity
+// for cost.
+double OneObjectUpperBound(const geom::Polygon& p, const geom::Box& other_mbr,
+                           int samples_per_side = 5);
+
+}  // namespace hasj::filter
+
+#endif  // HASJ_FILTER_OBJECT_FILTERS_H_

@@ -1,0 +1,197 @@
+#include "filter/raster_signature.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "algo/point_in_polygon.h"
+#include "common/macros.h"
+#include "geom/segment.h"
+
+namespace hasj::filter {
+
+RasterSignature::RasterSignature(const geom::Polygon& polygon, int grid_size)
+    : n_(grid_size), mbr_(polygon.Bounds()) {
+  HASJ_CHECK(grid_size >= 1 && grid_size <= 4096);
+  cell_w_ = mbr_.Width() / n_;
+  cell_h_ = mbr_.Height() / n_;
+  cells_.assign(static_cast<size_t>(n_) * n_, 0);
+
+  const auto cell_box = [&](int i, int j) {
+    return geom::Box(mbr_.min_x + i * cell_w_, mbr_.min_y + j * cell_h_,
+                     mbr_.min_x + (i + 1) * cell_w_,
+                     mbr_.min_y + (j + 1) * cell_h_);
+  };
+  const auto clamp_idx = [&](double v, double lo, double cell) {
+    if (cell <= 0.0) return 0;
+    return std::clamp(static_cast<int>(std::floor((v - lo) / cell)), 0,
+                      n_ - 1);
+  };
+
+  // Phase 1: boundary cells (exact conservative edge walk, as in the
+  // interior filter).
+  for (size_t e = 0; e < polygon.size(); ++e) {
+    const geom::Segment seg = polygon.edge(e);
+    const geom::Box sb = seg.Bounds();
+    const int i0 = clamp_idx(sb.min_x, mbr_.min_x, cell_w_);
+    const int i1 = clamp_idx(sb.max_x, mbr_.min_x, cell_w_);
+    const int j0 = clamp_idx(sb.min_y, mbr_.min_y, cell_h_);
+    const int j1 = clamp_idx(sb.max_y, mbr_.min_y, cell_h_);
+    for (int j = j0; j <= j1; ++j) {
+      for (int i = i0; i <= i1; ++i) {
+        uint8_t& cell = cells_[static_cast<size_t>(j) * n_ + i];
+        if (cell == static_cast<uint8_t>(Cell::kBoundary)) continue;
+        if (geom::SegmentIntersectsBox(seg, cell_box(i, j))) {
+          cell = static_cast<uint8_t>(Cell::kBoundary);
+        }
+      }
+    }
+  }
+
+  // Phase 2: classify runs of non-boundary cells per row (status can only
+  // change across a boundary cell; see InteriorFilter for the argument).
+  for (int j = 0; j < n_; ++j) {
+    int i = 0;
+    while (i < n_) {
+      if (cells_[static_cast<size_t>(j) * n_ + i] ==
+          static_cast<uint8_t>(Cell::kBoundary)) {
+        ++i;
+        continue;
+      }
+      int end = i;
+      while (end < n_ && cells_[static_cast<size_t>(j) * n_ + end] !=
+                             static_cast<uint8_t>(Cell::kBoundary)) {
+        ++end;
+      }
+      const bool inside = algo::LocatePoint(cell_box(i, j).Center(),
+                                            polygon) ==
+                          algo::PointLocation::kInside;
+      if (inside) {
+        for (int k = i; k < end; ++k) {
+          cells_[static_cast<size_t>(j) * n_ + k] =
+              static_cast<uint8_t>(Cell::kInterior);
+        }
+      }
+      i = end;
+    }
+  }
+
+  // Prefix sums for O(1) region queries.
+  prefix_interior_.assign(static_cast<size_t>(n_ + 1) * (n_ + 1), 0);
+  prefix_occupied_.assign(static_cast<size_t>(n_ + 1) * (n_ + 1), 0);
+  for (int j = 0; j < n_; ++j) {
+    for (int i = 0; i < n_; ++i) {
+      const size_t idx = static_cast<size_t>(j + 1) * (n_ + 1) + (i + 1);
+      const size_t up = static_cast<size_t>(j) * (n_ + 1) + (i + 1);
+      const size_t left = static_cast<size_t>(j + 1) * (n_ + 1) + i;
+      const size_t diag = static_cast<size_t>(j) * (n_ + 1) + i;
+      const uint8_t c = cells_[static_cast<size_t>(j) * n_ + i];
+      prefix_interior_[idx] =
+          (c == static_cast<uint8_t>(Cell::kInterior) ? 1 : 0) +
+          prefix_interior_[up] + prefix_interior_[left] -
+          prefix_interior_[diag];
+      prefix_occupied_[idx] =
+          (c != static_cast<uint8_t>(Cell::kExterior) ? 1 : 0) +
+          prefix_occupied_[up] + prefix_occupied_[left] -
+          prefix_occupied_[diag];
+    }
+  }
+}
+
+RasterSignature::Cell RasterSignature::at(int i, int j) const {
+  HASJ_CHECK(i >= 0 && i < n_ && j >= 0 && j < n_);
+  return static_cast<Cell>(cells_[static_cast<size_t>(j) * n_ + i]);
+}
+
+int64_t RasterSignature::PrefixInterior(int i, int j) const {
+  if (i < 0 || j < 0) return 0;
+  return prefix_interior_[static_cast<size_t>(j + 1) * (n_ + 1) + (i + 1)];
+}
+
+int64_t RasterSignature::PrefixOccupied(int i, int j) const {
+  if (i < 0 || j < 0) return 0;
+  return prefix_occupied_[static_cast<size_t>(j + 1) * (n_ + 1) + (i + 1)];
+}
+
+void RasterSignature::CellRange(const geom::Box& region, int& i0, int& i1,
+                                int& j0, int& j1) const {
+  const auto idx = [&](double v, double lo, double cell) {
+    if (cell <= 0.0) return 0;
+    return std::clamp(static_cast<int>(std::floor((v - lo) / cell)), 0,
+                      n_ - 1);
+  };
+  i0 = idx(region.min_x, mbr_.min_x, cell_w_);
+  i1 = idx(region.max_x, mbr_.min_x, cell_w_);
+  j0 = idx(region.min_y, mbr_.min_y, cell_h_);
+  j1 = idx(region.max_y, mbr_.min_y, cell_h_);
+}
+
+bool RasterSignature::RegionAllInterior(const geom::Box& region) const {
+  if (region.IsEmpty() || !mbr_.Contains(region)) return false;
+  if (cell_w_ <= 0.0 || cell_h_ <= 0.0) return false;
+  int i0, i1, j0, j1;
+  CellRange(region, i0, i1, j0, j1);
+  const int64_t interior = PrefixInterior(i1, j1) -
+                           PrefixInterior(i0 - 1, j1) -
+                           PrefixInterior(i1, j0 - 1) +
+                           PrefixInterior(i0 - 1, j0 - 1);
+  const int64_t total =
+      static_cast<int64_t>(i1 - i0 + 1) * static_cast<int64_t>(j1 - j0 + 1);
+  return interior == total;
+}
+
+bool RasterSignature::RegionMaybeOccupied(const geom::Box& region) const {
+  const geom::Box overlap = mbr_.Intersection(region);
+  if (overlap.IsEmpty()) return false;  // material lives inside the MBR
+  int i0, i1, j0, j1;
+  CellRange(overlap, i0, i1, j0, j1);
+  const int64_t occupied = PrefixOccupied(i1, j1) -
+                           PrefixOccupied(i0 - 1, j1) -
+                           PrefixOccupied(i1, j0 - 1) +
+                           PrefixOccupied(i0 - 1, j0 - 1);
+  return occupied > 0;
+}
+
+RasterFilterDecision CompareRasterSignatures(const RasterSignature& a,
+                                             const RasterSignature& b) {
+  const geom::Box window = a.bounds().Intersection(b.bounds());
+  if (window.IsEmpty()) return RasterFilterDecision::kDisjoint;
+
+  // Walk A's cells inside the window. Each occupied A-cell region is probed
+  // against B: if no occupied A-cell region may be occupied in B, the
+  // polygons are disjoint (all material of both lies in occupied cells, and
+  // any intersection point lies in the window). If some occupied A-cell
+  // region lies entirely in B's interior, it carries A-material (a boundary
+  // point or the whole cell) that is inside B, proving intersection.
+  const int n = a.grid_size();
+  const geom::Box& ab = a.bounds();
+  const double cw = ab.Width() / n;
+  const double ch = ab.Height() / n;
+  const auto clamp_idx = [&](double v, double lo, double cell) {
+    if (cell <= 0.0) return 0;
+    return std::clamp(static_cast<int>(std::floor((v - lo) / cell)), 0,
+                      n - 1);
+  };
+  const int i0 = clamp_idx(window.min_x, ab.min_x, cw);
+  const int i1 = clamp_idx(window.max_x, ab.min_x, cw);
+  const int j0 = clamp_idx(window.min_y, ab.min_y, ch);
+  const int j1 = clamp_idx(window.max_y, ab.min_y, ch);
+
+  bool any_contact = false;
+  for (int j = j0; j <= j1; ++j) {
+    for (int i = i0; i <= i1; ++i) {
+      const RasterSignature::Cell cell = a.at(i, j);
+      if (cell == RasterSignature::Cell::kExterior) continue;
+      const geom::Box region(ab.min_x + i * cw, ab.min_y + j * ch,
+                             ab.min_x + (i + 1) * cw,
+                             ab.min_y + (j + 1) * ch);
+      if (b.RegionAllInterior(region)) {
+        return RasterFilterDecision::kIntersect;
+      }
+      if (!any_contact && b.RegionMaybeOccupied(region)) any_contact = true;
+    }
+  }
+  return any_contact ? RasterFilterDecision::kUnknown
+                     : RasterFilterDecision::kDisjoint;
+}
+
+}  // namespace hasj::filter

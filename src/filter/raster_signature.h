@@ -1,0 +1,71 @@
+#ifndef HASJ_FILTER_RASTER_SIGNATURE_H_
+#define HASJ_FILTER_RASTER_SIGNATURE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/box.h"
+#include "geom/polygon.h"
+
+namespace hasj::filter {
+
+// Raster approximation of a polygon (Zimbrão & Souza's rasterization
+// filter, [6] in the paper's Table 1): an N x N grid over the polygon's
+// MBR classifying each cell as exterior, boundary (the polygon boundary
+// passes through), or interior (cell completely inside). Built in
+// O(edges x cells-per-edge + N^2); used as an intermediate filter that can
+// prove either disjointness or intersection of a candidate pair without
+// exact geometry comparison.
+class RasterSignature {
+ public:
+  enum class Cell : uint8_t {
+    kExterior = 0,
+    kBoundary = 1,
+    kInterior = 2,
+  };
+
+  RasterSignature(const geom::Polygon& polygon, int grid_size);
+
+  int grid_size() const { return n_; }
+  const geom::Box& bounds() const { return mbr_; }
+  Cell at(int i, int j) const;
+
+  // True iff the axis-aligned region is completely covered by interior
+  // cells (hence completely inside the polygon). Conservative: false when
+  // the region leaves the signature's bounds or touches non-interior cells.
+  bool RegionAllInterior(const geom::Box& region) const;
+
+  // True iff the region might contain polygon material (overlaps a boundary
+  // or interior cell). False is a proof of emptiness.
+  bool RegionMaybeOccupied(const geom::Box& region) const;
+
+ private:
+  // Inclusive 2D prefix counts over [0..i] x [0..j].
+  int64_t PrefixInterior(int i, int j) const;
+  int64_t PrefixOccupied(int i, int j) const;
+  void CellRange(const geom::Box& region, int& i0, int& i1, int& j0,
+                 int& j1) const;
+
+  int n_;
+  geom::Box mbr_;
+  double cell_w_ = 0.0;
+  double cell_h_ = 0.0;
+  std::vector<uint8_t> cells_;
+  std::vector<int64_t> prefix_interior_;
+  std::vector<int64_t> prefix_occupied_;
+};
+
+enum class RasterFilterDecision {
+  kDisjoint,   // proven: the polygons cannot intersect
+  kIntersect,  // proven: the polygons intersect
+  kUnknown,    // the pair needs exact geometry comparison
+};
+
+// Conservative pair decision by overlaying two signatures (their grids need
+// not align). Exactness contract: kDisjoint and kIntersect are never wrong.
+RasterFilterDecision CompareRasterSignatures(const RasterSignature& a,
+                                             const RasterSignature& b);
+
+}  // namespace hasj::filter
+
+#endif  // HASJ_FILTER_RASTER_SIGNATURE_H_

@@ -1,0 +1,99 @@
+#include "geom/box.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace hasj::geom {
+
+void Box::Extend(Point p) {
+  if (IsEmpty()) {
+    min_x = max_x = p.x;
+    min_y = max_y = p.y;
+    return;
+  }
+  min_x = std::min(min_x, p.x);
+  min_y = std::min(min_y, p.y);
+  max_x = std::max(max_x, p.x);
+  max_y = std::max(max_y, p.y);
+}
+
+void Box::Extend(const Box& other) {
+  if (other.IsEmpty()) return;
+  Extend(Point{other.min_x, other.min_y});
+  Extend(Point{other.max_x, other.max_y});
+}
+
+Box Box::Intersection(const Box& other) const {
+  if (!Intersects(other)) return Box::Empty();
+  return Box(std::max(min_x, other.min_x), std::max(min_y, other.min_y),
+             std::min(max_x, other.max_x), std::min(max_y, other.max_y));
+}
+
+double MinDistance(const Box& a, const Box& b) {
+  const double dx =
+      std::max({0.0, a.min_x - b.max_x, b.min_x - a.max_x});
+  const double dy =
+      std::max({0.0, a.min_y - b.max_y, b.min_y - a.max_y});
+  return std::hypot(dx, dy);
+}
+
+double MinDistance(Point p, const Box& b) {
+  const double dx = std::max({0.0, b.min_x - p.x, p.x - b.max_x});
+  const double dy = std::max({0.0, b.min_y - p.y, p.y - b.max_y});
+  return std::hypot(dx, dy);
+}
+
+double MaxDistance(const Box& a, const Box& b) {
+  const double dx = std::max(a.max_x - b.min_x, b.max_x - a.min_x);
+  const double dy = std::max(a.max_y - b.min_y, b.max_y - a.min_y);
+  return std::hypot(dx, dy);
+}
+
+namespace {
+
+// Maximum distance between two segments; the maximizing pair of points is a
+// pair of endpoints (the squared distance is convex in each argument).
+double MaxSegmentDistance(Point a0, Point a1, Point b0, Point b1) {
+  return std::max(std::max(Distance(a0, b0), Distance(a0, b1)),
+                  std::max(Distance(a1, b0), Distance(a1, b1)));
+}
+
+// The four sides of a box as endpoint pairs.
+void BoxSides(const Box& b, Point sides[4][2]) {
+  const Point p00{b.min_x, b.min_y}, p10{b.max_x, b.min_y};
+  const Point p11{b.max_x, b.max_y}, p01{b.min_x, b.max_y};
+  sides[0][0] = p00, sides[0][1] = p10;
+  sides[1][0] = p10, sides[1][1] = p11;
+  sides[2][0] = p11, sides[2][1] = p01;
+  sides[3][0] = p01, sides[3][1] = p00;
+}
+
+}  // namespace
+
+double MinMaxDistance(const Box& a, const Box& b) {
+  Point sa[4][2], sb[4][2];
+  BoxSides(a, sa);
+  BoxSides(b, sb);
+  double best = MaxDistance(a, b);
+  for (const auto& i : sa) {
+    for (const auto& j : sb) {
+      best = std::min(best, MaxSegmentDistance(i[0], i[1], j[0], j[1]));
+    }
+  }
+  return best;
+}
+
+std::string ToString(const Box& b) {
+  char buf[120];
+  std::snprintf(buf, sizeof(buf), "[%.6g,%.6g x %.6g,%.6g]", b.min_x, b.min_y,
+                b.max_x, b.max_y);
+  return buf;
+}
+
+std::string ToString(Point p) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "(%.6g,%.6g)", p.x, p.y);
+  return buf;
+}
+
+}  // namespace hasj::geom

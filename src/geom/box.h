@@ -1,0 +1,98 @@
+#ifndef HASJ_GEOM_BOX_H_
+#define HASJ_GEOM_BOX_H_
+
+#include <algorithm>
+#include <string>
+
+#include "geom/point.h"
+
+namespace hasj::geom {
+
+// Axis-aligned rectangle, used as minimum bounding rectangle (MBR) and as
+// rendering-viewport data rectangle. An empty box has min > max and behaves
+// as the identity for Extend/Union.
+struct Box {
+  double min_x = 1.0;
+  double min_y = 1.0;
+  double max_x = 0.0;
+  double max_y = 0.0;
+
+  Box() = default;
+  Box(double x0, double y0, double x1, double y1)
+      : min_x(x0), min_y(y0), max_x(x1), max_y(y1) {}
+
+  static Box Empty() { return Box(); }
+
+  // Smallest box containing both corner points, in any order.
+  static Box FromCorners(Point a, Point b) {
+    return Box(std::min(a.x, b.x), std::min(a.y, b.y), std::max(a.x, b.x),
+               std::max(a.y, b.y));
+  }
+
+  bool IsEmpty() const { return min_x > max_x || min_y > max_y; }
+
+  double Width() const { return IsEmpty() ? 0.0 : max_x - min_x; }
+  double Height() const { return IsEmpty() ? 0.0 : max_y - min_y; }
+  double Area() const { return Width() * Height(); }
+  double Perimeter() const { return 2.0 * (Width() + Height()); }
+  Point Center() const {
+    return {(min_x + max_x) * 0.5, (min_y + max_y) * 0.5};
+  }
+
+  // Grows to include p (or another box).
+  void Extend(Point p);
+  void Extend(const Box& other);
+
+  // Box expanded by d on all four sides (d may be negative; result may be
+  // empty). Used for D-extended MBRs in the distance optimizations.
+  Box Expanded(double d) const {
+    return Box(min_x - d, min_y - d, max_x + d, max_y + d);
+  }
+
+  bool Contains(Point p) const {
+    return !IsEmpty() && p.x >= min_x && p.x <= max_x && p.y >= min_y &&
+           p.y <= max_y;
+  }
+  bool Contains(const Box& other) const {
+    return !IsEmpty() && !other.IsEmpty() && other.min_x >= min_x &&
+           other.max_x <= max_x && other.min_y >= min_y && other.max_y <= max_y;
+  }
+
+  // Closed-rectangle intersection test (touching boxes intersect).
+  bool Intersects(const Box& other) const {
+    return !IsEmpty() && !other.IsEmpty() && min_x <= other.max_x &&
+           other.min_x <= max_x && min_y <= other.max_y && other.min_y <= max_y;
+  }
+
+  // The common region (empty box if disjoint).
+  Box Intersection(const Box& other) const;
+
+  friend bool operator==(const Box& a, const Box& b) {
+    return a.min_x == b.min_x && a.min_y == b.min_y && a.max_x == b.max_x &&
+           a.max_y == b.max_y;
+  }
+};
+
+// Minimum distance between two boxes (0 if they intersect). Lower bound of
+// the distance between the objects inside them — the MBR filter of the
+// within-distance join.
+double MinDistance(const Box& a, const Box& b);
+
+// Minimum distance between a point and a box (0 if inside).
+double MinDistance(Point p, const Box& b);
+
+// Maximum distance between any point of a and any point of b (the diameter
+// of the pair); attained at corners.
+double MaxDistance(const Box& a, const Box& b);
+
+// Upper bound on the minimum distance between two objects known only by
+// their MBRs, using the fact that an object touches every side of its own
+// MBR (the bound behind Chan's 0-Object filter): the minimum over side
+// pairs of the maximum side-to-side distance.
+double MinMaxDistance(const Box& a, const Box& b);
+
+std::string ToString(const Box& b);
+
+}  // namespace hasj::geom
+
+#endif  // HASJ_GEOM_BOX_H_

@@ -1,0 +1,25 @@
+#ifndef HASJ_GEOM_CLIP_H_
+#define HASJ_GEOM_CLIP_H_
+
+#include <vector>
+
+#include "geom/box.h"
+#include "geom/point.h"
+#include "geom/polygon.h"
+
+namespace hasj::geom {
+
+// Sutherland-Hodgman clipping of a simple polygon against an axis-aligned
+// box. Returns the vertices of the clipped region (empty if the polygon
+// misses the box). For concave subjects the result ring may contain
+// coincident edges along the box border where the region is disconnected —
+// standard Sutherland-Hodgman behavior; its area is still the area of
+// polygon ∩ box, which is what the overlay statistics use.
+std::vector<Point> ClipPolygonToBox(const Polygon& polygon, const Box& box);
+
+// Area of polygon ∩ box (0 when disjoint).
+double ClippedArea(const Polygon& polygon, const Box& box);
+
+}  // namespace hasj::geom
+
+#endif  // HASJ_GEOM_CLIP_H_

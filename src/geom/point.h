@@ -1,0 +1,48 @@
+#ifndef HASJ_GEOM_POINT_H_
+#define HASJ_GEOM_POINT_H_
+
+#include <cmath>
+#include <string>
+
+namespace hasj::geom {
+
+// 2D point / vector with double coordinates. The datasets the paper targets
+// are 2D GIS polygons; all coordinates in this library are doubles.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  Point() = default;
+  Point(double px, double py) : x(px), y(py) {}
+
+  Point operator+(Point o) const { return {x + o.x, y + o.y}; }
+  Point operator-(Point o) const { return {x - o.x, y - o.y}; }
+  Point operator*(double s) const { return {x * s, y * s}; }
+  Point operator/(double s) const { return {x / s, y / s}; }
+
+  friend bool operator==(Point a, Point b) { return a.x == b.x && a.y == b.y; }
+  friend bool operator!=(Point a, Point b) { return !(a == b); }
+
+  // Lexicographic (x, then y) order; used for sweep-line event ordering.
+  friend bool operator<(Point a, Point b) {
+    return a.x < b.x || (a.x == b.x && a.y < b.y);
+  }
+};
+
+inline double Dot(Point a, Point b) { return a.x * b.x + a.y * b.y; }
+
+// z-component of the 3D cross product of vectors a and b. Not robust; use
+// geom::Orient2d for sign decisions.
+inline double Cross(Point a, Point b) { return a.x * b.y - a.y * b.x; }
+
+inline double SquaredNorm(Point a) { return a.x * a.x + a.y * a.y; }
+inline double Norm(Point a) { return std::sqrt(SquaredNorm(a)); }
+
+inline double SquaredDistance(Point a, Point b) { return SquaredNorm(a - b); }
+inline double Distance(Point a, Point b) { return Norm(a - b); }
+
+std::string ToString(Point p);
+
+}  // namespace hasj::geom
+
+#endif  // HASJ_GEOM_POINT_H_

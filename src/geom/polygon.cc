@@ -1,0 +1,42 @@
+#include "geom/polygon.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hasj::geom {
+
+Polygon::Polygon(std::vector<Point> vertices) : vertices_(std::move(vertices)) {
+  for (const Point& p : vertices_) bounds_.Extend(p);
+}
+
+double Polygon::SignedArea() const {
+  const size_t n = vertices_.size();
+  if (n < 3) return 0.0;
+  double sum = 0.0;
+  for (size_t i = 0, j = n - 1; i < n; j = i++) {
+    sum += Cross(vertices_[j], vertices_[i]);
+  }
+  return 0.5 * sum;
+}
+
+double Polygon::Area() const { return std::fabs(SignedArea()); }
+
+void Polygon::Reverse() { std::reverse(vertices_.begin(), vertices_.end()); }
+
+Status Polygon::Validate() const {
+  const size_t n = vertices_.size();
+  if (n < 3) return Status::InvalidArgument("polygon has fewer than 3 vertices");
+  for (size_t i = 0; i < n; ++i) {
+    const size_t j = i + 1 == n ? 0 : i + 1;
+    if (vertices_[i] == vertices_[j]) {
+      return Status::InvalidArgument("polygon has consecutive duplicate vertices");
+    }
+    if (!std::isfinite(vertices_[i].x) || !std::isfinite(vertices_[i].y)) {
+      return Status::InvalidArgument("polygon has non-finite coordinates");
+    }
+  }
+  if (Area() == 0.0) return Status::InvalidArgument("polygon has zero area");
+  return Status::Ok();
+}
+
+}  // namespace hasj::geom

@@ -1,0 +1,59 @@
+#ifndef HASJ_GEOM_POLYGON_H_
+#define HASJ_GEOM_POLYGON_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "geom/box.h"
+#include "geom/segment.h"
+
+namespace hasj::geom {
+
+// Simple polygon: a single closed ring of vertices without the closing
+// duplicate (edge i runs from vertex i to vertex (i+1) mod n). The paper's
+// datasets are simple polygons; holes and multipolygons are out of scope
+// (see DESIGN.md).
+//
+// The ring orientation is not enforced; use SignedArea()/Reverse() if a
+// specific orientation is needed. The bounding box is computed on
+// construction and cached, since MBRs are consulted constantly by the
+// filtering steps.
+class Polygon {
+ public:
+  Polygon() = default;
+  explicit Polygon(std::vector<Point> vertices);
+
+  size_t size() const { return vertices_.size(); }
+  bool empty() const { return vertices_.empty(); }
+  const Point& vertex(size_t i) const { return vertices_[i]; }
+  const std::vector<Point>& vertices() const { return vertices_; }
+
+  // Edge from vertex i to vertex (i+1) mod size().
+  Segment edge(size_t i) const {
+    const size_t j = i + 1 == vertices_.size() ? 0 : i + 1;
+    return Segment(vertices_[i], vertices_[j]);
+  }
+
+  const Box& Bounds() const { return bounds_; }
+
+  // Positive for counter-clockwise rings (shoelace formula).
+  double SignedArea() const;
+  double Area() const;
+  bool IsCcw() const { return SignedArea() > 0.0; }
+  void Reverse();
+
+  // Checks the polygon is usable by the library: at least 3 vertices, no
+  // consecutive duplicate vertices, nonzero area. (Full simplicity is
+  // checked by algo::IsSimple, which is O(n^2) and test-oriented.)
+  Status Validate() const;
+
+ private:
+  std::vector<Point> vertices_;
+  Box bounds_;
+};
+
+}  // namespace hasj::geom
+
+#endif  // HASJ_GEOM_POLYGON_H_

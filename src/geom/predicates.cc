@@ -1,0 +1,113 @@
+#include "geom/predicates.h"
+
+#include <cmath>
+
+namespace hasj::geom {
+namespace {
+
+// --- Floating-point expansion arithmetic (Shewchuk 1997) -------------------
+//
+// An expansion is a sum of doubles x = e[n-1] + ... + e[0] whose components
+// are nonoverlapping and ordered by increasing magnitude. The sign of the
+// expansion is the sign of its largest-magnitude (last nonzero) component.
+
+// Knuth's TwoSum: a + b = hi + lo exactly.
+inline void TwoSum(double a, double b, double& hi, double& lo) {
+  hi = a + b;
+  const double bv = hi - a;
+  const double av = hi - bv;
+  lo = (a - av) + (b - bv);
+}
+
+// a * b = hi + lo exactly, via fused multiply-add.
+inline void TwoProd(double a, double b, double& hi, double& lo) {
+  hi = a * b;
+  lo = std::fma(a, b, -hi);
+}
+
+// Adds scalar b into expansion e of length n (result length n+1), preserving
+// the nonoverlapping property (Shewchuk, GROW-EXPANSION).
+inline int GrowExpansion(int n, const double* e, double b, double* h) {
+  double q = b;
+  for (int i = 0; i < n; ++i) {
+    double hi, lo;
+    TwoSum(q, e[i], hi, lo);
+    h[i] = lo;
+    q = hi;
+  }
+  h[n] = q;
+  return n + 1;
+}
+
+// Sign of an expansion: sign of its largest-magnitude component. Components
+// are ordered by increasing magnitude so scan from the top.
+inline int ExpansionSign(int n, const double* e) {
+  for (int i = n - 1; i >= 0; --i) {
+    if (e[i] > 0.0) return 1;
+    if (e[i] < 0.0) return -1;
+  }
+  return 0;
+}
+
+// Error bound coefficient for the orientation filter: (3 + 16 eps) eps.
+const double kCcwErrBound = []() {
+  const double eps = 0x1.0p-53;  // double unit roundoff
+  return (3.0 + 16.0 * eps) * eps;
+}();
+
+// Exact orientation sign via full expansion of the 2x2 determinant:
+//   ax*by - ax*cy - cx*by - ay*bx + ay*cx + cy*bx
+// (the cx*cy terms of the expanded determinant cancel symbolically).
+int Orient2dExact(Point a, Point b, Point c) {
+  double terms[12];
+  TwoProd(a.x, b.y, terms[0], terms[1]);
+  TwoProd(-a.x, c.y, terms[2], terms[3]);
+  TwoProd(-c.x, b.y, terms[4], terms[5]);
+  TwoProd(-a.y, b.x, terms[6], terms[7]);
+  TwoProd(a.y, c.x, terms[8], terms[9]);
+  TwoProd(c.y, b.x, terms[10], terms[11]);
+
+  double e[13], h[13];
+  int n = 0;
+  for (double t : terms) {
+    n = GrowExpansion(n, e, t, h);
+    for (int i = 0; i < n; ++i) e[i] = h[i];
+  }
+  return ExpansionSign(n, e);
+}
+
+}  // namespace
+
+int Orient2d(Point a, Point b, Point c) {
+  const double detleft = (a.x - c.x) * (b.y - c.y);
+  const double detright = (a.y - c.y) * (b.x - c.x);
+  const double det = detleft - detright;
+
+  double detsum;
+  if (detleft > 0.0) {
+    if (detright <= 0.0) return det > 0.0 ? 1 : (det < 0.0 ? -1 : 1);
+    detsum = detleft + detright;
+  } else if (detleft < 0.0) {
+    if (detright >= 0.0) return det < 0.0 ? -1 : (det > 0.0 ? 1 : -1);
+    detsum = -detleft - detright;
+  } else {
+    // detleft == 0: det == -detright computed exactly only if detright is
+    // a single rounding; fall through to the filter with detsum = |detright|.
+    detsum = std::fabs(detright);
+  }
+
+  const double errbound = kCcwErrBound * detsum;
+  if (det > errbound) return 1;
+  if (det < -errbound) return -1;
+  return Orient2dExact(a, b, c);
+}
+
+bool OnSegment(Point a, Point b, Point c) {
+  if (Orient2d(a, b, c) != 0) return false;
+  // Collinear: on the segment iff inside its bounding box (checking both
+  // coordinates also handles degenerate a == b segments).
+  return (c.x >= std::fmin(a.x, b.x)) && (c.x <= std::fmax(a.x, b.x)) &&
+         (c.y >= std::fmin(a.y, b.y)) && (c.y <= std::fmax(a.y, b.y));
+}
+
+}  // namespace hasj::geom

@@ -1,0 +1,30 @@
+#ifndef HASJ_GEOM_PREDICATES_H_
+#define HASJ_GEOM_PREDICATES_H_
+
+#include "geom/point.h"
+
+namespace hasj::geom {
+
+// Sign of the orientation of the triangle (a, b, c):
+//   +1 if counter-clockwise, -1 if clockwise, 0 if exactly collinear.
+//
+// Exact for all double inputs. Uses a floating-point filter (Shewchuk's
+// ccwerrboundA) and falls back to exact floating-point-expansion arithmetic
+// when the filter cannot certify the sign. The software intersection test is
+// the ground truth the hardware filter is validated against, so this
+// predicate must never be wrong.
+int Orient2d(Point a, Point b, Point c);
+
+// The (possibly inaccurate) determinant value itself; callers that need a
+// magnitude rather than a sign use this, sign decisions must use Orient2d.
+inline double Orient2dApprox(Point a, Point b, Point c) {
+  return (a.x - c.x) * (b.y - c.y) - (a.y - c.y) * (b.x - c.x);
+}
+
+// True if c lies on the closed segment [a, b]. Exact: uses Orient2d for the
+// collinearity decision and coordinate comparisons for the range check.
+bool OnSegment(Point a, Point b, Point c);
+
+}  // namespace hasj::geom
+
+#endif  // HASJ_GEOM_PREDICATES_H_

@@ -1,0 +1,71 @@
+#include "geom/segment.h"
+
+#include <algorithm>
+
+#include "geom/predicates.h"
+
+namespace hasj::geom {
+
+bool SegmentsIntersect(const Segment& s, const Segment& t) {
+  // Cheap MBR reject first; the common case in sweeps and brute loops.
+  if (!s.Bounds().Intersects(t.Bounds())) return false;
+
+  const int d1 = Orient2d(t.a, t.b, s.a);
+  const int d2 = Orient2d(t.a, t.b, s.b);
+  const int d3 = Orient2d(s.a, s.b, t.a);
+  const int d4 = Orient2d(s.a, s.b, t.b);
+
+  if (((d1 > 0 && d2 < 0) || (d1 < 0 && d2 > 0)) &&
+      ((d3 > 0 && d4 < 0) || (d3 < 0 && d4 > 0))) {
+    return true;  // proper crossing
+  }
+  // Improper cases: an endpoint lies on the other segment (covers endpoint
+  // touching and collinear overlap, since overlap implies an endpoint of one
+  // segment inside the other given the MBRs intersect).
+  if (d1 == 0 && OnSegment(t.a, t.b, s.a)) return true;
+  if (d2 == 0 && OnSegment(t.a, t.b, s.b)) return true;
+  if (d3 == 0 && OnSegment(s.a, s.b, t.a)) return true;
+  if (d4 == 0 && OnSegment(s.a, s.b, t.b)) return true;
+  return false;
+}
+
+double Distance(Point p, const Segment& s) {
+  const Point d = s.b - s.a;
+  const double len2 = SquaredNorm(d);
+  if (len2 == 0.0) return Distance(p, s.a);
+  double t = Dot(p - s.a, d) / len2;
+  t = std::clamp(t, 0.0, 1.0);
+  return Distance(p, s.a + d * t);
+}
+
+double Distance(const Segment& s, const Segment& t) {
+  if (SegmentsIntersect(s, t)) return 0.0;
+  // Disjoint closed segments: the minimum is attained endpoint-to-segment.
+  return std::min(std::min(Distance(s.a, t), Distance(s.b, t)),
+                  std::min(Distance(t.a, s), Distance(t.b, s)));
+}
+
+double Distance(const Segment& s, const Box& box) {
+  if (SegmentIntersectsBox(s, box)) return 0.0;
+  const Point p00{box.min_x, box.min_y}, p10{box.max_x, box.min_y};
+  const Point p11{box.max_x, box.max_y}, p01{box.min_x, box.max_y};
+  const double d0 = Distance(s, Segment(p00, p10));
+  const double d1 = Distance(s, Segment(p10, p11));
+  const double d2 = Distance(s, Segment(p11, p01));
+  const double d3 = Distance(s, Segment(p01, p00));
+  return std::min(std::min(d0, d1), std::min(d2, d3));
+}
+
+bool SegmentIntersectsBox(const Segment& s, const Box& box) {
+  if (box.IsEmpty()) return false;
+  if (!s.Bounds().Intersects(box)) return false;
+  if (box.Contains(s.a) || box.Contains(s.b)) return true;
+  // Neither endpoint inside but MBRs overlap: the segment intersects the box
+  // iff it crosses one of its edges.
+  const Point p00{box.min_x, box.min_y}, p10{box.max_x, box.min_y};
+  const Point p11{box.max_x, box.max_y}, p01{box.min_x, box.max_y};
+  return SegmentsIntersect(s, {p00, p10}) || SegmentsIntersect(s, {p10, p11}) ||
+         SegmentsIntersect(s, {p11, p01}) || SegmentsIntersect(s, {p01, p00});
+}
+
+}  // namespace hasj::geom

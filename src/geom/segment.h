@@ -1,0 +1,44 @@
+#ifndef HASJ_GEOM_SEGMENT_H_
+#define HASJ_GEOM_SEGMENT_H_
+
+#include "geom/box.h"
+#include "geom/point.h"
+
+namespace hasj::geom {
+
+// Closed line segment [a, b]. Degenerate (a == b) segments are allowed and
+// behave as points.
+struct Segment {
+  Point a;
+  Point b;
+
+  Segment() = default;
+  Segment(Point pa, Point pb) : a(pa), b(pb) {}
+
+  Box Bounds() const { return Box::FromCorners(a, b); }
+  double Length() const { return Distance(a, b); }
+};
+
+// Exact closed-segment intersection test: true if the segments share at
+// least one point, including endpoint touching and collinear overlap.
+// Spatial predicates treat boundaries as closed sets, so touching counts.
+bool SegmentsIntersect(const Segment& s, const Segment& t);
+
+// Distance from point p to the closed segment s.
+double Distance(Point p, const Segment& s);
+
+// Minimum distance between two closed segments (0 if they intersect).
+double Distance(const Segment& s, const Segment& t);
+
+// True if the closed segment intersects the closed box (degenerate boxes and
+// segments included). Used by restricted-search-space clipping, the interior
+// filter's boundary-tile marking, and frontier-chain clipping.
+bool SegmentIntersectsBox(const Segment& s, const Box& box);
+
+// Minimum distance between a closed segment and a closed box (0 if they
+// intersect). Used by the frontier-chain pruning of the minDist algorithm.
+double Distance(const Segment& s, const Box& box);
+
+}  // namespace hasj::geom
+
+#endif  // HASJ_GEOM_SEGMENT_H_

@@ -1,0 +1,132 @@
+#include "geom/wkt.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace hasj::geom {
+namespace {
+
+// Minimal recursive-descent style cursor over the WKT text.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view text) : text_(text) {}
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool ConsumeChar(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  // Case-insensitive keyword match.
+  bool ConsumeKeyword(std::string_view keyword) {
+    SkipSpace();
+    if (text_.size() - pos_ < keyword.size()) return false;
+    for (size_t i = 0; i < keyword.size(); ++i) {
+      if (std::toupper(static_cast<unsigned char>(text_[pos_ + i])) !=
+          keyword[i]) {
+        return false;
+      }
+    }
+    pos_ += keyword.size();
+    return true;
+  }
+
+  bool ConsumeDouble(double* out) {
+    SkipSpace();
+    if (pos_ >= text_.size()) return false;
+    // strtod needs a NUL-terminated buffer; copy the number's local window.
+    char buf[64];
+    size_t len = 0;
+    while (pos_ + len < text_.size() && len + 1 < sizeof(buf)) {
+      const char c = text_[pos_ + len];
+      if (std::isdigit(static_cast<unsigned char>(c)) || c == '+' ||
+          c == '-' || c == '.' || c == 'e' || c == 'E') {
+        buf[len++] = c;
+      } else {
+        break;
+      }
+    }
+    buf[len] = '\0';
+    char* end = nullptr;
+    const double value = std::strtod(buf, &end);
+    if (end == buf) return false;
+    pos_ += static_cast<size_t>(end - buf);
+    *out = value;
+    return true;
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ >= text_.size();
+  }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Polygon> ParseWktPolygon(std::string_view wkt) {
+  Cursor cur(wkt);
+  if (!cur.ConsumeKeyword("POLYGON")) {
+    return Status::InvalidArgument("expected POLYGON keyword");
+  }
+  if (!cur.ConsumeChar('(')) {
+    return Status::InvalidArgument("expected '(' after POLYGON");
+  }
+  if (!cur.ConsumeChar('(')) {
+    return Status::InvalidArgument("expected '((' opening the ring");
+  }
+  std::vector<Point> pts;
+  do {
+    double x = 0.0, y = 0.0;
+    if (!cur.ConsumeDouble(&x) || !cur.ConsumeDouble(&y)) {
+      return Status::InvalidArgument("malformed coordinate pair");
+    }
+    pts.push_back({x, y});
+  } while (cur.ConsumeChar(','));
+  if (!cur.ConsumeChar(')')) {
+    return Status::InvalidArgument("expected ')' closing the ring");
+  }
+  if (cur.ConsumeChar(',')) {
+    return Status::Unimplemented("polygons with holes are not supported");
+  }
+  if (!cur.ConsumeChar(')')) {
+    return Status::InvalidArgument("expected ')' closing POLYGON");
+  }
+  if (!cur.AtEnd()) {
+    return Status::InvalidArgument("trailing characters after POLYGON");
+  }
+  if (pts.size() >= 2 && pts.front() == pts.back()) pts.pop_back();
+  Polygon poly(std::move(pts));
+  if (Status s = poly.Validate(); !s.ok()) return s;
+  return poly;
+}
+
+std::string ToWkt(const Polygon& polygon) {
+  std::string out = "POLYGON ((";
+  char buf[80];
+  const size_t n = polygon.size();
+  for (size_t i = 0; i <= n; ++i) {  // repeat vertex 0 to close the ring
+    const Point& p = polygon.vertex(i % n);
+    std::snprintf(buf, sizeof(buf), "%.17g %.17g", p.x, p.y);
+    if (i != 0) out += ", ";
+    out += buf;
+  }
+  out += "))";
+  return out;
+}
+
+}  // namespace hasj::geom

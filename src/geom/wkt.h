@@ -1,0 +1,25 @@
+#ifndef HASJ_GEOM_WKT_H_
+#define HASJ_GEOM_WKT_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "geom/polygon.h"
+
+namespace hasj::geom {
+
+// Well-Known Text for the geometry subset the library supports.
+//
+// Supported input: `POLYGON ((x y, x y, ...))` with a single ring; the
+// closing duplicate vertex is optional and removed. Rings with holes are
+// rejected with kUnimplemented. Parsing is whitespace- and case-insensitive.
+Result<Polygon> ParseWktPolygon(std::string_view wkt);
+
+// Round-trippable output (`%.17g` coordinates), closing vertex included as
+// WKT requires.
+std::string ToWkt(const Polygon& polygon);
+
+}  // namespace hasj::geom
+
+#endif  // HASJ_GEOM_WKT_H_

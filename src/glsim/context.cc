@@ -1,0 +1,112 @@
+#include "glsim/context.h"
+
+#include "common/macros.h"
+#include "glsim/raster.h"
+
+namespace hasj::glsim {
+
+RenderContext::RenderContext(int width, int height)
+    : width_(width),
+      height_(height),
+      color_buffer_(width, height),
+      accum_buffer_(width, height),
+      data_rect_(0.0, 0.0, width, height) {
+  HASJ_CHECK(width > 0 && height > 0);
+}
+
+void RenderContext::SetDataRect(const geom::Box& data_rect) {
+  HASJ_CHECK(!data_rect.IsEmpty());
+  data_rect_ = data_rect;
+  // Inflate degenerate extents so the projection stays finite (a data rect
+  // can collapse to a line or point when two MBRs touch). The pad must be
+  // large relative to the coordinate magnitude or it is absorbed by
+  // floating-point rounding and the extent stays zero.
+  const double w = data_rect_.Width();
+  const double h = data_rect_.Height();
+  const double magnitude =
+      std::max({w, h, std::fabs(data_rect_.min_x), std::fabs(data_rect_.max_x),
+                std::fabs(data_rect_.min_y), std::fabs(data_rect_.max_y), 1.0});
+  const double pad = magnitude * 1e-9;
+  if (w <= 0.0) {
+    data_rect_.min_x -= pad;
+    data_rect_.max_x += pad;
+  }
+  if (h <= 0.0) {
+    data_rect_.min_y -= pad;
+    data_rect_.max_y += pad;
+  }
+  scale_x_ = width_ / data_rect_.Width();
+  scale_y_ = height_ / data_rect_.Height();
+}
+
+geom::Point RenderContext::ToWindow(geom::Point p) const {
+  return {(p.x - data_rect_.min_x) * scale_x_,
+          (p.y - data_rect_.min_y) * scale_y_};
+}
+
+void RenderContext::Clear(Rgb value) { color_buffer_.Clear(value); }
+
+void RenderContext::ClearAccum() { accum_buffer_.Clear(); }
+
+void RenderContext::SetLineWidth(double width) {
+  HASJ_CHECK(width > 0.0 && width <= limits_.max_line_width);
+  line_width_ = width;
+}
+
+void RenderContext::SetPointSize(double size) {
+  HASJ_CHECK(size > 0.0 && size <= limits_.max_point_size);
+  point_size_ = size;
+}
+
+void RenderContext::DrawSegmentAA(geom::Point a, geom::Point b) {
+  RasterizeLineAA(ToWindow(a), ToWindow(b), line_width_, width_, height_,
+                  [&](int x, int y) { color_buffer_.Set(x, y, color_); });
+}
+
+void RenderContext::DrawLineLoop(std::span<const geom::Point> ring) {
+  const size_t n = ring.size();
+  if (n < 2) return;
+  for (size_t i = 0, j = n - 1; i < n; j = i++) {
+    DrawSegmentAA(ring[j], ring[i]);
+  }
+}
+
+void RenderContext::DrawLineStrip(std::span<const geom::Point> chain) {
+  for (size_t i = 1; i < chain.size(); ++i) {
+    DrawSegmentAA(chain[i - 1], chain[i]);
+  }
+}
+
+void RenderContext::DrawPoints(std::span<const geom::Point> points) {
+  for (const geom::Point& p : points) {
+    RasterizeWidePoint(ToWindow(p), point_size_, width_, height_,
+                       [&](int x, int y) { color_buffer_.Set(x, y, color_); });
+  }
+}
+
+void RenderContext::DrawPolygonFilled(const geom::Polygon& polygon) {
+  std::vector<geom::Point> window_ring;
+  window_ring.reserve(polygon.size());
+  for (const geom::Point& p : polygon.vertices()) {
+    window_ring.push_back(ToWindow(p));
+  }
+  RasterizePolygonFill(std::span<const geom::Point>(window_ring), width_,
+                       height_,
+                       [&](int x, int y) { color_buffer_.Set(x, y, color_); });
+}
+
+void RenderContext::Accum(AccumOp op, float value) {
+  switch (op) {
+    case AccumOp::kLoad:
+      accum_buffer_.Load(color_buffer_, value);
+      break;
+    case AccumOp::kAccum:
+      accum_buffer_.Accum(color_buffer_, value);
+      break;
+    case AccumOp::kReturn:
+      accum_buffer_.Return(color_buffer_, value);
+      break;
+  }
+}
+
+}  // namespace hasj::glsim

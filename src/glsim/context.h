@@ -1,0 +1,96 @@
+#ifndef HASJ_GLSIM_CONTEXT_H_
+#define HASJ_GLSIM_CONTEXT_H_
+
+#include <span>
+
+#include "geom/box.h"
+#include "geom/point.h"
+#include "geom/polygon.h"
+#include "glsim/framebuffer.h"
+
+namespace hasj::glsim {
+
+// Hardware capability limits modeled after the paper's testbed (GeForce4):
+// the maximum anti-aliased line width is 10 pixels, which is what forces
+// the software fallback at large query distances (§4.4).
+struct HwLimits {
+  double max_line_width = 10.0;
+  double max_point_size = 10.0;
+};
+
+// GL_ACCUM-style accumulation operations (the subset Algorithm 3.1 uses).
+enum class AccumOp {
+  kLoad,    // accum = color * value
+  kAccum,   // accum += color * value
+  kReturn,  // color = clamp(accum * value)
+};
+
+// Off-screen rendering context emulating the fixed-function OpenGL pipeline
+// fragment the paper relies on: an orthographic projection of a data-space
+// rectangle onto a small window, anti-aliased line/point rasterization with
+// blending disabled, a color buffer, an accumulation buffer, and the
+// hardware Minmax query.
+//
+// The projection maps `data_rect` onto the full window; rendering is
+// clipped to the viewport like GL clipping would.
+class RenderContext {
+ public:
+  RenderContext(int width, int height);
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  const HwLimits& limits() const { return limits_; }
+  void set_limits(const HwLimits& limits) { limits_ = limits; }
+
+  // Orthographic projection: data_rect -> [0, width] x [0, height]. A
+  // degenerate data_rect (zero width or height) is inflated minimally so
+  // the projection stays finite.
+  void SetDataRect(const geom::Box& data_rect);
+  geom::Point ToWindow(geom::Point data_point) const;
+
+  void Clear(Rgb value = {});
+  void ClearAccum();
+
+  void SetColor(Rgb color) { color_ = color; }
+  // Width/size in pixels; values beyond the hardware limit are an error
+  // (callers must check limits() and fall back to software, as the paper's
+  // implementation does).
+  void SetLineWidth(double width);
+  void SetPointSize(double size);
+
+  // Anti-aliased, blending-disabled primitives (the paper's §2.2.2 setup).
+  // Inputs are data-space coordinates. Pixels covered more than once per
+  // draw call are written once (GL writes fragments, not additive color).
+  void DrawLineLoop(std::span<const geom::Point> ring);
+  void DrawLineStrip(std::span<const geom::Point> chain);
+  void DrawSegment(geom::Point a, geom::Point b) { DrawSegmentAA(a, b); }
+  void DrawPoints(std::span<const geom::Point> points);
+  // Filled simple polygon via the scanline point-sampling rule.
+  void DrawPolygonFilled(const geom::Polygon& polygon);
+
+  void Accum(AccumOp op, float value);
+
+  // Hardware Minmax over the color buffer (no readback).
+  MinMax Minmax() const { return color_buffer_.ComputeMinMax(); }
+
+  const ColorBuffer& color_buffer() const { return color_buffer_; }
+
+ private:
+  void DrawSegmentAA(geom::Point a, geom::Point b);
+
+  int width_;
+  int height_;
+  HwLimits limits_;
+  ColorBuffer color_buffer_;
+  AccumBuffer accum_buffer_;
+  geom::Box data_rect_;
+  double scale_x_ = 1.0;
+  double scale_y_ = 1.0;
+  Rgb color_{1.0f, 1.0f, 1.0f};
+  double line_width_ = 1.0;
+  double point_size_ = 1.0;
+};
+
+}  // namespace hasj::glsim
+
+#endif  // HASJ_GLSIM_CONTEXT_H_

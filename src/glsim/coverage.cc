@@ -1,0 +1,87 @@
+#include "glsim/coverage.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+#include "geom/segment.h"
+
+namespace hasj::glsim {
+
+LineFootprint LineFootprint::Make(geom::Point a, geom::Point b, double width) {
+  LineFootprint fp;
+  const geom::Point d = b - a;
+  const double len = geom::Norm(d);
+  HASJ_DCHECK(len > 0.0);
+  fp.axis_dir = d / len;
+  fp.axis_perp = geom::Point{-fp.axis_dir.y, fp.axis_dir.x};
+  const geom::Point h = fp.axis_perp * (width * 0.5);
+  fp.corner[0] = a + h;
+  fp.corner[1] = b + h;
+  fp.corner[2] = b - h;
+  fp.corner[3] = a - h;
+  return fp;
+}
+
+namespace {
+
+// Projects points onto axis and returns [min, max].
+template <int N>
+void Project(const geom::Point (&pts)[N], geom::Point axis, double& lo,
+             double& hi) {
+  lo = hi = geom::Dot(pts[0], axis);
+  for (int i = 1; i < N; ++i) {
+    const double v = geom::Dot(pts[i], axis);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+}
+
+// Closed interval overlap with a conservative relative tolerance. The
+// hardware filter is only allowed to over-approximate coverage, never to
+// under-approximate it: a single-point contact (e.g. a segment endpoint on
+// a cell corner) produces exactly-touching projection intervals in exact
+// arithmetic, which a handful of rounding errors can pull apart by a few
+// ulps. The tolerance re-closes that gap; it can only add boundary pixels.
+bool IntervalsOverlapClosed(double lo1, double hi1, double lo2, double hi2) {
+  const double tol =
+      1e-12 * (std::fabs(lo1) + std::fabs(hi1) + std::fabs(lo2) +
+               std::fabs(hi2)) +
+      1e-300;
+  return lo1 <= hi2 + tol && lo2 <= hi1 + tol;
+}
+
+}  // namespace
+
+bool CellIntersectsFootprint(int px, int py, const LineFootprint& fp) {
+  const geom::Point cell[4] = {
+      {static_cast<double>(px), static_cast<double>(py)},
+      {static_cast<double>(px + 1), static_cast<double>(py)},
+      {static_cast<double>(px + 1), static_cast<double>(py + 1)},
+      {static_cast<double>(px), static_cast<double>(py + 1)},
+  };
+  const geom::Point axes[4] = {
+      {1.0, 0.0}, {0.0, 1.0}, fp.axis_dir, fp.axis_perp};
+  for (const geom::Point& axis : axes) {
+    double alo, ahi, blo, bhi;
+    Project(cell, axis, alo, ahi);
+    Project(fp.corner, axis, blo, bhi);
+    if (!IntervalsOverlapClosed(alo, ahi, blo, bhi)) return false;
+  }
+  return true;
+}
+
+bool CellIntersectsDisc(int px, int py, geom::Point c, double r) {
+  const double dx = std::max({0.0, px - c.x, c.x - (px + 1.0)});
+  const double dy = std::max({0.0, py - c.y, c.y - (py + 1.0)});
+  const double d2 = dx * dx + dy * dy;
+  const double r2 = r * r;
+  return d2 <= r2 + 1e-12 * (d2 + r2);  // same conservative closing as above
+}
+
+bool CellIntersectsSegment(int px, int py, geom::Point a, geom::Point b) {
+  const geom::Box cell(px, py, px + 1.0, py + 1.0);
+  return geom::SegmentIntersectsBox(geom::Segment(a, b), cell);
+}
+
+}  // namespace hasj::glsim

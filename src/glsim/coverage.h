@@ -1,0 +1,48 @@
+#ifndef HASJ_GLSIM_COVERAGE_H_
+#define HASJ_GLSIM_COVERAGE_H_
+
+#include "geom/point.h"
+
+namespace hasj::glsim {
+
+// Geometric predicates between a pixel cell and anti-aliased primitive
+// footprints, all in window coordinates where pixel (px, py) is the closed
+// unit square [px, px+1] x [py, py+1].
+//
+// OpenGL's anti-aliased rasterization colors a pixel when its coverage by
+// the primitive footprint is nonzero. Zero-area (boundary-only) contact is
+// implementation-defined on real hardware; this simulator uses CLOSED
+// intersection tests, i.e. boundary contact counts. That is the strictly
+// conservative choice the hardware filter's correctness proof needs: two
+// touching segments always share at least one doubly-colored pixel, even
+// when they touch in a single point on a cell border (see
+// DESIGN.md, "Substitutions").
+
+// The footprint of an anti-aliased line segment of width w: the rectangle
+// with two sides parallel to the segment at distance w/2 and two end-cap
+// sides through the endpoints (paper Figure 4(b)). Degenerate segments
+// (a == b) produce an empty rectangle; use discs for wide points instead.
+struct LineFootprint {
+  geom::Point corner[4];  // quad corners, consecutive
+  geom::Point axis_dir;   // unit direction of the segment
+  geom::Point axis_perp;  // unit normal
+
+  static LineFootprint Make(geom::Point a, geom::Point b, double width);
+};
+
+// Closed intersection between pixel (px, py) and the footprint quad
+// (separating-axis test over the 4 candidate axes).
+bool CellIntersectsFootprint(int px, int py, const LineFootprint& fp);
+
+// Closed intersection between pixel (px, py) and the disc of radius r
+// centered at c (anti-aliased wide point footprint).
+bool CellIntersectsDisc(int px, int py, geom::Point c, double r);
+
+// Closed intersection between pixel (px, py) and the bare segment [a, b]
+// (width-0 footprint); used by conservativeness tests as the "pixels the
+// segment passes through" reference.
+bool CellIntersectsSegment(int px, int py, geom::Point a, geom::Point b);
+
+}  // namespace hasj::glsim
+
+#endif  // HASJ_GLSIM_COVERAGE_H_

@@ -1,0 +1,110 @@
+#include "glsim/framebuffer.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace hasj::glsim {
+namespace {
+
+float Clamp01(float v) { return std::clamp(v, 0.0f, 1.0f); }
+
+}  // namespace
+
+ColorBuffer::ColorBuffer(int width, int height)
+    : width_(width),
+      height_(height),
+      pixels_(static_cast<size_t>(width) * static_cast<size_t>(height)) {
+  HASJ_CHECK(width > 0 && height > 0);
+}
+
+void ColorBuffer::Clear(Rgb value) {
+  std::fill(pixels_.begin(), pixels_.end(), value);
+}
+
+void ColorBuffer::Set(int x, int y, Rgb value) {
+  HASJ_DCHECK(InBounds(x, y));
+  pixels_[Index(x, y)] =
+      Rgb{Clamp01(value.r), Clamp01(value.g), Clamp01(value.b)};
+}
+
+MinMax ColorBuffer::ComputeMinMax() const {
+  MinMax mm;
+  mm.min = Rgb{1.0f, 1.0f, 1.0f};
+  mm.max = Rgb{0.0f, 0.0f, 0.0f};
+  for (const Rgb& p : pixels_) {
+    mm.min.r = std::min(mm.min.r, p.r);
+    mm.min.g = std::min(mm.min.g, p.g);
+    mm.min.b = std::min(mm.min.b, p.b);
+    mm.max.r = std::max(mm.max.r, p.r);
+    mm.max.g = std::max(mm.max.g, p.g);
+    mm.max.b = std::max(mm.max.b, p.b);
+  }
+  return mm;
+}
+
+bool ColorBuffer::AnyPixelAtLeast(float threshold) const {
+  for (const Rgb& p : pixels_) {
+    if (std::max({p.r, p.g, p.b}) >= threshold) return true;
+  }
+  return false;
+}
+
+DepthBuffer::DepthBuffer(int width, int height)
+    : width_(width),
+      height_(height),
+      depths_(static_cast<size_t>(width) * static_cast<size_t>(height),
+              std::numeric_limits<float>::infinity()) {
+  HASJ_CHECK(width > 0 && height > 0);
+}
+
+void DepthBuffer::Clear() {
+  std::fill(depths_.begin(), depths_.end(),
+            std::numeric_limits<float>::infinity());
+}
+
+AccumBuffer::AccumBuffer(int width, int height)
+    : width_(width),
+      height_(height),
+      values_(static_cast<size_t>(width) * static_cast<size_t>(height)) {
+  HASJ_CHECK(width > 0 && height > 0);
+}
+
+void AccumBuffer::Clear() {
+  std::fill(values_.begin(), values_.end(), Rgb{});
+}
+
+void AccumBuffer::Load(const ColorBuffer& color, float value) {
+  HASJ_CHECK(color.width() == width_ && color.height() == height_);
+  for (int y = 0; y < height_; ++y) {
+    for (int x = 0; x < width_; ++x) {
+      const Rgb c = color.Get(x, y);
+      values_[static_cast<size_t>(y) * width_ + x] =
+          Rgb{c.r * value, c.g * value, c.b * value};
+    }
+  }
+}
+
+void AccumBuffer::Accum(const ColorBuffer& color, float value) {
+  HASJ_CHECK(color.width() == width_ && color.height() == height_);
+  for (int y = 0; y < height_; ++y) {
+    for (int x = 0; x < width_; ++x) {
+      const Rgb c = color.Get(x, y);
+      Rgb& a = values_[static_cast<size_t>(y) * width_ + x];
+      a.r += c.r * value;
+      a.g += c.g * value;
+      a.b += c.b * value;
+    }
+  }
+}
+
+void AccumBuffer::Return(ColorBuffer& color, float value) const {
+  HASJ_CHECK(color.width() == width_ && color.height() == height_);
+  for (int y = 0; y < height_; ++y) {
+    for (int x = 0; x < width_; ++x) {
+      const Rgb& a = values_[static_cast<size_t>(y) * width_ + x];
+      color.Set(x, y, Rgb{a.r * value, a.g * value, a.b * value});
+    }
+  }
+}
+
+}  // namespace hasj::glsim

@@ -1,0 +1,119 @@
+#ifndef HASJ_GLSIM_FRAMEBUFFER_H_
+#define HASJ_GLSIM_FRAMEBUFFER_H_
+
+#include <vector>
+
+#include "common/macros.h"
+
+namespace hasj::glsim {
+
+// RGB color value. The simulator's buffers store plain floats; the color
+// buffer clamps to [0, 1] on write like a fixed-point GL color buffer, the
+// accumulation buffer is unclamped until GL_RETURN.
+struct Rgb {
+  float r = 0.0f;
+  float g = 0.0f;
+  float b = 0.0f;
+
+  friend bool operator==(Rgb x, Rgb y) {
+    return x.r == y.r && x.g == y.g && x.b == y.b;
+  }
+};
+
+// Per-channel minimum and maximum over a buffer, mirroring the hardware
+// Minmax function (ARB_imaging) the paper uses to search the frame buffer
+// without reading pixels back over the bus (§3.2).
+struct MinMax {
+  Rgb min;
+  Rgb max;
+};
+
+// Color buffer: width x height RGB pixels, clamped writes.
+class ColorBuffer {
+ public:
+  ColorBuffer(int width, int height);
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+
+  void Clear(Rgb value = {});
+  void Set(int x, int y, Rgb value);
+  Rgb Get(int x, int y) const {
+    HASJ_DCHECK(InBounds(x, y));
+    return pixels_[Index(x, y)];
+  }
+  bool InBounds(int x, int y) const {
+    return x >= 0 && x < width_ && y >= 0 && y < height_;
+  }
+
+  // Hardware Minmax over the whole buffer.
+  MinMax ComputeMinMax() const;
+
+  // Readback-style search: true if any pixel's max channel reaches
+  // `threshold`. Models the slow path the paper avoids; kept for the
+  // backend ablation.
+  bool AnyPixelAtLeast(float threshold) const;
+
+ private:
+  int Index(int x, int y) const { return y * width_ + x; }
+
+  int width_;
+  int height_;
+  std::vector<Rgb> pixels_;
+};
+
+// Depth buffer with a GL_LESS depth test. Used by the hardware Voronoi
+// rendering ([12], the paper's §5 future-work direction): each site's
+// distance field is a depth pass, and the surviving fragment per pixel
+// belongs to the nearest site.
+class DepthBuffer {
+ public:
+  DepthBuffer(int width, int height);
+
+  void Clear();  // all depths to +infinity
+
+  // GL_LESS: returns true (fragment passes, depth written) iff depth is
+  // strictly less than the stored value.
+  bool TestAndSet(int x, int y, float depth) {
+    HASJ_DCHECK(x >= 0 && x < width_ && y >= 0 && y < height_);
+    float& stored = depths_[static_cast<size_t>(y) * width_ + x];
+    if (depth < stored) {
+      stored = depth;
+      return true;
+    }
+    return false;
+  }
+
+  float Get(int x, int y) const {
+    HASJ_DCHECK(x >= 0 && x < width_ && y >= 0 && y < height_);
+    return depths_[static_cast<size_t>(y) * width_ + x];
+  }
+
+ private:
+  int width_;
+  int height_;
+  std::vector<float> depths_;
+};
+
+// Accumulation buffer with the three GL ops the paper's Algorithm 3.1 uses.
+class AccumBuffer {
+ public:
+  AccumBuffer(int width, int height);
+
+  void Clear();
+  // GL_LOAD: accum = color * value.
+  void Load(const ColorBuffer& color, float value);
+  // GL_ACCUM: accum += color * value.
+  void Accum(const ColorBuffer& color, float value);
+  // GL_RETURN: color = clamp(accum * value).
+  void Return(ColorBuffer& color, float value) const;
+
+ private:
+  int width_;
+  int height_;
+  std::vector<Rgb> values_;
+};
+
+}  // namespace hasj::glsim
+
+#endif  // HASJ_GLSIM_FRAMEBUFFER_H_

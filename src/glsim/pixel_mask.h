@@ -1,0 +1,70 @@
+#ifndef HASJ_GLSIM_PIXEL_MASK_H_
+#define HASJ_GLSIM_PIXEL_MASK_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace hasj::glsim {
+
+// Dense bitset over a pixel grid. The fast backend of the hardware tests:
+// rasterizing each polygon into a mask and intersecting masks is
+// decision-equivalent to the faithful color/accumulation-buffer pipeline
+// (asserted by tests and the backend ablation bench).
+class PixelMask {
+ public:
+  PixelMask(int width, int height)
+      : width_(width),
+        height_(height),
+        words_((static_cast<size_t>(width) * static_cast<size_t>(height) + 63) /
+               64) {
+    HASJ_CHECK(width > 0 && height > 0);
+  }
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+
+  void Clear() { std::fill(words_.begin(), words_.end(), 0); }
+
+  void Set(int x, int y) {
+    const size_t bit = Index(x, y);
+    words_[bit >> 6] |= uint64_t{1} << (bit & 63);
+  }
+
+  bool Test(int x, int y) const {
+    const size_t bit = Index(x, y);
+    return (words_[bit >> 6] >> (bit & 63)) & 1;
+  }
+
+  // True if any pixel is set in both masks. Masks must match in size.
+  bool IntersectsAny(const PixelMask& other) const {
+    HASJ_CHECK(words_.size() == other.words_.size());
+    for (size_t i = 0; i < words_.size(); ++i) {
+      if ((words_[i] & other.words_[i]) != 0) return true;
+    }
+    return false;
+  }
+
+  int CountSet() const {
+    int n = 0;
+    for (uint64_t w : words_) n += __builtin_popcountll(w);
+    return n;
+  }
+
+ private:
+  size_t Index(int x, int y) const {
+    HASJ_DCHECK(x >= 0 && x < width_ && y >= 0 && y < height_);
+    return static_cast<size_t>(y) * static_cast<size_t>(width_) +
+           static_cast<size_t>(x);
+  }
+
+  int width_;
+  int height_;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace hasj::glsim
+
+#endif  // HASJ_GLSIM_PIXEL_MASK_H_

@@ -1,0 +1,281 @@
+#ifndef HASJ_GLSIM_RASTER_H_
+#define HASJ_GLSIM_RASTER_H_
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "common/macros.h"
+#include "geom/point.h"
+#include "glsim/coverage.h"
+
+namespace hasj::glsim {
+
+// Rasterization rules from §2.2 of the paper / the OpenGL specification.
+// All functions work in window coordinates, clip to the viewport
+// [0, vw) x [0, vh) (in cells), and invoke emit(px, py) once per covered
+// pixel. They are templates so the render context's buffer writes inline.
+
+namespace raster_internal {
+
+// Clamps a floating-point cell index into [lo, hi] before the int cast;
+// degenerate viewports can magnify window coordinates past INT_MAX, where a
+// bare static_cast would be undefined behavior.
+inline int ClampCellIndex(double v, int lo, int hi) {
+  if (!(v >= lo)) return lo;  // also catches NaN
+  if (v > hi) return hi;
+  return static_cast<int>(v);
+}
+
+// Emits every cell column in row `y` whose closed cell intersects the
+// closed x-interval [xlo, xhi], with a conservative relative tolerance (the
+// same reasoning as coverage.cc: rounding must only ever add pixels).
+template <typename Emit>
+void EmitRowSpan(double xlo, double xhi, int y, int vw, Emit& emit) {
+  if (xlo > xhi) return;
+  const double tol = 1e-12 * (std::fabs(xlo) + std::fabs(xhi)) + 1e-300;
+  // Column c (cell [c, c+1]) intersects [xlo, xhi] iff c <= xhi and
+  // c+1 >= xlo.
+  const int c0 = ClampCellIndex(std::ceil(xlo - tol) - 1.0, 0, vw - 1);
+  const int c1 = ClampCellIndex(std::floor(xhi + tol), 0, vw - 1);
+  for (int c = c0; c <= c1; ++c) emit(c, y);
+}
+
+// Per-row x-extents of a convex polygon over the cell rows of a viewport.
+// One incremental walk per edge: each border crossing y = k contributes its
+// x to the two adjacent rows, each vertex to its own row (and, when it sits
+// exactly on a border, to the row below — closed-slab semantics). The
+// result per row is exactly the x-projection of polygon ∩ closed slab.
+struct RowSpans {
+  static constexpr int kMaxRows = 4096;
+  double xlo[kMaxRows];
+  double xhi[kMaxRows];
+  int row_min = 0;
+  int row_max = -1;
+
+  // Prepares rows covering [ymin, ymax] (one guard row each side), clipped
+  // to the viewport. Rows that end up untouched stay empty (+inf extent).
+  void Init(double ymin, double ymax, int vh) {
+    row_min = ClampCellIndex(std::floor(ymin) - 1.0, 0, vh - 1);
+    row_max = ClampCellIndex(std::floor(ymax) + 1.0, 0, vh - 1);
+    for (int r = row_min; r <= row_max; ++r) {
+      xlo[r] = std::numeric_limits<double>::infinity();
+      xhi[r] = -std::numeric_limits<double>::infinity();
+    }
+  }
+
+  void Update(int row, double x) {
+    xlo[row] = std::min(xlo[row], x);
+    xhi[row] = std::max(xhi[row], x);
+  }
+
+  // A boundary point at height y: touches row floor(y), and also the row
+  // below when it lies exactly on a border. Bounds-checked in double to
+  // avoid integer overflow on extreme coordinates.
+  void AddPoint(double y, double x) {
+    const double f = std::floor(y);
+    if (f >= row_min && f <= row_max) Update(static_cast<int>(f), x);
+    if (y == f) {
+      const double g = f - 1.0;
+      if (g >= row_min && g <= row_max) Update(static_cast<int>(g), x);
+    }
+  }
+
+  // One polygon edge (p -> q, any order).
+  void AddEdge(geom::Point p, geom::Point q) {
+    if (p.y > q.y) std::swap(p, q);
+    AddPoint(p.y, p.x);
+    AddPoint(q.y, q.x);
+    // Border crossings k in (p.y, q.y): crossing k belongs to rows k-1, k.
+    double k0 = std::floor(p.y) + 1.0;
+    if (k0 < static_cast<double>(row_min)) k0 = row_min;
+    double k1 = std::ceil(q.y) - 1.0;
+    const double kmax = static_cast<double>(row_max) + 1.0;
+    if (k1 > kmax) k1 = kmax;
+    if (k0 > k1) return;  // no crossings: skip the division entirely
+    const double slope = (q.x - p.x) / (q.y - p.y);
+    for (double k = k0; k <= k1; k += 1.0) {
+      const double x = p.x + (k - p.y) * slope;
+      const int row = static_cast<int>(k);
+      if (row - 1 >= row_min) Update(row - 1, x);
+      if (row <= row_max) Update(row, x);
+    }
+  }
+};
+
+}  // namespace raster_internal
+
+// Basic point rasterization: window coordinates truncated to integers,
+// pixel (floor(x), floor(y)) colored (paper Figure 3(b)).
+template <typename Emit>
+void RasterizePointTruncate(geom::Point p, int vw, int vh, Emit emit) {
+  const double fx = std::floor(p.x);
+  const double fy = std::floor(p.y);
+  if (fx < 0.0 || fx >= vw || fy < 0.0 || fy >= vh) return;  // clipped
+  emit(static_cast<int>(fx), static_cast<int>(fy));
+}
+
+// Anti-aliased wide point: every pixel whose (closed) cell intersects the
+// disc of diameter `size` centered at p. Conservative closed-contact
+// semantics; see coverage.h.
+template <typename Emit>
+void RasterizeWidePoint(geom::Point p, double size, int vw, int vh, Emit emit) {
+  const double r = size * 0.5;
+  using raster_internal::ClampCellIndex;
+  const double rtol = r + 1e-12 * (r + std::fabs(p.x) + std::fabs(p.y));
+  const int y0 = ClampCellIndex(std::floor(p.y - rtol) - 1, 0, vh - 1);
+  const int y1 = ClampCellIndex(std::floor(p.y + rtol) + 1, 0, vh - 1);
+  for (int y = y0; y <= y1; ++y) {
+    // x-extent of disc ∩ slab [y, y+1]: width at the slab's closest y.
+    const double dy = std::max({0.0, y - p.y, p.y - (y + 1.0)});
+    const double under = rtol * rtol - dy * dy;
+    if (under < 0.0) continue;
+    const double halfw = std::sqrt(under);
+    raster_internal::EmitRowSpan(p.x - halfw, p.x + halfw, y, vw, emit);
+  }
+}
+
+// Anti-aliased line segment of width `width`: every pixel whose (closed)
+// cell intersects the bounding-rectangle footprint (paper Figure 4). This
+// is the rule whose conservativeness the hardware intersection test relies
+// on: every pixel the segment passes through is colored.
+template <typename Emit>
+void RasterizeLineAA(geom::Point a, geom::Point b, double width, int vw,
+                     int vh, Emit emit) {
+  if (a == b) {
+    RasterizeWidePoint(a, width, vw, vh, emit);
+    return;
+  }
+  HASJ_DCHECK(vh <= raster_internal::RowSpans::kMaxRows);
+  // Footprint corners a±h, b±h with h the half-width normal; computed with
+  // a single division (no normalized axes — the scan conversion does not
+  // need them, unlike the SAT predicate in coverage.h).
+  const double dx = b.x - a.x;
+  const double dy = b.y - a.y;
+  const double scale = (width * 0.5) / std::sqrt(dx * dx + dy * dy);
+  const double hx = -dy * scale;
+  const double hy = dx * scale;
+  const geom::Point c0{a.x + hx, a.y + hy};
+  const geom::Point c1{b.x + hx, b.y + hy};
+  const geom::Point c2{b.x - hx, b.y - hy};
+  const geom::Point c3{a.x - hx, a.y - hy};
+  const double miny = std::min(std::min(c0.y, c1.y), std::min(c2.y, c3.y));
+  const double maxy = std::max(std::max(c0.y, c1.y), std::max(c2.y, c3.y));
+  if (maxy < 0.0 || miny > vh) return;
+  static thread_local raster_internal::RowSpans spans;
+  spans.Init(miny, maxy, vh);
+  spans.AddEdge(c0, c1);
+  spans.AddEdge(c1, c2);
+  spans.AddEdge(c2, c3);
+  spans.AddEdge(c3, c0);
+  for (int r = spans.row_min; r <= spans.row_max; ++r) {
+    raster_internal::EmitRowSpan(spans.xlo[r], spans.xhi[r], r, vw, emit);
+  }
+}
+
+// Conservative filled-triangle rasterization: every pixel whose closed
+// cell intersects the closed triangle — a superset of GL's center-sampled
+// fill. Used by the filled-strategy baseline tester, whose reject decision
+// must be conservative exactly like the edge-chain test's.
+template <typename Emit>
+void RasterizeTriangleConservative(geom::Point a, geom::Point b,
+                                   geom::Point c, int vw, int vh, Emit emit) {
+  HASJ_DCHECK(vh <= raster_internal::RowSpans::kMaxRows);
+  const double miny = std::min(a.y, std::min(b.y, c.y));
+  const double maxy = std::max(a.y, std::max(b.y, c.y));
+  if (maxy < 0.0 || miny > vh) return;
+  static thread_local raster_internal::RowSpans spans;
+  spans.Init(miny, maxy, vh);
+  spans.AddEdge(a, b);
+  spans.AddEdge(b, c);
+  spans.AddEdge(c, a);
+  for (int r = spans.row_min; r <= spans.row_max; ++r) {
+    raster_internal::EmitRowSpan(spans.xlo[r], spans.xhi[r], r, vw, emit);
+  }
+}
+
+// Basic (aliased) line rasterization with the diamond-exit rule (paper
+// Figure 3(c)/(d)): a pixel is colored iff the segment intersects its open
+// diamond R_f = { |x-xc| + |y-yc| < 1/2 } and the segment's end point does
+// not lie inside that diamond. Exhibits the "disappearing segment" behavior
+// that makes it unusable for the conservative test; provided for
+// completeness and for the tests that reproduce Figure 3(d).
+template <typename Emit>
+void RasterizeLineDiamondExit(geom::Point a, geom::Point b, int vw, int vh,
+                              Emit emit) {
+  // Minimum L1 distance from point c to segment [a, b]; the objective is
+  // convex piecewise-linear in the parameter, so the minimum is attained at
+  // an endpoint or where a coordinate difference changes sign.
+  const auto min_l1 = [&](geom::Point c) {
+    const geom::Point d = b - a;
+    double candidates[4] = {0.0, 1.0, 0.0, 0.0};
+    int n = 2;
+    if (d.x != 0.0) candidates[n++] = std::clamp((c.x - a.x) / d.x, 0.0, 1.0);
+    if (d.y != 0.0) candidates[n++] = std::clamp((c.y - a.y) / d.y, 0.0, 1.0);
+    double best = std::numeric_limits<double>::infinity();
+    for (int i = 0; i < n; ++i) {
+      const geom::Point p = a + d * candidates[i];
+      best = std::min(best, std::fabs(p.x - c.x) + std::fabs(p.y - c.y));
+    }
+    return best;
+  };
+
+  using raster_internal::ClampCellIndex;
+  const int x0 = ClampCellIndex(std::floor(std::min(a.x, b.x)) - 1, 0, vw - 1);
+  const int x1 = ClampCellIndex(std::floor(std::max(a.x, b.x)) + 1, 0, vw - 1);
+  const int y0 = ClampCellIndex(std::floor(std::min(a.y, b.y)) - 1, 0, vh - 1);
+  const int y1 = ClampCellIndex(std::floor(std::max(a.y, b.y)) + 1, 0, vh - 1);
+  for (int y = y0; y <= y1; ++y) {
+    for (int x = x0; x <= x1; ++x) {
+      const geom::Point center{x + 0.5, y + 0.5};
+      if (min_l1(center) >= 0.5) continue;  // does not enter the diamond
+      const double end_l1 =
+          std::fabs(b.x - center.x) + std::fabs(b.y - center.y);
+      if (end_l1 < 0.5) continue;  // ends inside: no exit, not colored
+      emit(x, y);
+    }
+  }
+}
+
+// Filled-polygon scanline rasterization with the OpenGL point-sampling
+// rule (§2.2.3): a pixel is colored iff its center lies inside the polygon,
+// with half-open crossing intervals so that a pixel centered on the shared
+// edge of two polygons is colored exactly once across the two.
+template <typename Emit>
+void RasterizePolygonFill(std::span<const geom::Point> ring, int vw, int vh,
+                          Emit emit) {
+  HASJ_CHECK(ring.size() >= 3);
+  double miny = ring[0].y, maxy = ring[0].y;
+  for (const geom::Point& p : ring) {
+    miny = std::min(miny, p.y);
+    maxy = std::max(maxy, p.y);
+  }
+  using raster_internal::ClampCellIndex;
+  const int y0 = ClampCellIndex(std::floor(miny - 0.5), 0, vh - 1);
+  const int y1 = ClampCellIndex(std::floor(maxy), 0, vh - 1);
+  std::vector<double> xs;
+  for (int y = y0; y <= y1; ++y) {
+    const double yc = y + 0.5;
+    xs.clear();
+    for (size_t i = 0, j = ring.size() - 1; i < ring.size(); j = i++) {
+      const geom::Point p = ring[j];
+      const geom::Point q = ring[i];
+      if ((p.y <= yc) == (q.y <= yc)) continue;  // no straddle (half-open)
+      xs.push_back(p.x + (yc - p.y) * (q.x - p.x) / (q.y - p.y));
+    }
+    std::sort(xs.begin(), xs.end());
+    for (size_t k = 0; k + 1 < xs.size(); k += 2) {
+      // Pixel centers in [xs[k], xs[k+1]): half-open so shared vertical
+      // edges color once.
+      const int lo = ClampCellIndex(std::ceil(xs[k] - 0.5), 0, vw - 1);
+      const int hi = ClampCellIndex(std::ceil(xs[k + 1] - 0.5) - 1.0, -1, vw - 1);
+      for (int px = lo; px <= hi; ++px) emit(px, y);
+    }
+  }
+}
+
+}  // namespace hasj::glsim
+
+#endif  // HASJ_GLSIM_RASTER_H_

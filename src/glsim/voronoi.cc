@@ -1,0 +1,58 @@
+#include "glsim/voronoi.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+#include "glsim/framebuffer.h"
+
+namespace hasj::glsim {
+
+void VoronoiDiagram::PixelOf(geom::Point p, int& x, int& y) const {
+  const double sx = resolution / std::max(window.Width(), 1e-300);
+  const double sy = resolution / std::max(window.Height(), 1e-300);
+  x = std::clamp(static_cast<int>(std::floor((p.x - window.min_x) * sx)), 0,
+                 resolution - 1);
+  y = std::clamp(static_cast<int>(std::floor((p.y - window.min_y) * sy)), 0,
+                 resolution - 1);
+}
+
+VoronoiDiagram RenderVoronoi(std::span<const geom::Point> sites,
+                             const geom::Box& window, int resolution) {
+  HASJ_CHECK(!sites.empty());
+  HASJ_CHECK(resolution >= 1);
+  HASJ_CHECK(!window.IsEmpty());
+
+  VoronoiDiagram out;
+  out.window = window;
+  out.resolution = resolution;
+  out.cell_site.assign(
+      static_cast<size_t>(resolution) * static_cast<size_t>(resolution), 0);
+
+  DepthBuffer depth(resolution, resolution);
+  const double cw = window.Width() / resolution;
+  const double ch = window.Height() / resolution;
+
+  // One distance-field pass per site: the depth test keeps the nearest.
+  // Squared distance is a monotone depth; float precision suffices because
+  // only the comparison matters and ties fall to the earlier site.
+  for (size_t s = 0; s < sites.size(); ++s) {
+    const geom::Point site = sites[s];
+    for (int y = 0; y < resolution; ++y) {
+      const double cy = window.min_y + (y + 0.5) * ch;
+      const double dy = cy - site.y;
+      for (int x = 0; x < resolution; ++x) {
+        const double cx = window.min_x + (x + 0.5) * cw;
+        const double dx = cx - site.x;
+        const float d2 = static_cast<float>(dx * dx + dy * dy);
+        if (depth.TestAndSet(x, y, d2)) {
+          out.cell_site[static_cast<size_t>(y) * resolution + x] =
+              static_cast<int32_t>(s);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace hasj::glsim

@@ -1,0 +1,40 @@
+#ifndef HASJ_GLSIM_VORONOI_H_
+#define HASJ_GLSIM_VORONOI_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geom/box.h"
+#include "geom/point.h"
+
+namespace hasj::glsim {
+
+// Discrete Voronoi diagram rendered the hardware way (Hoff et al. [12],
+// the paper's §5 direction for nearest-neighbor queries): each site is a
+// full-window distance-field pass through the depth test, so the fragment
+// surviving at a pixel carries the id of the site nearest to that pixel's
+// center. Cost is fill-rate bound — O(sites x resolution^2) — exactly the
+// GPU algorithm's cost model, executed in software here.
+struct VoronoiDiagram {
+  geom::Box window;            // data-space rectangle rendered
+  int resolution = 0;          // pixels per side
+  std::vector<int32_t> cell_site;  // per pixel: index of the nearest site
+
+  int32_t site_at(int x, int y) const {
+    return cell_site[static_cast<size_t>(y) * resolution + x];
+  }
+
+  // Pixel containing a data-space point (clamped to the window).
+  void PixelOf(geom::Point p, int& x, int& y) const;
+};
+
+// Renders the diagram for `sites` over `window` (sites may lie outside).
+// Ties at a pixel keep the lower site index (first pass wins under
+// GL_LESS). `sites` must be non-empty.
+VoronoiDiagram RenderVoronoi(std::span<const geom::Point> sites,
+                             const geom::Box& window, int resolution);
+
+}  // namespace hasj::glsim
+
+#endif  // HASJ_GLSIM_VORONOI_H_

@@ -1,0 +1,71 @@
+#include "algo/edge_index.h"
+
+#include <gtest/gtest.h>
+
+#include "algo/polygon_intersect.h"
+#include "common/random.h"
+#include "data/generator.h"
+
+namespace hasj::algo {
+namespace {
+
+using geom::Polygon;
+
+Polygon Square(double x0, double y0, double side) {
+  return Polygon(
+      {{x0, y0}, {x0 + side, y0}, {x0 + side, y0 + side}, {x0, y0 + side}});
+}
+
+TEST(EdgeIndexTest, BasicCases) {
+  const Polygon a = Square(0, 0, 2);
+  const Polygon crossing = Square(1, 1, 2);
+  const Polygon contained = Square(0.5, 0.5, 0.5);
+  const Polygon far = Square(5, 5, 1);
+  const EdgeIndex ia(a), ic(crossing), in(contained), ifar(far);
+  EXPECT_TRUE(EdgeIndex::BoundariesIntersect(ia, ic));
+  EXPECT_FALSE(EdgeIndex::BoundariesIntersect(ia, in));  // containment: no crossing
+  EXPECT_FALSE(EdgeIndex::BoundariesIntersect(ia, ifar));
+  // Touching boundaries intersect.
+  const EdgeIndex touch(Square(2, 0, 2));
+  EXPECT_TRUE(EdgeIndex::BoundariesIntersect(ia, touch));
+}
+
+class EdgeIndexPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EdgeIndexPropertyTest, MatchesBoundariesIntersect) {
+  hasj::Rng rng(GetParam());
+  for (int iter = 0; iter < 60; ++iter) {
+    const Polygon a = data::GenerateBlobPolygon(
+        {rng.Uniform(0, 8), rng.Uniform(0, 8)}, rng.Uniform(0.5, 3.0),
+        static_cast<int>(rng.UniformInt(3, 120)), 0.6, rng.Next());
+    const Polygon b = rng.Bernoulli(0.5)
+                          ? data::GenerateBlobPolygon(
+                                {rng.Uniform(0, 8), rng.Uniform(0, 8)},
+                                rng.Uniform(0.5, 3.0),
+                                static_cast<int>(rng.UniformInt(3, 120)), 0.6,
+                                rng.Next())
+                          : data::GenerateSnakePolygon(
+                                {rng.Uniform(0, 8), rng.Uniform(0, 8)},
+                                rng.Uniform(0.5, 3.0),
+                                static_cast<int>(rng.UniformInt(8, 120)), 0.3,
+                                rng.Next());
+    const EdgeIndex ia(a), ib(b);
+    EXPECT_EQ(EdgeIndex::BoundariesIntersect(ia, ib),
+              BoundariesIntersect(a, b))
+        << "iter " << iter;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EdgeIndexPropertyTest,
+                         ::testing::Values(601, 602, 603));
+
+TEST(EdgeIndexTest, LargePolygonsStayExact) {
+  const Polygon big_a = data::GenerateSnakePolygon({0, 0}, 10, 4000, 0.25, 1);
+  const Polygon big_b = data::GenerateSnakePolygon({2, 1}, 10, 4000, 0.25, 2);
+  const EdgeIndex ia(big_a), ib(big_b);
+  EXPECT_EQ(EdgeIndex::BoundariesIntersect(ia, ib),
+            BoundariesIntersect(big_a, big_b));
+}
+
+}  // namespace
+}  // namespace hasj::algo

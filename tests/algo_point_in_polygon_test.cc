@@ -1,0 +1,116 @@
+#include "algo/point_in_polygon.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "data/generator.h"
+#include "geom/predicates.h"
+
+namespace hasj::algo {
+namespace {
+
+using geom::Point;
+using geom::Polygon;
+
+Polygon UnitSquare() { return Polygon({{0, 0}, {4, 0}, {4, 4}, {0, 4}}); }
+
+TEST(LocatePointTest, SquareInsideOutside) {
+  const Polygon sq = UnitSquare();
+  EXPECT_EQ(LocatePoint({2, 2}, sq), PointLocation::kInside);
+  EXPECT_EQ(LocatePoint({5, 2}, sq), PointLocation::kOutside);
+  EXPECT_EQ(LocatePoint({2, -1}, sq), PointLocation::kOutside);
+}
+
+TEST(LocatePointTest, BoundaryEdgesAndVertices) {
+  const Polygon sq = UnitSquare();
+  EXPECT_EQ(LocatePoint({2, 0}, sq), PointLocation::kBoundary);
+  EXPECT_EQ(LocatePoint({4, 2}, sq), PointLocation::kBoundary);
+  EXPECT_EQ(LocatePoint({0, 0}, sq), PointLocation::kBoundary);
+  EXPECT_EQ(LocatePoint({4, 4}, sq), PointLocation::kBoundary);
+}
+
+TEST(LocatePointTest, RayThroughVertexCountsOnce) {
+  // Diamond: a ray to +x from the center passes exactly through the right
+  // vertex; from below-left it can graze vertices.
+  const Polygon diamond({{2, 0}, {4, 2}, {2, 4}, {0, 2}});
+  EXPECT_EQ(LocatePoint({2, 2}, diamond), PointLocation::kInside);
+  EXPECT_EQ(LocatePoint({1, 2}, diamond), PointLocation::kInside);
+  EXPECT_EQ(LocatePoint({-1, 2}, diamond), PointLocation::kOutside);
+  EXPECT_EQ(LocatePoint({5, 2}, diamond), PointLocation::kOutside);
+}
+
+TEST(LocatePointTest, HorizontalEdgeOnRay) {
+  // Polygon with a horizontal edge at the probe's y.
+  const Polygon p({{0, 0}, {2, 0}, {2, 1}, {4, 1}, {4, 3}, {0, 3}});
+  EXPECT_EQ(LocatePoint({1, 1}, p), PointLocation::kInside);
+  EXPECT_EQ(LocatePoint({3, 1}, p), PointLocation::kBoundary);
+  EXPECT_EQ(LocatePoint({5, 1}, p), PointLocation::kOutside);
+  EXPECT_EQ(LocatePoint({-1, 1}, p), PointLocation::kOutside);
+}
+
+TEST(LocatePointTest, ConcavePolygon) {
+  // U-shape.
+  const Polygon u({{0, 0}, {5, 0}, {5, 5}, {4, 5}, {4, 1}, {1, 1}, {1, 5}, {0, 5}});
+  EXPECT_EQ(LocatePoint({0.5, 3}, u), PointLocation::kInside);
+  EXPECT_EQ(LocatePoint({4.5, 3}, u), PointLocation::kInside);
+  EXPECT_EQ(LocatePoint({2.5, 3}, u), PointLocation::kOutside);  // in the notch
+  EXPECT_EQ(LocatePoint({2.5, 0.5}, u), PointLocation::kInside);
+}
+
+// Independent reference: winding number via summed signed angles is too
+// float-fragile; instead use the star-shaped structure of generated blobs —
+// a point is inside a star-shaped polygon iff along its direction from the
+// kernel center its radius is below the boundary radius. Rather than
+// reimplement that, cross-check with a second crossing-number run using a
+// *vertical* ray, which exercises entirely different edge/vertex cases.
+PointLocation LocateWithVerticalRay(Point p, const Polygon& poly) {
+  bool inside = false;
+  const size_t n = poly.size();
+  for (size_t i = 0, j = n - 1; i < n; j = i++) {
+    const Point a = poly.vertex(j);
+    const Point b = poly.vertex(i);
+    if (geom::OnSegment(a, b, p)) return PointLocation::kBoundary;
+    const bool a_left = a.x <= p.x;
+    const bool b_left = b.x <= p.x;
+    if (a_left == b_left) continue;
+    const int orient = geom::Orient2d(a, b, p);
+    // Ray to +y: edge crossing above p.
+    if (a_left ? (orient < 0) : (orient > 0)) inside = !inside;
+  }
+  return inside ? PointLocation::kInside : PointLocation::kOutside;
+}
+
+TEST(LocatePointPropertyTest, HorizontalAndVerticalRaysAgree) {
+  hasj::Rng rng(77);
+  for (int iter = 0; iter < 50; ++iter) {
+    const Polygon poly = data::GenerateBlobPolygon(
+        {rng.Uniform(-5, 5), rng.Uniform(-5, 5)}, rng.Uniform(1, 5),
+        static_cast<int>(rng.UniformInt(3, 60)), 0.5, rng.Next());
+    for (int k = 0; k < 200; ++k) {
+      const Point p{rng.Uniform(-12, 12), rng.Uniform(-12, 12)};
+      EXPECT_EQ(LocatePoint(p, poly), LocateWithVerticalRay(p, poly));
+    }
+    // Vertices are boundary points.
+    for (size_t v = 0; v < poly.size(); v += 7) {
+      EXPECT_EQ(LocatePoint(poly.vertex(v), poly), PointLocation::kBoundary);
+    }
+  }
+}
+
+TEST(LocatePointPropertyTest, BlobCenterInsideAndFarPointOutside) {
+  hasj::Rng rng(79);
+  for (int iter = 0; iter < 100; ++iter) {
+    const Point c{rng.Uniform(-5, 5), rng.Uniform(-5, 5)};
+    const double r = rng.Uniform(0.5, 3.0);
+    const Polygon poly = data::GenerateBlobPolygon(
+        c, r, static_cast<int>(rng.UniformInt(8, 100)), 0.4, rng.Next());
+    // The blob generator keeps radii >= 0.15 * r, so the center is interior.
+    EXPECT_EQ(LocatePoint(c, poly), PointLocation::kInside);
+    EXPECT_EQ(LocatePoint({c.x + 10 * r, c.y}, poly), PointLocation::kOutside);
+  }
+}
+
+}  // namespace
+}  // namespace hasj::algo

@@ -1,0 +1,79 @@
+#include "algo/point_locator.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "data/generator.h"
+
+namespace hasj::algo {
+namespace {
+
+using geom::Point;
+using geom::Polygon;
+
+TEST(PointLocatorTest, MatchesLocatePointOnSquare) {
+  const Polygon sq({{0, 0}, {4, 0}, {4, 4}, {0, 4}});
+  const PointLocator locator(sq);
+  EXPECT_EQ(locator.Locate({2, 2}), PointLocation::kInside);
+  EXPECT_EQ(locator.Locate({5, 2}), PointLocation::kOutside);
+  EXPECT_EQ(locator.Locate({2, 0}), PointLocation::kBoundary);
+  EXPECT_EQ(locator.Locate({0, 0}), PointLocation::kBoundary);
+  EXPECT_TRUE(locator.Contains({2, 2}));
+  EXPECT_FALSE(locator.Contains({-1, 2}));
+}
+
+class PointLocatorPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PointLocatorPropertyTest, EquivalentToLocatePointOnBlobs) {
+  hasj::Rng rng(GetParam());
+  for (int iter = 0; iter < 25; ++iter) {
+    const Polygon poly = data::GenerateBlobPolygon(
+        {rng.Uniform(-5, 5), rng.Uniform(-5, 5)}, rng.Uniform(1, 6),
+        static_cast<int>(rng.UniformInt(3, 300)), 0.6, rng.Next());
+    const PointLocator locator(poly);
+    for (int k = 0; k < 300; ++k) {
+      const Point p{rng.Uniform(-12, 12), rng.Uniform(-12, 12)};
+      EXPECT_EQ(locator.Locate(p), LocatePoint(p, poly))
+          << "iter " << iter << " point (" << p.x << "," << p.y << ")";
+    }
+    // Vertices and edge midpoints are boundary.
+    for (size_t v = 0; v < poly.size(); v += 5) {
+      EXPECT_EQ(locator.Locate(poly.vertex(v)), PointLocation::kBoundary);
+      const geom::Segment e = poly.edge(v);
+      const Point mid = (e.a + e.b) / 2.0;
+      EXPECT_EQ(locator.Locate(mid), LocatePoint(mid, poly));
+    }
+  }
+}
+
+TEST_P(PointLocatorPropertyTest, EquivalentToLocatePointOnSnakes) {
+  hasj::Rng rng(GetParam() ^ 0x77);
+  for (int iter = 0; iter < 15; ++iter) {
+    const Polygon poly = data::GenerateSnakePolygon(
+        {rng.Uniform(-5, 5), rng.Uniform(-5, 5)}, rng.Uniform(1, 6),
+        static_cast<int>(rng.UniformInt(8, 600)), 0.3, rng.Next());
+    const PointLocator locator(poly);
+    for (int k = 0; k < 300; ++k) {
+      const Point p{rng.Uniform(-12, 12), rng.Uniform(-12, 12)};
+      EXPECT_EQ(locator.Locate(p), LocatePoint(p, poly)) << "iter " << iter;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PointLocatorPropertyTest,
+                         ::testing::Values(401, 402, 403));
+
+TEST(PointLocatorTest, HugePolygonStillExact) {
+  // A 20k-vertex snake: buckets are saturated and each query touches only
+  // a few edges; results stay exact.
+  const Polygon big = data::GenerateSnakePolygon({0, 0}, 10, 20000, 0.2, 9);
+  const PointLocator locator(big);
+  hasj::Rng rng(10);
+  for (int k = 0; k < 500; ++k) {
+    const Point p{rng.Uniform(-12, 12), rng.Uniform(-12, 12)};
+    EXPECT_EQ(locator.Locate(p), LocatePoint(p, big));
+  }
+}
+
+}  // namespace
+}  // namespace hasj::algo

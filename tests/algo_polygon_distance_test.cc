@@ -1,0 +1,153 @@
+#include "algo/polygon_distance.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algo/polygon_intersect.h"
+#include "common/random.h"
+#include "data/generator.h"
+
+namespace hasj::algo {
+namespace {
+
+using geom::Point;
+using geom::Polygon;
+
+Polygon Square(double x0, double y0, double side) {
+  return Polygon(
+      {{x0, y0}, {x0 + side, y0}, {x0 + side, y0 + side}, {x0, y0 + side}});
+}
+
+TEST(PolygonDistanceBruteTest, KnownDistances) {
+  EXPECT_DOUBLE_EQ(PolygonDistanceBrute(Square(0, 0, 1), Square(3, 0, 1)),
+                   2.0);
+  EXPECT_DOUBLE_EQ(PolygonDistanceBrute(Square(0, 0, 1), Square(4, 4, 1)),
+                   std::hypot(3.0, 3.0));
+  EXPECT_EQ(PolygonDistanceBrute(Square(0, 0, 2), Square(1, 1, 2)), 0.0);
+  EXPECT_EQ(PolygonDistanceBrute(Square(0, 0, 10), Square(4, 4, 1)),
+            0.0);  // containment
+  EXPECT_EQ(PolygonDistanceBrute(Square(0, 0, 1), Square(1, 0, 1)),
+            0.0);  // touch
+}
+
+TEST(PolygonDistanceTest, MatchesBruteOnKnownCases) {
+  EXPECT_DOUBLE_EQ(PolygonDistance(Square(0, 0, 1), Square(3, 0, 1)), 2.0);
+  EXPECT_EQ(PolygonDistance(Square(0, 0, 10), Square(4, 4, 1)), 0.0);
+}
+
+class DistanceOptionsTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, bool, bool>> {};
+
+TEST_P(DistanceOptionsTest, MinDistMatchesBrute) {
+  const auto [seed, frontier, prune] = GetParam();
+  hasj::Rng rng(seed);
+  DistanceOptions options;
+  options.use_frontier = frontier;
+  options.prune_edge_pairs = prune;
+  for (int iter = 0; iter < 50; ++iter) {
+    const Polygon a = data::GenerateBlobPolygon(
+        {rng.Uniform(0, 10), rng.Uniform(0, 10)}, rng.Uniform(0.5, 2.5),
+        static_cast<int>(rng.UniformInt(3, 50)), 0.6, rng.Next());
+    const Polygon b = data::GenerateBlobPolygon(
+        {rng.Uniform(0, 10), rng.Uniform(0, 10)}, rng.Uniform(0.5, 2.5),
+        static_cast<int>(rng.UniformInt(3, 50)), 0.6, rng.Next());
+    const double expected = PolygonDistanceBrute(a, b);
+    const double actual = PolygonDistance(a, b, options);
+    EXPECT_NEAR(actual, expected, 1e-9 * (1.0 + expected)) << "iter " << iter;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Options, DistanceOptionsTest,
+    ::testing::Combine(::testing::Values(21, 22, 23), ::testing::Bool(),
+                       ::testing::Bool()));
+
+class WithinDistanceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(WithinDistanceTest, ConsistentWithExactDistance) {
+  hasj::Rng rng(GetParam());
+  DistanceCounters counters;
+  for (int iter = 0; iter < 60; ++iter) {
+    const Polygon a = data::GenerateBlobPolygon(
+        {rng.Uniform(0, 10), rng.Uniform(0, 10)}, rng.Uniform(0.5, 2.5),
+        static_cast<int>(rng.UniformInt(3, 50)), 0.6, rng.Next());
+    const Polygon b = data::GenerateBlobPolygon(
+        {rng.Uniform(0, 10), rng.Uniform(0, 10)}, rng.Uniform(0.5, 2.5),
+        static_cast<int>(rng.UniformInt(3, 50)), 0.6, rng.Next());
+    const double exact = PolygonDistanceBrute(a, b);
+    for (double d : {0.0, exact * 0.9, exact, exact * 1.1, exact + 1.0}) {
+      if (d < 0.0) continue;
+      const bool expected = exact <= d;
+      // Skip knife-edge comparisons subject to last-ulp asymmetry between
+      // the two computations, except d == exact which must match because
+      // both sides evaluate the same segment pairs.
+      if (d == exact * 0.9 && exact == 0.0) continue;
+      EXPECT_EQ(WithinDistance(a, b, d, {}, &counters), expected)
+          << "iter " << iter << " d=" << d << " exact=" << exact;
+    }
+  }
+  EXPECT_GT(counters.edge_pairs_tested, 0);
+}
+
+TEST_P(WithinDistanceTest, OptionsDoNotChangeResults) {
+  hasj::Rng rng(GetParam() ^ 0x5555);
+  DistanceOptions no_opt;
+  no_opt.use_frontier = false;
+  no_opt.prune_edge_pairs = false;
+  no_opt.early_exit = false;
+  for (int iter = 0; iter < 40; ++iter) {
+    const Polygon a = data::GenerateBlobPolygon(
+        {rng.Uniform(0, 8), rng.Uniform(0, 8)}, rng.Uniform(0.5, 2.0),
+        static_cast<int>(rng.UniformInt(3, 40)), 0.5, rng.Next());
+    const Polygon b = data::GenerateBlobPolygon(
+        {rng.Uniform(0, 8), rng.Uniform(0, 8)}, rng.Uniform(0.5, 2.0),
+        static_cast<int>(rng.UniformInt(3, 40)), 0.5, rng.Next());
+    const double d = rng.Uniform(0.0, 5.0);
+    EXPECT_EQ(WithinDistance(a, b, d), WithinDistance(a, b, d, no_opt))
+        << "iter " << iter;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WithinDistanceTest,
+                         ::testing::Values(31, 32, 33, 34));
+
+TEST(BoundariesWithinDistanceTest, MatchesWithinDistanceWithoutContainment) {
+  hasj::Rng rng(35);
+  for (int iter = 0; iter < 60; ++iter) {
+    const Polygon a = data::GenerateBlobPolygon(
+        {rng.Uniform(0, 10), rng.Uniform(0, 10)}, rng.Uniform(0.5, 2.5),
+        static_cast<int>(rng.UniformInt(3, 50)), 0.6, rng.Next());
+    const Polygon b = data::GenerateBlobPolygon(
+        {rng.Uniform(0, 10), rng.Uniform(0, 10)}, rng.Uniform(0.5, 2.5),
+        static_cast<int>(rng.UniformInt(3, 50)), 0.6, rng.Next());
+    const double d = rng.Uniform(0.0, 4.0);
+    const bool full = algo::WithinDistance(a, b, d);
+    const bool boundary = algo::BoundariesWithinDistance(a, b, d);
+    // Boundary variant implies the full predicate; it may differ only on
+    // pure containment.
+    if (boundary) {
+      EXPECT_TRUE(full) << "iter " << iter;
+    }
+    if (full && !boundary) {
+      // Must be containment: one MBR nests in the other.
+      EXPECT_TRUE(a.Bounds().Contains(b.Bounds()) ||
+                  b.Bounds().Contains(a.Bounds()))
+          << "iter " << iter;
+    }
+  }
+}
+
+TEST(BoundariesWithinDistanceTest, ContainmentNotDetected) {
+  // Nested squares with distant boundaries: full predicate true, boundary
+  // variant false at small d.
+  const Polygon outer = Square(0, 0, 10);
+  const Polygon inner = Square(4, 4, 1);
+  EXPECT_TRUE(algo::WithinDistance(outer, inner, 0.5));
+  EXPECT_FALSE(algo::BoundariesWithinDistance(outer, inner, 0.5));
+  // At d >= boundary gap the boundary variant fires too.
+  EXPECT_TRUE(algo::BoundariesWithinDistance(outer, inner, 4.0));
+}
+
+}  // namespace
+}  // namespace hasj::algo

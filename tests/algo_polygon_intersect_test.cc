@@ -1,0 +1,106 @@
+#include "algo/polygon_intersect.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "data/generator.h"
+
+namespace hasj::algo {
+namespace {
+
+using geom::Point;
+using geom::Polygon;
+
+Polygon Square(double x0, double y0, double side) {
+  return Polygon(
+      {{x0, y0}, {x0 + side, y0}, {x0 + side, y0 + side}, {x0, y0 + side}});
+}
+
+TEST(PolygonsIntersectTest, OverlappingSquares) {
+  EXPECT_TRUE(PolygonsIntersect(Square(0, 0, 2), Square(1, 1, 2)));
+}
+
+TEST(PolygonsIntersectTest, DisjointSquares) {
+  EXPECT_FALSE(PolygonsIntersect(Square(0, 0, 1), Square(3, 3, 1)));
+  // MBRs overlap but geometries do not (diagonal arrangement of concave Ls).
+  const Polygon l1({{0, 0}, {3, 0}, {3, 1}, {1, 1}, {1, 3}, {0, 3}});
+  const Polygon small_sq = Square(1.5, 1.5, 1.0);
+  EXPECT_TRUE(l1.Bounds().Intersects(small_sq.Bounds()));
+  EXPECT_FALSE(PolygonsIntersect(l1, small_sq));
+}
+
+TEST(PolygonsIntersectTest, Containment) {
+  EXPECT_TRUE(PolygonsIntersect(Square(0, 0, 10), Square(4, 4, 1)));
+  EXPECT_TRUE(PolygonsIntersect(Square(4, 4, 1), Square(0, 0, 10)));
+}
+
+TEST(PolygonsIntersectTest, EdgeTouch) {
+  EXPECT_TRUE(PolygonsIntersect(Square(0, 0, 2), Square(2, 0, 2)));
+  EXPECT_TRUE(PolygonsIntersect(Square(0, 0, 2), Square(2, 2, 2)));  // corner
+}
+
+TEST(PolygonsIntersectTest, CountersPopulated) {
+  IntersectCounters counters;
+  // Containment decided by the point-in-polygon step.
+  EXPECT_TRUE(PolygonsIntersect(Square(4, 4, 1), Square(0, 0, 10), {},
+                                &counters));
+  EXPECT_EQ(counters.point_in_polygon_hits, 1);
+  EXPECT_EQ(counters.segment_tests, 0);
+  // Plus-shaped crossing: neither probe vertex is contained, so the
+  // decision reaches the segment test.
+  const Polygon horizontal({{0, 1}, {3, 1}, {3, 2}, {0, 2}});
+  const Polygon vertical({{1, 0}, {2, 0}, {2, 3}, {1, 3}});
+  EXPECT_TRUE(PolygonsIntersect(horizontal, vertical, {}, &counters));
+  EXPECT_EQ(counters.segment_tests, 1);
+  EXPECT_GT(counters.edges_considered, 0);
+}
+
+TEST(BoundariesIntersectTest, IgnoresContainment) {
+  // Boundaries of nested squares do not cross.
+  EXPECT_FALSE(BoundariesIntersect(Square(0, 0, 10), Square(4, 4, 1)));
+  EXPECT_TRUE(BoundariesIntersect(Square(0, 0, 2), Square(1, 1, 2)));
+}
+
+// Property: all four option combinations agree on random polygon pairs.
+struct OptionCombo {
+  bool sweep;
+  bool restricted;
+};
+
+class IntersectOptionsTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, bool, bool>> {};
+
+TEST_P(IntersectOptionsTest, AgreesWithBruteUnrestricted) {
+  const auto [seed, sweep, restricted] = GetParam();
+  hasj::Rng rng(seed);
+  SoftwareIntersectOptions reference;
+  reference.use_sweep = false;
+  reference.restricted_search = false;
+  SoftwareIntersectOptions options;
+  options.use_sweep = sweep;
+  options.restricted_search = restricted;
+
+  int hits = 0;
+  for (int iter = 0; iter < 80; ++iter) {
+    const Polygon a = data::GenerateBlobPolygon(
+        {rng.Uniform(0, 8), rng.Uniform(0, 8)}, rng.Uniform(0.5, 3.0),
+        static_cast<int>(rng.UniformInt(3, 60)), 0.6, rng.Next());
+    const Polygon b = data::GenerateBlobPolygon(
+        {rng.Uniform(0, 8), rng.Uniform(0, 8)}, rng.Uniform(0.5, 3.0),
+        static_cast<int>(rng.UniformInt(3, 60)), 0.6, rng.Next());
+    const bool expected = PolygonsIntersect(a, b, reference);
+    EXPECT_EQ(PolygonsIntersect(a, b, options), expected) << "iter " << iter;
+    hits += expected;
+  }
+  // The workload must exercise both outcomes to be meaningful.
+  EXPECT_GT(hits, 5);
+  EXPECT_LT(hits, 75);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, IntersectOptionsTest,
+    ::testing::Combine(::testing::Values(11, 12, 13), ::testing::Bool(),
+                       ::testing::Bool()));
+
+}  // namespace
+}  // namespace hasj::algo

@@ -1,0 +1,158 @@
+#include "algo/segment_tests.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "data/generator.h"
+
+namespace hasj::algo {
+namespace {
+
+using geom::Point;
+using geom::Polygon;
+using geom::Segment;
+
+std::vector<Segment> Edges(const Polygon& p) {
+  std::vector<Segment> out;
+  for (size_t i = 0; i < p.size(); ++i) out.push_back(p.edge(i));
+  return out;
+}
+
+TEST(BruteRedBlueTest, Basic) {
+  const std::vector<Segment> red = {{{0, 0}, {2, 2}}};
+  const std::vector<Segment> blue = {{{0, 2}, {2, 0}}};
+  EXPECT_TRUE(BruteRedBlueIntersect(red, blue));
+  const std::vector<Segment> far = {{{5, 5}, {6, 6}}};
+  EXPECT_FALSE(BruteRedBlueIntersect(red, far));
+  EXPECT_FALSE(BruteRedBlueIntersect({}, blue));
+  EXPECT_FALSE(BruteRedBlueIntersect(red, {}));
+}
+
+TEST(SweepRedBlueTest, ExplicitCases) {
+  // Proper crossing.
+  EXPECT_TRUE(SweepRedBlueIntersect(
+      std::vector<Segment>{{{0, 0}, {2, 2}}},
+      std::vector<Segment>{{{0, 2}, {2, 0}}}));
+  // Disjoint parallels.
+  EXPECT_FALSE(SweepRedBlueIntersect(
+      std::vector<Segment>{{{0, 0}, {2, 0}}},
+      std::vector<Segment>{{{0, 1}, {2, 1}}}));
+  // Endpoint-to-endpoint touch.
+  EXPECT_TRUE(SweepRedBlueIntersect(
+      std::vector<Segment>{{{0, 0}, {1, 1}}},
+      std::vector<Segment>{{{1, 1}, {2, 0}}}));
+  // T-junction (blue endpoint on red interior).
+  EXPECT_TRUE(SweepRedBlueIntersect(
+      std::vector<Segment>{{{0, 0}, {4, 0}}},
+      std::vector<Segment>{{{2, 0}, {2, 3}}}));
+  // Collinear overlap.
+  EXPECT_TRUE(SweepRedBlueIntersect(
+      std::vector<Segment>{{{0, 0}, {3, 0}}},
+      std::vector<Segment>{{{2, 0}, {5, 0}}}));
+  // Identical segments, opposite colors.
+  EXPECT_TRUE(SweepRedBlueIntersect(
+      std::vector<Segment>{{{1, 1}, {4, 5}}},
+      std::vector<Segment>{{{1, 1}, {4, 5}}}));
+}
+
+TEST(SweepRedBlueTest, VerticalSegments) {
+  // Vertical blue crossing horizontal red.
+  EXPECT_TRUE(SweepRedBlueIntersect(
+      std::vector<Segment>{{{0, 1}, {4, 1}}},
+      std::vector<Segment>{{{2, 0}, {2, 3}}}));
+  // Vertical-vertical overlap at same x.
+  EXPECT_TRUE(SweepRedBlueIntersect(
+      std::vector<Segment>{{{2, 0}, {2, 2}}},
+      std::vector<Segment>{{{2, 1}, {2, 5}}}));
+  // Vertical-vertical same x, disjoint y ranges.
+  EXPECT_FALSE(SweepRedBlueIntersect(
+      std::vector<Segment>{{{2, 0}, {2, 1}}},
+      std::vector<Segment>{{{2, 2}, {2, 5}}}));
+  // Vertical touching another vertical at a single shared point.
+  EXPECT_TRUE(SweepRedBlueIntersect(
+      std::vector<Segment>{{{2, 0}, {2, 2}}},
+      std::vector<Segment>{{{2, 2}, {2, 5}}}));
+  // Vertical red, diagonal blue ending exactly on it.
+  EXPECT_TRUE(SweepRedBlueIntersect(
+      std::vector<Segment>{{{2, 0}, {2, 4}}},
+      std::vector<Segment>{{{0, 0}, {2, 2}}}));
+  // Vertical far from everything.
+  EXPECT_FALSE(SweepRedBlueIntersect(
+      std::vector<Segment>{{{2, 0}, {2, 4}}},
+      std::vector<Segment>{{{5, 0}, {5, 4}}}));
+}
+
+TEST(SweepRedBlueTest, DegeneratePointSegments) {
+  // A point segment on the other color's interior counts.
+  EXPECT_TRUE(SweepRedBlueIntersect(
+      std::vector<Segment>{{{0, 0}, {4, 4}}},
+      std::vector<Segment>{{{2, 2}, {2, 2}}}));
+  EXPECT_FALSE(SweepRedBlueIntersect(
+      std::vector<Segment>{{{0, 0}, {4, 4}}},
+      std::vector<Segment>{{{2, 3}, {2, 3}}}));
+}
+
+// Property: the sweep agrees with brute force on the edge sets of random
+// simple polygons (same-color edges touch only at shared endpoints, which
+// is the sweep's documented precondition).
+class SweepVsBruteTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SweepVsBruteTest, RandomBlobPairsAgree) {
+  hasj::Rng rng(GetParam());
+  for (int iter = 0; iter < 60; ++iter) {
+    // Overlapping extents make both outcomes common.
+    const Polygon a = data::GenerateBlobPolygon(
+        {rng.Uniform(0, 6), rng.Uniform(0, 6)}, rng.Uniform(0.5, 3.0),
+        static_cast<int>(rng.UniformInt(3, 80)), 0.6, rng.Next());
+    const Polygon b = data::GenerateBlobPolygon(
+        {rng.Uniform(0, 6), rng.Uniform(0, 6)}, rng.Uniform(0.5, 3.0),
+        static_cast<int>(rng.UniformInt(3, 80)), 0.6, rng.Next());
+    const auto ea = Edges(a);
+    const auto eb = Edges(b);
+    EXPECT_EQ(SweepRedBlueIntersect(ea, eb), BruteRedBlueIntersect(ea, eb));
+  }
+}
+
+TEST_P(SweepVsBruteTest, IntegerGridPolygonsAgree) {
+  // Axis-aligned rectangles on a tiny integer grid: maximum density of
+  // shared endpoints, collinear overlaps, and vertical segments.
+  hasj::Rng rng(GetParam() ^ 0xabcdef);
+  for (int iter = 0; iter < 120; ++iter) {
+    const auto rect = [&](std::vector<Segment>& out) {
+      const double x0 = static_cast<double>(rng.UniformInt(0, 4));
+      const double y0 = static_cast<double>(rng.UniformInt(0, 4));
+      const double x1 = x0 + static_cast<double>(rng.UniformInt(1, 3));
+      const double y1 = y0 + static_cast<double>(rng.UniformInt(1, 3));
+      out.push_back({{x0, y0}, {x1, y0}});
+      out.push_back({{x1, y0}, {x1, y1}});
+      out.push_back({{x1, y1}, {x0, y1}});
+      out.push_back({{x0, y1}, {x0, y0}});
+    };
+    std::vector<Segment> red, blue;
+    rect(red);
+    rect(blue);
+    EXPECT_EQ(SweepRedBlueIntersect(red, blue),
+              BruteRedBlueIntersect(red, blue))
+        << "iter " << iter;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SweepVsBruteTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(EdgesInWindowTest, ClipsToWindow) {
+  const Polygon square({{0, 0}, {10, 0}, {10, 10}, {0, 10}});
+  // Window overlapping only the bottom edge.
+  const auto edges = EdgesInWindow(square, geom::Box(2, -1, 8, 1));
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_EQ(edges[0].a, (Point{0, 0}));
+  // Window covering everything returns all 4 edges.
+  EXPECT_EQ(EdgesInWindow(square, geom::Box(-1, -1, 11, 11)).size(), 4u);
+  // Disjoint window returns nothing.
+  EXPECT_TRUE(EdgesInWindow(square, geom::Box(20, 20, 30, 30)).empty());
+}
+
+}  // namespace
+}  // namespace hasj::algo

@@ -1,0 +1,116 @@
+#include "algo/triangulate.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algo/point_in_polygon.h"
+#include "common/random.h"
+#include "data/generator.h"
+#include "geom/predicates.h"
+
+namespace hasj::algo {
+namespace {
+
+using geom::Point;
+using geom::Polygon;
+
+double TriangleArea(Point a, Point b, Point c) {
+  return 0.5 * std::fabs(geom::Cross(b - a, c - a));
+}
+
+double TriangulationArea(const Polygon& poly,
+                         const std::vector<std::array<int32_t, 3>>& tris) {
+  double sum = 0.0;
+  for (const auto& t : tris) {
+    sum += TriangleArea(poly.vertex(static_cast<size_t>(t[0])),
+                        poly.vertex(static_cast<size_t>(t[1])),
+                        poly.vertex(static_cast<size_t>(t[2])));
+  }
+  return sum;
+}
+
+TEST(TriangulateTest, Triangle) {
+  const Polygon tri({{0, 0}, {4, 0}, {0, 3}});
+  const auto tris = Triangulate(tri);
+  ASSERT_EQ(tris.size(), 1u);
+  EXPECT_DOUBLE_EQ(TriangulationArea(tri, tris), 6.0);
+}
+
+TEST(TriangulateTest, ConvexAndClockwise) {
+  const Polygon sq({{0, 0}, {4, 0}, {4, 4}, {0, 4}});
+  EXPECT_EQ(Triangulate(sq).size(), 2u);
+  Polygon cw = sq;
+  cw.Reverse();
+  const auto tris = Triangulate(cw);
+  EXPECT_EQ(tris.size(), 2u);
+  EXPECT_DOUBLE_EQ(TriangulationArea(cw, tris), 16.0);
+}
+
+TEST(TriangulateTest, ConcaveLShape) {
+  const Polygon l({{0, 0}, {3, 0}, {3, 1}, {1, 1}, {1, 3}, {0, 3}});
+  const auto tris = Triangulate(l);
+  EXPECT_EQ(tris.size(), 4u);  // n-2
+  EXPECT_NEAR(TriangulationArea(l, tris), l.Area(), 1e-12);
+  // Triangle orientation is counter-clockwise.
+  for (const auto& t : tris) {
+    EXPECT_EQ(geom::Orient2d(l.vertex(static_cast<size_t>(t[0])),
+                             l.vertex(static_cast<size_t>(t[1])),
+                             l.vertex(static_cast<size_t>(t[2]))),
+              1);
+  }
+}
+
+TEST(TriangulateTest, CollinearCornerClippedWithoutTriangle) {
+  // Square with a redundant collinear vertex on the bottom edge.
+  const Polygon sq({{0, 0}, {2, 0}, {4, 0}, {4, 4}, {0, 4}});
+  const auto tris = Triangulate(sq);
+  EXPECT_NEAR(TriangulationArea(sq, tris), 16.0, 1e-12);
+}
+
+class TriangulatePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TriangulatePropertyTest, PartitionProperties) {
+  hasj::Rng rng(GetParam());
+  for (int iter = 0; iter < 40; ++iter) {
+    const bool snake = rng.Bernoulli(0.4);
+    const Polygon poly =
+        snake ? data::GenerateSnakePolygon(
+                    {0, 0}, 5.0, static_cast<int>(rng.UniformInt(8, 200)),
+                    0.3, rng.Next())
+              : data::GenerateBlobPolygon(
+                    {0, 0}, 5.0, static_cast<int>(rng.UniformInt(3, 200)),
+                    0.6, rng.Next());
+    const auto tris = Triangulate(poly);
+    EXPECT_LE(tris.size(), poly.size() - 2) << "iter " << iter;
+    // Areas partition the polygon.
+    EXPECT_NEAR(TriangulationArea(poly, tris), poly.Area(),
+                1e-9 * (1.0 + poly.Area()))
+        << "iter " << iter;
+    // Every triangle centroid lies inside the (closed) polygon, and every
+    // triangle is counter-clockwise.
+    for (const auto& t : tris) {
+      const Point a = poly.vertex(static_cast<size_t>(t[0]));
+      const Point b = poly.vertex(static_cast<size_t>(t[1]));
+      const Point c = poly.vertex(static_cast<size_t>(t[2]));
+      EXPECT_EQ(geom::Orient2d(a, b, c), 1);
+      // Sliver ears can put the (rounded) centroid an epsilon outside;
+      // accept points within rounding distance of the boundary.
+      const Point centroid = (a + b + c) / 3.0;
+      if (LocatePoint(centroid, poly) == PointLocation::kOutside) {
+        double nearest = geom::Distance(centroid, poly.edge(0));
+        for (size_t e = 1; e < poly.size(); ++e) {
+          nearest = std::min(nearest, geom::Distance(centroid, poly.edge(e)));
+        }
+        EXPECT_LT(nearest, 1e-9 * (1.0 + poly.Bounds().Width()))
+            << "iter " << iter;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TriangulatePropertyTest,
+                         ::testing::Values(701, 702, 703, 704));
+
+}  // namespace
+}  // namespace hasj::algo

@@ -1,0 +1,133 @@
+#include "core/distance_join.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "algo/polygon_distance.h"
+#include "algo/polygon_intersect.h"
+#include "data/generator.h"
+
+namespace hasj::core {
+namespace {
+
+data::Dataset MakeDataset(uint64_t seed, int count) {
+  data::GeneratorProfile p;
+  p.name = "dj";
+  p.count = count;
+  p.mean_vertices = 15;
+  p.max_vertices = 60;
+  p.extent = geom::Box(0, 0, 80, 80);
+  p.coverage = 0.4;
+  p.seed = seed;
+  return data::GenerateDataset(p);
+}
+
+std::vector<std::pair<int64_t, int64_t>> NaiveDistanceJoin(
+    const data::Dataset& a, const data::Dataset& b, double d) {
+  std::vector<std::pair<int64_t, int64_t>> out;
+  for (size_t i = 0; i < a.size(); ++i) {
+    for (size_t j = 0; j < b.size(); ++j) {
+      if (algo::WithinDistance(a.polygon(i), b.polygon(j), d)) {
+        out.emplace_back(static_cast<int64_t>(i), static_cast<int64_t>(j));
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<int64_t, int64_t>> Sorted(
+    std::vector<std::pair<int64_t, int64_t>> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+TEST(DistanceJoinTest, MatchesNaiveNestedLoop) {
+  const data::Dataset a = MakeDataset(201, 80);
+  const data::Dataset b = MakeDataset(202, 90);
+  const WithinDistanceJoin join(a, b);
+  for (double d : {0.0, 1.0, 4.0}) {
+    const DistanceJoinResult r = join.Run(d);
+    EXPECT_EQ(Sorted(r.pairs), NaiveDistanceJoin(a, b, d)) << "d=" << d;
+  }
+}
+
+TEST(DistanceJoinTest, LargerDistanceIsSuperset) {
+  const data::Dataset a = MakeDataset(203, 70);
+  const data::Dataset b = MakeDataset(204, 70);
+  const WithinDistanceJoin join(a, b);
+  const auto small = Sorted(join.Run(1.0).pairs);
+  const auto large = Sorted(join.Run(5.0).pairs);
+  EXPECT_TRUE(std::includes(large.begin(), large.end(), small.begin(),
+                            small.end()));
+  EXPECT_GT(large.size(), small.size());
+}
+
+class DistanceJoinConfigTest
+    : public ::testing::TestWithParam<std::tuple<bool, bool, bool>> {};
+
+TEST_P(DistanceJoinConfigTest, ConfigDoesNotChangeResults) {
+  const auto [zero_obj, one_obj, use_hw] = GetParam();
+  const data::Dataset a = MakeDataset(205, 60);
+  const data::Dataset b = MakeDataset(206, 60);
+  const WithinDistanceJoin join(a, b);
+  const double d = data::BaseDistance(a, b);
+  DistanceJoinOptions options;
+  options.use_zero_object_filter = zero_obj;
+  options.use_one_object_filter = one_obj;
+  options.use_hw = use_hw;
+  const DistanceJoinResult r = join.Run(d, options);
+  EXPECT_EQ(Sorted(r.pairs), NaiveDistanceJoin(a, b, d));
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, DistanceJoinConfigTest,
+                         ::testing::Combine(::testing::Bool(),
+                                            ::testing::Bool(),
+                                            ::testing::Bool()));
+
+TEST(DistanceJoinTest, FiltersIdentifyPositives) {
+  const data::Dataset a = MakeDataset(207, 100);
+  const data::Dataset b = MakeDataset(208, 100);
+  const WithinDistanceJoin join(a, b);
+  const double d = 3.0 * data::BaseDistance(a, b);
+  const DistanceJoinResult r = join.Run(d);
+  EXPECT_GT(r.zero_object_hits + r.one_object_hits, 0);
+  EXPECT_EQ(r.counts.filter_hits, r.zero_object_hits + r.one_object_hits);
+  EXPECT_EQ(r.counts.compared + r.counts.filter_hits, r.counts.candidates);
+  // Filter positives are included in the result set.
+  EXPECT_GE(r.counts.results, r.counts.filter_hits);
+}
+
+TEST(DistanceJoinTest, HwCountersExposedAndFallbacksCounted) {
+  const data::Dataset a = MakeDataset(209, 60);
+  const data::Dataset b = MakeDataset(210, 60);
+  const WithinDistanceJoin join(a, b);
+  DistanceJoinOptions options;
+  options.use_hw = true;
+  options.hw.resolution = 8;
+  options.hw.limits.max_line_width = 3.0;  // force some width fallbacks
+  options.hw.limits.max_point_size = 3.0;
+  const double d = 2.0 * data::BaseDistance(a, b);
+  const DistanceJoinResult r = join.Run(d, options);
+  EXPECT_EQ(Sorted(r.pairs), NaiveDistanceJoin(a, b, d));
+  EXPECT_EQ(r.hw_counters.tests, r.counts.compared);
+}
+
+TEST(DistanceJoinTest, ZeroDistanceEqualsIntersectionSemantics) {
+  const data::Dataset a = MakeDataset(211, 50);
+  const data::Dataset b = MakeDataset(212, 50);
+  const auto dist_pairs = Sorted(WithinDistanceJoin(a, b).Run(0.0).pairs);
+  std::vector<std::pair<int64_t, int64_t>> expected;
+  for (size_t i = 0; i < a.size(); ++i) {
+    for (size_t j = 0; j < b.size(); ++j) {
+      if (algo::PolygonsIntersect(a.polygon(i), b.polygon(j))) {
+        expected.emplace_back(static_cast<int64_t>(i),
+                              static_cast<int64_t>(j));
+      }
+    }
+  }
+  EXPECT_EQ(dist_pairs, expected);
+}
+
+}  // namespace
+}  // namespace hasj::core

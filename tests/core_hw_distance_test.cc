@@ -1,0 +1,134 @@
+#include "core/hw_distance.h"
+
+#include <gtest/gtest.h>
+
+#include "algo/polygon_distance.h"
+#include "common/random.h"
+#include "data/generator.h"
+
+namespace hasj::core {
+namespace {
+
+using geom::Polygon;
+
+Polygon Square(double x0, double y0, double side) {
+  return Polygon(
+      {{x0, y0}, {x0 + side, y0}, {x0 + side, y0 + side}, {x0, y0 + side}});
+}
+
+TEST(HwDistanceTest, BasicCases) {
+  HwDistanceTester tester;
+  const Polygon a = Square(0, 0, 1);
+  const Polygon b = Square(3, 0, 1);  // distance 2
+  EXPECT_TRUE(tester.Test(a, b, 2.0));
+  EXPECT_TRUE(tester.Test(a, b, 2.5));
+  EXPECT_FALSE(tester.Test(a, b, 1.5));
+  EXPECT_TRUE(tester.Test(a, Square(0.5, 0.5, 3), 0.0));  // overlap
+  EXPECT_TRUE(tester.Test(Square(0, 0, 10), Square(4, 4, 1), 0.1));  // contain
+}
+
+TEST(HwDistanceTest, MbrPrefilterShortCircuits) {
+  HwDistanceTester tester;
+  EXPECT_FALSE(tester.Test(Square(0, 0, 1), Square(50, 50, 1), 3.0));
+  // MBR distance > d: no point-in-polygon, no hardware.
+  EXPECT_EQ(tester.counters().hw_tests, 0);
+  EXPECT_EQ(tester.counters().pip_hits, 0);
+}
+
+TEST(HwDistanceTest, WidthLimitFallsBackToSoftware) {
+  HwConfig config;
+  config.resolution = 32;
+  config.limits.max_line_width = 2.0;  // tiny hardware limit
+  config.limits.max_point_size = 2.0;
+  HwDistanceTester tester(config);
+  const Polygon a = Square(0, 0, 1);
+  const Polygon b = Square(3, 0, 1);
+  // d = 2 on a ~4-unit viewport at 32px needs ~16px wide lines > limit.
+  EXPECT_TRUE(tester.Test(a, b, 2.0));
+  EXPECT_EQ(tester.counters().width_fallbacks, 1);
+  EXPECT_EQ(tester.counters().hw_tests, 0);
+}
+
+class HwDistanceExactnessTest
+    : public ::testing::TestWithParam<std::tuple<int, HwBackend, uint64_t>> {};
+
+TEST_P(HwDistanceExactnessTest, AgreesWithSoftware) {
+  const auto [resolution, backend, seed] = GetParam();
+  HwConfig config;
+  config.resolution = resolution;
+  config.backend = backend;
+  HwDistanceTester tester(config);
+
+  hasj::Rng rng(seed);
+  int hits = 0, total = 0;
+  for (int iter = 0; iter < 70; ++iter) {
+    const Polygon a = data::GenerateBlobPolygon(
+        {rng.Uniform(0, 10), rng.Uniform(0, 10)}, rng.Uniform(0.3, 2.5),
+        static_cast<int>(rng.UniformInt(3, 50)), 0.6, rng.Next());
+    const Polygon b = data::GenerateBlobPolygon(
+        {rng.Uniform(0, 10), rng.Uniform(0, 10)}, rng.Uniform(0.3, 2.5),
+        static_cast<int>(rng.UniformInt(3, 50)), 0.6, rng.Next());
+    for (double d : {0.0, 0.3, 1.0, 3.0}) {
+      const bool expected = algo::WithinDistance(a, b, d);
+      EXPECT_EQ(tester.Test(a, b, d), expected)
+          << "iter " << iter << " d=" << d;
+      hits += expected;
+      ++total;
+    }
+  }
+  EXPECT_GT(hits, total / 10);
+  EXPECT_LT(hits, total);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, HwDistanceExactnessTest,
+    ::testing::Combine(::testing::Values(1, 4, 8, 32),
+                       ::testing::Values(HwBackend::kFaithful,
+                                         HwBackend::kBitmask),
+                       ::testing::Values(301, 302)));
+
+TEST(HwDistanceTest, BackendsAreDecisionIdentical) {
+  HwConfig faithful;
+  faithful.backend = HwBackend::kFaithful;
+  HwConfig bitmask;
+  bitmask.backend = HwBackend::kBitmask;
+  HwDistanceTester tf(faithful), tb(bitmask);
+  hasj::Rng rng(881);
+  for (int iter = 0; iter < 80; ++iter) {
+    const Polygon a = data::GenerateBlobPolygon(
+        {rng.Uniform(0, 10), rng.Uniform(0, 10)}, rng.Uniform(0.3, 2.0),
+        static_cast<int>(rng.UniformInt(3, 40)), 0.5, rng.Next());
+    const Polygon b = data::GenerateBlobPolygon(
+        {rng.Uniform(0, 10), rng.Uniform(0, 10)}, rng.Uniform(0.3, 2.0),
+        static_cast<int>(rng.UniformInt(3, 40)), 0.5, rng.Next());
+    const double d = rng.Uniform(0.0, 2.0);
+    EXPECT_EQ(tf.Test(a, b, d), tb.Test(a, b, d)) << "iter " << iter;
+  }
+  EXPECT_EQ(tf.counters().hw_rejects, tb.counters().hw_rejects);
+}
+
+TEST(HwDistanceTest, ExactlyAtDistanceBoundary) {
+  // d exactly equal to the true distance: the pair is within distance.
+  HwDistanceTester tester;
+  const Polygon a = Square(0, 0, 2);
+  const Polygon b = Square(5, 0, 2);  // distance 3
+  EXPECT_TRUE(tester.Test(a, b, 3.0));
+  EXPECT_FALSE(tester.Test(a, b, 2.999));
+  // Diagonal gap; sqrt(18) mirrors the library's sqrt-of-squared-norm
+  // computation bit-for-bit.
+  const Polygon c = Square(5, 5, 2);
+  EXPECT_TRUE(tester.Test(a, c, std::sqrt(18.0)));
+  EXPECT_FALSE(tester.Test(a, c, std::sqrt(18.0) * 0.999));
+}
+
+TEST(HwDistanceTest, SwThresholdSkipsHardware) {
+  HwConfig config;
+  config.sw_threshold = 1000;
+  HwDistanceTester tester(config);
+  EXPECT_TRUE(tester.Test(Square(0, 0, 1), Square(3, 0, 1), 2.5));
+  EXPECT_EQ(tester.counters().hw_tests, 0);
+  EXPECT_EQ(tester.counters().sw_threshold_skips, 1);
+}
+
+}  // namespace
+}  // namespace hasj::core

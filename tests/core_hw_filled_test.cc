@@ -1,0 +1,96 @@
+#include "core/hw_filled.h"
+
+#include <gtest/gtest.h>
+
+#include "algo/polygon_intersect.h"
+#include "common/random.h"
+#include "data/generator.h"
+
+namespace hasj::core {
+namespace {
+
+using geom::Polygon;
+
+Polygon Square(double x0, double y0, double side) {
+  return Polygon(
+      {{x0, y0}, {x0 + side, y0}, {x0 + side, y0 + side}, {x0, y0 + side}});
+}
+
+TEST(HwFilledTest, BasicCases) {
+  HwFilledIntersectionTester tester;
+  EXPECT_TRUE(tester.Test(Square(0, 0, 2), Square(1, 1, 2)));
+  EXPECT_FALSE(tester.Test(Square(0, 0, 1), Square(5, 5, 1)));
+  // Containment is detected without a point-in-polygon step.
+  EXPECT_TRUE(tester.Test(Square(0, 0, 10), Square(4, 4, 1)));
+  EXPECT_TRUE(tester.Test(Square(4, 4, 1), Square(0, 0, 10)));
+  EXPECT_GT(tester.triangulate_ms(), 0.0);
+}
+
+TEST(HwFilledTest, ConcavePocketRejected) {
+  const Polygon l({{0, 0}, {10, 0}, {10, 1}, {1, 1}, {1, 10}, {0, 10}});
+  HwConfig config;
+  config.resolution = 16;
+  HwFilledIntersectionTester tester(config);
+  EXPECT_FALSE(tester.Test(l, Square(6, 6, 2)));
+  EXPECT_EQ(tester.counters().hw_rejects, 1);
+}
+
+class HwFilledExactnessTest
+    : public ::testing::TestWithParam<std::tuple<int, uint64_t>> {};
+
+TEST_P(HwFilledExactnessTest, AgreesWithSoftware) {
+  const auto [resolution, seed] = GetParam();
+  HwConfig config;
+  config.resolution = resolution;
+  HwFilledIntersectionTester tester(config);
+  hasj::Rng rng(seed);
+  int hits = 0;
+  for (int iter = 0; iter < 100; ++iter) {
+    const Polygon a = data::GenerateBlobPolygon(
+        {rng.Uniform(0, 8), rng.Uniform(0, 8)}, rng.Uniform(0.3, 3.0),
+        static_cast<int>(rng.UniformInt(3, 60)), 0.6, rng.Next());
+    const Polygon b = rng.Bernoulli(0.5)
+                          ? data::GenerateBlobPolygon(
+                                {rng.Uniform(0, 8), rng.Uniform(0, 8)},
+                                rng.Uniform(0.3, 3.0),
+                                static_cast<int>(rng.UniformInt(3, 60)), 0.6,
+                                rng.Next())
+                          : data::GenerateSnakePolygon(
+                                {rng.Uniform(0, 8), rng.Uniform(0, 8)},
+                                rng.Uniform(0.3, 3.0),
+                                static_cast<int>(rng.UniformInt(8, 60)), 0.3,
+                                rng.Next());
+    const bool expected = algo::PolygonsIntersect(a, b);
+    EXPECT_EQ(tester.Test(a, b), expected) << "iter " << iter;
+    hits += expected;
+  }
+  EXPECT_GT(hits, 10);
+  EXPECT_LT(hits, 95);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, HwFilledExactnessTest,
+    ::testing::Combine(::testing::Values(1, 8, 32),
+                       ::testing::Values(801, 802)));
+
+TEST(HwFilledTest, FilledFilterRejectsMoreThanEdgeFilterKeepsExactness) {
+  // Filled masks cover interiors, so overlap is *more* likely than with
+  // edge chains — fewer rejects, but containment needs no extra step. Both
+  // testers must agree with the exact answer on every pair.
+  HwConfig config;
+  config.resolution = 8;
+  HwFilledIntersectionTester filled(config);
+  hasj::Rng rng(803);
+  for (int iter = 0; iter < 60; ++iter) {
+    const Polygon a = data::GenerateBlobPolygon(
+        {rng.Uniform(0, 6), rng.Uniform(0, 6)}, rng.Uniform(0.3, 2.5),
+        static_cast<int>(rng.UniformInt(3, 40)), 0.5, rng.Next());
+    const Polygon b = data::GenerateBlobPolygon(
+        {rng.Uniform(0, 6), rng.Uniform(0, 6)}, rng.Uniform(0.3, 2.5),
+        static_cast<int>(rng.UniformInt(3, 40)), 0.5, rng.Next());
+    EXPECT_EQ(filled.Test(a, b), algo::PolygonsIntersect(a, b));
+  }
+}
+
+}  // namespace
+}  // namespace hasj::core

@@ -1,0 +1,115 @@
+#include "core/hw_nearest.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "glsim/voronoi.h"
+
+namespace hasj::core {
+namespace {
+
+using geom::Point;
+
+int64_t BruteNearest(const std::vector<Point>& sites, Point q) {
+  int64_t best = 0;
+  double best_d = geom::Distance(q, sites[0]);
+  for (size_t i = 1; i < sites.size(); ++i) {
+    const double d = geom::Distance(q, sites[i]);
+    if (d < best_d) {
+      best = static_cast<int64_t>(i);
+      best_d = d;
+    }
+  }
+  return best;
+}
+
+TEST(VoronoiDiagramTest, TwoSitesSplitTheWindow) {
+  const std::vector<Point> sites = {{1, 2}, {3, 2}};
+  const auto vd =
+      glsim::RenderVoronoi(sites, geom::Box(0, 0, 4, 4), 8);
+  // Left half belongs to site 0, right half to site 1.
+  EXPECT_EQ(vd.site_at(0, 4), 0);
+  EXPECT_EQ(vd.site_at(1, 0), 0);
+  EXPECT_EQ(vd.site_at(7, 4), 1);
+  EXPECT_EQ(vd.site_at(6, 7), 1);
+}
+
+TEST(VoronoiDiagramTest, PixelCentersAreExact) {
+  hasj::Rng rng(71);
+  std::vector<Point> sites;
+  for (int i = 0; i < 40; ++i) {
+    sites.push_back({rng.Uniform(0, 10), rng.Uniform(0, 10)});
+  }
+  const geom::Box window(0, 0, 10, 10);
+  const int res = 32;
+  const auto vd = glsim::RenderVoronoi(sites, window, res);
+  for (int y = 0; y < res; ++y) {
+    for (int x = 0; x < res; ++x) {
+      const Point center{window.min_x + (x + 0.5) * window.Width() / res,
+                         window.min_y + (y + 0.5) * window.Height() / res};
+      const int64_t truth = BruteNearest(sites, center);
+      // Depth ties can legitimately differ; require equal distances.
+      const double got =
+          geom::Distance(center, sites[static_cast<size_t>(vd.site_at(x, y))]);
+      const double want =
+          geom::Distance(center, sites[static_cast<size_t>(truth)]);
+      EXPECT_NEAR(got, want, 1e-6 * (1.0 + want)) << x << "," << y;
+    }
+  }
+}
+
+class HwNearestTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HwNearestTest, QueryIsExactEverywhere) {
+  const int resolution = GetParam();
+  hasj::Rng rng(73);
+  std::vector<Point> sites;
+  for (int i = 0; i < 200; ++i) {
+    sites.push_back({rng.Uniform(-5, 5), rng.Uniform(-5, 5)});
+  }
+  const HwNearestNeighbor nn(sites, resolution);
+  for (int k = 0; k < 500; ++k) {
+    // Include points outside the rendered window.
+    const Point q{rng.Uniform(-8, 8), rng.Uniform(-8, 8)};
+    const int64_t got = nn.Query(q);
+    const int64_t want = BruteNearest(sites, q);
+    // Distance-equal ties are acceptable.
+    EXPECT_DOUBLE_EQ(geom::Distance(q, sites[static_cast<size_t>(got)]),
+                     geom::Distance(q, sites[static_cast<size_t>(want)]))
+        << "query " << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Resolutions, HwNearestTest,
+                         ::testing::Values(4, 16, 64));
+
+TEST(HwNearestTest, ApproximateWithinPixelDiagonal) {
+  hasj::Rng rng(75);
+  std::vector<Point> sites;
+  for (int i = 0; i < 100; ++i) {
+    sites.push_back({rng.Uniform(0, 10), rng.Uniform(0, 10)});
+  }
+  const int res = 32;
+  const HwNearestNeighbor nn(sites, res);
+  // Pixel diagonal in data units (window = bounds + 5% margin ~ 11x11).
+  const double diag = std::sqrt(2.0) * 11.5 / res;
+  for (int k = 0; k < 400; ++k) {
+    const Point q{rng.Uniform(0, 10), rng.Uniform(0, 10)};
+    const double approx_d = geom::Distance(
+        q, sites[static_cast<size_t>(nn.QueryApproximate(q))]);
+    const double exact_d =
+        geom::Distance(q, sites[static_cast<size_t>(nn.Query(q))]);
+    EXPECT_LE(approx_d, exact_d + diag + 1e-9) << "query " << k;
+  }
+}
+
+TEST(HwNearestTest, SingleSite) {
+  const HwNearestNeighbor nn({{3, 3}}, 8);
+  EXPECT_EQ(nn.Query({0, 0}), 0);
+  EXPECT_EQ(nn.QueryApproximate({100, 100}), 0);
+}
+
+}  // namespace
+}  // namespace hasj::core

@@ -1,0 +1,56 @@
+#include "filter/geometric_filter.h"
+
+#include <gtest/gtest.h>
+
+#include "algo/polygon_intersect.h"
+#include "common/random.h"
+#include "data/generator.h"
+
+namespace hasj::filter {
+namespace {
+
+using geom::Polygon;
+
+TEST(GeometricFilterTest, DisjointHullsDetected) {
+  const GeometricFilter a(Polygon({{0, 0}, {1, 0}, {1, 1}, {0, 1}}));
+  const GeometricFilter b(Polygon({{5, 5}, {6, 5}, {6, 6}, {5, 6}}));
+  EXPECT_TRUE(a.DefinitelyDisjoint(b));
+  EXPECT_TRUE(b.DefinitelyDisjoint(a));
+}
+
+TEST(GeometricFilterTest, IntersectingHullsUndecided) {
+  const GeometricFilter a(Polygon({{0, 0}, {4, 0}, {4, 4}, {0, 4}}));
+  const GeometricFilter b(Polygon({{2, 2}, {6, 2}, {6, 6}, {2, 6}}));
+  EXPECT_FALSE(a.DefinitelyDisjoint(b));
+}
+
+TEST(GeometricFilterTest, ConcaveFalseHitIsUndecidedNotWrong) {
+  // Two interlocking Ls whose hulls overlap but geometries do not: the
+  // filter must answer "undecided", never "disjoint".
+  const Polygon l1({{0, 0}, {3, 0}, {3, 1}, {1, 1}, {1, 3}, {0, 3}});
+  const Polygon sq({{1.5, 1.5}, {2.5, 1.5}, {2.5, 2.5}, {1.5, 2.5}});
+  ASSERT_FALSE(algo::PolygonsIntersect(l1, sq));
+  EXPECT_FALSE(GeometricFilter(l1).DefinitelyDisjoint(GeometricFilter(sq)));
+}
+
+TEST(GeometricFilterPropertyTest, NeverContradictsExactTest) {
+  hasj::Rng rng(61);
+  int disjoint_detected = 0;
+  for (int iter = 0; iter < 150; ++iter) {
+    const Polygon a = data::GenerateBlobPolygon(
+        {rng.Uniform(0, 10), rng.Uniform(0, 10)}, rng.Uniform(0.5, 2.5),
+        static_cast<int>(rng.UniformInt(3, 40)), 0.6, rng.Next());
+    const Polygon b = data::GenerateBlobPolygon(
+        {rng.Uniform(0, 10), rng.Uniform(0, 10)}, rng.Uniform(0.5, 2.5),
+        static_cast<int>(rng.UniformInt(3, 40)), 0.6, rng.Next());
+    const GeometricFilter fa(a), fb(b);
+    if (fa.DefinitelyDisjoint(fb)) {
+      ++disjoint_detected;
+      EXPECT_FALSE(algo::PolygonsIntersect(a, b)) << "iter " << iter;
+    }
+  }
+  EXPECT_GT(disjoint_detected, 0);  // the filter fires on this workload
+}
+
+}  // namespace
+}  // namespace hasj::filter

@@ -1,0 +1,127 @@
+#include "filter/interior_filter.h"
+
+#include <gtest/gtest.h>
+
+#include "algo/point_in_polygon.h"
+#include "algo/polygon_intersect.h"
+#include "common/random.h"
+#include "data/generator.h"
+
+namespace hasj::filter {
+namespace {
+
+using geom::Box;
+using geom::Point;
+using geom::Polygon;
+
+TEST(InteriorFilterTest, SquareAllInteriorTilesInside) {
+  const Polygon sq({{0, 0}, {8, 0}, {8, 8}, {0, 8}});
+  const InteriorFilter f(sq, 2);  // 4x4 tiles of size 2
+  EXPECT_EQ(f.grid_size(), 4);
+  // Every tile's closure is inside the closed square, but tiles touching
+  // the boundary are marked boundary tiles; the inner 2x2 are interior.
+  EXPECT_TRUE(f.IsInteriorTile(1, 1));
+  EXPECT_TRUE(f.IsInteriorTile(2, 2));
+  EXPECT_FALSE(f.IsInteriorTile(0, 0));
+  EXPECT_EQ(f.interior_tile_count(), 4);
+}
+
+TEST(InteriorFilterTest, IdentifiesContainedCandidate) {
+  const Polygon sq({{0, 0}, {8, 0}, {8, 8}, {0, 8}});
+  const InteriorFilter f(sq, 2);
+  EXPECT_TRUE(f.IdentifiesPositive(Box(2.5, 2.5, 5.5, 5.5)));
+  // Overlaps boundary tiles: undecided.
+  EXPECT_FALSE(f.IdentifiesPositive(Box(0.5, 0.5, 5.5, 5.5)));
+  // Outside the query MBR: undecided.
+  EXPECT_FALSE(f.IdentifiesPositive(Box(9, 9, 10, 10)));
+  EXPECT_FALSE(f.IdentifiesPositive(Box(-1, 2.5, 5.5, 5.5)));
+}
+
+TEST(InteriorFilterTest, Level0HasNoInteriorTiles) {
+  // The single tile equals the MBR, which always touches the boundary.
+  const Polygon sq({{0, 0}, {8, 0}, {8, 8}, {0, 8}});
+  const InteriorFilter f(sq, 0);
+  EXPECT_EQ(f.interior_tile_count(), 0);
+  EXPECT_FALSE(f.IdentifiesPositive(Box(3, 3, 5, 5)));
+}
+
+TEST(InteriorFilterTest, ConcaveNotchExcluded) {
+  // U-shape with 3-wide arms and base: tiles over the notch must not be
+  // interior (Figure 9(a)). MBR [0,9]^2 at level 3 gives 1.125-sized tiles.
+  const Polygon u({{0, 0}, {9, 0}, {9, 9}, {6, 9}, {6, 3}, {3, 3}, {3, 9}, {0, 9}});
+  const InteriorFilter f(u, 3);
+  // Tile (4, 4) covers [4.5, 5.625]^2, inside the notch [3,6]x[3,9].
+  EXPECT_FALSE(f.IsInteriorTile(4, 4));
+  // Tile (1, 1) covers [1.125, 2.25]^2, strictly inside the base strip.
+  EXPECT_TRUE(f.IsInteriorTile(1, 1));
+  // A candidate within the notch is never identified positive.
+  EXPECT_FALSE(f.IdentifiesPositive(Box(4, 5, 5, 6)));
+  // A candidate strictly inside the base strip is identified.
+  EXPECT_TRUE(f.IdentifiesPositive(Box(1.2, 1.2, 2.2, 2.2)));
+}
+
+// Property: a positive identification is always correct — the candidate MBR
+// (and thus any geometry inside it) lies inside the query polygon.
+class InteriorFilterPropertyTest
+    : public ::testing::TestWithParam<int> {};
+
+TEST_P(InteriorFilterPropertyTest, PositivesAreTruePositives) {
+  const int level = GetParam();
+  hasj::Rng rng(1000 + static_cast<uint64_t>(level));
+  int positives = 0;
+  for (int iter = 0; iter < 25; ++iter) {
+    const Polygon query = data::GenerateBlobPolygon(
+        {0, 0}, 10.0, static_cast<int>(rng.UniformInt(6, 80)), 0.5,
+        rng.Next());
+    const InteriorFilter f(query, level);
+    for (int k = 0; k < 200; ++k) {
+      const double x = rng.Uniform(-12, 12);
+      const double y = rng.Uniform(-12, 12);
+      const Box cand(x, y, x + rng.Uniform(0.1, 6), y + rng.Uniform(0.1, 6));
+      if (!f.IdentifiesPositive(cand)) continue;
+      ++positives;
+      // The whole candidate box must be inside the closed polygon: all four
+      // corners inside and no boundary edge entering the box.
+      const Point corners[4] = {{cand.min_x, cand.min_y},
+                                {cand.max_x, cand.min_y},
+                                {cand.max_x, cand.max_y},
+                                {cand.min_x, cand.max_y}};
+      for (const Point& c : corners) {
+        EXPECT_NE(algo::LocatePoint(c, query), algo::PointLocation::kOutside);
+      }
+      for (size_t e = 0; e < query.size(); ++e) {
+        EXPECT_FALSE(geom::SegmentIntersectsBox(query.edge(e), cand));
+      }
+    }
+  }
+  if (level >= 3) {
+    EXPECT_GT(positives, 0);  // filter does something at useful levels
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, InteriorFilterPropertyTest,
+                         ::testing::Values(0, 1, 2, 3, 4, 5, 6));
+
+TEST(InteriorFilterTest, HigherLevelsIdentifyMore) {
+  hasj::Rng rng(2024);
+  const Polygon query =
+      data::GenerateBlobPolygon({0, 0}, 10.0, 60, 0.4, 12345);
+  std::vector<Box> candidates;
+  for (int k = 0; k < 500; ++k) {
+    const double x = rng.Uniform(-10, 10);
+    const double y = rng.Uniform(-10, 10);
+    candidates.emplace_back(x, y, x + 1.0, y + 1.0);
+  }
+  int prev = 0;
+  for (int level : {1, 3, 5}) {
+    const InteriorFilter f(query, level);
+    int hits = 0;
+    for (const Box& c : candidates) hits += f.IdentifiesPositive(c);
+    EXPECT_GE(hits, prev) << "level " << level;
+    prev = hits;
+  }
+  EXPECT_GT(prev, 0);
+}
+
+}  // namespace
+}  // namespace hasj::filter

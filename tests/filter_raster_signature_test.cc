@@ -1,0 +1,121 @@
+#include "filter/raster_signature.h"
+
+#include <gtest/gtest.h>
+
+#include "algo/polygon_intersect.h"
+#include "common/random.h"
+#include "data/generator.h"
+
+namespace hasj::filter {
+namespace {
+
+using geom::Box;
+using geom::Polygon;
+
+Polygon Square(double x0, double y0, double side) {
+  return Polygon(
+      {{x0, y0}, {x0 + side, y0}, {x0 + side, y0 + side}, {x0, y0 + side}});
+}
+
+TEST(RasterSignatureTest, SquareClassification) {
+  const RasterSignature sig(Square(0, 0, 8), 4);  // 2x2 cells
+  EXPECT_EQ(sig.grid_size(), 4);
+  // Border cells touch the boundary; inner 2x2 are interior.
+  EXPECT_EQ(sig.at(0, 0), RasterSignature::Cell::kBoundary);
+  EXPECT_EQ(sig.at(3, 3), RasterSignature::Cell::kBoundary);
+  EXPECT_EQ(sig.at(1, 1), RasterSignature::Cell::kInterior);
+  EXPECT_EQ(sig.at(2, 1), RasterSignature::Cell::kInterior);
+}
+
+TEST(RasterSignatureTest, ConcaveNotchIsExterior) {
+  // U-shape, MBR [0,9]^2, 8x8 cells of 1.125.
+  const Polygon u({{0, 0}, {9, 0}, {9, 9}, {6, 9}, {6, 3}, {3, 3}, {3, 9}, {0, 9}});
+  const RasterSignature sig(u, 8);
+  EXPECT_EQ(sig.at(4, 5), RasterSignature::Cell::kExterior);  // in the notch
+  EXPECT_EQ(sig.at(1, 1), RasterSignature::Cell::kInterior);  // base strip
+}
+
+TEST(RasterSignatureTest, RegionQueries) {
+  const RasterSignature sig(Square(0, 0, 8), 4);
+  EXPECT_TRUE(sig.RegionAllInterior(Box(2.5, 2.5, 5.5, 5.5)));
+  EXPECT_FALSE(sig.RegionAllInterior(Box(0.5, 0.5, 5.5, 5.5)));  // border cells
+  EXPECT_FALSE(sig.RegionAllInterior(Box(-1, 2, 5, 5)));  // leaves the MBR
+  EXPECT_TRUE(sig.RegionMaybeOccupied(Box(0, 0, 1, 1)));
+  EXPECT_FALSE(sig.RegionMaybeOccupied(Box(9, 9, 10, 10)));  // outside MBR
+}
+
+TEST(CompareRasterSignaturesTest, ObviousCases) {
+  const RasterSignature a(Square(0, 0, 8), 8);
+  const RasterSignature far(Square(20, 20, 4), 8);
+  EXPECT_EQ(CompareRasterSignatures(a, far), RasterFilterDecision::kDisjoint);
+
+  // Contained small square: its cells sit fully inside a's interior cells.
+  const RasterSignature inner(Square(3.5, 3.5, 1.0), 8);
+  EXPECT_EQ(CompareRasterSignatures(inner, a),
+            RasterFilterDecision::kIntersect);
+}
+
+TEST(CompareRasterSignaturesTest, MbrOverlapGeometryDisjoint) {
+  // L-shape vs a square tucked into its concavity: MBRs overlap, geometry
+  // does not; a fine enough grid proves disjointness.
+  const Polygon l({{0, 0}, {9, 0}, {9, 3}, {3, 3}, {3, 9}, {0, 9}});
+  const Polygon sq = Square(5, 5, 3);
+  ASSERT_FALSE(algo::PolygonsIntersect(l, sq));
+  const RasterSignature sl(l, 16), ss(sq, 16);
+  EXPECT_EQ(CompareRasterSignatures(sl, ss), RasterFilterDecision::kDisjoint);
+}
+
+// Exactness contract: kDisjoint / kIntersect are never wrong, at any grid
+// size, in either argument order.
+class RasterSignaturePropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, uint64_t>> {};
+
+TEST_P(RasterSignaturePropertyTest, DecisionsNeverWrong) {
+  const auto [grid, seed] = GetParam();
+  hasj::Rng rng(seed);
+  int decided = 0;
+  for (int iter = 0; iter < 80; ++iter) {
+    const Polygon a = data::GenerateBlobPolygon(
+        {rng.Uniform(0, 8), rng.Uniform(0, 8)}, rng.Uniform(0.5, 3.0),
+        static_cast<int>(rng.UniformInt(3, 60)), 0.6, rng.Next());
+    const Polygon b = rng.Bernoulli(0.5)
+                          ? data::GenerateBlobPolygon(
+                                {rng.Uniform(0, 8), rng.Uniform(0, 8)},
+                                rng.Uniform(0.5, 3.0),
+                                static_cast<int>(rng.UniformInt(3, 60)), 0.6,
+                                rng.Next())
+                          : data::GenerateSnakePolygon(
+                                {rng.Uniform(0, 8), rng.Uniform(0, 8)},
+                                rng.Uniform(0.5, 3.0),
+                                static_cast<int>(rng.UniformInt(8, 60)), 0.3,
+                                rng.Next());
+    const RasterSignature sa(a, grid), sb(b, grid);
+    const bool truth = algo::PolygonsIntersect(a, b);
+    for (const auto decision : {CompareRasterSignatures(sa, sb),
+                                CompareRasterSignatures(sb, sa)}) {
+      switch (decision) {
+        case RasterFilterDecision::kIntersect:
+          EXPECT_TRUE(truth) << "iter " << iter << " grid " << grid;
+          ++decided;
+          break;
+        case RasterFilterDecision::kDisjoint:
+          EXPECT_FALSE(truth) << "iter " << iter << " grid " << grid;
+          ++decided;
+          break;
+        case RasterFilterDecision::kUnknown:
+          break;
+      }
+    }
+  }
+  if (grid >= 8) {
+    EXPECT_GT(decided, 0);  // the filter decides something at usable grids
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grids, RasterSignaturePropertyTest,
+    ::testing::Combine(::testing::Values(1, 4, 8, 16, 32),
+                       ::testing::Values(501, 502)));
+
+}  // namespace
+}  // namespace hasj::filter

@@ -1,0 +1,116 @@
+#include "geom/box.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace hasj::geom {
+namespace {
+
+TEST(BoxTest, EmptyBehaves) {
+  Box e = Box::Empty();
+  EXPECT_TRUE(e.IsEmpty());
+  EXPECT_EQ(e.Area(), 0.0);
+  EXPECT_FALSE(e.Contains(Point{0, 0}));
+  EXPECT_FALSE(e.Intersects(Box(0, 0, 1, 1)));
+}
+
+TEST(BoxTest, ExtendFromEmpty) {
+  Box b = Box::Empty();
+  b.Extend(Point{2, 3});
+  EXPECT_FALSE(b.IsEmpty());
+  EXPECT_EQ(b.Width(), 0.0);
+  EXPECT_TRUE(b.Contains(Point{2, 3}));
+  b.Extend(Point{-1, 5});
+  EXPECT_EQ(b, Box(-1, 3, 2, 5));
+}
+
+TEST(BoxTest, ExtendWithBoxIsUnion) {
+  Box b(0, 0, 1, 1);
+  b.Extend(Box(2, -1, 3, 0.5));
+  EXPECT_EQ(b, Box(0, -1, 3, 1));
+  b.Extend(Box::Empty());  // no-op
+  EXPECT_EQ(b, Box(0, -1, 3, 1));
+}
+
+TEST(BoxTest, FromCornersAnyOrder) {
+  EXPECT_EQ(Box::FromCorners({3, 1}, {0, 4}), Box(0, 1, 3, 4));
+}
+
+TEST(BoxTest, IntersectsIncludesTouching) {
+  const Box a(0, 0, 1, 1);
+  EXPECT_TRUE(a.Intersects(Box(1, 0, 2, 1)));   // shared edge
+  EXPECT_TRUE(a.Intersects(Box(1, 1, 2, 2)));   // shared corner
+  EXPECT_FALSE(a.Intersects(Box(1.01, 0, 2, 1)));
+}
+
+TEST(BoxTest, IntersectionGeometry) {
+  const Box a(0, 0, 2, 2), b(1, 1, 3, 3);
+  EXPECT_EQ(a.Intersection(b), Box(1, 1, 2, 2));
+  EXPECT_TRUE(a.Intersection(Box(5, 5, 6, 6)).IsEmpty());
+}
+
+TEST(BoxTest, ContainsBox) {
+  const Box a(0, 0, 4, 4);
+  EXPECT_TRUE(a.Contains(Box(1, 1, 2, 2)));
+  EXPECT_TRUE(a.Contains(a));
+  EXPECT_FALSE(a.Contains(Box(1, 1, 5, 2)));
+}
+
+TEST(BoxTest, ExpandedShrinkAndGrow) {
+  const Box a(0, 0, 4, 4);
+  EXPECT_EQ(a.Expanded(1), Box(-1, -1, 5, 5));
+  EXPECT_EQ(a.Expanded(-1), Box(1, 1, 3, 3));
+  EXPECT_TRUE(a.Expanded(-3).IsEmpty());
+}
+
+TEST(BoxDistanceTest, MinDistanceCases) {
+  const Box a(0, 0, 1, 1);
+  EXPECT_EQ(MinDistance(a, Box(0.5, 0.5, 2, 2)), 0.0);   // overlap
+  EXPECT_EQ(MinDistance(a, Box(1, 0, 2, 1)), 0.0);       // touch
+  EXPECT_DOUBLE_EQ(MinDistance(a, Box(3, 0, 4, 1)), 2.0);  // lateral gap
+  EXPECT_DOUBLE_EQ(MinDistance(a, Box(4, 5, 6, 7)),
+                   std::hypot(3.0, 4.0));  // diagonal gap
+}
+
+TEST(BoxDistanceTest, PointToBox) {
+  const Box a(0, 0, 2, 2);
+  EXPECT_EQ(MinDistance(Point{1, 1}, a), 0.0);
+  EXPECT_DOUBLE_EQ(MinDistance(Point{5, 1}, a), 3.0);
+  EXPECT_DOUBLE_EQ(MinDistance(Point{-3, -4}, a), 5.0);
+}
+
+TEST(BoxDistanceTest, MaxDistanceIsCornerToCorner) {
+  const Box a(0, 0, 1, 1), b(2, 2, 3, 3);
+  EXPECT_DOUBLE_EQ(MaxDistance(a, b), std::hypot(3.0, 3.0));
+  EXPECT_DOUBLE_EQ(MaxDistance(a, a), std::hypot(1.0, 1.0));
+}
+
+TEST(BoxDistanceTest, MinMaxBetweenMinAndMax) {
+  Rng rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    const Box a = Box::FromCorners({rng.Uniform(-10, 10), rng.Uniform(-10, 10)},
+                                   {rng.Uniform(-10, 10), rng.Uniform(-10, 10)});
+    const Box b = Box::FromCorners({rng.Uniform(-10, 10), rng.Uniform(-10, 10)},
+                                   {rng.Uniform(-10, 10), rng.Uniform(-10, 10)});
+    const double mm = MinMaxDistance(a, b);
+    EXPECT_LE(MinDistance(a, b), mm + 1e-12);
+    EXPECT_LE(mm, MaxDistance(a, b) + 1e-12);
+  }
+}
+
+TEST(BoxDistanceTest, MinMaxIsValidUpperBoundForTouchingObjects) {
+  // Two unit boxes side by side with gap g: any objects touching all four
+  // sides of their MBRs are within MinMaxDistance; for aligned boxes the
+  // bound equals the distance between facing sides' farthest points.
+  const Box a(0, 0, 1, 1), b(3, 0, 4, 1);
+  const double mm = MinMaxDistance(a, b);
+  // Facing vertical sides x=1 and x=3: max distance between them is
+  // hypot(2, 1) (opposite corners).
+  EXPECT_DOUBLE_EQ(mm, std::hypot(2.0, 1.0));
+}
+
+}  // namespace
+}  // namespace hasj::geom

@@ -1,0 +1,92 @@
+#include "geom/clip.h"
+
+#include <gtest/gtest.h>
+
+#include "algo/point_in_polygon.h"
+#include "common/random.h"
+#include "data/generator.h"
+
+namespace hasj::geom {
+namespace {
+
+Polygon Square(double x0, double y0, double side) {
+  return Polygon(
+      {{x0, y0}, {x0 + side, y0}, {x0 + side, y0 + side}, {x0, y0 + side}});
+}
+
+TEST(ClipTest, FullyInsideUnchangedArea) {
+  const Polygon tri({{1, 1}, {3, 1}, {2, 3}});
+  EXPECT_DOUBLE_EQ(ClippedArea(tri, Box(0, 0, 10, 10)), tri.Area());
+  EXPECT_EQ(ClipPolygonToBox(tri, Box(0, 0, 10, 10)).size(), 3u);
+}
+
+TEST(ClipTest, FullyOutsideEmpty) {
+  const Polygon tri({{1, 1}, {3, 1}, {2, 3}});
+  EXPECT_TRUE(ClipPolygonToBox(tri, Box(10, 10, 20, 20)).empty());
+  EXPECT_EQ(ClippedArea(tri, Box(10, 10, 20, 20)), 0.0);
+}
+
+TEST(ClipTest, HalfSquare) {
+  const Polygon sq = Square(0, 0, 4);  // area 16
+  EXPECT_DOUBLE_EQ(ClippedArea(sq, Box(2, 0, 10, 10)), 8.0);
+  EXPECT_DOUBLE_EQ(ClippedArea(sq, Box(0, 0, 2, 2)), 4.0);
+}
+
+TEST(ClipTest, BoxInsidePolygonGivesBoxArea) {
+  const Polygon sq = Square(0, 0, 10);
+  EXPECT_DOUBLE_EQ(ClippedArea(sq, Box(2, 3, 5, 7)), 3.0 * 4.0);
+}
+
+TEST(ClipTest, DiamondCorner) {
+  const Polygon diamond({{2, 0}, {4, 2}, {2, 4}, {0, 2}});  // area 8
+  // Quadrant [0,2]x[0,2] holds a quarter of the diamond.
+  EXPECT_DOUBLE_EQ(ClippedArea(diamond, Box(0, 0, 2, 2)), 2.0);
+}
+
+TEST(ClipPropertyTest, AreaBoundsAndMonotonicity) {
+  hasj::Rng rng(81);
+  for (int iter = 0; iter < 100; ++iter) {
+    const Polygon poly = data::GenerateBlobPolygon(
+        {rng.Uniform(-2, 2), rng.Uniform(-2, 2)}, rng.Uniform(0.5, 3.0),
+        static_cast<int>(rng.UniformInt(3, 60)), 0.6, rng.Next());
+    const double x = rng.Uniform(-4, 2), y = rng.Uniform(-4, 2);
+    const Box box(x, y, x + rng.Uniform(0.5, 6), y + rng.Uniform(0.5, 6));
+    const double clipped = ClippedArea(poly, box);
+    EXPECT_GE(clipped, -1e-12);
+    EXPECT_LE(clipped, poly.Area() + 1e-9);
+    EXPECT_LE(clipped, box.Area() + 1e-9);
+    // Clipping against a containing box changes nothing.
+    EXPECT_NEAR(ClippedArea(poly, poly.Bounds().Expanded(1.0)), poly.Area(),
+                1e-9 * (1.0 + poly.Area()));
+    // Monotone: a larger box clips no less area.
+    EXPECT_LE(clipped, ClippedArea(poly, box.Expanded(0.5)) + 1e-9);
+  }
+}
+
+TEST(ClipPropertyTest, ClippedVerticesLieInBoxAndPolygonEdgesRespected) {
+  hasj::Rng rng(83);
+  for (int iter = 0; iter < 60; ++iter) {
+    const Polygon poly = data::GenerateBlobPolygon(
+        {0, 0}, 2.0, static_cast<int>(rng.UniformInt(3, 40)), 0.5,
+        rng.Next());
+    const Box box(-1, -1, 1, 1);
+    for (const Point& p : ClipPolygonToBox(poly, box)) {
+      EXPECT_GE(p.x, box.min_x - 1e-9);
+      EXPECT_LE(p.x, box.max_x + 1e-9);
+      EXPECT_GE(p.y, box.min_y - 1e-9);
+      EXPECT_LE(p.y, box.max_y + 1e-9);
+      // Every output vertex is an original vertex or a border crossing on
+      // an edge, so it lies in the closed polygon up to rounding.
+      if (algo::LocatePoint(p, poly) == algo::PointLocation::kOutside) {
+        double nearest = geom::Distance(p, poly.edge(0));
+        for (size_t e = 1; e < poly.size(); ++e) {
+          nearest = std::min(nearest, geom::Distance(p, poly.edge(e)));
+        }
+        EXPECT_LT(nearest, 1e-9) << "iter " << iter;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hasj::geom

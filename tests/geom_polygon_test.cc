@@ -1,0 +1,70 @@
+#include "geom/polygon.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace hasj::geom {
+namespace {
+
+Polygon UnitSquare() {
+  return Polygon({{0, 0}, {1, 0}, {1, 1}, {0, 1}});
+}
+
+TEST(PolygonTest, BoundsCached) {
+  const Polygon p({{1, 2}, {5, 2}, {3, 7}});
+  EXPECT_EQ(p.Bounds(), Box(1, 2, 5, 7));
+}
+
+TEST(PolygonTest, SignedAreaOrientation) {
+  const Polygon ccw = UnitSquare();
+  EXPECT_DOUBLE_EQ(ccw.SignedArea(), 1.0);
+  EXPECT_TRUE(ccw.IsCcw());
+  Polygon cw = ccw;
+  cw.Reverse();
+  EXPECT_DOUBLE_EQ(cw.SignedArea(), -1.0);
+  EXPECT_FALSE(cw.IsCcw());
+  EXPECT_DOUBLE_EQ(cw.Area(), 1.0);
+}
+
+TEST(PolygonTest, EdgeWrapsAround) {
+  const Polygon p = UnitSquare();
+  const Segment last = p.edge(3);
+  EXPECT_EQ(last.a, (Point{0, 1}));
+  EXPECT_EQ(last.b, (Point{0, 0}));
+}
+
+TEST(PolygonTest, ConcaveArea) {
+  // L-shape: 3x3 square minus 2x2 notch = 5.
+  const Polygon l({{0, 0}, {3, 0}, {3, 1}, {1, 1}, {1, 3}, {0, 3}});
+  EXPECT_DOUBLE_EQ(l.Area(), 5.0);
+}
+
+TEST(PolygonValidateTest, AcceptsTriangle) {
+  EXPECT_TRUE(Polygon({{0, 0}, {1, 0}, {0, 1}}).Validate().ok());
+}
+
+TEST(PolygonValidateTest, RejectsTooFewVertices) {
+  EXPECT_FALSE(Polygon({{0, 0}, {1, 0}}).Validate().ok());
+  EXPECT_FALSE(Polygon(std::vector<Point>{}).Validate().ok());
+}
+
+TEST(PolygonValidateTest, RejectsDuplicateConsecutive) {
+  EXPECT_FALSE(Polygon({{0, 0}, {0, 0}, {1, 0}, {0, 1}}).Validate().ok());
+  // Closing duplicate (last == first) is also consecutive via wraparound.
+  EXPECT_FALSE(Polygon({{0, 0}, {1, 0}, {0, 1}, {0, 0}}).Validate().ok());
+}
+
+TEST(PolygonValidateTest, RejectsZeroArea) {
+  EXPECT_FALSE(Polygon({{0, 0}, {1, 1}, {2, 2}}).Validate().ok());
+}
+
+TEST(PolygonValidateTest, RejectsNonFinite) {
+  EXPECT_FALSE(
+      Polygon({{0, 0}, {1, 0}, {0, std::numeric_limits<double>::infinity()}})
+          .Validate()
+          .ok());
+}
+
+}  // namespace
+}  // namespace hasj::geom

@@ -1,0 +1,105 @@
+#include "geom/predicates.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace hasj::geom {
+namespace {
+
+TEST(Orient2dTest, BasicSigns) {
+  EXPECT_EQ(Orient2d({0, 0}, {1, 0}, {0, 1}), 1);   // left turn
+  EXPECT_EQ(Orient2d({0, 0}, {1, 0}, {0, -1}), -1); // right turn
+  EXPECT_EQ(Orient2d({0, 0}, {1, 0}, {2, 0}), 0);   // collinear
+}
+
+TEST(Orient2dTest, ExactOnCollinearDoubles) {
+  // Points on the line y = x with coordinates that stress rounding.
+  const Point a{1e-30, 1e-30};
+  const Point b{1e30, 1e30};
+  const Point c{123456.789, 123456.789};
+  EXPECT_EQ(Orient2d(a, b, c), 0);
+}
+
+TEST(Orient2dTest, DetectsTinyPerturbations) {
+  // c is one ulp off the line through a and b.
+  const Point a{0.0, 0.0};
+  const Point b{1.0, 1.0};
+  const double y = std::nextafter(0.5, 1.0);
+  EXPECT_EQ(Orient2d(a, b, Point{0.5, y}), 1);
+  const double y2 = std::nextafter(0.5, 0.0);
+  EXPECT_EQ(Orient2d(a, b, Point{0.5, y2}), -1);
+  EXPECT_EQ(Orient2d(a, b, Point{0.5, 0.5}), 0);
+}
+
+TEST(Orient2dTest, AntiSymmetric) {
+  Rng rng(21);
+  for (int i = 0; i < 2000; ++i) {
+    const Point a{rng.Uniform(-100, 100), rng.Uniform(-100, 100)};
+    const Point b{rng.Uniform(-100, 100), rng.Uniform(-100, 100)};
+    const Point c{rng.Uniform(-100, 100), rng.Uniform(-100, 100)};
+    EXPECT_EQ(Orient2d(a, b, c), -Orient2d(b, a, c));
+    EXPECT_EQ(Orient2d(a, b, c), Orient2d(b, c, a));  // cyclic invariance
+  }
+}
+
+TEST(Orient2dTest, ExactOnAdversarialGrid) {
+  // All triples from a small grid scaled by an awkward factor: every
+  // collinear triple must report exactly 0, and the sign must match the
+  // rational determinant computed in long double for this small range.
+  const double s = 0.1;  // not representable exactly
+  for (int ax = 0; ax < 4; ++ax)
+    for (int ay = 0; ay < 4; ++ay)
+      for (int bx = 0; bx < 4; ++bx)
+        for (int by = 0; by < 4; ++by)
+          for (int cx = 0; cx < 4; ++cx)
+            for (int cy = 0; cy < 4; ++cy) {
+              const Point a{ax * s, ay * s};
+              const Point b{bx * s, by * s};
+              const Point c{cx * s, cy * s};
+              const int integer_sign = [&] {
+                const long long det =
+                    static_cast<long long>(ax - cx) * (by - cy) -
+                    static_cast<long long>(ay - cy) * (bx - cx);
+                return det > 0 ? 1 : (det < 0 ? -1 : 0);
+              }();
+              // ax*s etc. are exact scalings by the same inexact s; signs
+              // of the determinant on the scaled grid can legitimately
+              // differ from the integer grid only if rounding moved a
+              // point off a line, which cannot flip a strict sign.
+              if (integer_sign != 0) {
+                EXPECT_EQ(Orient2d(a, b, c), integer_sign)
+                    << ax << "," << ay << " " << bx << "," << by << " " << cx
+                    << "," << cy;
+              }
+            }
+}
+
+TEST(OnSegmentTest, EndpointsAndMidpoint) {
+  const Point a{0, 0}, b{4, 2};
+  EXPECT_TRUE(OnSegment(a, b, a));
+  EXPECT_TRUE(OnSegment(a, b, b));
+  EXPECT_TRUE(OnSegment(a, b, Point{2, 1}));
+  EXPECT_FALSE(OnSegment(a, b, Point{6, 3}));   // collinear but beyond
+  EXPECT_FALSE(OnSegment(a, b, Point{-2, -1})); // collinear but before
+  EXPECT_FALSE(OnSegment(a, b, Point{2, 1.5})); // off the line
+}
+
+TEST(OnSegmentTest, DegeneratePointSegment) {
+  const Point p{3, 3};
+  EXPECT_TRUE(OnSegment(p, p, p));
+  EXPECT_FALSE(OnSegment(p, p, Point{3, 4}));
+  EXPECT_FALSE(OnSegment(p, p, Point{4, 3}));  // same y, different x
+}
+
+TEST(OnSegmentTest, VerticalSegment) {
+  const Point a{1, 0}, b{1, 5};
+  EXPECT_TRUE(OnSegment(a, b, Point{1, 2.5}));
+  EXPECT_FALSE(OnSegment(a, b, Point{1, 6}));
+  EXPECT_FALSE(OnSegment(a, b, Point{1.5, 2.5}));
+}
+
+}  // namespace
+}  // namespace hasj::geom

@@ -1,0 +1,111 @@
+#include "geom/segment.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace hasj::geom {
+namespace {
+
+TEST(SegmentsIntersectTest, ProperCrossing) {
+  EXPECT_TRUE(SegmentsIntersect({{0, 0}, {2, 2}}, {{0, 2}, {2, 0}}));
+}
+
+TEST(SegmentsIntersectTest, Disjoint) {
+  EXPECT_FALSE(SegmentsIntersect({{0, 0}, {1, 0}}, {{0, 1}, {1, 1}}));
+  EXPECT_FALSE(SegmentsIntersect({{0, 0}, {1, 1}}, {{2, 2}, {3, 3}}));
+}
+
+TEST(SegmentsIntersectTest, EndpointTouch) {
+  EXPECT_TRUE(SegmentsIntersect({{0, 0}, {1, 1}}, {{1, 1}, {2, 0}}));
+  // T-junction: endpoint on interior.
+  EXPECT_TRUE(SegmentsIntersect({{0, 0}, {2, 0}}, {{1, 0}, {1, 5}}));
+}
+
+TEST(SegmentsIntersectTest, CollinearOverlap) {
+  EXPECT_TRUE(SegmentsIntersect({{0, 0}, {2, 0}}, {{1, 0}, {3, 0}}));
+  EXPECT_TRUE(SegmentsIntersect({{0, 0}, {3, 0}}, {{1, 0}, {2, 0}}));  // containment
+  EXPECT_TRUE(SegmentsIntersect({{0, 0}, {1, 0}}, {{1, 0}, {2, 0}}));  // touch
+  EXPECT_FALSE(SegmentsIntersect({{0, 0}, {1, 0}}, {{1.5, 0}, {2, 0}}));
+}
+
+TEST(SegmentsIntersectTest, DegeneratePointSegments) {
+  EXPECT_TRUE(SegmentsIntersect({{1, 1}, {1, 1}}, {{0, 0}, {2, 2}}));
+  EXPECT_FALSE(SegmentsIntersect({{1, 2}, {1, 2}}, {{0, 0}, {2, 2}}));
+  EXPECT_TRUE(SegmentsIntersect({{1, 1}, {1, 1}}, {{1, 1}, {1, 1}}));
+  EXPECT_FALSE(SegmentsIntersect({{1, 1}, {1, 1}}, {{2, 2}, {2, 2}}));
+}
+
+TEST(SegmentsIntersectTest, Symmetric) {
+  Rng rng(31);
+  for (int i = 0; i < 2000; ++i) {
+    const Segment s({rng.Uniform(0, 10), rng.Uniform(0, 10)},
+                    {rng.Uniform(0, 10), rng.Uniform(0, 10)});
+    const Segment t({rng.Uniform(0, 10), rng.Uniform(0, 10)},
+                    {rng.Uniform(0, 10), rng.Uniform(0, 10)});
+    EXPECT_EQ(SegmentsIntersect(s, t), SegmentsIntersect(t, s));
+  }
+}
+
+TEST(SegmentDistanceTest, PointToSegment) {
+  const Segment s({0, 0}, {4, 0});
+  EXPECT_DOUBLE_EQ(Distance(Point{2, 3}, s), 3.0);
+  EXPECT_DOUBLE_EQ(Distance(Point{-3, 4}, s), 5.0);  // clamped to endpoint
+  EXPECT_DOUBLE_EQ(Distance(Point{2, 0}, s), 0.0);
+}
+
+TEST(SegmentDistanceTest, SegmentToSegment) {
+  EXPECT_DOUBLE_EQ(Distance(Segment{{0, 0}, {1, 0}}, Segment{{0, 2}, {1, 2}}),
+                   2.0);
+  EXPECT_DOUBLE_EQ(Distance(Segment{{0, 0}, {2, 2}}, Segment{{0, 2}, {2, 0}}),
+                   0.0);  // crossing
+  // Skew disjoint: closest pair is endpoint-to-interior.
+  EXPECT_DOUBLE_EQ(Distance(Segment{{0, 0}, {4, 0}}, Segment{{2, 1}, {2, 5}}),
+                   1.0);
+}
+
+TEST(SegmentDistanceTest, ZeroIffIntersect) {
+  Rng rng(33);
+  for (int i = 0; i < 2000; ++i) {
+    const Segment s({rng.Uniform(0, 5), rng.Uniform(0, 5)},
+                    {rng.Uniform(0, 5), rng.Uniform(0, 5)});
+    const Segment t({rng.Uniform(0, 5), rng.Uniform(0, 5)},
+                    {rng.Uniform(0, 5), rng.Uniform(0, 5)});
+    const double d = Distance(s, t);
+    EXPECT_EQ(d == 0.0, SegmentsIntersect(s, t));
+    EXPECT_GE(d, 0.0);
+  }
+}
+
+TEST(SegmentBoxTest, IntersectCases) {
+  const Box box(0, 0, 2, 2);
+  EXPECT_TRUE(SegmentIntersectsBox({{1, 1}, {5, 5}}, box));   // endpoint in
+  EXPECT_TRUE(SegmentIntersectsBox({{-1, 1}, {3, 1}}, box));  // pass through
+  EXPECT_TRUE(SegmentIntersectsBox({{-1, 2}, {2, -1}}, box)); // clips corner
+  EXPECT_TRUE(SegmentIntersectsBox({{2, 0}, {2, 2}}, box));   // along edge
+  EXPECT_FALSE(SegmentIntersectsBox({{3, 0}, {3, 3}}, box));
+  EXPECT_FALSE(SegmentIntersectsBox({{3, 1.5}, {1.5, 3}}, box));  // misses corner
+}
+
+TEST(SegmentBoxTest, DistanceToBox) {
+  const Box box(0, 0, 2, 2);
+  EXPECT_EQ(Distance(Segment{{1, 1}, {1.5, 1.5}}, box), 0.0);  // inside
+  EXPECT_DOUBLE_EQ(Distance(Segment{{4, 0}, {4, 2}}, box), 2.0);
+  EXPECT_DOUBLE_EQ(Distance(Segment{{3, 3}, {5, 5}}, box),
+                   std::hypot(1.0, 1.0));
+}
+
+TEST(SegmentBoxTest, DistanceConsistentWithIntersection) {
+  Rng rng(35);
+  for (int i = 0; i < 2000; ++i) {
+    const Segment s({rng.Uniform(-3, 6), rng.Uniform(-3, 6)},
+                    {rng.Uniform(-3, 6), rng.Uniform(-3, 6)});
+    const Box box(0, 0, 3, 3);
+    EXPECT_EQ(Distance(s, box) == 0.0, SegmentIntersectsBox(s, box));
+  }
+}
+
+}  // namespace
+}  // namespace hasj::geom

@@ -1,0 +1,74 @@
+#include "geom/wkt.h"
+
+#include <gtest/gtest.h>
+
+namespace hasj::geom {
+namespace {
+
+TEST(WktParseTest, BasicPolygon) {
+  auto r = ParseWktPolygon("POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->size(), 4u);  // closing vertex removed
+  EXPECT_EQ(r->Bounds(), Box(0, 0, 4, 4));
+}
+
+TEST(WktParseTest, UnclosedRingAccepted) {
+  auto r = ParseWktPolygon("POLYGON((0 0, 4 0, 2 3))");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 3u);
+}
+
+TEST(WktParseTest, CaseAndWhitespaceInsensitive) {
+  auto r = ParseWktPolygon("  polygon ( ( 0 0 ,1 0 , 0.5 2.5 ) ) ");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 3u);
+}
+
+TEST(WktParseTest, ScientificNotation) {
+  auto r = ParseWktPolygon("POLYGON ((1e-3 0, 2E2 0, 1.5e1 -2.5e1))");
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->vertex(0).x, 1e-3);
+  EXPECT_DOUBLE_EQ(r->vertex(2).y, -25.0);
+}
+
+TEST(WktParseTest, RejectsMalformed) {
+  EXPECT_FALSE(ParseWktPolygon("POINT (1 2)").ok());
+  EXPECT_FALSE(ParseWktPolygon("POLYGON (0 0, 1 0, 0 1)").ok());
+  EXPECT_FALSE(ParseWktPolygon("POLYGON ((0 0, 1 0, 0 1)").ok());
+  EXPECT_FALSE(ParseWktPolygon("POLYGON ((0 0, 1, 0 1))").ok());
+  EXPECT_FALSE(ParseWktPolygon("POLYGON ((0 0, 1 0, 0 1)) tail").ok());
+  EXPECT_FALSE(ParseWktPolygon("").ok());
+}
+
+TEST(WktParseTest, RejectsHolesAsUnimplemented) {
+  auto r = ParseWktPolygon(
+      "POLYGON ((0 0, 9 0, 9 9, 0 9), (2 2, 3 2, 3 3, 2 3))");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST(WktParseTest, RejectsInvalidPolygon) {
+  // Parses but fails validation (zero area).
+  EXPECT_FALSE(ParseWktPolygon("POLYGON ((0 0, 1 1, 2 2))").ok());
+}
+
+TEST(WktRoundTripTest, ExactCoordinates) {
+  const Polygon p(
+      {{0.1, 0.2}, {123.456789012345, -0.000001}, {-180.0, 90.0}});
+  auto r = ParseWktPolygon(ToWkt(p));
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), p.size());
+  for (size_t i = 0; i < p.size(); ++i) {
+    EXPECT_EQ(r->vertex(i), p.vertex(i)) << i;  // bit-exact via %.17g
+  }
+}
+
+TEST(WktFormatTest, ClosesRing) {
+  const std::string wkt = ToWkt(Polygon({{0, 0}, {1, 0}, {0, 1}}));
+  EXPECT_EQ(wkt.find("POLYGON (("), 0u);
+  // First and last coordinate pair identical.
+  EXPECT_NE(wkt.find("0 0, 1 0, 0 1, 0 0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hasj::geom

@@ -1,0 +1,93 @@
+#include "glsim/context.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "data/generator.h"
+#include "glsim/raster.h"
+
+namespace hasj::glsim {
+namespace {
+
+using geom::Point;
+
+TEST(RenderContextTest, LimitsEnforced) {
+  RenderContext ctx(8, 8);
+  ctx.SetLineWidth(10.0);  // exactly at the GeForce4-style limit
+  ctx.SetPointSize(10.0);
+  EXPECT_DEATH(ctx.SetLineWidth(10.5), "HASJ_CHECK");
+  EXPECT_DEATH(ctx.SetPointSize(0.0), "HASJ_CHECK");
+  HwLimits generous;
+  generous.max_line_width = 64.0;
+  generous.max_point_size = 64.0;
+  ctx.set_limits(generous);
+  ctx.SetLineWidth(32.0);  // now allowed
+}
+
+TEST(RenderContextTest, DrawPointsUsesPointSize) {
+  RenderContext ctx(8, 8);
+  ctx.SetDataRect(geom::Box(0, 0, 8, 8));
+  ctx.SetColor(Rgb{1, 1, 1});
+  ctx.SetPointSize(4.0);
+  const Point pts[1] = {{4, 4}};
+  ctx.DrawPoints(pts);
+  // Radius-2 disc around (4,4): covers (4,4) and (2,4), not (0,4).
+  EXPECT_FLOAT_EQ(ctx.color_buffer().Get(4, 4).r, 1.0f);
+  EXPECT_FLOAT_EQ(ctx.color_buffer().Get(2, 4).r, 1.0f);
+  EXPECT_FLOAT_EQ(ctx.color_buffer().Get(0, 4).r, 0.0f);
+}
+
+TEST(RenderContextTest, DrawPolygonFilledMatchesDirectRasterization) {
+  const geom::Polygon poly =
+      data::GenerateBlobPolygon({4, 4}, 3.0, 24, 0.4, 11);
+  RenderContext ctx(16, 16);
+  ctx.SetDataRect(geom::Box(0, 0, 8, 8));
+  ctx.SetColor(Rgb{1, 0, 0});
+  ctx.DrawPolygonFilled(poly);
+
+  std::vector<Point> window_ring;
+  for (const Point& p : poly.vertices()) window_ring.push_back(ctx.ToWindow(p));
+  std::vector<uint8_t> expected(16 * 16, 0);
+  RasterizePolygonFill(std::span<const Point>(window_ring), 16, 16,
+                       [&](int x, int y) {
+                         expected[static_cast<size_t>(y) * 16 + x] = 1;
+                       });
+  for (int y = 0; y < 16; ++y) {
+    for (int x = 0; x < 16; ++x) {
+      EXPECT_EQ(ctx.color_buffer().Get(x, y).r > 0.5f,
+                expected[static_cast<size_t>(y) * 16 + x] == 1)
+          << x << "," << y;
+    }
+  }
+}
+
+TEST(RenderContextTest, DrawLineStripChains) {
+  RenderContext ctx(8, 8);
+  ctx.SetDataRect(geom::Box(0, 0, 8, 8));
+  ctx.SetColor(Rgb{0.5f, 0.5f, 0.5f});
+  const std::vector<Point> chain = {{1, 1}, {6, 1}, {6, 6}};
+  ctx.DrawLineStrip(chain);
+  EXPECT_FLOAT_EQ(ctx.color_buffer().Get(3, 1).r, 0.5f);  // first segment
+  EXPECT_FLOAT_EQ(ctx.color_buffer().Get(6, 3).r, 0.5f);  // second segment
+  EXPECT_FLOAT_EQ(ctx.color_buffer().Get(3, 6).r, 0.0f);  // no closing edge
+}
+
+TEST(RenderContextTest, AccumRoundTripThroughContext) {
+  RenderContext ctx(4, 4);
+  ctx.SetDataRect(geom::Box(0, 0, 4, 4));
+  ctx.SetColor(Rgb{0.5f, 0.5f, 0.5f});
+  const std::vector<Point> ring = {{0.2, 0.2}, {3.8, 0.2}, {3.8, 3.8}, {0.2, 3.8}};
+  ctx.Clear();
+  ctx.ClearAccum();
+  ctx.DrawLineLoop(ring);
+  ctx.Accum(AccumOp::kLoad, 1.0f);
+  ctx.Clear();
+  ctx.DrawLineLoop(ring);  // same loop again: every covered pixel doubles
+  ctx.Accum(AccumOp::kAccum, 1.0f);
+  ctx.Accum(AccumOp::kReturn, 1.0f);
+  const MinMax mm = ctx.Minmax();
+  EXPECT_FLOAT_EQ(mm.max.r, 1.0f);
+}
+
+}  // namespace
+}  // namespace hasj::glsim

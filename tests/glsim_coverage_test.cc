@@ -1,0 +1,88 @@
+#include "glsim/coverage.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace hasj::glsim {
+namespace {
+
+using geom::Point;
+
+TEST(LineFootprintTest, AxisAlignedGeometry) {
+  const auto fp = LineFootprint::Make({1, 1}, {5, 1}, 2.0);
+  // Corners at y = 0 and y = 2, x in {1, 5}.
+  double min_y = 1e9, max_y = -1e9;
+  for (const Point& c : fp.corner) {
+    min_y = std::min(min_y, c.y);
+    max_y = std::max(max_y, c.y);
+  }
+  EXPECT_DOUBLE_EQ(min_y, 0.0);
+  EXPECT_DOUBLE_EQ(max_y, 2.0);
+}
+
+TEST(CellIntersectsFootprintTest, HorizontalLine) {
+  const auto fp = LineFootprint::Make({0.5, 1.5}, {3.5, 1.5}, 1.0);
+  EXPECT_TRUE(CellIntersectsFootprint(0, 1, fp));
+  EXPECT_TRUE(CellIntersectsFootprint(3, 1, fp));
+  EXPECT_TRUE(CellIntersectsFootprint(1, 1, fp));
+  // Footprint spans y in [1, 2]: touches rows 0 and 2 only at the boundary,
+  // which counts under closed semantics.
+  EXPECT_TRUE(CellIntersectsFootprint(1, 0, fp));
+  EXPECT_TRUE(CellIntersectsFootprint(1, 2, fp));
+  EXPECT_FALSE(CellIntersectsFootprint(1, 3, fp));
+  EXPECT_FALSE(CellIntersectsFootprint(5, 1, fp));
+}
+
+TEST(CellIntersectsFootprintTest, DiagonalLineMissesFarCorner) {
+  const auto fp = LineFootprint::Make({0, 0}, {4, 4}, 0.2);
+  EXPECT_TRUE(CellIntersectsFootprint(0, 0, fp));
+  EXPECT_TRUE(CellIntersectsFootprint(2, 2, fp));
+  EXPECT_FALSE(CellIntersectsFootprint(0, 3, fp));
+  EXPECT_FALSE(CellIntersectsFootprint(3, 0, fp));
+}
+
+TEST(CellIntersectsFootprintTest, ContainsSegmentPixels) {
+  // Conservativeness at the primitive level: any cell the segment passes
+  // through intersects its footprint, for any width.
+  hasj::Rng rng(91);
+  for (int iter = 0; iter < 500; ++iter) {
+    const Point a{rng.Uniform(0, 8), rng.Uniform(0, 8)};
+    Point b{rng.Uniform(0, 8), rng.Uniform(0, 8)};
+    if (a == b) b.x += 0.5;
+    const double width = rng.Uniform(0.05, 3.0);
+    const auto fp = LineFootprint::Make(a, b, width);
+    for (int y = 0; y < 8; ++y) {
+      for (int x = 0; x < 8; ++x) {
+        if (CellIntersectsSegment(x, y, a, b)) {
+          EXPECT_TRUE(CellIntersectsFootprint(x, y, fp))
+              << "cell " << x << "," << y;
+        }
+      }
+    }
+  }
+}
+
+TEST(CellIntersectsDiscTest, Basic) {
+  EXPECT_TRUE(CellIntersectsDisc(0, 0, {0.5, 0.5}, 0.1));   // inside cell
+  EXPECT_TRUE(CellIntersectsDisc(1, 0, {0.5, 0.5}, 0.6));   // reaches over
+  EXPECT_FALSE(CellIntersectsDisc(2, 0, {0.5, 0.5}, 0.6));
+  // Exact touch at the cell border counts (closed semantics).
+  EXPECT_TRUE(CellIntersectsDisc(1, 0, {0.5, 0.5}, 0.5));
+  // Corner reach: distance from (0.5,0.5) to cell (1,1) corner is sqrt(.5).
+  EXPECT_TRUE(CellIntersectsDisc(1, 1, {0.5, 0.5}, std::sqrt(0.5) + 1e-12));
+  EXPECT_FALSE(CellIntersectsDisc(1, 1, {0.5, 0.5}, std::sqrt(0.5) - 1e-9));
+}
+
+TEST(CellIntersectsSegmentTest, Basic) {
+  EXPECT_TRUE(CellIntersectsSegment(0, 0, {0.5, 0.5}, {0.6, 0.6}));
+  EXPECT_TRUE(CellIntersectsSegment(1, 1, {0, 0}, {3, 3}));
+  EXPECT_FALSE(CellIntersectsSegment(0, 1, {0, 0}, {3, 0.5}));
+  // Touching the cell border counts.
+  EXPECT_TRUE(CellIntersectsSegment(0, 1, {0, 1}, {1, 1}));
+}
+
+}  // namespace
+}  // namespace hasj::glsim

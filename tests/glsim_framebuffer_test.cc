@@ -1,0 +1,114 @@
+#include "glsim/framebuffer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hasj::glsim {
+namespace {
+
+TEST(ColorBufferTest, ClearAndSet) {
+  ColorBuffer fb(4, 3);
+  EXPECT_EQ(fb.width(), 4);
+  EXPECT_EQ(fb.height(), 3);
+  EXPECT_EQ(fb.Get(2, 1), (Rgb{0, 0, 0}));
+  fb.Set(2, 1, Rgb{0.5f, 0.25f, 1.0f});
+  EXPECT_EQ(fb.Get(2, 1), (Rgb{0.5f, 0.25f, 1.0f}));
+  fb.Clear(Rgb{1, 1, 1});
+  EXPECT_EQ(fb.Get(2, 1), (Rgb{1, 1, 1}));
+}
+
+TEST(ColorBufferTest, ClampsOnWrite) {
+  ColorBuffer fb(2, 2);
+  fb.Set(0, 0, Rgb{1.5f, -0.25f, 0.5f});
+  EXPECT_EQ(fb.Get(0, 0), (Rgb{1.0f, 0.0f, 0.5f}));
+}
+
+TEST(ColorBufferTest, MinMax) {
+  ColorBuffer fb(3, 1);
+  fb.Set(0, 0, Rgb{0.1f, 0.9f, 0.5f});
+  fb.Set(1, 0, Rgb{0.7f, 0.2f, 0.5f});
+  fb.Set(2, 0, Rgb{0.4f, 0.4f, 0.4f});
+  const MinMax mm = fb.ComputeMinMax();
+  EXPECT_FLOAT_EQ(mm.min.r, 0.1f);
+  EXPECT_FLOAT_EQ(mm.max.r, 0.7f);
+  EXPECT_FLOAT_EQ(mm.min.g, 0.2f);
+  EXPECT_FLOAT_EQ(mm.max.g, 0.9f);
+  EXPECT_FLOAT_EQ(mm.min.b, 0.4f);
+  EXPECT_FLOAT_EQ(mm.max.b, 0.5f);
+}
+
+TEST(ColorBufferTest, AnyPixelAtLeast) {
+  ColorBuffer fb(2, 2);
+  EXPECT_FALSE(fb.AnyPixelAtLeast(0.5f));
+  fb.Set(1, 1, Rgb{0.0f, 0.6f, 0.0f});
+  EXPECT_TRUE(fb.AnyPixelAtLeast(0.5f));
+  EXPECT_FALSE(fb.AnyPixelAtLeast(0.7f));
+}
+
+TEST(AccumBufferTest, LoadAccumReturnPipeline) {
+  // The exact Algorithm 3.1 arithmetic: 0.5 + 0.5 accumulates to 1.0.
+  ColorBuffer fb(2, 1);
+  AccumBuffer accum(2, 1);
+  fb.Set(0, 0, Rgb{0.5f, 0.5f, 0.5f});  // first boundary covers pixel 0
+  accum.Load(fb, 1.0f);
+  fb.Clear();
+  fb.Set(0, 0, Rgb{0.5f, 0.5f, 0.5f});  // second boundary also covers it
+  fb.Set(1, 0, Rgb{0.5f, 0.5f, 0.5f});  // and pixel 1 alone
+  accum.Accum(fb, 1.0f);
+  accum.Return(fb, 1.0f);
+  EXPECT_EQ(fb.Get(0, 0), (Rgb{1.0f, 1.0f, 1.0f}));
+  EXPECT_EQ(fb.Get(1, 0), (Rgb{0.5f, 0.5f, 0.5f}));
+}
+
+TEST(AccumBufferTest, ScalesByValue) {
+  ColorBuffer fb(1, 1);
+  AccumBuffer accum(1, 1);
+  fb.Set(0, 0, Rgb{0.5f, 0.5f, 0.5f});
+  accum.Load(fb, 0.5f);
+  accum.Accum(fb, 0.5f);
+  accum.Return(fb, 2.0f);
+  EXPECT_EQ(fb.Get(0, 0), (Rgb{1.0f, 1.0f, 1.0f}));
+}
+
+TEST(AccumBufferTest, ReturnClampsOverflow) {
+  ColorBuffer fb(1, 1);
+  AccumBuffer accum(1, 1);
+  fb.Set(0, 0, Rgb{1.0f, 1.0f, 1.0f});
+  accum.Load(fb, 1.0f);
+  accum.Accum(fb, 1.0f);
+  accum.Accum(fb, 1.0f);  // accum = 3.0 (unclamped)
+  accum.Return(fb, 1.0f);
+  EXPECT_EQ(fb.Get(0, 0), (Rgb{1.0f, 1.0f, 1.0f}));
+}
+
+TEST(AccumBufferTest, ClearResets) {
+  ColorBuffer fb(1, 1);
+  AccumBuffer accum(1, 1);
+  fb.Set(0, 0, Rgb{1, 1, 1});
+  accum.Load(fb, 1.0f);
+  accum.Clear();
+  accum.Return(fb, 1.0f);
+  EXPECT_EQ(fb.Get(0, 0), (Rgb{0, 0, 0}));
+}
+
+TEST(DepthBufferTest, LessTestKeepsNearest) {
+  DepthBuffer depth(2, 2);
+  EXPECT_TRUE(depth.TestAndSet(0, 0, 5.0f));   // empty: +inf
+  EXPECT_FALSE(depth.TestAndSet(0, 0, 5.0f));  // GL_LESS: equal fails
+  EXPECT_TRUE(depth.TestAndSet(0, 0, 4.0f));
+  EXPECT_FALSE(depth.TestAndSet(0, 0, 4.5f));
+  EXPECT_FLOAT_EQ(depth.Get(0, 0), 4.0f);
+  EXPECT_TRUE(std::isinf(depth.Get(1, 1)));
+}
+
+TEST(DepthBufferTest, ClearResetsToInfinity) {
+  DepthBuffer depth(2, 2);
+  depth.TestAndSet(1, 0, 1.0f);
+  depth.Clear();
+  EXPECT_TRUE(std::isinf(depth.Get(1, 0)));
+  EXPECT_TRUE(depth.TestAndSet(1, 0, 100.0f));
+}
+
+}  // namespace
+}  // namespace hasj::glsim

@@ -1,0 +1,237 @@
+#include "glsim/raster.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/random.h"
+#include "glsim/context.h"
+#include "glsim/pixel_mask.h"
+
+namespace hasj::glsim {
+namespace {
+
+using geom::Point;
+using Cell = std::pair<int, int>;
+
+std::set<Cell> Collect(const std::function<void(std::function<void(int, int)>)>& run) {
+  std::set<Cell> cells;
+  run([&](int x, int y) { cells.insert({x, y}); });
+  return cells;
+}
+
+TEST(PointTruncateTest, FloorsWindowCoordinates) {
+  // Figure 3(b): (1.1, 1.1) and (1.9, 1.9) hit the same pixel.
+  auto c1 = Collect([&](auto emit) { RasterizePointTruncate({1.1, 1.1}, 3, 3, emit); });
+  auto c2 = Collect([&](auto emit) { RasterizePointTruncate({1.9, 1.9}, 3, 3, emit); });
+  EXPECT_EQ(c1, (std::set<Cell>{{1, 1}}));
+  EXPECT_EQ(c1, c2);
+}
+
+TEST(PointTruncateTest, ClipsOutside) {
+  EXPECT_TRUE(Collect([&](auto emit) {
+                return RasterizePointTruncate({-0.5, 1}, 3, 3, emit);
+              }).empty());
+  EXPECT_TRUE(Collect([&](auto emit) {
+                return RasterizePointTruncate({3.0, 1}, 3, 3, emit);
+              }).empty());
+}
+
+TEST(WidePointTest, CoversDisc) {
+  const auto cells =
+      Collect([&](auto emit) { RasterizeWidePoint({4, 4}, 4.0, 8, 8, emit); });
+  // Radius-2 disc centered on the corner of cells (3,3),(4,3),(3,4),(4,4).
+  EXPECT_TRUE(cells.count({3, 3}));
+  EXPECT_TRUE(cells.count({4, 4}));
+  EXPECT_TRUE(cells.count({5, 4}));
+  EXPECT_TRUE(cells.count({2, 4}));
+  EXPECT_FALSE(cells.count({7, 7}));
+  EXPECT_FALSE(cells.count({0, 0}));
+}
+
+TEST(LineAATest, HorizontalCoversRow) {
+  const auto cells = Collect([&](auto emit) {
+    RasterizeLineAA({0.5, 2.5}, {7.5, 2.5}, 0.5, 8, 8, emit);
+  });
+  for (int x = 0; x < 8; ++x) EXPECT_TRUE(cells.count({x, 2})) << x;
+  EXPECT_FALSE(cells.count({3, 0}));
+  EXPECT_FALSE(cells.count({3, 5}));
+}
+
+TEST(LineAATest, DegenerateSegmentActsAsPoint) {
+  const auto cells = Collect([&](auto emit) {
+    RasterizeLineAA({2.5, 2.5}, {2.5, 2.5}, 1.0, 8, 8, emit);
+  });
+  EXPECT_TRUE(cells.count({2, 2}));
+}
+
+// The load-bearing guarantee of §2.2.2: an anti-aliased segment colors
+// every pixel it passes through, at every width, including segments
+// touching cells only at corners or running along cell borders.
+class LineAAConservativenessTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LineAAConservativenessTest, CoversEveryCellTheSegmentCrosses) {
+  hasj::Rng rng(GetParam());
+  for (int iter = 0; iter < 400; ++iter) {
+    Point a{rng.Uniform(-2, 10), rng.Uniform(-2, 10)};
+    Point b{rng.Uniform(-2, 10), rng.Uniform(-2, 10)};
+    if (rng.Bernoulli(0.2)) a.x = std::floor(a.x);  // grid-aligned cases
+    if (rng.Bernoulli(0.2)) a.y = std::floor(a.y);
+    if (rng.Bernoulli(0.2)) b.x = a.x;  // verticals
+    if (rng.Bernoulli(0.2)) b.y = a.y;  // horizontals
+    if (a == b) continue;
+    const double width = rng.Bernoulli(0.5) ? 1.4142135623730951
+                                            : rng.Uniform(0.1, 4.0);
+    const auto cells = Collect([&](auto emit) {
+      RasterizeLineAA(a, b, width, 8, 8, emit);
+    });
+    for (int y = 0; y < 8; ++y) {
+      for (int x = 0; x < 8; ++x) {
+        if (CellIntersectsSegment(x, y, a, b)) {
+          EXPECT_TRUE(cells.count({x, y}))
+              << "cell " << x << "," << y << " segment (" << a.x << "," << a.y
+              << ")-(" << b.x << "," << b.y << ") width " << width;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LineAAConservativenessTest,
+                         ::testing::Values(101, 102, 103, 104));
+
+TEST(DiamondExitTest, ReproducesFigure3c) {
+  // A mostly-horizontal segment through three diamonds colors the first
+  // two pixels but not the one containing its end point.
+  const auto cells = Collect([&](auto emit) {
+    RasterizeLineDiamondExit({0.2, 1.45}, {2.6, 1.55}, 4, 4, emit);
+  });
+  EXPECT_TRUE(cells.count({0, 1}));
+  EXPECT_TRUE(cells.count({1, 1}));
+  EXPECT_FALSE(cells.count({2, 1}));  // end point inside its diamond
+}
+
+TEST(DiamondExitTest, DisappearingSegments) {
+  // Figure 3(d): l1 misses every diamond; l2 enters one diamond but ends
+  // inside it. Neither produces any pixel.
+  const auto l1 = Collect([&](auto emit) {
+    RasterizeLineDiamondExit({0.8, 0.95}, {1.2, 1.05}, 4, 4, emit);
+  });
+  EXPECT_TRUE(l1.empty());
+  const auto l2 = Collect([&](auto emit) {
+    RasterizeLineDiamondExit({1.5, 1.1}, {1.5, 1.4}, 4, 4, emit);
+  });
+  EXPECT_TRUE(l2.empty());
+}
+
+TEST(DiamondExitTest, IsNotConservative) {
+  // The same segment under the AA rule does color pixels — the reason the
+  // hardware test must render anti-aliased lines.
+  const auto aa = Collect([&](auto emit) {
+    RasterizeLineAA({0.8, 0.95}, {1.2, 1.05}, 1.4142135623730951, 4, 4, emit);
+  });
+  EXPECT_FALSE(aa.empty());
+}
+
+TEST(PolygonFillTest, SquareCenters) {
+  const std::vector<Point> ring = {{1, 1}, {4, 1}, {4, 4}, {1, 4}};
+  const auto cells = Collect([&](auto emit) {
+    RasterizePolygonFill(std::span<const Point>(ring), 6, 6, emit);
+  });
+  std::set<Cell> expected;
+  for (int y = 1; y < 4; ++y)
+    for (int x = 1; x < 4; ++x) expected.insert({x, y});
+  EXPECT_EQ(cells, expected);
+}
+
+TEST(PolygonFillTest, SharedEdgeColorsExactlyOnce) {
+  // Two rectangles sharing the vertical edge x = 3: every pixel in the
+  // combined region is colored exactly once across the two fills (§2.2.3).
+  const std::vector<Point> left = {{0.5, 0.5}, {3, 0.5}, {3, 4.5}, {0.5, 4.5}};
+  const std::vector<Point> right = {{3, 0.5}, {5.5, 0.5}, {5.5, 4.5}, {3, 4.5}};
+  std::vector<int> counts(8 * 8, 0);
+  auto emit = [&](int x, int y) { ++counts[static_cast<size_t>(y) * 8 + x]; };
+  RasterizePolygonFill(std::span<const Point>(left), 8, 8, emit);
+  RasterizePolygonFill(std::span<const Point>(right), 8, 8, emit);
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      // Half-open sampling: centers on the bottom/left boundary fill,
+      // centers on the top/right boundary do not.
+      const bool in_union = (x + 0.5 >= 0.5 && x + 0.5 < 5.5) &&
+                            (y + 0.5 >= 0.5 && y + 0.5 < 4.5);
+      EXPECT_EQ(counts[static_cast<size_t>(y) * 8 + x], in_union ? 1 : 0)
+          << x << "," << y;
+    }
+  }
+}
+
+TEST(PolygonFillTest, ConcavePolygonRespectsNotch) {
+  // U-shape: the notch column stays unfilled.
+  const std::vector<Point> ring = {{0, 0}, {6, 0}, {6, 6}, {4, 6},
+                                   {4, 2}, {2, 2}, {2, 6}, {0, 6}};
+  const auto cells = Collect([&](auto emit) {
+    RasterizePolygonFill(std::span<const Point>(ring), 6, 6, emit);
+  });
+  EXPECT_TRUE(cells.count({1, 4}));
+  EXPECT_TRUE(cells.count({5, 4}));
+  EXPECT_FALSE(cells.count({3, 4}));  // notch
+  EXPECT_TRUE(cells.count({3, 1}));   // base
+}
+
+TEST(PixelMaskTest, SetTestIntersect) {
+  PixelMask a(8, 8), b(8, 8);
+  EXPECT_FALSE(a.Test(3, 3));
+  a.Set(3, 3);
+  EXPECT_TRUE(a.Test(3, 3));
+  EXPECT_EQ(a.CountSet(), 1);
+  EXPECT_FALSE(a.IntersectsAny(b));
+  b.Set(3, 3);
+  EXPECT_TRUE(a.IntersectsAny(b));
+  a.Clear();
+  EXPECT_EQ(a.CountSet(), 0);
+}
+
+TEST(PixelMaskTest, LargeMaskWordBoundaries) {
+  PixelMask a(32, 32), b(32, 32);
+  a.Set(31, 31);
+  b.Set(31, 31);
+  EXPECT_TRUE(a.IntersectsAny(b));
+  b.Clear();
+  b.Set(0, 31);
+  EXPECT_FALSE(a.IntersectsAny(b));
+}
+
+TEST(RenderContextTest, ProjectionMapsDataRect) {
+  RenderContext ctx(8, 8);
+  ctx.SetDataRect(geom::Box(100, 200, 104, 204));
+  const Point w = ctx.ToWindow({102, 202});
+  EXPECT_DOUBLE_EQ(w.x, 4.0);
+  EXPECT_DOUBLE_EQ(w.y, 4.0);
+  const Point c = ctx.ToWindow({100, 200});
+  EXPECT_DOUBLE_EQ(c.x, 0.0);
+  EXPECT_DOUBLE_EQ(c.y, 0.0);
+}
+
+TEST(RenderContextTest, DegenerateDataRectInflated) {
+  RenderContext ctx(8, 8);
+  ctx.SetDataRect(geom::Box(5, 0, 5, 10));  // zero width
+  const Point w = ctx.ToWindow({5, 5});
+  EXPECT_TRUE(std::isfinite(w.x));
+  EXPECT_NEAR(w.x, 4.0, 0.1);
+}
+
+TEST(RenderContextTest, DrawLineLoopMarksBuffer) {
+  RenderContext ctx(8, 8);
+  ctx.SetDataRect(geom::Box(0, 0, 8, 8));
+  ctx.SetColor(Rgb{0.5f, 0.5f, 0.5f});
+  const std::vector<Point> ring = {{1, 1}, {6, 1}, {6, 6}, {1, 6}};
+  ctx.DrawLineLoop(ring);
+  EXPECT_FLOAT_EQ(ctx.color_buffer().Get(3, 1).r, 0.5f);  // bottom edge
+  EXPECT_FLOAT_EQ(ctx.color_buffer().Get(3, 3).r, 0.0f);  // interior empty
+  const MinMax mm = ctx.Minmax();
+  EXPECT_FLOAT_EQ(mm.max.r, 0.5f);
+}
+
+}  // namespace
+}  // namespace hasj::glsim

@@ -1,0 +1,129 @@
+// Stress and failure-injection tests: coordinate magnitudes (UTM-scale
+// offsets), degenerate shapes, parser robustness on garbage — the
+// conditions a library meets when pointed at real-world data.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "algo/polygon_distance.h"
+#include "algo/polygon_intersect.h"
+#include "common/random.h"
+#include "core/hw_distance.h"
+#include "core/hw_intersection.h"
+#include "data/generator.h"
+#include "geom/wkt.h"
+
+namespace hasj {
+namespace {
+
+using geom::Point;
+using geom::Polygon;
+
+Polygon Translate(const Polygon& p, double dx, double dy) {
+  std::vector<Point> pts;
+  pts.reserve(p.size());
+  for (const Point& v : p.vertices()) pts.push_back({v.x + dx, v.y + dy});
+  return Polygon(std::move(pts));
+}
+
+// The conservativeness machinery uses relative tolerances, so the exactness
+// guarantee must survive translating the whole scene to UTM-scale
+// coordinates (easting/northing in the hundreds of thousands of meters).
+class LargeCoordinateTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(LargeCoordinateTest, HwTestersStayExact) {
+  const double offset = GetParam();
+  core::HwIntersectionTester intersect;
+  core::HwDistanceTester within;
+  Rng rng(901);
+  for (int iter = 0; iter < 60; ++iter) {
+    const Polygon a0 = data::GenerateBlobPolygon(
+        {rng.Uniform(0, 8), rng.Uniform(0, 8)}, rng.Uniform(0.5, 3.0),
+        static_cast<int>(rng.UniformInt(3, 50)), 0.6, rng.Next());
+    const Polygon b0 = data::GenerateBlobPolygon(
+        {rng.Uniform(0, 8), rng.Uniform(0, 8)}, rng.Uniform(0.5, 3.0),
+        static_cast<int>(rng.UniformInt(3, 50)), 0.6, rng.Next());
+    const Polygon a = Translate(a0, offset, offset * 0.5);
+    const Polygon b = Translate(b0, offset, offset * 0.5);
+    EXPECT_EQ(intersect.Test(a, b), algo::PolygonsIntersect(a, b))
+        << "iter " << iter << " offset " << offset;
+    const double d = rng.Uniform(0.0, 2.0);
+    EXPECT_EQ(within.Test(a, b, d), algo::WithinDistance(a, b, d))
+        << "iter " << iter << " offset " << offset;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Offsets, LargeCoordinateTest,
+                         ::testing::Values(0.0, 1e5, 1e7, -1e7));
+
+TEST(StressTest, TinyPolygonsFarApartAndTouching) {
+  core::HwIntersectionTester tester;
+  // Micrometer-scale polygons at kilometre coordinates.
+  const Polygon a({{1000.0, 1000.0},
+                   {1000.000001, 1000.0},
+                   {1000.000001, 1000.000001},
+                   {1000.0, 1000.000001}});
+  const Polygon b({{1000.000001, 1000.0},
+                   {1000.000002, 1000.0},
+                   {1000.000002, 1000.000001},
+                   {1000.000001, 1000.000001}});
+  EXPECT_TRUE(tester.Test(a, b));  // share an edge
+  const Polygon c({{1000.00001, 1000.0},
+                   {1000.00002, 1000.0},
+                   {1000.00002, 1000.00001},
+                   {1000.00001, 1000.00001}});
+  EXPECT_FALSE(tester.Test(a, c));
+}
+
+TEST(StressTest, HighVertexCountPairStaysExactAndFinishes) {
+  const Polygon a = data::GenerateSnakePolygon({0, 0}, 5, 20000, 0.25, 3);
+  const Polygon b = data::GenerateSnakePolygon({1, 0.5}, 5, 20000, 0.25, 4);
+  core::HwIntersectionTester tester;
+  EXPECT_EQ(tester.Test(a, b), algo::PolygonsIntersect(a, b));
+}
+
+TEST(WktFuzzTest, GarbageNeverCrashes) {
+  Rng rng(907);
+  const std::string alphabet = "POLYGON(), 0123456789.-+eE \t";
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::string input;
+    const int len = static_cast<int>(rng.UniformInt(0, 80));
+    for (int i = 0; i < len; ++i) {
+      input += alphabet[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(alphabet.size()) - 1))];
+    }
+    const auto result = geom::ParseWktPolygon(input);  // must not crash
+    if (result.ok()) {
+      EXPECT_TRUE(result->Validate().ok());  // accepted implies valid
+    }
+  }
+}
+
+TEST(WktFuzzTest, TruncationsOfValidInputNeverCrash) {
+  const std::string valid =
+      "POLYGON ((0 0, 10 0, 10 10, 5 12.5, 0 10, 0 0))";
+  for (size_t cut = 0; cut <= valid.size(); ++cut) {
+    const auto result = geom::ParseWktPolygon(valid.substr(0, cut));
+    if (cut < valid.size()) {
+      EXPECT_FALSE(result.ok()) << "cut " << cut;
+    } else {
+      EXPECT_TRUE(result.ok());
+    }
+  }
+}
+
+TEST(StressTest, SliverPolygons) {
+  // Near-degenerate slivers still produce exact decisions.
+  const Polygon sliver_a({{0, 0}, {10, 1e-9}, {10, 2e-9}, {0, 1e-9}});
+  const Polygon sliver_b({{0, 1e-7}, {10, 1e-7}, {10, 2e-7}});
+  const Polygon crossing({{5, -1}, {6, -1}, {6, 1}, {5, 1}});
+  core::HwIntersectionTester tester;
+  EXPECT_EQ(tester.Test(sliver_a, sliver_b),
+            algo::PolygonsIntersect(sliver_a, sliver_b));
+  EXPECT_TRUE(tester.Test(sliver_a, crossing));
+  EXPECT_TRUE(tester.Test(sliver_b, crossing));
+}
+
+}  // namespace
+}  // namespace hasj
