@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_distance.dir/ablation_distance.cc.o"
+  "CMakeFiles/ablation_distance.dir/ablation_distance.cc.o.d"
+  "ablation_distance"
+  "ablation_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

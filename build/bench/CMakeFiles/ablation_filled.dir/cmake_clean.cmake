@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_filled.dir/ablation_filled.cc.o"
+  "CMakeFiles/ablation_filled.dir/ablation_filled.cc.o.d"
+  "ablation_filled"
+  "ablation_filled.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_filled.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rasterizer.dir/bench_rasterizer.cc.o"
+  "CMakeFiles/bench_rasterizer.dir/bench_rasterizer.cc.o.d"
+  "bench_rasterizer"
+  "bench_rasterizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rasterizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_selection_breakdown.dir/fig10_selection_breakdown.cc.o"
+  "CMakeFiles/fig10_selection_breakdown.dir/fig10_selection_breakdown.cc.o.d"
+  "fig10_selection_breakdown"
+  "fig10_selection_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_selection_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_selection_hw.dir/fig11_selection_hw.cc.o"
+  "CMakeFiles/fig11_selection_hw.dir/fig11_selection_hw.cc.o.d"
+  "fig11_selection_hw"
+  "fig11_selection_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_selection_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_join_hw.dir/fig12_join_hw.cc.o"
+  "CMakeFiles/fig12_join_hw.dir/fig12_join_hw.cc.o.d"
+  "fig12_join_hw"
+  "fig12_join_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_join_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

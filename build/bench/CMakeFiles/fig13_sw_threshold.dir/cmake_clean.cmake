@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_sw_threshold.dir/fig13_sw_threshold.cc.o"
+  "CMakeFiles/fig13_sw_threshold.dir/fig13_sw_threshold.cc.o.d"
+  "fig13_sw_threshold"
+  "fig13_sw_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_sw_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

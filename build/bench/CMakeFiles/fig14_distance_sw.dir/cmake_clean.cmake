@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_distance_sw.dir/fig14_distance_sw.cc.o"
+  "CMakeFiles/fig14_distance_sw.dir/fig14_distance_sw.cc.o.d"
+  "fig14_distance_sw"
+  "fig14_distance_sw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_distance_sw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

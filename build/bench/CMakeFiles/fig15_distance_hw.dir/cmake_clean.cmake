@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_distance_hw.dir/fig15_distance_hw.cc.o"
+  "CMakeFiles/fig15_distance_hw.dir/fig15_distance_hw.cc.o.d"
+  "fig15_distance_hw"
+  "fig15_distance_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_distance_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

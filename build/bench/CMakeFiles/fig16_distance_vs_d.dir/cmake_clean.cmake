@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_distance_vs_d.dir/fig16_distance_vs_d.cc.o"
+  "CMakeFiles/fig16_distance_vs_d.dir/fig16_distance_vs_d.cc.o.d"
+  "fig16_distance_vs_d"
+  "fig16_distance_vs_d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_distance_vs_d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig16_distance_vs_d.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gis_selection.dir/gis_selection.cpp.o"
+  "CMakeFiles/gis_selection.dir/gis_selection.cpp.o.d"
+  "gis_selection"
+  "gis_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gis_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

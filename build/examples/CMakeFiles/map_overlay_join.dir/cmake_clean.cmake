@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/map_overlay_join.dir/map_overlay_join.cpp.o"
+  "CMakeFiles/map_overlay_join.dir/map_overlay_join.cpp.o.d"
+  "map_overlay_join"
+  "map_overlay_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/map_overlay_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nearest_facility.dir/nearest_facility.cpp.o"
+  "CMakeFiles/nearest_facility.dir/nearest_facility.cpp.o.d"
+  "nearest_facility"
+  "nearest_facility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nearest_facility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

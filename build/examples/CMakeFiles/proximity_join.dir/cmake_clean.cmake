@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proximity_join.dir/proximity_join.cpp.o"
+  "CMakeFiles/proximity_join.dir/proximity_join.cpp.o.d"
+  "proximity_join"
+  "proximity_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proximity_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

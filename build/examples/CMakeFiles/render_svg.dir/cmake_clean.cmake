@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/render_svg.dir/render_svg.cpp.o"
+  "CMakeFiles/render_svg.dir/render_svg.cpp.o.d"
+  "render_svg"
+  "render_svg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/render_svg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wkt_join.dir/wkt_join.cpp.o"
+  "CMakeFiles/wkt_join.dir/wkt_join.cpp.o.d"
+  "wkt_join"
+  "wkt_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wkt_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hasj_common.dir/stats.cc.o"
+  "CMakeFiles/hasj_common.dir/stats.cc.o.d"
+  "CMakeFiles/hasj_common.dir/status.cc.o"
+  "CMakeFiles/hasj_common.dir/status.cc.o.d"
+  "libhasj_common.a"
+  "libhasj_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hasj_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

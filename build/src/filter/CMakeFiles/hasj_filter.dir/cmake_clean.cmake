@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hasj_filter.dir/geometric_filter.cc.o"
+  "CMakeFiles/hasj_filter.dir/geometric_filter.cc.o.d"
+  "CMakeFiles/hasj_filter.dir/interior_filter.cc.o"
+  "CMakeFiles/hasj_filter.dir/interior_filter.cc.o.d"
+  "CMakeFiles/hasj_filter.dir/object_filters.cc.o"
+  "CMakeFiles/hasj_filter.dir/object_filters.cc.o.d"
+  "CMakeFiles/hasj_filter.dir/raster_signature.cc.o"
+  "CMakeFiles/hasj_filter.dir/raster_signature.cc.o.d"
+  "libhasj_filter.a"
+  "libhasj_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hasj_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
