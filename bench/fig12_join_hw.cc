@@ -10,13 +10,15 @@
 namespace hasj::bench {
 namespace {
 
-void RunJoin(const data::Dataset& a, const data::Dataset& b) {
+void RunJoin(const data::Dataset& a, const data::Dataset& b,
+             const BenchArgs& args) {
   PrintDataset(a);
   PrintDataset(b);
   const core::IntersectionJoin join(a, b);
 
   core::JoinOptions sw_options;
   sw_options.use_hw = false;
+  sw_options.num_threads = args.threads;
   const core::JoinResult sw = join.Run(sw_options);
   std::printf("# candidates=%lld results=%lld\n",
               static_cast<long long>(sw.counts.candidates),
@@ -30,6 +32,7 @@ void RunJoin(const data::Dataset& a, const data::Dataset& b) {
     options.use_hw = true;
     options.hw.resolution = resolution;
     options.hw.sw_threshold = 0;
+    options.num_threads = args.threads;
     const core::JoinResult r = join.Run(options);
     char label[32];
     std::snprintf(label, sizeof(label), "hw %dx%d", resolution, resolution);
@@ -48,10 +51,10 @@ int Main(int argc, char** argv) {
       args);
   std::printf("## LANDC join LANDO\n");
   RunJoin(Generate(data::LandcProfile(args.scale), args),
-          Generate(data::LandoProfile(args.scale), args));
+          Generate(data::LandoProfile(args.scale), args), args);
   std::printf("## WATER join PRISM\n");
   RunJoin(Generate(data::WaterProfile(args.scale), args),
-          Generate(data::PrismProfile(args.scale), args));
+          Generate(data::PrismProfile(args.scale), args), args);
   std::printf(
       "# paper shape: 68-80%% reduction for WATER-PRISM; up to 38%% for "
       "LANDC-LANDO, which degrades below software at high resolutions.\n");

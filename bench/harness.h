@@ -21,6 +21,7 @@ namespace hasj::bench {
 struct BenchArgs {
   double scale = 0.02;  // fraction of the Table 2 object counts
   uint64_t seed = 0;    // extra seed offset for the generators (0 = default)
+  int threads = 1;      // refinement workers (0 = hardware concurrency)
 };
 
 inline BenchArgs ParseArgs(int argc, char** argv, double default_scale) {
@@ -31,13 +32,21 @@ inline BenchArgs ParseArgs(int argc, char** argv, double default_scale) {
       args.scale = std::atof(argv[i] + 8);
     } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
       args.seed = static_cast<uint64_t>(std::atoll(argv[i] + 7));
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      args.threads = std::atoi(argv[i] + 10);
     } else if (std::strcmp(argv[i], "--help") == 0) {
-      std::printf("usage: %s [--scale=F] [--seed=N]\n", argv[0]);
+      std::printf("usage: %s [--scale=F] [--seed=N] [--threads=N]\n", argv[0]);
+      std::printf("  --threads=N  refinement worker threads "
+                  "(default 1 = serial, 0 = hardware concurrency)\n");
       std::exit(0);
     }
   }
   if (args.scale <= 0.0 || args.scale > 1.0) {
     std::fprintf(stderr, "--scale must be in (0, 1]\n");
+    std::exit(1);
+  }
+  if (args.threads < 0) {
+    std::fprintf(stderr, "--threads must be >= 0\n");
     std::exit(1);
   }
   return args;

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# ThreadSanitizer check for the parallel refinement executor: builds the
+# tree with -DHASJ_SANITIZE=thread and runs the thread pool unit tests and
+# the thread-count cross-check tests (tests/core_parallel_refinement_test.cc)
+# under TSan. Any data race in the per-worker testers, the chunk cursor, or
+# the signature caches fails the run.
+#
+# Usage: scripts/check_tsan.sh [build-dir]   (default: build-tsan)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-tsan}"
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DHASJ_SANITIZE=thread \
+  -DHASJ_BUILD_BENCHMARKS=OFF \
+  -DHASJ_BUILD_EXAMPLES=OFF
+
+cmake --build "$BUILD_DIR" -j"$(nproc)" \
+  --target common_thread_pool_test core_parallel_refinement_test
+
+# Halt on the first report and fail the process so CI sees it.
+export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
+
+ctest --test-dir "$BUILD_DIR" --output-on-failure \
+  -R 'ThreadPoolTest|ParallelRefinementTest'
+
+echo "TSan check passed."

@@ -1,0 +1,84 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace hasj {
+
+ThreadPool::ThreadPool(int num_threads) : num_threads_(num_threads) {
+  HASJ_CHECK(num_threads >= 1);
+  workers_.reserve(static_cast<size_t>(num_threads - 1));
+  for (int w = 1; w < num_threads; ++w) {
+    workers_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+int ThreadPool::ResolveThreadCount(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+void ThreadPool::ParallelFor(int64_t n, int64_t grain, const Body& body) {
+  if (n <= 0) return;
+  HASJ_CHECK(grain >= 1);
+  if (workers_.empty()) {
+    body(0, n, 0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    HASJ_CHECK(body_ == nullptr);  // ParallelFor is not reentrant
+    body_ = &body;
+    n_ = n;
+    grain_ = grain;
+    cursor_.store(0, std::memory_order_relaxed);
+    pending_workers_ = static_cast<int>(workers_.size());
+    ++job_;
+  }
+  work_cv_.notify_all();
+  RunChunks(0);  // the caller is worker 0
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return pending_workers_ == 0; });
+  body_ = nullptr;
+}
+
+void ThreadPool::WorkerLoop(int worker) {
+  uint64_t last_job = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return shutdown_ || job_ != last_job; });
+      if (shutdown_) return;
+      last_job = job_;
+    }
+    RunChunks(worker);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --pending_workers_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void ThreadPool::RunChunks(int worker) {
+  // n_/grain_/body_ are published before the job counter bump under mu_,
+  // which every worker re-reads under mu_ before getting here.
+  for (;;) {
+    const int64_t begin = cursor_.fetch_add(grain_, std::memory_order_relaxed);
+    if (begin >= n_) return;
+    (*body_)(begin, std::min(begin + grain_, n_), worker);
+  }
+}
+
+}  // namespace hasj

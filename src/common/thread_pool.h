@@ -1,0 +1,72 @@
+#ifndef HASJ_COMMON_THREAD_POOL_H_
+#define HASJ_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hasj {
+
+// Fixed-size pool of worker threads driving a chunked parallel-for: the
+// index range [0, n) is split into contiguous chunks handed out through a
+// shared atomic cursor (no work stealing, no per-item locking), and the
+// calling thread participates as worker 0, so a pool of size 1 executes
+// the loop inline with no worker threads and no synchronization.
+//
+// The body may run concurrently on different workers, but invocations for
+// one worker index are serial, so per-worker state (a tester, a scratch
+// buffer) needs no locking. Chunk-to-worker assignment is load-dependent
+// and therefore nondeterministic; callers that need deterministic output
+// write results into per-index slots and gather them afterwards (see
+// core::RefinementExecutor).
+//
+// Only one ParallelFor may run on a pool at a time (not reentrant: the
+// body must not call back into the same pool).
+class ThreadPool {
+ public:
+  // body(begin, end, worker): half-open index chunk, worker in
+  // [0, num_threads).
+  using Body = std::function<void(int64_t, int64_t, int)>;
+
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  // Runs body over [0, n) in chunks of at most `grain` indices; returns
+  // once every chunk has completed.
+  void ParallelFor(int64_t n, int64_t grain, const Body& body);
+
+  // Resolves a requested thread count the way the query options fields do:
+  // 0 = hardware concurrency, anything positive is taken as-is.
+  static int ResolveThreadCount(int requested);
+
+ private:
+  void WorkerLoop(int worker);
+  void RunChunks(int worker);
+
+  const int num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // workers wait here for the next job
+  std::condition_variable done_cv_;  // ParallelFor waits here for workers
+  const Body* body_ = nullptr;       // non-null while a job is running
+  int64_t n_ = 0;
+  int64_t grain_ = 1;
+  std::atomic<int64_t> cursor_{0};
+  uint64_t job_ = 0;          // bumped per ParallelFor to wake the workers
+  int pending_workers_ = 0;   // workers that have not finished the job yet
+  bool shutdown_ = false;
+};
+
+}  // namespace hasj
+
+#endif  // HASJ_COMMON_THREAD_POOL_H_

@@ -2,6 +2,7 @@
 
 #include "common/stopwatch.h"
 #include "core/hw_distance.h"
+#include "core/refinement_executor.h"
 #include "filter/object_filters.h"
 
 namespace hasj::core {
@@ -57,19 +58,24 @@ DistanceJoinResult WithinDistanceJoin::Run(
 
   // Stage 3: geometry comparison; the tester is the refinement engine for
   // both modes, so the software baseline shares the cached point locators.
+  // One tester per worker; accepted pairs come back in candidate order at
+  // every thread count.
   watch.Restart();
   HwConfig hw_config = options.hw;
   hw_config.enable_hw = options.use_hw;
-  HwDistanceTester tester(hw_config, options.sw);
-  for (const auto& [ida, idb] : undecided) {
-    const geom::Polygon& pa = a_.polygon(static_cast<size_t>(ida));
-    const geom::Polygon& pb = b_.polygon(static_cast<size_t>(idb));
-    ++result.counts.compared;
-    if (tester.Test(pa, pb, d)) result.pairs.emplace_back(ida, idb);
-  }
+  RefinementExecutor executor(options.num_threads);
+  RefinementOutcome<std::pair<int64_t, int64_t>> refined = executor.Refine(
+      undecided, [&] { return HwDistanceTester(hw_config, options.sw); },
+      [&](HwDistanceTester& tester, const std::pair<int64_t, int64_t>& c) {
+        return tester.Test(a_.polygon(static_cast<size_t>(c.first)),
+                           b_.polygon(static_cast<size_t>(c.second)), d);
+      });
+  result.counts.compared += static_cast<int64_t>(undecided.size());
+  result.pairs.insert(result.pairs.end(), refined.accepted.begin(),
+                      refined.accepted.end());
   result.costs.compare_ms = watch.ElapsedMillis();
   result.counts.results = static_cast<int64_t>(result.pairs.size());
-  result.hw_counters = tester.counters();
+  result.hw_counters = refined.counters;
   return result;
 }
 

@@ -21,6 +21,10 @@ struct DistanceJoinOptions {
   bool use_hw = false;
   HwConfig hw;
   algo::DistanceOptions sw;
+  // Worker threads for the geometry-comparison stage; 1 = serial, 0 =
+  // hardware concurrency. Results and counter totals are identical at
+  // every thread count (core/refinement_executor.h).
+  int num_threads = 1;
 };
 
 struct DistanceJoinResult {

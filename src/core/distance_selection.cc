@@ -2,6 +2,7 @@
 
 #include "common/stopwatch.h"
 #include "core/hw_distance.h"
+#include "core/refinement_executor.h"
 #include "filter/object_filters.h"
 
 namespace hasj::core {
@@ -45,19 +46,25 @@ DistanceSelectionResult WithinDistanceSelection::Run(
   }
   result.costs.filter_ms = watch.ElapsedMillis();
 
-  // Stage 3: geometry comparison through the shared refinement engine.
+  // Stage 3: geometry comparison through the shared refinement engine,
+  // one tester per worker; accepted ids come back in candidate order at
+  // every thread count.
   watch.Restart();
   HwConfig hw_config = options.hw;
   hw_config.enable_hw = options.use_hw;
-  HwDistanceTester tester(hw_config, options.sw);
-  for (int64_t id : undecided) {
-    const geom::Polygon& object = dataset_.polygon(static_cast<size_t>(id));
-    ++result.counts.compared;
-    if (tester.Test(object, query, d)) result.ids.push_back(id);
-  }
+  RefinementExecutor executor(options.num_threads);
+  RefinementOutcome<int64_t> refined = executor.Refine(
+      undecided, [&] { return HwDistanceTester(hw_config, options.sw); },
+      [&](HwDistanceTester& tester, int64_t id) {
+        return tester.Test(dataset_.polygon(static_cast<size_t>(id)), query,
+                           d);
+      });
+  result.counts.compared += static_cast<int64_t>(undecided.size());
+  result.ids.insert(result.ids.end(), refined.accepted.begin(),
+                    refined.accepted.end());
   result.costs.compare_ms = watch.ElapsedMillis();
   result.counts.results = static_cast<int64_t>(result.ids.size());
-  result.hw_counters = tester.counters();
+  result.hw_counters = refined.counters;
   return result;
 }
 

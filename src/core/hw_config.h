@@ -55,6 +55,24 @@ struct HwCounters {
   double pip_ms = 0.0;           // point-in-polygon step wall time
   double hw_ms = 0.0;            // hardware (rendering + search) wall time
   double sw_ms = 0.0;            // software segment/distance test wall time
+
+  // Merges another tester's counters (the parallel refinement executor
+  // sums per-worker testers in worker order). The integer totals are
+  // scheduling-independent; the *_ms fields are summed per-worker wall
+  // time, which exceeds the stage's elapsed time when workers overlap.
+  HwCounters& operator+=(const HwCounters& o) {
+    tests += o.tests;
+    pip_hits += o.pip_hits;
+    sw_threshold_skips += o.sw_threshold_skips;
+    hw_tests += o.hw_tests;
+    hw_rejects += o.hw_rejects;
+    sw_tests += o.sw_tests;
+    width_fallbacks += o.width_fallbacks;
+    pip_ms += o.pip_ms;
+    hw_ms += o.hw_ms;
+    sw_ms += o.sw_ms;
+    return *this;
+  }
 };
 
 }  // namespace hasj::core

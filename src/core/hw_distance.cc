@@ -145,6 +145,7 @@ bool HwDistanceTester::HwDilatedBoundariesOverlap(
         mask_a_.Set(x, y);
         --unset;
       }
+      return unset == 0;  // saturated: stop drawing
     };
     // Chained edges share endpoints; draw each capsule end cap once.
     for (size_t i = 0; i < first.size() && unset > 0; ++i) {
@@ -156,9 +157,12 @@ bool HwDistanceTester::HwDilatedBoundariesOverlap(
       }
       glsim::RasterizeWidePoint(b, width_px, res, res, set);
     }
+    // The probe stops the rasterizer at the first doubly-colored pixel
+    // (early-exit emit contract, glsim/raster.h).
     bool found = false;
     const auto probe = [&](int x, int y) {
       found = found || mask_a_.Test(x, y);
+      return found;
     };
     for (size_t i = 0; i < second.size() && !found; ++i) {
       const geom::Point a = ctx_.ToWindow(second[i].a);

@@ -121,11 +121,15 @@ bool HwIntersectionTester::HwBoundariesOverlap(const geom::Polygon& p,
                                  mask_a_.Set(x, y);
                                  --unset;
                                }
+                               return unset == 0;  // saturated: stop drawing
                              });
     }
     if (!any_first) return false;
     // Probe the first mask while rasterizing the second boundary: the
-    // decision is identical to building both masks, found sooner.
+    // decision is identical to building both masks, found sooner. The
+    // callback returns `found` so the rasterizer stops at the first
+    // doubly-colored pixel instead of clipping and emitting every
+    // remaining span of the current edge.
     bool found = false;
     for (size_t i = 0; i < q.size() && !found; ++i) {
       const geom::Segment e = q.edge(i);
@@ -133,6 +137,7 @@ bool HwIntersectionTester::HwBoundariesOverlap(const geom::Polygon& p,
       glsim::RasterizeLineAA(ctx_.ToWindow(e.a), ctx_.ToWindow(e.b),
                              config_.line_width, res, res, [&](int x, int y) {
                                found = found || mask_a_.Test(x, y);
+                               return found;
                              });
     }
     return found;

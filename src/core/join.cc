@@ -1,10 +1,10 @@
 #include "core/join.h"
 
-#include <memory>
+#include <optional>
 
 #include "common/stopwatch.h"
 #include "core/hw_intersection.h"
-#include "filter/raster_signature.h"
+#include "core/refinement_executor.h"
 
 namespace hasj::core {
 
@@ -15,6 +15,7 @@ IntersectionJoin::IntersectionJoin(const data::Dataset& a,
 JoinResult IntersectionJoin::Run(const JoinOptions& options) const {
   JoinResult result;
   Stopwatch watch;
+  RefinementExecutor executor(options.num_threads);
 
   // Stage 1: MBR join.
   const std::vector<std::pair<int64_t, int64_t>> candidates =
@@ -23,28 +24,38 @@ JoinResult IntersectionJoin::Run(const JoinOptions& options) const {
   result.costs.mbr_ms = watch.ElapsedMillis();
 
   // Stage 2 (optional): rasterization intermediate filter. Signatures are
-  // built lazily per polygon and reused across the pairs of this run.
+  // built lazily per polygon (at most once, std::call_once per slot) and
+  // cached in the join object across runs; with a parallel executor the
+  // candidate signatures are pre-built concurrently before the serial
+  // decision loop reads them.
   watch.Restart();
   std::vector<std::pair<int64_t, int64_t>> undecided;
   const std::vector<std::pair<int64_t, int64_t>>* to_compare = &candidates;
   if (options.raster_filter_grid > 0) {
-    std::vector<std::unique_ptr<filter::RasterSignature>> sig_a(a_.size());
-    std::vector<std::unique_ptr<filter::RasterSignature>> sig_b(b_.size());
-    const auto signature =
-        [&](std::vector<std::unique_ptr<filter::RasterSignature>>& cache,
-            const data::Dataset& ds,
-            int64_t id) -> const filter::RasterSignature& {
-      auto& slot = cache[static_cast<size_t>(id)];
-      if (slot == nullptr) {
-        slot = std::make_unique<filter::RasterSignature>(
-            ds.polygon(static_cast<size_t>(id)), options.raster_filter_grid);
-      }
-      return *slot;
-    };
+    const filter::SignatureCache::Snapshot sig_a =
+        sig_cache_a_.Acquire(options.raster_filter_grid, a_.size());
+    const filter::SignatureCache::Snapshot sig_b =
+        sig_cache_b_.Acquire(options.raster_filter_grid, b_.size());
+    if (executor.threads() > 1) {
+      executor.ParallelFor(
+          static_cast<int64_t>(candidates.size()),
+          [&](int64_t begin, int64_t end, int /*worker*/) {
+            for (int64_t i = begin; i < end; ++i) {
+              const auto& [ida, idb] = candidates[static_cast<size_t>(i)];
+              sig_a.Get(static_cast<size_t>(ida),
+                        a_.polygon(static_cast<size_t>(ida)));
+              sig_b.Get(static_cast<size_t>(idb),
+                        b_.polygon(static_cast<size_t>(idb)));
+            }
+          });
+    }
     undecided.reserve(candidates.size());
     for (const auto& [ida, idb] : candidates) {
-      switch (filter::CompareRasterSignatures(signature(sig_a, a_, ida),
-                                              signature(sig_b, b_, idb))) {
+      switch (filter::CompareRasterSignatures(
+          sig_a.Get(static_cast<size_t>(ida),
+                    a_.polygon(static_cast<size_t>(ida))),
+          sig_b.Get(static_cast<size_t>(idb),
+                    b_.polygon(static_cast<size_t>(idb))))) {
         case filter::RasterFilterDecision::kIntersect:
           result.pairs.emplace_back(ida, idb);
           ++result.raster_positives;
@@ -66,20 +77,24 @@ JoinResult IntersectionJoin::Run(const JoinOptions& options) const {
   // Stage 3: geometry comparison (the intersection join of the paper uses
   // no intermediate filter; the interior filter targets selections). The
   // tester is the refinement engine for both modes, so the software
-  // baseline shares the cached point locators.
+  // baseline shares the cached point locators. Each worker owns a tester;
+  // accepted pairs come back in candidate order at every thread count.
   watch.Restart();
   HwConfig hw_config = options.hw;
   hw_config.enable_hw = options.use_hw;
-  HwIntersectionTester tester(hw_config, options.sw);
-  for (const auto& [ida, idb] : *to_compare) {
-    const geom::Polygon& pa = a_.polygon(static_cast<size_t>(ida));
-    const geom::Polygon& pb = b_.polygon(static_cast<size_t>(idb));
-    ++result.counts.compared;
-    if (tester.Test(pa, pb)) result.pairs.emplace_back(ida, idb);
-  }
+  RefinementOutcome<std::pair<int64_t, int64_t>> refined = executor.Refine(
+      *to_compare,
+      [&] { return HwIntersectionTester(hw_config, options.sw); },
+      [&](HwIntersectionTester& tester, const std::pair<int64_t, int64_t>& c) {
+        return tester.Test(a_.polygon(static_cast<size_t>(c.first)),
+                           b_.polygon(static_cast<size_t>(c.second)));
+      });
+  result.counts.compared += static_cast<int64_t>(to_compare->size());
+  result.pairs.insert(result.pairs.end(), refined.accepted.begin(),
+                      refined.accepted.end());
   result.costs.compare_ms = watch.ElapsedMillis();
   result.counts.results = static_cast<int64_t>(result.pairs.size());
-  result.hw_counters = tester.counters();
+  result.hw_counters = refined.counters;
   return result;
 }
 

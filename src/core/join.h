@@ -9,6 +9,7 @@
 #include "core/hw_config.h"
 #include "core/query_stats.h"
 #include "data/dataset.h"
+#include "filter/signature_cache.h"
 #include "index/rtree.h"
 
 namespace hasj::core {
@@ -18,11 +19,16 @@ struct JoinOptions {
   HwConfig hw;
   algo::SoftwareIntersectOptions sw;
   // Rasterization intermediate filter (Zimbrão & Souza, Table 1 of the
-  // paper): per-polygon raster signatures, built lazily once per run,
-  // prove candidate pairs intersecting or disjoint before geometry
-  // comparison. Value = signature grid size; 0 disables (the paper's
-  // evaluated configuration).
+  // paper): per-polygon raster signatures, built lazily and cached in the
+  // join object across runs, prove candidate pairs intersecting or
+  // disjoint before geometry comparison. Value = signature grid size; 0
+  // disables (the paper's evaluated configuration).
   int raster_filter_grid = 0;
+  // Worker threads for the geometry-comparison stage and the raster-
+  // signature pre-build; 1 = serial, 0 = hardware concurrency. Results and
+  // counter totals are identical at every thread count
+  // (core/refinement_executor.h).
+  int num_threads = 1;
 };
 
 struct JoinResult {
@@ -37,6 +43,9 @@ struct JoinResult {
 // Intersection join A ⋈ B: all object pairs with intersecting geometries.
 // MBR filtering is a synchronized R-tree traversal; geometry comparison is
 // the software or hardware-assisted intersection test (Figures 12-13).
+//
+// Run() is const and internally synchronized (thread-safe signature
+// caches; per-worker testers), so concurrent Run() calls are safe.
 class IntersectionJoin {
  public:
   // Keeps references to both datasets; builds both R-trees once.
@@ -49,6 +58,9 @@ class IntersectionJoin {
   const data::Dataset& b_;
   index::RTree rtree_a_;
   index::RTree rtree_b_;
+  // Per-side raster signatures, cached across runs at a fixed grid.
+  filter::SignatureCache sig_cache_a_;
+  filter::SignatureCache sig_cache_b_;
 };
 
 }  // namespace hasj::core

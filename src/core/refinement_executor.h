@@ -1,0 +1,115 @@
+#ifndef HASJ_CORE_REFINEMENT_EXECUTOR_H_
+#define HASJ_CORE_REFINEMENT_EXECUTOR_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/hw_config.h"
+
+namespace hasj::core {
+
+// Outcome of one refinement stage: the accepted candidates in candidate
+// order plus the per-worker testers' counters merged in worker order.
+template <typename Item>
+struct RefinementOutcome {
+  std::vector<Item> accepted;
+  HwCounters counters;
+};
+
+// Runs the geometry-comparison stage of a query pipeline over a candidate
+// list, optionally in parallel.
+//
+// Each worker gets its own tester from the factory — an
+// HwIntersectionTester/HwDistanceTester owns its render context, pixel
+// masks, and point-locator cache, so workers share nothing and need no
+// locks (the paper's off-screen window simply exists once per worker).
+// Workers record per-candidate verdicts into a preallocated array and a
+// serial pass gathers the accepted items, so the output order is the
+// candidate order and byte-identical to the serial loop at every thread
+// count. Counters are merged in worker order: the integer totals are
+// scheduling-independent (every candidate is tested exactly once); only
+// the wall-clock fields vary run to run, as they do for the serial loop.
+//
+// num_threads as carried by the query options: 1 (the default) is the
+// serial loop with a single tester, 0 means hardware concurrency.
+class RefinementExecutor {
+ public:
+  explicit RefinementExecutor(int num_threads)
+      : threads_(ThreadPool::ResolveThreadCount(num_threads)) {
+    if (threads_ > 1) pool_.emplace(threads_);
+  }
+
+  int threads() const { return threads_; }
+
+  // Chunked parallel loop over [0, n): body(begin, end, worker). Runs
+  // inline when the executor is serial. Used by the pipelines to pre-build
+  // shared read-only state (raster-signature caches) before a serial scan.
+  void ParallelFor(int64_t n, const ThreadPool::Body& body) {
+    if (n <= 0) return;
+    if (!pool_.has_value()) {
+      body(0, n, 0);
+      return;
+    }
+    pool_->ParallelFor(n, Grain(n), body);
+  }
+
+  // test(tester, item) -> keep? with tester built once per worker by
+  // make_tester(). Returns accepted items in input order plus merged
+  // counters.
+  template <typename Item, typename MakeTester, typename Test>
+  RefinementOutcome<Item> Refine(const std::vector<Item>& items,
+                                 MakeTester&& make_tester, Test&& test) const {
+    RefinementOutcome<Item> out;
+    const int64_t n = static_cast<int64_t>(items.size());
+    if (!pool_.has_value() || n <= 1) {
+      auto tester = make_tester();
+      out.accepted.reserve(items.size());
+      for (const Item& item : items) {
+        if (test(tester, item)) out.accepted.push_back(item);
+      }
+      out.counters = tester.counters();
+      return out;
+    }
+
+    using Tester = decltype(make_tester());
+    std::vector<Tester> testers;
+    testers.reserve(static_cast<size_t>(threads_));
+    for (int w = 0; w < threads_; ++w) testers.push_back(make_tester());
+
+    std::vector<uint8_t> verdict(items.size(), 0);
+    pool_->ParallelFor(n, Grain(n),
+                       [&](int64_t begin, int64_t end, int worker) {
+                         Tester& tester = testers[static_cast<size_t>(worker)];
+                         for (int64_t i = begin; i < end; ++i) {
+                           verdict[static_cast<size_t>(i)] =
+                               test(tester, items[static_cast<size_t>(i)]) ? 1
+                                                                           : 0;
+                         }
+                       });
+
+    out.accepted.reserve(items.size());
+    for (size_t i = 0; i < items.size(); ++i) {
+      if (verdict[i]) out.accepted.push_back(items[i]);
+    }
+    for (const Tester& tester : testers) out.counters += tester.counters();
+    return out;
+  }
+
+ private:
+  // ~8 handouts per worker: coarse enough that the shared cursor is cold,
+  // fine enough that one slow chunk cannot serialize the tail.
+  int64_t Grain(int64_t n) const {
+    return std::max<int64_t>(1, n / (static_cast<int64_t>(threads_) * 8));
+  }
+
+  int threads_;
+  mutable std::optional<ThreadPool> pool_;
+};
+
+}  // namespace hasj::core
+
+#endif  // HASJ_CORE_REFINEMENT_EXECUTOR_H_

@@ -4,6 +4,7 @@
 
 #include "common/stopwatch.h"
 #include "core/hw_intersection.h"
+#include "core/refinement_executor.h"
 #include "filter/interior_filter.h"
 
 namespace hasj::core {
@@ -13,25 +14,11 @@ IntersectionSelection::IntersectionSelection(const data::Dataset& dataset)
 
 IntersectionSelection::~IntersectionSelection() = default;
 
-const filter::RasterSignature& IntersectionSelection::SignatureOf(
-    int64_t id, int grid) const {
-  if (signature_grid_ != grid) {
-    signatures_.clear();
-    signatures_.resize(dataset_.size());
-    signature_grid_ = grid;
-  }
-  auto& slot = signatures_[static_cast<size_t>(id)];
-  if (slot == nullptr) {
-    slot = std::make_unique<filter::RasterSignature>(
-        dataset_.polygon(static_cast<size_t>(id)), grid);
-  }
-  return *slot;
-}
-
 SelectionResult IntersectionSelection::Run(
     const geom::Polygon& query, const SelectionOptions& options) const {
   SelectionResult result;
   Stopwatch watch;
+  RefinementExecutor executor(options.num_threads);
 
   // Stage 1: MBR filtering.
   const std::vector<int64_t> candidates =
@@ -49,8 +36,29 @@ SelectionResult IntersectionSelection::Run(
     interior.emplace(query, options.interior_tiling_level);
   }
   std::optional<filter::RasterSignature> query_signature;
+  std::optional<filter::SignatureCache::Snapshot> signatures;
   if (options.raster_filter_grid > 0) {
     query_signature.emplace(query, options.raster_filter_grid);
+    signatures = signature_cache_.Acquire(options.raster_filter_grid,
+                                          dataset_.size());
+    // Pre-build the candidate signatures in parallel (per-slot call_once,
+    // so duplicate builds cannot happen); the serial decision loop below
+    // then reads a warm cache. Candidates the interior filter will decide
+    // never need a signature, so they are skipped here too.
+    if (executor.threads() > 1) {
+      executor.ParallelFor(
+          static_cast<int64_t>(candidates.size()),
+          [&](int64_t begin, int64_t end, int /*worker*/) {
+            for (int64_t i = begin; i < end; ++i) {
+              const size_t id = static_cast<size_t>(candidates[i]);
+              if (interior.has_value() &&
+                  interior->IdentifiesPositive(dataset_.mbr(id))) {
+                continue;
+              }
+              signatures->Get(id, dataset_.polygon(id));
+            }
+          });
+    }
   }
   for (int64_t id : candidates) {
     if (interior.has_value() &&
@@ -61,7 +69,9 @@ SelectionResult IntersectionSelection::Run(
     }
     if (query_signature.has_value()) {
       switch (filter::CompareRasterSignatures(
-          SignatureOf(id, options.raster_filter_grid), *query_signature)) {
+          signatures->Get(static_cast<size_t>(id),
+                          dataset_.polygon(static_cast<size_t>(id))),
+          *query_signature)) {
         case filter::RasterFilterDecision::kIntersect:
           result.ids.push_back(id);
           ++result.raster_positives;
@@ -81,19 +91,23 @@ SelectionResult IntersectionSelection::Run(
 
   // Stage 3: geometry comparison. The tester is the refinement engine for
   // both modes (use_hw toggles the hardware filter), so the software
-  // baseline shares the cached point locators.
+  // baseline shares the cached point locators. Each worker owns a tester;
+  // accepted ids come back in candidate order at every thread count.
   watch.Restart();
   HwConfig hw_config = options.hw;
   hw_config.enable_hw = options.use_hw;
-  HwIntersectionTester tester(hw_config, options.sw);
-  for (int64_t id : undecided) {
-    const geom::Polygon& object = dataset_.polygon(static_cast<size_t>(id));
-    ++result.counts.compared;
-    if (tester.Test(object, query)) result.ids.push_back(id);
-  }
+  RefinementOutcome<int64_t> refined = executor.Refine(
+      undecided,
+      [&] { return HwIntersectionTester(hw_config, options.sw); },
+      [&](HwIntersectionTester& tester, int64_t id) {
+        return tester.Test(dataset_.polygon(static_cast<size_t>(id)), query);
+      });
+  result.counts.compared += static_cast<int64_t>(undecided.size());
+  result.ids.insert(result.ids.end(), refined.accepted.begin(),
+                    refined.accepted.end());
   result.costs.compare_ms = watch.ElapsedMillis();
   result.counts.results = static_cast<int64_t>(result.ids.size());
-  result.hw_counters = tester.counters();
+  result.hw_counters = refined.counters;
   return result;
 }
 

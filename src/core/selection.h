@@ -9,7 +9,7 @@
 #include "core/hw_config.h"
 #include "core/query_stats.h"
 #include "data/dataset.h"
-#include "filter/raster_signature.h"
+#include "filter/signature_cache.h"
 #include "geom/polygon.h"
 #include "index/rtree.h"
 
@@ -29,6 +29,12 @@ struct SelectionOptions {
   bool use_hw = false;
   HwConfig hw;
   algo::SoftwareIntersectOptions sw;
+  // Worker threads for the geometry-comparison stage (and the raster-
+  // signature pre-build): each worker runs its own tester over a chunk of
+  // the candidate list (core/refinement_executor.h). 1 = serial (the
+  // paper's single off-screen window), 0 = hardware concurrency. Results
+  // and counter totals are identical at every thread count.
+  int num_threads = 1;
 };
 
 struct SelectionResult {
@@ -44,7 +50,10 @@ struct SelectionResult {
 // processed as MBR filtering (R-tree) -> intermediate filters (interior
 // and/or raster) -> geometry comparison, the paper's Figure 8 pipeline.
 //
-// Not thread-safe: Run() populates the lazy per-object signature cache.
+// Run() is const and internally synchronized: the per-object signature
+// cache is a filter::SignatureCache (per-slot std::call_once builds,
+// snapshot-pinned grid resets), so concurrent Run() calls — and the
+// parallel refinement workers inside one call — are safe.
 class IntersectionSelection {
  public:
   // Keeps a reference to the dataset; builds the R-tree once.
@@ -55,14 +64,12 @@ class IntersectionSelection {
                       const SelectionOptions& options = {}) const;
 
  private:
-  const filter::RasterSignature& SignatureOf(int64_t id, int grid) const;
-
   const data::Dataset& dataset_;
   index::RTree rtree_;
-  // Lazy raster signatures, keyed by object id; invalidated when a run
-  // requests a different grid size.
-  mutable std::vector<std::unique_ptr<filter::RasterSignature>> signatures_;
-  mutable int signature_grid_ = 0;
+  // Lazy raster signatures, keyed by object id; a run acquires a snapshot
+  // for its grid size, so grid changes install a fresh slot array instead
+  // of clearing one that another run may still be reading.
+  filter::SignatureCache signature_cache_;
 };
 
 }  // namespace hasj::core

@@ -1,0 +1,49 @@
+#include "filter/signature_cache.h"
+
+#include "common/macros.h"
+
+namespace hasj::filter {
+
+struct SignatureCache::Snapshot::State {
+  struct Slot {
+    std::once_flag once;
+    std::unique_ptr<RasterSignature> signature;
+  };
+
+  int grid = 0;
+  size_t count = 0;
+  std::unique_ptr<Slot[]> slots;
+};
+
+SignatureCache::Snapshot::Snapshot(std::shared_ptr<State> state)
+    : state_(std::move(state)) {}
+
+int SignatureCache::Snapshot::grid() const { return state_->grid; }
+
+const RasterSignature& SignatureCache::Snapshot::Get(
+    size_t id, const geom::Polygon& polygon) const {
+  HASJ_CHECK(id < state_->count);
+  State::Slot& slot = state_->slots[id];
+  std::call_once(slot.once, [&] {
+    slot.signature = std::make_unique<RasterSignature>(polygon, state_->grid);
+  });
+  return *slot.signature;
+}
+
+SignatureCache::SignatureCache() = default;
+SignatureCache::~SignatureCache() = default;
+
+SignatureCache::Snapshot SignatureCache::Acquire(int grid, size_t count) const {
+  HASJ_CHECK(grid > 0);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ == nullptr || state_->grid != grid || state_->count < count) {
+    auto fresh = std::make_shared<Snapshot::State>();
+    fresh->grid = grid;
+    fresh->count = count;
+    fresh->slots = std::make_unique<Snapshot::State::Slot[]>(count);
+    state_ = std::move(fresh);
+  }
+  return Snapshot(state_);
+}
+
+}  // namespace hasj::filter

@@ -1,0 +1,57 @@
+#ifndef HASJ_FILTER_SIGNATURE_CACHE_H_
+#define HASJ_FILTER_SIGNATURE_CACHE_H_
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+
+#include "filter/raster_signature.h"
+#include "geom/polygon.h"
+
+namespace hasj::filter {
+
+// Thread-safe, reset-correct lazy cache of per-object RasterSignatures for
+// one grid size.
+//
+// A query run acquires a Snapshot for its grid before its filter stage;
+// the snapshot pins the slot array, so a later (or concurrent) run that
+// requests a different grid installs a fresh array without invalidating
+// signatures the first run still references — the reset-correctness the
+// old clear-and-rebuild-inside-const-Run scheme lacked. Slot builds are
+// serialized per object with std::call_once, so concurrent workers of one
+// run (or concurrent runs at the same grid) build each signature exactly
+// once and never observe a half-built one.
+class SignatureCache {
+ public:
+  class Snapshot {
+   public:
+    int grid() const;
+
+    // The signature of object `id`, built from `polygon` on first use
+    // (callers must pass the same polygon for the same id). Safe to call
+    // concurrently for any ids, including the same id.
+    const RasterSignature& Get(size_t id, const geom::Polygon& polygon) const;
+
+   private:
+    friend class SignatureCache;
+    struct State;
+    explicit Snapshot(std::shared_ptr<State> state);
+    std::shared_ptr<State> state_;
+  };
+
+  SignatureCache();
+  ~SignatureCache();
+
+  // Snapshot for `grid` over objects [0, count); reuses the live slot
+  // array when the grid matches (the cross-query amortization the paper's
+  // pre-processing taxonomy describes), otherwise installs a fresh one.
+  Snapshot Acquire(int grid, size_t count) const;
+
+ private:
+  mutable std::mutex mu_;
+  mutable std::shared_ptr<Snapshot::State> state_;
+};
+
+}  // namespace hasj::filter
+
+#endif  // HASJ_FILTER_SIGNATURE_CACHE_H_

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <limits>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 #include "common/macros.h"
@@ -17,8 +18,28 @@ namespace hasj::glsim {
 // All functions work in window coordinates, clip to the viewport
 // [0, vw) x [0, vh) (in cells), and invoke emit(px, py) once per covered
 // pixel. They are templates so the render context's buffer writes inline.
+//
+// Early-exit contract (RasterizeWidePoint, RasterizeLineAA,
+// RasterizeTriangleConservative): emit may return bool, and returning true
+// stops the rasterization of the current primitive — the remaining pixels
+// are skipped. The bitmask testers' probe loops use this to stop at the
+// first doubly-colored pixel instead of clipping and emitting every span
+// of the remaining edge. A void-returning emit never stops (the buffer
+// writes of the render context).
 
 namespace raster_internal {
+
+// Invokes emit and normalizes its result to the early-exit contract:
+// void -> never stop, bool -> stop when true.
+template <typename Emit>
+inline bool EmitStops(Emit& emit, int x, int y) {
+  if constexpr (std::is_same_v<decltype(emit(x, y)), bool>) {
+    return emit(x, y);
+  } else {
+    emit(x, y);
+    return false;
+  }
+}
 
 // Clamps a floating-point cell index into [lo, hi] before the int cast;
 // degenerate viewports can magnify window coordinates past INT_MAX, where a
@@ -32,15 +53,19 @@ inline int ClampCellIndex(double v, int lo, int hi) {
 // Emits every cell column in row `y` whose closed cell intersects the
 // closed x-interval [xlo, xhi], with a conservative relative tolerance (the
 // same reasoning as coverage.cc: rounding must only ever add pixels).
+// Returns true when emit stopped the rasterization.
 template <typename Emit>
-void EmitRowSpan(double xlo, double xhi, int y, int vw, Emit& emit) {
-  if (xlo > xhi) return;
+bool EmitRowSpan(double xlo, double xhi, int y, int vw, Emit& emit) {
+  if (xlo > xhi) return false;
   const double tol = 1e-12 * (std::fabs(xlo) + std::fabs(xhi)) + 1e-300;
   // Column c (cell [c, c+1]) intersects [xlo, xhi] iff c <= xhi and
   // c+1 >= xlo.
   const int c0 = ClampCellIndex(std::ceil(xlo - tol) - 1.0, 0, vw - 1);
   const int c1 = ClampCellIndex(std::floor(xhi + tol), 0, vw - 1);
-  for (int c = c0; c <= c1; ++c) emit(c, y);
+  for (int c = c0; c <= c1; ++c) {
+    if (EmitStops(emit, c, y)) return true;
+  }
+  return false;
 }
 
 // Per-row x-extents of a convex polygon over the cell rows of a viewport.
@@ -133,7 +158,9 @@ void RasterizeWidePoint(geom::Point p, double size, int vw, int vh, Emit emit) {
     const double under = rtol * rtol - dy * dy;
     if (under < 0.0) continue;
     const double halfw = std::sqrt(under);
-    raster_internal::EmitRowSpan(p.x - halfw, p.x + halfw, y, vw, emit);
+    if (raster_internal::EmitRowSpan(p.x - halfw, p.x + halfw, y, vw, emit)) {
+      return;
+    }
   }
 }
 
@@ -171,7 +198,10 @@ void RasterizeLineAA(geom::Point a, geom::Point b, double width, int vw,
   spans.AddEdge(c2, c3);
   spans.AddEdge(c3, c0);
   for (int r = spans.row_min; r <= spans.row_max; ++r) {
-    raster_internal::EmitRowSpan(spans.xlo[r], spans.xhi[r], r, vw, emit);
+    if (raster_internal::EmitRowSpan(spans.xlo[r], spans.xhi[r], r, vw,
+                                     emit)) {
+      return;
+    }
   }
 }
 
@@ -192,7 +222,10 @@ void RasterizeTriangleConservative(geom::Point a, geom::Point b,
   spans.AddEdge(b, c);
   spans.AddEdge(c, a);
   for (int r = spans.row_min; r <= spans.row_max; ++r) {
-    raster_internal::EmitRowSpan(spans.xlo[r], spans.xhi[r], r, vw, emit);
+    if (raster_internal::EmitRowSpan(spans.xlo[r], spans.xhi[r], r, vw,
+                                     emit)) {
+      return;
+    }
   }
 }
 

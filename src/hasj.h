@@ -11,6 +11,7 @@
 #include "algo/polygon_distance.h"
 #include "algo/triangulate.h"
 #include "algo/polygon_intersect.h"
+#include "common/thread_pool.h"
 #include "core/distance_join.h"
 #include "core/distance_selection.h"
 #include "core/hw_distance.h"
@@ -18,6 +19,7 @@
 #include "core/hw_intersection.h"
 #include "core/hw_nearest.h"
 #include "core/join.h"
+#include "core/refinement_executor.h"
 #include "core/selection.h"
 #include "data/catalogs.h"
 #include "data/dataset.h"
@@ -26,6 +28,7 @@
 #include "data/svg.h"
 #include "filter/interior_filter.h"
 #include "filter/raster_signature.h"
+#include "filter/signature_cache.h"
 #include "filter/object_filters.h"
 #include "geom/box.h"
 #include "geom/clip.h"

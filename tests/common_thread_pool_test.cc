@@ -1,0 +1,93 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace hasj {
+namespace {
+
+TEST(ThreadPoolTest, ResolveThreadCount) {
+  EXPECT_EQ(ThreadPool::ResolveThreadCount(1), 1);
+  EXPECT_EQ(ThreadPool::ResolveThreadCount(7), 7);
+  EXPECT_GE(ThreadPool::ResolveThreadCount(0), 1);  // hardware concurrency
+}
+
+TEST(ThreadPoolTest, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  std::vector<int> workers;
+  pool.ParallelFor(10, 3, [&](int64_t begin, int64_t end, int worker) {
+    workers.push_back(worker);
+    EXPECT_LT(begin, end);
+  });
+  // One pool thread = the caller: chunking collapses to one inline call.
+  EXPECT_EQ(workers, std::vector<int>({0}));
+}
+
+TEST(ThreadPoolTest, EveryIndexVisitedExactlyOnce) {
+  for (int threads : {1, 2, 4, 8}) {
+    for (int64_t n : {0, 1, 5, 64, 1000}) {
+      ThreadPool pool(threads);
+      std::vector<std::atomic<int>> visits(static_cast<size_t>(n));
+      pool.ParallelFor(n, 7, [&](int64_t begin, int64_t end, int worker) {
+        EXPECT_GE(worker, 0);
+        EXPECT_LT(worker, threads);
+        // A single-thread pool skips chunking and runs [0, n) inline.
+        if (threads > 1) {
+          EXPECT_LE(end - begin, 7);
+        }
+        for (int64_t i = begin; i < end; ++i) {
+          visits[static_cast<size_t>(i)].fetch_add(1);
+        }
+      });
+      for (int64_t i = 0; i < n; ++i) {
+        EXPECT_EQ(visits[static_cast<size_t>(i)].load(), 1)
+            << "threads=" << threads << " n=" << n << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAcrossJobs) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int64_t> sum{0};
+    pool.ParallelFor(100, 9, [&](int64_t begin, int64_t end, int) {
+      int64_t local = 0;
+      for (int64_t i = begin; i < end; ++i) local += i;
+      sum.fetch_add(local);
+    });
+    EXPECT_EQ(sum.load(), 99 * 100 / 2) << "round " << round;
+  }
+}
+
+TEST(ThreadPoolTest, PerWorkerStateNeedsNoLocking) {
+  // The contract the refinement executor relies on: invocations for one
+  // worker index are serial, so unsynchronized per-worker accumulators
+  // must end up consistent.
+  const int threads = 8;
+  ThreadPool pool(threads);
+  std::vector<int64_t> per_worker(threads, 0);
+  const int64_t n = 10000;
+  pool.ParallelFor(n, 13, [&](int64_t begin, int64_t end, int worker) {
+    per_worker[static_cast<size_t>(worker)] += end - begin;
+  });
+  EXPECT_EQ(std::accumulate(per_worker.begin(), per_worker.end(), int64_t{0}),
+            n);
+}
+
+TEST(ThreadPoolTest, GrainLargerThanRangeIsOneChunk) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(5, 1000, [&](int64_t begin, int64_t end, int) {
+    calls.fetch_add(1);
+    EXPECT_EQ(begin, 0);
+    EXPECT_EQ(end, 5);
+  });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+}  // namespace
+}  // namespace hasj

@@ -184,5 +184,82 @@ TEST(HwIntersectionTest, SinglePointTouchThroughHardwarePath) {
   }
 }
 
+TEST(HwIntersectionTest, EdgeSharedMbrsDegenerateViewport) {
+  // MBRs share exactly one edge: the intersection box has zero width, so
+  // the render viewport degenerates to a vertical line and SetDataRect must
+  // inflate it rather than divide by zero. Swept over resolutions and
+  // backends because the failure mode (NaN window coordinates) depends on
+  // the scale factors.
+  const Polygon left({{0, 0}, {2, 0}, {2, 2}, {0, 2}});
+  const Polygon right({{2, 0}, {4, 0}, {4, 2}, {2, 2}});       // shares x=2
+  const Polygon right_up({{2, 3}, {4, 3}, {4, 5}, {2, 5}});    // disjoint
+  const Polygon above({{0, 2}, {2, 2}, {2, 4}, {0, 4}});       // shares y=2
+  for (int resolution : {1, 2, 8, 32}) {
+    for (HwBackend backend : {HwBackend::kFaithful, HwBackend::kBitmask}) {
+      HwConfig config;
+      config.resolution = resolution;
+      config.backend = backend;
+      HwIntersectionTester tester(config);
+      SCOPED_TRACE(testing::Message() << "res " << resolution << " backend "
+                                      << static_cast<int>(backend));
+      EXPECT_TRUE(tester.Test(left, right));   // whole edge shared
+      EXPECT_TRUE(tester.Test(left, above));   // zero-height viewport
+      EXPECT_FALSE(tester.Test(left, right_up));
+    }
+  }
+}
+
+TEST(HwIntersectionTest, CornerSharedMbrsPointViewport) {
+  // MBRs share exactly one corner: zero width AND zero height, the
+  // strongest degenerate-viewport case. The polygons meet at (2, 2), so
+  // closed-coverage semantics require a positive answer at any resolution.
+  const Polygon lower(
+      {{0, 0}, {2, 0}, {2, 2}, {0, 2}});
+  const Polygon upper({{2, 2}, {4, 2}, {4, 4}, {2, 4}});
+  // Same MBR corner-touch geometry but the boundaries stay away from the
+  // shared corner: MBR filter passes, refinement must say no.
+  const Polygon lower_notch({{0, 0}, {2, 0}, {1, 1}, {0, 2}});
+  const Polygon upper_notch({{3, 3}, {4, 2}, {4, 4}, {2, 4}});
+  for (int resolution : {1, 2, 8, 32}) {
+    for (HwBackend backend : {HwBackend::kFaithful, HwBackend::kBitmask}) {
+      HwConfig config;
+      config.resolution = resolution;
+      config.backend = backend;
+      HwIntersectionTester tester(config);
+      SCOPED_TRACE(testing::Message() << "res " << resolution << " backend "
+                                      << static_cast<int>(backend));
+      EXPECT_TRUE(tester.Test(lower, upper));
+      EXPECT_FALSE(tester.Test(lower_notch, upper_notch));
+    }
+  }
+}
+
+TEST(HwIntersectionTest, TouchingMbrPairsAgreeWithSoftwareRandomized) {
+  // Randomized regression for the degenerate-viewport path: blob pairs
+  // translated so their MBRs touch exactly (shared edge), which forces a
+  // zero-area MBR intersection through the full hardware pipeline.
+  HwIntersectionTester tester;
+  hasj::Rng rng(881);
+  for (int iter = 0; iter < 60; ++iter) {
+    const Polygon a = data::GenerateBlobPolygon(
+        {rng.Uniform(0, 4), rng.Uniform(0, 4)}, rng.Uniform(0.5, 2.0),
+        static_cast<int>(rng.UniformInt(3, 40)), 0.6, rng.Next());
+    Polygon b = data::GenerateBlobPolygon(
+        {rng.Uniform(0, 4), rng.Uniform(0, 4)}, rng.Uniform(0.5, 2.0),
+        static_cast<int>(rng.UniformInt(3, 40)), 0.6, rng.Next());
+    // Slide b so that min-x of b's MBR equals max-x of a's MBR.
+    const double dx = a.Bounds().max_x - b.Bounds().min_x;
+    std::vector<geom::Point> shifted;
+    shifted.reserve(b.size());
+    for (size_t i = 0; i < b.size(); ++i) {
+      shifted.push_back({b.vertex(i).x + dx, b.vertex(i).y});
+    }
+    b = Polygon(shifted);
+    ASSERT_DOUBLE_EQ(a.Bounds().max_x, b.Bounds().min_x);
+    EXPECT_EQ(tester.Test(a, b), algo::PolygonsIntersect(a, b))
+        << "iter " << iter;
+  }
+}
+
 }  // namespace
 }  // namespace hasj::core

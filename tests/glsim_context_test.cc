@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "common/random.h"
 #include "data/generator.h"
 #include "glsim/raster.h"
@@ -70,6 +72,41 @@ TEST(RenderContextTest, DrawLineStripChains) {
   EXPECT_FLOAT_EQ(ctx.color_buffer().Get(3, 1).r, 0.5f);  // first segment
   EXPECT_FLOAT_EQ(ctx.color_buffer().Get(6, 3).r, 0.5f);  // second segment
   EXPECT_FLOAT_EQ(ctx.color_buffer().Get(3, 6).r, 0.0f);  // no closing edge
+}
+
+TEST(RenderContextTest, SetDataRectDegenerateRectsStayFinite) {
+  // Touching-MBR candidate pairs hand the context a zero-width, zero-height
+  // or point-sized data rect (the MBR intersection of MBRs that share only
+  // an edge or corner). The mapping must inflate the empty extent instead
+  // of dividing by zero: every ToWindow result stays finite and inside (or
+  // on the edge of) the window.
+  const geom::Box rects[] = {
+      geom::Box(2, 0, 2, 5),    // zero width
+      geom::Box(0, 3, 7, 3),    // zero height
+      geom::Box(4, 4, 4, 4),    // single point
+      geom::Box(0, 0, 0, 0),    // single point at the origin
+  };
+  for (const geom::Box& rect : rects) {
+    RenderContext ctx(8, 8);
+    ctx.SetDataRect(rect);
+    const Point corners[] = {{rect.min_x, rect.min_y},
+                             {rect.max_x, rect.max_y},
+                             {rect.Center().x, rect.Center().y}};
+    for (const Point& p : corners) {
+      const Point w = ctx.ToWindow(p);
+      EXPECT_TRUE(std::isfinite(w.x) && std::isfinite(w.y))
+          << "rect [" << rect.min_x << "," << rect.min_y << "," << rect.max_x
+          << "," << rect.max_y << "] point (" << p.x << "," << p.y << ")";
+      EXPECT_GE(w.x, -1.0);
+      EXPECT_LE(w.x, 9.0);
+      EXPECT_GE(w.y, -1.0);
+      EXPECT_LE(w.y, 9.0);
+    }
+    // Drawing through the degenerate mapping must not crash or write NaNs.
+    ctx.SetColor(Rgb{1, 1, 1});
+    ctx.DrawLineStrip(std::vector<Point>{{rect.min_x, rect.min_y},
+                                         {rect.max_x, rect.max_y}});
+  }
 }
 
 TEST(RenderContextTest, AccumRoundTripThroughContext) {
