@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algo/convex_hull.cc" "src/algo/CMakeFiles/hasj_algo.dir/convex_hull.cc.o" "gcc" "src/algo/CMakeFiles/hasj_algo.dir/convex_hull.cc.o.d"
+  "/root/repo/src/algo/edge_index.cc" "src/algo/CMakeFiles/hasj_algo.dir/edge_index.cc.o" "gcc" "src/algo/CMakeFiles/hasj_algo.dir/edge_index.cc.o.d"
+  "/root/repo/src/algo/point_in_polygon.cc" "src/algo/CMakeFiles/hasj_algo.dir/point_in_polygon.cc.o" "gcc" "src/algo/CMakeFiles/hasj_algo.dir/point_in_polygon.cc.o.d"
+  "/root/repo/src/algo/point_locator.cc" "src/algo/CMakeFiles/hasj_algo.dir/point_locator.cc.o" "gcc" "src/algo/CMakeFiles/hasj_algo.dir/point_locator.cc.o.d"
+  "/root/repo/src/algo/polygon_distance.cc" "src/algo/CMakeFiles/hasj_algo.dir/polygon_distance.cc.o" "gcc" "src/algo/CMakeFiles/hasj_algo.dir/polygon_distance.cc.o.d"
+  "/root/repo/src/algo/polygon_intersect.cc" "src/algo/CMakeFiles/hasj_algo.dir/polygon_intersect.cc.o" "gcc" "src/algo/CMakeFiles/hasj_algo.dir/polygon_intersect.cc.o.d"
+  "/root/repo/src/algo/segment_tests.cc" "src/algo/CMakeFiles/hasj_algo.dir/segment_tests.cc.o" "gcc" "src/algo/CMakeFiles/hasj_algo.dir/segment_tests.cc.o.d"
+  "/root/repo/src/algo/simplicity.cc" "src/algo/CMakeFiles/hasj_algo.dir/simplicity.cc.o" "gcc" "src/algo/CMakeFiles/hasj_algo.dir/simplicity.cc.o.d"
+  "/root/repo/src/algo/triangulate.cc" "src/algo/CMakeFiles/hasj_algo.dir/triangulate.cc.o" "gcc" "src/algo/CMakeFiles/hasj_algo.dir/triangulate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/index/CMakeFiles/hasj_index.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/geom/CMakeFiles/hasj_geom.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/hasj_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

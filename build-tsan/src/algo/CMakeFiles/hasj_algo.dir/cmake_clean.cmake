@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hasj_algo.dir/convex_hull.cc.o"
+  "CMakeFiles/hasj_algo.dir/convex_hull.cc.o.d"
+  "CMakeFiles/hasj_algo.dir/edge_index.cc.o"
+  "CMakeFiles/hasj_algo.dir/edge_index.cc.o.d"
+  "CMakeFiles/hasj_algo.dir/point_in_polygon.cc.o"
+  "CMakeFiles/hasj_algo.dir/point_in_polygon.cc.o.d"
+  "CMakeFiles/hasj_algo.dir/point_locator.cc.o"
+  "CMakeFiles/hasj_algo.dir/point_locator.cc.o.d"
+  "CMakeFiles/hasj_algo.dir/polygon_distance.cc.o"
+  "CMakeFiles/hasj_algo.dir/polygon_distance.cc.o.d"
+  "CMakeFiles/hasj_algo.dir/polygon_intersect.cc.o"
+  "CMakeFiles/hasj_algo.dir/polygon_intersect.cc.o.d"
+  "CMakeFiles/hasj_algo.dir/segment_tests.cc.o"
+  "CMakeFiles/hasj_algo.dir/segment_tests.cc.o.d"
+  "CMakeFiles/hasj_algo.dir/simplicity.cc.o"
+  "CMakeFiles/hasj_algo.dir/simplicity.cc.o.d"
+  "CMakeFiles/hasj_algo.dir/triangulate.cc.o"
+  "CMakeFiles/hasj_algo.dir/triangulate.cc.o.d"
+  "libhasj_algo.a"
+  "libhasj_algo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hasj_algo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/distance_join.cc" "src/core/CMakeFiles/hasj_core.dir/distance_join.cc.o" "gcc" "src/core/CMakeFiles/hasj_core.dir/distance_join.cc.o.d"
+  "/root/repo/src/core/distance_selection.cc" "src/core/CMakeFiles/hasj_core.dir/distance_selection.cc.o" "gcc" "src/core/CMakeFiles/hasj_core.dir/distance_selection.cc.o.d"
+  "/root/repo/src/core/hw_distance.cc" "src/core/CMakeFiles/hasj_core.dir/hw_distance.cc.o" "gcc" "src/core/CMakeFiles/hasj_core.dir/hw_distance.cc.o.d"
+  "/root/repo/src/core/hw_filled.cc" "src/core/CMakeFiles/hasj_core.dir/hw_filled.cc.o" "gcc" "src/core/CMakeFiles/hasj_core.dir/hw_filled.cc.o.d"
+  "/root/repo/src/core/hw_intersection.cc" "src/core/CMakeFiles/hasj_core.dir/hw_intersection.cc.o" "gcc" "src/core/CMakeFiles/hasj_core.dir/hw_intersection.cc.o.d"
+  "/root/repo/src/core/hw_nearest.cc" "src/core/CMakeFiles/hasj_core.dir/hw_nearest.cc.o" "gcc" "src/core/CMakeFiles/hasj_core.dir/hw_nearest.cc.o.d"
+  "/root/repo/src/core/join.cc" "src/core/CMakeFiles/hasj_core.dir/join.cc.o" "gcc" "src/core/CMakeFiles/hasj_core.dir/join.cc.o.d"
+  "/root/repo/src/core/selection.cc" "src/core/CMakeFiles/hasj_core.dir/selection.cc.o" "gcc" "src/core/CMakeFiles/hasj_core.dir/selection.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/algo/CMakeFiles/hasj_algo.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/data/CMakeFiles/hasj_data.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/filter/CMakeFiles/hasj_filter.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/geom/CMakeFiles/hasj_geom.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/glsim/CMakeFiles/hasj_glsim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/index/CMakeFiles/hasj_index.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/hasj_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hasj_core.dir/distance_join.cc.o"
+  "CMakeFiles/hasj_core.dir/distance_join.cc.o.d"
+  "CMakeFiles/hasj_core.dir/distance_selection.cc.o"
+  "CMakeFiles/hasj_core.dir/distance_selection.cc.o.d"
+  "CMakeFiles/hasj_core.dir/hw_distance.cc.o"
+  "CMakeFiles/hasj_core.dir/hw_distance.cc.o.d"
+  "CMakeFiles/hasj_core.dir/hw_filled.cc.o"
+  "CMakeFiles/hasj_core.dir/hw_filled.cc.o.d"
+  "CMakeFiles/hasj_core.dir/hw_intersection.cc.o"
+  "CMakeFiles/hasj_core.dir/hw_intersection.cc.o.d"
+  "CMakeFiles/hasj_core.dir/hw_nearest.cc.o"
+  "CMakeFiles/hasj_core.dir/hw_nearest.cc.o.d"
+  "CMakeFiles/hasj_core.dir/join.cc.o"
+  "CMakeFiles/hasj_core.dir/join.cc.o.d"
+  "CMakeFiles/hasj_core.dir/selection.cc.o"
+  "CMakeFiles/hasj_core.dir/selection.cc.o.d"
+  "libhasj_core.a"
+  "libhasj_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hasj_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/catalogs.cc" "src/data/CMakeFiles/hasj_data.dir/catalogs.cc.o" "gcc" "src/data/CMakeFiles/hasj_data.dir/catalogs.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/data/CMakeFiles/hasj_data.dir/dataset.cc.o" "gcc" "src/data/CMakeFiles/hasj_data.dir/dataset.cc.o.d"
+  "/root/repo/src/data/generator.cc" "src/data/CMakeFiles/hasj_data.dir/generator.cc.o" "gcc" "src/data/CMakeFiles/hasj_data.dir/generator.cc.o.d"
+  "/root/repo/src/data/io.cc" "src/data/CMakeFiles/hasj_data.dir/io.cc.o" "gcc" "src/data/CMakeFiles/hasj_data.dir/io.cc.o.d"
+  "/root/repo/src/data/svg.cc" "src/data/CMakeFiles/hasj_data.dir/svg.cc.o" "gcc" "src/data/CMakeFiles/hasj_data.dir/svg.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/index/CMakeFiles/hasj_index.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/geom/CMakeFiles/hasj_geom.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/hasj_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

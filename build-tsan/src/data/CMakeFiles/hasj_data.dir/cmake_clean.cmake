@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hasj_data.dir/catalogs.cc.o"
+  "CMakeFiles/hasj_data.dir/catalogs.cc.o.d"
+  "CMakeFiles/hasj_data.dir/dataset.cc.o"
+  "CMakeFiles/hasj_data.dir/dataset.cc.o.d"
+  "CMakeFiles/hasj_data.dir/generator.cc.o"
+  "CMakeFiles/hasj_data.dir/generator.cc.o.d"
+  "CMakeFiles/hasj_data.dir/io.cc.o"
+  "CMakeFiles/hasj_data.dir/io.cc.o.d"
+  "CMakeFiles/hasj_data.dir/svg.cc.o"
+  "CMakeFiles/hasj_data.dir/svg.cc.o.d"
+  "libhasj_data.a"
+  "libhasj_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hasj_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

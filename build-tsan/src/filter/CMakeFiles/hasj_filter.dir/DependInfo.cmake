@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/filter/geometric_filter.cc" "src/filter/CMakeFiles/hasj_filter.dir/geometric_filter.cc.o" "gcc" "src/filter/CMakeFiles/hasj_filter.dir/geometric_filter.cc.o.d"
+  "/root/repo/src/filter/interior_filter.cc" "src/filter/CMakeFiles/hasj_filter.dir/interior_filter.cc.o" "gcc" "src/filter/CMakeFiles/hasj_filter.dir/interior_filter.cc.o.d"
+  "/root/repo/src/filter/object_filters.cc" "src/filter/CMakeFiles/hasj_filter.dir/object_filters.cc.o" "gcc" "src/filter/CMakeFiles/hasj_filter.dir/object_filters.cc.o.d"
+  "/root/repo/src/filter/raster_signature.cc" "src/filter/CMakeFiles/hasj_filter.dir/raster_signature.cc.o" "gcc" "src/filter/CMakeFiles/hasj_filter.dir/raster_signature.cc.o.d"
+  "/root/repo/src/filter/signature_cache.cc" "src/filter/CMakeFiles/hasj_filter.dir/signature_cache.cc.o" "gcc" "src/filter/CMakeFiles/hasj_filter.dir/signature_cache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/algo/CMakeFiles/hasj_algo.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/geom/CMakeFiles/hasj_geom.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/hasj_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/index/CMakeFiles/hasj_index.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for hasj_filter.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geom/box.cc" "src/geom/CMakeFiles/hasj_geom.dir/box.cc.o" "gcc" "src/geom/CMakeFiles/hasj_geom.dir/box.cc.o.d"
+  "/root/repo/src/geom/clip.cc" "src/geom/CMakeFiles/hasj_geom.dir/clip.cc.o" "gcc" "src/geom/CMakeFiles/hasj_geom.dir/clip.cc.o.d"
+  "/root/repo/src/geom/polygon.cc" "src/geom/CMakeFiles/hasj_geom.dir/polygon.cc.o" "gcc" "src/geom/CMakeFiles/hasj_geom.dir/polygon.cc.o.d"
+  "/root/repo/src/geom/predicates.cc" "src/geom/CMakeFiles/hasj_geom.dir/predicates.cc.o" "gcc" "src/geom/CMakeFiles/hasj_geom.dir/predicates.cc.o.d"
+  "/root/repo/src/geom/segment.cc" "src/geom/CMakeFiles/hasj_geom.dir/segment.cc.o" "gcc" "src/geom/CMakeFiles/hasj_geom.dir/segment.cc.o.d"
+  "/root/repo/src/geom/wkt.cc" "src/geom/CMakeFiles/hasj_geom.dir/wkt.cc.o" "gcc" "src/geom/CMakeFiles/hasj_geom.dir/wkt.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/hasj_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

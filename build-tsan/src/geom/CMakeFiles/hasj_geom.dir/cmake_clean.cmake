@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hasj_geom.dir/box.cc.o"
+  "CMakeFiles/hasj_geom.dir/box.cc.o.d"
+  "CMakeFiles/hasj_geom.dir/clip.cc.o"
+  "CMakeFiles/hasj_geom.dir/clip.cc.o.d"
+  "CMakeFiles/hasj_geom.dir/polygon.cc.o"
+  "CMakeFiles/hasj_geom.dir/polygon.cc.o.d"
+  "CMakeFiles/hasj_geom.dir/predicates.cc.o"
+  "CMakeFiles/hasj_geom.dir/predicates.cc.o.d"
+  "CMakeFiles/hasj_geom.dir/segment.cc.o"
+  "CMakeFiles/hasj_geom.dir/segment.cc.o.d"
+  "CMakeFiles/hasj_geom.dir/wkt.cc.o"
+  "CMakeFiles/hasj_geom.dir/wkt.cc.o.d"
+  "libhasj_geom.a"
+  "libhasj_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hasj_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

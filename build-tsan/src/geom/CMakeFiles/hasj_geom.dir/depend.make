@@ -1,0 +1,2 @@
+# Empty dependencies file for hasj_geom.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/glsim/context.cc" "src/glsim/CMakeFiles/hasj_glsim.dir/context.cc.o" "gcc" "src/glsim/CMakeFiles/hasj_glsim.dir/context.cc.o.d"
+  "/root/repo/src/glsim/coverage.cc" "src/glsim/CMakeFiles/hasj_glsim.dir/coverage.cc.o" "gcc" "src/glsim/CMakeFiles/hasj_glsim.dir/coverage.cc.o.d"
+  "/root/repo/src/glsim/framebuffer.cc" "src/glsim/CMakeFiles/hasj_glsim.dir/framebuffer.cc.o" "gcc" "src/glsim/CMakeFiles/hasj_glsim.dir/framebuffer.cc.o.d"
+  "/root/repo/src/glsim/voronoi.cc" "src/glsim/CMakeFiles/hasj_glsim.dir/voronoi.cc.o" "gcc" "src/glsim/CMakeFiles/hasj_glsim.dir/voronoi.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/geom/CMakeFiles/hasj_geom.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/hasj_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hasj_glsim.dir/context.cc.o"
+  "CMakeFiles/hasj_glsim.dir/context.cc.o.d"
+  "CMakeFiles/hasj_glsim.dir/coverage.cc.o"
+  "CMakeFiles/hasj_glsim.dir/coverage.cc.o.d"
+  "CMakeFiles/hasj_glsim.dir/framebuffer.cc.o"
+  "CMakeFiles/hasj_glsim.dir/framebuffer.cc.o.d"
+  "CMakeFiles/hasj_glsim.dir/voronoi.cc.o"
+  "CMakeFiles/hasj_glsim.dir/voronoi.cc.o.d"
+  "libhasj_glsim.a"
+  "libhasj_glsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hasj_glsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

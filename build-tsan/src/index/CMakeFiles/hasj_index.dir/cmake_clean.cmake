@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hasj_index.dir/rtree.cc.o"
+  "CMakeFiles/hasj_index.dir/rtree.cc.o.d"
+  "libhasj_index.a"
+  "libhasj_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hasj_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algo_edge_index_test.dir/algo_edge_index_test.cc.o"
+  "CMakeFiles/algo_edge_index_test.dir/algo_edge_index_test.cc.o.d"
+  "algo_edge_index_test"
+  "algo_edge_index_test.pdb"
+  "algo_edge_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algo_edge_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

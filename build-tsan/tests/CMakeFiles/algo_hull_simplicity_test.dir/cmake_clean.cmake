@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algo_hull_simplicity_test.dir/algo_hull_simplicity_test.cc.o"
+  "CMakeFiles/algo_hull_simplicity_test.dir/algo_hull_simplicity_test.cc.o.d"
+  "algo_hull_simplicity_test"
+  "algo_hull_simplicity_test.pdb"
+  "algo_hull_simplicity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algo_hull_simplicity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algo_point_in_polygon_test.dir/algo_point_in_polygon_test.cc.o"
+  "CMakeFiles/algo_point_in_polygon_test.dir/algo_point_in_polygon_test.cc.o.d"
+  "algo_point_in_polygon_test"
+  "algo_point_in_polygon_test.pdb"
+  "algo_point_in_polygon_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algo_point_in_polygon_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algo_point_locator_test.dir/algo_point_locator_test.cc.o"
+  "CMakeFiles/algo_point_locator_test.dir/algo_point_locator_test.cc.o.d"
+  "algo_point_locator_test"
+  "algo_point_locator_test.pdb"
+  "algo_point_locator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algo_point_locator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

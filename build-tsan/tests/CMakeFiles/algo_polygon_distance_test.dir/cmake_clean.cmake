@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algo_polygon_distance_test.dir/algo_polygon_distance_test.cc.o"
+  "CMakeFiles/algo_polygon_distance_test.dir/algo_polygon_distance_test.cc.o.d"
+  "algo_polygon_distance_test"
+  "algo_polygon_distance_test.pdb"
+  "algo_polygon_distance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algo_polygon_distance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

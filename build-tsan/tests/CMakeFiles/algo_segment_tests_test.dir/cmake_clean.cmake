@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algo_segment_tests_test.dir/algo_segment_tests_test.cc.o"
+  "CMakeFiles/algo_segment_tests_test.dir/algo_segment_tests_test.cc.o.d"
+  "algo_segment_tests_test"
+  "algo_segment_tests_test.pdb"
+  "algo_segment_tests_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algo_segment_tests_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algo_triangulate_test.dir/algo_triangulate_test.cc.o"
+  "CMakeFiles/algo_triangulate_test.dir/algo_triangulate_test.cc.o.d"
+  "algo_triangulate_test"
+  "algo_triangulate_test.pdb"
+  "algo_triangulate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algo_triangulate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

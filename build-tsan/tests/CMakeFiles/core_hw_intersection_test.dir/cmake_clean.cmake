@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_hw_intersection_test.dir/core_hw_intersection_test.cc.o"
+  "CMakeFiles/core_hw_intersection_test.dir/core_hw_intersection_test.cc.o.d"
+  "core_hw_intersection_test"
+  "core_hw_intersection_test.pdb"
+  "core_hw_intersection_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_hw_intersection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_parallel_refinement_test.dir/core_parallel_refinement_test.cc.o"
+  "CMakeFiles/core_parallel_refinement_test.dir/core_parallel_refinement_test.cc.o.d"
+  "core_parallel_refinement_test"
+  "core_parallel_refinement_test.pdb"
+  "core_parallel_refinement_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_parallel_refinement_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

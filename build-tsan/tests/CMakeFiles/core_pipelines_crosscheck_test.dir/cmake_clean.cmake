@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_pipelines_crosscheck_test.dir/core_pipelines_crosscheck_test.cc.o"
+  "CMakeFiles/core_pipelines_crosscheck_test.dir/core_pipelines_crosscheck_test.cc.o.d"
+  "core_pipelines_crosscheck_test"
+  "core_pipelines_crosscheck_test.pdb"
+  "core_pipelines_crosscheck_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_pipelines_crosscheck_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/filter_geometric_test.dir/filter_geometric_test.cc.o"
+  "CMakeFiles/filter_geometric_test.dir/filter_geometric_test.cc.o.d"
+  "filter_geometric_test"
+  "filter_geometric_test.pdb"
+  "filter_geometric_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/filter_geometric_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

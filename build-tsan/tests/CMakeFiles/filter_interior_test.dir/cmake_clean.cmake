@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/filter_interior_test.dir/filter_interior_test.cc.o"
+  "CMakeFiles/filter_interior_test.dir/filter_interior_test.cc.o.d"
+  "filter_interior_test"
+  "filter_interior_test.pdb"
+  "filter_interior_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/filter_interior_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

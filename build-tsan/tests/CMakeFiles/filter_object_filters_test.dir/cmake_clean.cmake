@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/filter_object_filters_test.dir/filter_object_filters_test.cc.o"
+  "CMakeFiles/filter_object_filters_test.dir/filter_object_filters_test.cc.o.d"
+  "filter_object_filters_test"
+  "filter_object_filters_test.pdb"
+  "filter_object_filters_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/filter_object_filters_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

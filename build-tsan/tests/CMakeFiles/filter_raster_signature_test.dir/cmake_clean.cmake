@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/filter_raster_signature_test.dir/filter_raster_signature_test.cc.o"
+  "CMakeFiles/filter_raster_signature_test.dir/filter_raster_signature_test.cc.o.d"
+  "filter_raster_signature_test"
+  "filter_raster_signature_test.pdb"
+  "filter_raster_signature_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/filter_raster_signature_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for filter_raster_signature_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geom_clip_test.dir/geom_clip_test.cc.o"
+  "CMakeFiles/geom_clip_test.dir/geom_clip_test.cc.o.d"
+  "geom_clip_test"
+  "geom_clip_test.pdb"
+  "geom_clip_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geom_clip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geom_segment_test.dir/geom_segment_test.cc.o"
+  "CMakeFiles/geom_segment_test.dir/geom_segment_test.cc.o.d"
+  "geom_segment_test"
+  "geom_segment_test.pdb"
+  "geom_segment_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geom_segment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

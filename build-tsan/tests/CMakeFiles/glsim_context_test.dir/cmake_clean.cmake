@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glsim_context_test.dir/glsim_context_test.cc.o"
+  "CMakeFiles/glsim_context_test.dir/glsim_context_test.cc.o.d"
+  "glsim_context_test"
+  "glsim_context_test.pdb"
+  "glsim_context_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glsim_context_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

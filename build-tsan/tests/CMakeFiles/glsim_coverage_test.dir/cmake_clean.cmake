@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glsim_coverage_test.dir/glsim_coverage_test.cc.o"
+  "CMakeFiles/glsim_coverage_test.dir/glsim_coverage_test.cc.o.d"
+  "glsim_coverage_test"
+  "glsim_coverage_test.pdb"
+  "glsim_coverage_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glsim_coverage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glsim_framebuffer_test.dir/glsim_framebuffer_test.cc.o"
+  "CMakeFiles/glsim_framebuffer_test.dir/glsim_framebuffer_test.cc.o.d"
+  "glsim_framebuffer_test"
+  "glsim_framebuffer_test.pdb"
+  "glsim_framebuffer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glsim_framebuffer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

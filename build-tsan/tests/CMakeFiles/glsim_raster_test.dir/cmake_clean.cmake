@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glsim_raster_test.dir/glsim_raster_test.cc.o"
+  "CMakeFiles/glsim_raster_test.dir/glsim_raster_test.cc.o.d"
+  "glsim_raster_test"
+  "glsim_raster_test.pdb"
+  "glsim_raster_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glsim_raster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_rtree_test.dir/index_rtree_test.cc.o"
+  "CMakeFiles/index_rtree_test.dir/index_rtree_test.cc.o.d"
+  "index_rtree_test"
+  "index_rtree_test.pdb"
+  "index_rtree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_rtree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

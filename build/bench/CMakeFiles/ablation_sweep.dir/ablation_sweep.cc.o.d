@@ -252,4 +252,7 @@ bench/CMakeFiles/ablation_sweep.dir/ablation_sweep.cc.o: \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/core/join.h \
  /root/repo/src/algo/polygon_intersect.h /root/repo/src/core/hw_config.h \
  /root/repo/src/glsim/context.h /usr/include/c++/12/span \
- /root/repo/src/glsim/framebuffer.h /root/repo/src/core/query_stats.h
+ /root/repo/src/glsim/framebuffer.h /root/repo/src/core/query_stats.h \
+ /root/repo/src/filter/signature_cache.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/filter/raster_signature.h

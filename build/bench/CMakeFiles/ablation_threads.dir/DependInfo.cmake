@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_threads.cc" "bench/CMakeFiles/ablation_threads.dir/ablation_threads.cc.o" "gcc" "bench/CMakeFiles/ablation_threads.dir/ablation_threads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hasj_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/glsim/CMakeFiles/hasj_glsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/filter/CMakeFiles/hasj_filter.dir/DependInfo.cmake"
+  "/root/repo/build/src/algo/CMakeFiles/hasj_algo.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/hasj_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/hasj_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/hasj_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hasj_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -248,4 +248,8 @@ bench/CMakeFiles/fig10_selection_breakdown.dir/fig10_selection_breakdown.cc.o: \
  /root/repo/src/core/hw_config.h /root/repo/src/glsim/context.h \
  /usr/include/c++/12/span /root/repo/src/glsim/framebuffer.h \
  /root/repo/src/core/query_stats.h \
+ /root/repo/src/filter/signature_cache.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/filter/raster_signature.h

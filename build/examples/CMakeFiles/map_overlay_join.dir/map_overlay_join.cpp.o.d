@@ -248,7 +248,18 @@ examples/CMakeFiles/map_overlay_join.dir/map_overlay_join.cpp.o: \
  /root/repo/src/algo/point_in_polygon.h \
  /root/repo/src/algo/polygon_distance.h /root/repo/src/algo/triangulate.h \
  /root/repo/src/algo/polygon_intersect.h \
- /root/repo/src/core/distance_join.h \
+ /root/repo/src/common/thread_pool.h /usr/include/c++/12/atomic \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/thread /root/repo/src/core/distance_join.h \
  /root/repo/src/algo/polygon_distance.h /root/repo/src/core/hw_config.h \
  /root/repo/src/glsim/context.h /usr/include/c++/12/span \
  /root/repo/src/glsim/framebuffer.h /root/repo/src/core/query_stats.h \
@@ -259,12 +270,16 @@ examples/CMakeFiles/map_overlay_join.dir/map_overlay_join.cpp.o: \
  /root/repo/src/algo/polygon_intersect.h \
  /root/repo/src/core/hw_intersection.h /root/repo/src/core/hw_nearest.h \
  /root/repo/src/glsim/voronoi.h /root/repo/src/core/join.h \
- /root/repo/src/core/selection.h /root/repo/src/filter/raster_signature.h \
+ /root/repo/src/filter/signature_cache.h \
+ /root/repo/src/filter/raster_signature.h \
+ /root/repo/src/core/refinement_executor.h \
+ /root/repo/src/common/thread_pool.h /root/repo/src/core/selection.h \
  /root/repo/src/data/catalogs.h /root/repo/src/data/generator.h \
  /root/repo/src/data/dataset.h /root/repo/src/data/generator.h \
  /root/repo/src/data/io.h /root/repo/src/data/svg.h \
  /root/repo/src/filter/interior_filter.h \
  /root/repo/src/filter/raster_signature.h \
+ /root/repo/src/filter/signature_cache.h \
  /root/repo/src/filter/object_filters.h /root/repo/src/geom/box.h \
  /root/repo/src/geom/clip.h /root/repo/src/geom/point.h \
  /root/repo/src/geom/polygon.h /root/repo/src/geom/segment.h \

@@ -12,6 +12,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/filter/interior_filter.cc" "src/filter/CMakeFiles/hasj_filter.dir/interior_filter.cc.o" "gcc" "src/filter/CMakeFiles/hasj_filter.dir/interior_filter.cc.o.d"
   "/root/repo/src/filter/object_filters.cc" "src/filter/CMakeFiles/hasj_filter.dir/object_filters.cc.o" "gcc" "src/filter/CMakeFiles/hasj_filter.dir/object_filters.cc.o.d"
   "/root/repo/src/filter/raster_signature.cc" "src/filter/CMakeFiles/hasj_filter.dir/raster_signature.cc.o" "gcc" "src/filter/CMakeFiles/hasj_filter.dir/raster_signature.cc.o.d"
+  "/root/repo/src/filter/signature_cache.cc" "src/filter/CMakeFiles/hasj_filter.dir/signature_cache.cc.o" "gcc" "src/filter/CMakeFiles/hasj_filter.dir/signature_cache.cc.o.d"
   )
 
 # Targets to which this target links.

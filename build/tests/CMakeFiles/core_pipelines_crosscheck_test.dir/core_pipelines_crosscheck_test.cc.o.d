@@ -328,5 +328,9 @@ tests/CMakeFiles/core_pipelines_crosscheck_test.dir/core_pipelines_crosscheck_te
  /root/repo/src/core/query_stats.h /root/repo/src/data/dataset.h \
  /root/repo/src/common/stats.h /root/repo/src/index/rtree.h \
  /root/repo/src/core/distance_selection.h /root/repo/src/core/join.h \
- /root/repo/src/algo/polygon_intersect.h /root/repo/src/core/selection.h \
- /root/repo/src/filter/raster_signature.h /root/repo/src/data/generator.h
+ /root/repo/src/algo/polygon_intersect.h \
+ /root/repo/src/filter/signature_cache.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/filter/raster_signature.h /root/repo/src/core/selection.h \
+ /root/repo/src/data/generator.h
