@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# The full correctness gauntlet (DESIGN.md §6):
+#   1. normal build + complete ctest (includes the lint_hasj domain lint)
+#   2. standalone lint run (so a lint break is reported even without ctest)
+#   3. clang-tidy over src/ when clang-tidy is installed (skipped otherwise)
+#   4. ASan + UBSan build running the full suite
+#   5. TSan build running the parallel-refinement cross-checks
+#   6. HASJ_PARANOID build running the conservativeness-oracle stress test
+#
+# Usage: scripts/check_all.sh
+#   (build dirs: build, build-asan, build-tsan, build-paranoid)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "== [1/6] build + ctest =="
+cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build -j"$(nproc)"
+ctest --test-dir build --output-on-failure
+
+echo "== [2/6] domain lint =="
+python3 scripts/lint_hasj.py
+
+echo "== [3/6] clang-tidy =="
+if command -v clang-tidy >/dev/null 2>&1; then
+  cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  # Analyze the library sources; headers come in via HeaderFilterRegex.
+  find src -name '*.cc' -print0 |
+    xargs -0 -n 8 clang-tidy -p build --quiet
+else
+  echo "clang-tidy not installed; skipping"
+fi
+
+echo "== [4/6] ASan + UBSan =="
+scripts/check_asan_ubsan.sh
+
+echo "== [5/6] TSan =="
+scripts/check_tsan.sh
+
+echo "== [6/6] HASJ_PARANOID oracle =="
+cmake -B build-paranoid -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DHASJ_PARANOID=ON \
+  -DHASJ_BUILD_BENCHMARKS=OFF \
+  -DHASJ_BUILD_EXAMPLES=OFF
+cmake --build build-paranoid -j"$(nproc)" --target stress_paranoid_test
+ctest --test-dir build-paranoid --output-on-failure -R 'StressParanoidTest'
+
+echo "All checks passed."

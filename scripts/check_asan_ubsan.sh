@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# AddressSanitizer + UndefinedBehaviorSanitizer check: builds the tree with
+# -DHASJ_SANITIZE="address;undefined" and runs the full unit-test suite
+# under both sanitizers. Any heap error or UB (signed overflow, invalid
+# float->int cast, misaligned access, ...) in the rasterizer, coverage, or
+# framebuffer hot paths fails the run.
+#
+# Usage: scripts/check_asan_ubsan.sh [build-dir]   (default: build-asan)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-asan}"
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DHASJ_SANITIZE="address;undefined" \
+  -DHASJ_BUILD_BENCHMARKS=OFF \
+  -DHASJ_BUILD_EXAMPLES=OFF
+
+cmake --build "$BUILD_DIR" -j"$(nproc)"
+
+# Halt on the first report and fail the process so CI sees it.
+export ASAN_OPTIONS="halt_on_error=1 detect_leaks=1 ${ASAN_OPTIONS:-}"
+export UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1 ${UBSAN_OPTIONS:-}"
+
+ctest --test-dir "$BUILD_DIR" --output-on-failure
+
+echo "ASan/UBSan check passed."

@@ -1,0 +1,289 @@
+#!/usr/bin/env python3
+"""Domain lint for the hasj tree (run by CTest as `lint_hasj`).
+
+Repo-specific correctness rules that generic tooling cannot express:
+
+  float-eq         No exact ==/!= between floating-point expressions in
+                   src/geom and src/algo. Exact comparison is occasionally
+                   the *right* thing in robust geometry (degeneracy tests,
+                   sweep-line tie-breaks); those sites carry an explicit
+                   justification:  // lint:allow(float-eq): <reason>
+  glsim-raw-cast   No raw float->int casts in src/glsim outside the blessed
+                   PixelFromCoord() helper (glsim/pixel_snap.h). A bare
+                   static_cast<int>(double) is UB out of range, and the
+                   float->pixel snap is exactly where the conservativeness
+                   invariant (DESIGN.md §6) would break silently.
+  status-discard   No laundering of Status/Result returns through a (void)
+                   cast, and the Status/Result classes themselves must stay
+                   [[nodiscard]] (the compiler enforces call sites from
+                   there).
+  header-guard     Every header under src/ uses the canonical
+                   HASJ_<PATH>_H_ include guard.
+  include-order    Own header first in .cc files; include blocks grouped
+                   (own / <system> / "project") with each group sorted.
+
+Any rule can be suppressed on a specific line with a trailing
+`// lint:allow(<rule>): <reason>` comment; the reason is mandatory.
+Exit code 0 = clean, 1 = violations (printed one per line).
+"""
+
+import os
+import re
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO, "src")
+
+ALLOW_RE = re.compile(r"//\s*lint:allow\(([a-z-]+)\):\s*\S")
+BARE_ALLOW_RE = re.compile(r"//\s*lint:allow\(([a-z-]+)\)\s*(?::\s*)?$")
+
+violations = []
+
+
+def report(path, lineno, rule, message):
+    rel = os.path.relpath(path, REPO)
+    violations.append(f"{rel}:{lineno}: [{rule}] {message}")
+
+
+def allowed(line, rule, prev_line=""):
+    """A suppression comment applies to its own line, or — when it is a
+    comment-only line — to the line below it."""
+    m = ALLOW_RE.search(line)
+    if m and m.group(1) == rule:
+        return True
+    prev = prev_line.strip()
+    m = ALLOW_RE.search(prev)
+    return bool(m and m.group(1) == rule and prev.startswith("//"))
+
+
+def strip_comments_and_strings(line):
+    """Removes // comments and the contents of string/char literals."""
+    line = re.sub(r'"(?:[^"\\]|\\.)*"', '""', line)
+    line = re.sub(r"'(?:[^'\\]|\\.)*'", "''", line)
+    return line.split("//")[0]
+
+
+def iter_files(root, exts):
+    for dirpath, _, files in os.walk(root):
+        for name in sorted(files):
+            if os.path.splitext(name)[1] in exts:
+                yield os.path.join(dirpath, name)
+
+
+# --- float-eq -----------------------------------------------------------
+# Lexical floating-point detection: a comparison operand "looks floating"
+# when it contains a float literal, a coordinate member (.x/.y on the
+# geometry types), or a call into the double-returning geometry API.
+FLOAT_LITERAL = r"(?:\d+\.\d*|\.\d+|\d+\.)(?:[eE][-+]?\d+)?|\d+[eE][-+]?\d+"
+FLOAT_CALLS = (
+    r"(?:Area|SignedArea|Distance|MinDistance|MaxDistance|Norm|Norm2|Dot|"
+    r"Cross|Width|Height|ElapsedMillis|fabs|abs|floor|ceil|sqrt|hypot)\s*\("
+)
+FLOAT_OPERAND = re.compile(
+    rf"(?:{FLOAT_LITERAL})|(?:\.\s*[xy]\b)|(?:{FLOAT_CALLS})"
+)
+COMPARISON = re.compile(r"([^=!<>]|^)([!=]=)(?!=)")
+
+
+def check_float_eq(path, lines):
+    for i, raw in enumerate(lines, 1):
+        if allowed(raw, "float-eq", lines[i - 2] if i > 1 else ""):
+            continue
+        code = strip_comments_and_strings(raw)
+        for m in COMPARISON.finditer(code):
+            lhs = code[: m.start(2)]
+            rhs = code[m.end(2):]
+            # Operands local to the comparison: clip at statement breaks.
+            lhs = re.split(r"[;{}]|&&|\|\|", lhs)[-1]
+            rhs = re.split(r"[;{}]|&&|\|\|", rhs)[0]
+            if FLOAT_OPERAND.search(lhs) or FLOAT_OPERAND.search(rhs):
+                report(
+                    path, i, "float-eq",
+                    f"exact floating-point {m.group(2)} — use a tolerance "
+                    "or justify with // lint:allow(float-eq): <reason>",
+                )
+                break
+
+
+# --- glsim-raw-cast -----------------------------------------------------
+RAW_CAST = re.compile(r"static_cast<\s*int\s*>\s*\(|\(int\)\s*[\w(]")
+
+
+def check_glsim_cast(path, lines):
+    if os.path.basename(path) == "pixel_snap.h":
+        return  # the blessed helper
+    for i, raw in enumerate(lines, 1):
+        if allowed(raw, "glsim-raw-cast", lines[i - 2] if i > 1 else ""):
+            continue
+        if RAW_CAST.search(strip_comments_and_strings(raw)):
+            report(
+                path, i, "glsim-raw-cast",
+                "raw int cast in the rasterizer — route float->pixel "
+                "snapping through glsim::PixelFromCoord (pixel_snap.h)",
+            )
+
+
+# --- status-discard -----------------------------------------------------
+STATUS_APIS = r"(?:Validate|CheckInvariants|SaveDataset|WriteSvg)"
+VOID_LAUNDER = re.compile(rf"\(void\)\s*[\w.->]*\b{STATUS_APIS}\s*\(")
+
+
+def check_status_discard(path, lines):
+    for i, raw in enumerate(lines, 1):
+        if allowed(raw, "status-discard", lines[i - 2] if i > 1 else ""):
+            continue
+        if VOID_LAUNDER.search(strip_comments_and_strings(raw)):
+            report(
+                path, i, "status-discard",
+                "Status result laundered through (void) — handle it or use "
+                "HASJ_CHECK_OK",
+            )
+
+
+def check_status_nodiscard_classes():
+    status_h = os.path.join(SRC, "common", "status.h")
+    with open(status_h, encoding="utf-8") as f:
+        text = f.read()
+    for cls in ("Status", "Result"):
+        if not re.search(rf"class\s+\[\[nodiscard\]\]\s+{cls}\b", text):
+            report(
+                status_h, 1, "status-discard",
+                f"class {cls} must be declared [[nodiscard]]",
+            )
+
+
+# --- header-guard -------------------------------------------------------
+def check_header_guard(path, lines):
+    rel = os.path.relpath(path, SRC)
+    guard = "HASJ_" + re.sub(r"[/.]", "_", rel).upper() + "_"
+    text = "".join(lines)
+    ifndef = re.search(r"#ifndef\s+(\S+)", text)
+    define = re.search(r"#define\s+(\S+)", text)
+    if not ifndef or ifndef.group(1) != guard:
+        report(
+            path, 1, "header-guard",
+            f"expected include guard {guard}, found "
+            f"{ifndef.group(1) if ifndef else 'none'}",
+        )
+    elif not define or define.group(1) != guard:
+        report(path, 1, "header-guard", f"#define does not match {guard}")
+    elif f"#endif  // {guard}" not in text:
+        report(path, 1, "header-guard",
+               f"closing '#endif  // {guard}' comment missing")
+
+
+# --- include-order ------------------------------------------------------
+INCLUDE_RE = re.compile(r'#include\s+(<[^>]+>|"[^"]+")')
+
+
+def check_include_order(path, lines):
+    rel = os.path.relpath(path, SRC)
+    own_header = re.sub(r"\.cc$", ".h", rel)
+    includes = []  # (lineno, token, preceded_by_blank)
+    blank_before = False
+    for i, raw in enumerate(lines, 1):
+        stripped = raw.strip()
+        m = INCLUDE_RE.match(stripped)
+        if m:
+            includes.append((i, m.group(1), blank_before))
+            blank_before = False
+        elif stripped == "":
+            blank_before = True
+        elif includes and not stripped.startswith("//"):
+            break  # past the include preamble
+    if not includes:
+        return
+    idx = 0
+    if path.endswith(".cc") and os.path.exists(os.path.join(SRC, own_header)):
+        if includes[0][1] != f'"{own_header}"':
+            report(
+                path, includes[0][0], "include-order",
+                f'own header "{own_header}" must be the first include',
+            )
+            return
+        idx = 1
+    # Remaining includes: group runs separated by blank lines; each group
+    # must be homogeneous (<...> or "...") and internally sorted, with all
+    # system groups before all project groups.
+    groups = []
+    for entry in includes[idx:]:
+        if entry[2] or not groups:
+            groups.append([entry])
+        else:
+            groups[-1].append(entry)
+    seen_project = False
+    for group in groups:
+        kinds = {token[0] for _, token, _ in group}
+        if len(kinds) > 1:
+            report(
+                path, group[0][0], "include-order",
+                "mixed <system> and \"project\" includes in one block",
+            )
+            continue
+        if kinds == {"<"}:
+            if seen_project:
+                report(
+                    path, group[0][0], "include-order",
+                    "<system> include block after a \"project\" block",
+                )
+        else:
+            seen_project = True
+        tokens = [token for _, token, _ in group]
+        if tokens != sorted(tokens):
+            report(
+                path, group[0][0], "include-order",
+                f"include block not sorted: {', '.join(tokens)}",
+            )
+
+
+# --- unknown/withered suppressions --------------------------------------
+KNOWN_RULES = {
+    "float-eq", "glsim-raw-cast", "status-discard", "header-guard",
+    "include-order",
+}
+
+
+def check_suppressions(path, lines):
+    for i, raw in enumerate(lines, 1):
+        m = BARE_ALLOW_RE.search(raw.rstrip())
+        if m:
+            report(
+                path, i, "lint-allow",
+                "lint:allow without a reason — write "
+                "// lint:allow(<rule>): <reason>",
+            )
+            continue
+        m = ALLOW_RE.search(raw)
+        if m and m.group(1) not in KNOWN_RULES:
+            report(path, i, "lint-allow", f"unknown lint rule '{m.group(1)}'")
+
+
+def main():
+    for path in iter_files(SRC, {".h", ".cc"}):
+        with open(path, encoding="utf-8") as f:
+            lines = f.readlines()
+        rel = os.path.relpath(path, SRC)
+        top = rel.split(os.sep)[0]
+        check_suppressions(path, lines)
+        if top in ("geom", "algo"):
+            check_float_eq(path, lines)
+        if top == "glsim":
+            check_glsim_cast(path, lines)
+        check_status_discard(path, lines)
+        if path.endswith(".h"):
+            check_header_guard(path, lines)
+        if path.endswith(".cc"):
+            check_include_order(path, lines)
+    check_status_nodiscard_classes()
+
+    if violations:
+        print(f"lint_hasj: {len(violations)} violation(s)", file=sys.stderr)
+        for v in violations:
+            print(v, file=sys.stderr)
+        return 1
+    print("lint_hasj: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

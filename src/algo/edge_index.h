@@ -20,6 +20,8 @@ namespace hasj::algo {
 class EdgeIndex {
  public:
   explicit EdgeIndex(const geom::Polygon& polygon);
+  // A temporary would leave polygon_ dangling after the statement.
+  explicit EdgeIndex(geom::Polygon&&) = delete;
 
   const geom::Polygon& polygon() const { return *polygon_; }
 

@@ -97,6 +97,7 @@ bool SweepRedBlueIntersect(std::span<const geom::Segment> red,
     if (ss.b < ss.a) std::swap(ss.a, ss.b);
     ss.color = color;
     ss.id = next_id++;
+    // lint:allow(float-eq): exact verticality decides the sweep branch
     ss.vertical = ss.a.x == ss.b.x;  // includes degenerate point segments
     segs.push_back(ss);
   };
@@ -116,9 +117,9 @@ bool SweepRedBlueIntersect(std::span<const geom::Segment> red,
   // Process inserts, then verticals, then removals at equal x so that
   // segments meeting exactly at x are simultaneously active when tested.
   std::sort(events.begin(), events.end(), [](const Event& x, const Event& y) {
-    if (x.p.x != y.p.x) return x.p.x < y.p.x;
+    if (x.p.x != y.p.x) return x.p.x < y.p.x;  // lint:allow(float-eq): exact event tie-break
     if (x.type != y.type) return static_cast<int>(x.type) < static_cast<int>(y.type);
-    if (x.p.y != y.p.y) return x.p.y < y.p.y;
+    if (x.p.y != y.p.y) return x.p.y < y.p.y;  // lint:allow(float-eq): exact event tie-break
     return x.seg->id < y.seg->id;
   });
 
@@ -163,6 +164,7 @@ bool SweepRedBlueIntersect(std::span<const geom::Segment> red,
         break;
       }
       case EventType::kVertical: {
+        // lint:allow(float-eq): verticals batch by exact event x
         if (!verticals_here.empty() && verticals_x != e.p.x) {
           verticals_here.clear();
         }

@@ -3,6 +3,8 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <string>
+#include <utility>
 
 // HASJ_CHECK(cond): always-on invariant check. Prints the failing condition
 // with its location and aborts. Used for programmer errors; recoverable
@@ -17,16 +19,66 @@
   } while (0)
 
 // HASJ_DCHECK(cond): debug-only invariant check, compiled out in NDEBUG
-// builds so it can guard hot paths.
+// builds so it can guard hot paths. The condition stays odr-used (but never
+// evaluated) in NDEBUG so variables referenced only by the check do not
+// trip -Wunused under -Werror in Release.
 #ifdef NDEBUG
-#define HASJ_DCHECK(cond) \
-  do {                    \
+#define HASJ_DCHECK(cond)   \
+  do {                      \
+    if (false) (void)(cond); \
   } while (0)
 #else
 #define HASJ_DCHECK(cond) HASJ_CHECK(cond)
 #endif
 
+// HASJ_CHECK_OK(expr): expr must yield an OK Status (or a Result whose
+// status is OK); prints the status and aborts otherwise. The canonical way
+// to consume a [[nodiscard]] Status that is not allowed to fail.
+#define HASJ_CHECK_OK(expr)                                                \
+  do {                                                                     \
+    const auto& hasj_status_ok_ = (expr);                                  \
+    if (!hasj_status_ok_.ok()) {                                           \
+      std::fprintf(stderr, "HASJ_CHECK_OK failed: %s at %s:%d\n",          \
+                   ::hasj::internal::StatusToCString(hasj_status_ok_),     \
+                   __FILE__, __LINE__);                                    \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+// HASJ_ASSIGN_OR_RETURN(lhs, expr): evaluates expr (a Result<T>); on error
+// returns the error Status from the enclosing function, otherwise
+// move-assigns the value into lhs. lhs may be a declaration
+// (`HASJ_ASSIGN_OR_RETURN(auto v, Parse(...))`).
+#define HASJ_ASSIGN_OR_RETURN(lhs, expr)                           \
+  HASJ_ASSIGN_OR_RETURN_IMPL_(                                     \
+      HASJ_MACRO_CONCAT_(hasj_result_, __LINE__), lhs, expr)
+
+#define HASJ_ASSIGN_OR_RETURN_IMPL_(result, lhs, expr) \
+  auto result = (expr);                                \
+  if (!result.ok()) return result.status();            \
+  lhs = std::move(result).value()
+
+#define HASJ_MACRO_CONCAT_INNER_(a, b) a##b
+#define HASJ_MACRO_CONCAT_(a, b) HASJ_MACRO_CONCAT_INNER_(a, b)
+
 #define HASJ_PREDICT_FALSE(x) (__builtin_expect(false || (x), false))
 #define HASJ_PREDICT_TRUE(x) (__builtin_expect(false || (x), true))
+
+namespace hasj::internal {
+
+// Renders a Status or Result<T> for HASJ_CHECK_OK without macros.h needing
+// to include status.h (status.h includes macros.h).
+template <typename StatusLike>
+const char* StatusToCString(const StatusLike& s) {
+  static thread_local std::string buffer;
+  if constexpr (requires { s.ToString(); }) {
+    buffer = s.ToString();
+  } else {
+    buffer = s.status().ToString();
+  }
+  return buffer.c_str();
+}
+
+}  // namespace hasj::internal
 
 #endif  // HASJ_COMMON_MACROS_H_

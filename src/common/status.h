@@ -21,7 +21,10 @@ enum class StatusCode {
 };
 
 // Lightweight absl::Status-alike. Copyable; OK status carries no message.
-class Status {
+// [[nodiscard]] on the class makes every function returning a Status by
+// value warn (and fail under -Werror) when the caller ignores the result —
+// the contract-hardening rule the domain lint backs up for out-parameters.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
@@ -44,9 +47,9 @@ class Status {
     return Status(StatusCode::kUnimplemented, std::move(msg));
   }
 
-  bool ok() const { return code_ == StatusCode::kOk; }
-  StatusCode code() const { return code_; }
-  const std::string& message() const { return message_; }
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
 
   // Human-readable "CODE: message" string for logs and test failures.
   std::string ToString() const;
@@ -59,16 +62,16 @@ class Status {
 // Result<T>: a value or an error Status. Accessing value() on an error
 // aborts, mirroring absl::StatusOr semantics without exceptions.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
   Result(Status status) : status_(std::move(status)) {  // NOLINT
     HASJ_CHECK(!status_.ok());
   }
 
-  bool ok() const { return value_.has_value(); }
+  [[nodiscard]] bool ok() const { return value_.has_value(); }
 
-  const Status& status() const { return status_; }
+  [[nodiscard]] const Status& status() const { return status_; }
 
   const T& value() const& {
     HASJ_CHECK(ok());

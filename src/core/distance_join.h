@@ -43,7 +43,7 @@ class WithinDistanceJoin {
  public:
   WithinDistanceJoin(const data::Dataset& a, const data::Dataset& b);
 
-  DistanceJoinResult Run(double d, const DistanceJoinOptions& options = {}) const;
+  [[nodiscard]] DistanceJoinResult Run(double d, const DistanceJoinOptions& options = {}) const;
 
  private:
   const data::Dataset& a_;

@@ -43,7 +43,7 @@ class WithinDistanceSelection {
  public:
   explicit WithinDistanceSelection(const data::Dataset& dataset);
 
-  DistanceSelectionResult Run(const geom::Polygon& query, double d,
+  [[nodiscard]] DistanceSelectionResult Run(const geom::Polygon& query, double d,
                               const DistanceSelectionOptions& options = {}) const;
 
  private:

@@ -6,6 +6,7 @@
 #include "algo/point_in_polygon.h"
 #include "common/macros.h"
 #include "common/stopwatch.h"
+#include "core/paranoid.h"
 #include "glsim/raster.h"
 
 namespace hasj::core {
@@ -98,11 +99,19 @@ bool HwDistanceTester::Test(const geom::Polygon& p, const geom::Polygon& q,
     if (p.edge(i).Bounds().Intersects(clip)) ep.push_back(p.edge(i));
   }
   // Empty clip sets preclude a close boundary pair but not containment.
-  if (ep.empty()) return containment();
+  if (ep.empty()) {
+    HASJ_PARANOID_ONLY(
+        paranoid::CheckDistanceReject(p, q, d, viewport, width_px, config_));
+    return containment();
+  }
   for (size_t i = 0; i < q.size(); ++i) {
     if (q.edge(i).Bounds().Intersects(clip)) eq.push_back(q.edge(i));
   }
-  if (eq.empty()) return containment();
+  if (eq.empty()) {
+    HASJ_PARANOID_ONLY(
+        paranoid::CheckDistanceReject(p, q, d, viewport, width_px, config_));
+    return containment();
+  }
 
   ++counters_.hw_tests;
   Stopwatch watch;
@@ -110,6 +119,8 @@ bool HwDistanceTester::Test(const geom::Polygon& p, const geom::Polygon& q,
   counters_.hw_ms += watch.ElapsedMillis();
   if (!overlap) {
     ++counters_.hw_rejects;
+    HASJ_PARANOID_ONLY(
+        paranoid::CheckDistanceReject(p, q, d, viewport, width_px, config_));
     return containment();
   }
 

@@ -35,7 +35,7 @@ class HwDistanceTester {
                             const algo::DistanceOptions& sw_options = {});
 
   // Exact result: true iff the closed regions are within distance d.
-  bool Test(const geom::Polygon& p, const geom::Polygon& q, double d);
+  [[nodiscard]] bool Test(const geom::Polygon& p, const geom::Polygon& q, double d);
 
   const HwConfig& config() const { return config_; }
   const HwCounters& counters() const { return counters_; }

@@ -6,6 +6,7 @@
 #include "algo/triangulate.h"
 #include "common/macros.h"
 #include "common/stopwatch.h"
+#include "core/paranoid.h"
 #include "glsim/raster.h"
 
 namespace hasj::core {
@@ -34,6 +35,7 @@ bool HwFilledIntersectionTester::Test(const geom::Polygon& p,
   counters_.hw_ms += watch.ElapsedMillis();
   if (!overlap) {
     ++counters_.hw_rejects;
+    HASJ_PARANOID_ONLY(paranoid::CheckFilledReject(p, q, viewport, config_));
     return false;
   }
 

@@ -27,7 +27,7 @@ class HwFilledIntersectionTester {
       const algo::SoftwareIntersectOptions& sw_options = {});
 
   // Exact result: true iff the closed regions intersect.
-  bool Test(const geom::Polygon& p, const geom::Polygon& q);
+  [[nodiscard]] bool Test(const geom::Polygon& p, const geom::Polygon& q);
 
   const HwCounters& counters() const { return counters_; }
   // Time spent in software triangulation (the strategy's Achilles heel).

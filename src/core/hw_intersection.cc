@@ -4,6 +4,7 @@
 #include "algo/segment_tests.h"
 #include "common/macros.h"
 #include "common/stopwatch.h"
+#include "core/paranoid.h"
 #include "glsim/raster.h"
 
 namespace hasj::core {
@@ -75,6 +76,8 @@ bool HwIntersectionTester::Test(const geom::Polygon& p,
   counters_.hw_ms += watch.ElapsedMillis();
   if (!overlap) {
     ++counters_.hw_rejects;
+    HASJ_PARANOID_ONLY(
+        paranoid::CheckIntersectionReject(p, q, viewport, config_));
     return containment();
   }
 

@@ -35,7 +35,7 @@ class HwIntersectionTester {
       const algo::SoftwareIntersectOptions& sw_options = {});
 
   // Exact result: true iff the closed regions intersect.
-  bool Test(const geom::Polygon& p, const geom::Polygon& q);
+  [[nodiscard]] bool Test(const geom::Polygon& p, const geom::Polygon& q);
 
   const HwConfig& config() const { return config_; }
   const HwCounters& counters() const { return counters_; }

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/macros.h"
+#include "core/paranoid.h"
 
 namespace hasj::core {
 namespace {
@@ -58,6 +59,7 @@ int64_t HwNearestNeighbor::Query(geom::Point q) const {
       best_d = d;
     }
   }
+  HASJ_PARANOID_ONLY(paranoid::CheckNearestResult(sites_, q, best));
   return best;
 }
 

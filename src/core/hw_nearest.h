@@ -28,11 +28,11 @@ class HwNearestNeighbor {
   const geom::Point& site(size_t id) const { return sites_[id]; }
 
   // Exact nearest site index (smallest index on ties).
-  int64_t Query(geom::Point q) const;
+  [[nodiscard]] int64_t Query(geom::Point q) const;
 
   // The raw pixel answer: exact for pixel centers, within one pixel
   // diagonal of optimal elsewhere. O(1).
-  int64_t QueryApproximate(geom::Point q) const;
+  [[nodiscard]] int64_t QueryApproximate(geom::Point q) const;
 
  private:
   std::vector<geom::Point> sites_;

@@ -51,7 +51,7 @@ class IntersectionJoin {
   // Keeps references to both datasets; builds both R-trees once.
   IntersectionJoin(const data::Dataset& a, const data::Dataset& b);
 
-  JoinResult Run(const JoinOptions& options = {}) const;
+  [[nodiscard]] JoinResult Run(const JoinOptions& options = {}) const;
 
  private:
   const data::Dataset& a_;

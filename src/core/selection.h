@@ -60,7 +60,7 @@ class IntersectionSelection {
   explicit IntersectionSelection(const data::Dataset& dataset);
   ~IntersectionSelection();
 
-  SelectionResult Run(const geom::Polygon& query,
+  [[nodiscard]] SelectionResult Run(const geom::Polygon& query,
                       const SelectionOptions& options = {}) const;
 
  private:

@@ -11,8 +11,8 @@ namespace hasj::data {
 // Plain-text dataset format: one WKT POLYGON per line; '#' lines are
 // comments. Lets users run the pipelines on real data (e.g. shapefiles
 // exported with ogr2ogr to WKT) instead of the synthetic profiles.
-Status SaveDataset(const Dataset& dataset, const std::string& path);
-Result<Dataset> LoadDataset(const std::string& path, std::string name = "");
+[[nodiscard]] Status SaveDataset(const Dataset& dataset, const std::string& path);
+[[nodiscard]] Result<Dataset> LoadDataset(const std::string& path, std::string name = "");
 
 }  // namespace hasj::data
 

@@ -11,7 +11,7 @@ namespace hasj::data {
 
 // Renders the first `max_polygons` polygons of a dataset to an SVG file
 // (the Figure 1 analog: eyeballing the generated shapes). 0 = all.
-Status WriteSvg(const Dataset& dataset, const std::string& path,
+[[nodiscard]] Status WriteSvg(const Dataset& dataset, const std::string& path,
                 size_t max_polygons = 0, int pixel_width = 800);
 
 }  // namespace hasj::data

@@ -20,12 +20,15 @@ struct Point {
   Point operator*(double s) const { return {x * s, y * s}; }
   Point operator/(double s) const { return {x / s, y / s}; }
 
+  // Bitwise-exact equality on purpose: shared polygon endpoints must
+  // compare equal, distinct-but-close vertices must not.
+  // lint:allow(float-eq): exact identity, not numeric closeness
   friend bool operator==(Point a, Point b) { return a.x == b.x && a.y == b.y; }
   friend bool operator!=(Point a, Point b) { return !(a == b); }
 
   // Lexicographic (x, then y) order; used for sweep-line event ordering.
   friend bool operator<(Point a, Point b) {
-    return a.x < b.x || (a.x == b.x && a.y < b.y);
+    return a.x < b.x || (a.x == b.x && a.y < b.y);  // lint:allow(float-eq): exact tie-break
   }
 };
 

@@ -35,6 +35,7 @@ Status Polygon::Validate() const {
       return Status::InvalidArgument("polygon has non-finite coordinates");
     }
   }
+  // lint:allow(float-eq): exactly-zero area is the degeneracy being rejected
   if (Area() == 0.0) return Status::InvalidArgument("polygon has zero area");
   return Status::Ok();
 }

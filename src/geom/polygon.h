@@ -47,7 +47,7 @@ class Polygon {
   // Checks the polygon is usable by the library: at least 3 vertices, no
   // consecutive duplicate vertices, nonzero area. (Full simplicity is
   // checked by algo::IsSimple, which is O(n^2) and test-oriented.)
-  Status Validate() const;
+  [[nodiscard]] Status Validate() const;
 
  private:
   std::vector<Point> vertices_;

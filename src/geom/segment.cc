@@ -32,6 +32,7 @@ bool SegmentsIntersect(const Segment& s, const Segment& t) {
 double Distance(Point p, const Segment& s) {
   const Point d = s.b - s.a;
   const double len2 = SquaredNorm(d);
+  // lint:allow(float-eq): exactly-zero length is the degenerate case
   if (len2 == 0.0) return Distance(p, s.a);
   double t = Dot(p - s.a, d) / len2;
   t = std::clamp(t, 0.0, 1.0);

@@ -14,7 +14,7 @@ namespace hasj::geom {
 // Supported input: `POLYGON ((x y, x y, ...))` with a single ring; the
 // closing duplicate vertex is optional and removed. Rings with holes are
 // rejected with kUnimplemented. Parsing is whitespace- and case-insensitive.
-Result<Polygon> ParseWktPolygon(std::string_view wkt);
+[[nodiscard]] Result<Polygon> ParseWktPolygon(std::string_view wkt);
 
 // Round-trippable output (`%.17g` coordinates), closing vertex included as
 // WKT requires.

@@ -1,0 +1,28 @@
+#ifndef HASJ_GLSIM_PIXEL_SNAP_H_
+#define HASJ_GLSIM_PIXEL_SNAP_H_
+
+namespace hasj::glsim {
+
+// The single blessed float->pixel boundary of the rasterizer.
+//
+// A bare static_cast<int>(double) is undefined behavior when the value does
+// not fit in int, and degenerate viewports can magnify window coordinates
+// past INT_MAX (and produce NaN) before any cell index is computed. Every
+// float->int conversion in src/glsim must therefore go through
+// PixelFromCoord, which clamps in floating point BEFORE the cast so the
+// cast operand is always in range. The domain lint
+// (scripts/lint_hasj.py, rule glsim-raw-cast) rejects any other
+// floating->integral cast in this directory.
+//
+// Snapping a *lower* bound clamps NaN and -inf to `lo`, an *upper* bound
+// clamps +inf to `hi`; both directions only ever widen the emitted pixel
+// range, preserving the conservativeness invariant (DESIGN.md §6).
+inline int PixelFromCoord(double v, int lo, int hi) {
+  if (!(v >= lo)) return lo;  // also catches NaN
+  if (v > hi) return hi;
+  return static_cast<int>(v);  // in [lo, hi]: cast is defined
+}
+
+}  // namespace hasj::glsim
+
+#endif  // HASJ_GLSIM_PIXEL_SNAP_H_

@@ -5,16 +5,17 @@
 
 #include "common/macros.h"
 #include "glsim/framebuffer.h"
+#include "glsim/pixel_snap.h"
 
 namespace hasj::glsim {
 
 void VoronoiDiagram::PixelOf(geom::Point p, int& x, int& y) const {
   const double sx = resolution / std::max(window.Width(), 1e-300);
   const double sy = resolution / std::max(window.Height(), 1e-300);
-  x = std::clamp(static_cast<int>(std::floor((p.x - window.min_x) * sx)), 0,
-                 resolution - 1);
-  y = std::clamp(static_cast<int>(std::floor((p.y - window.min_y) * sy)), 0,
-                 resolution - 1);
+  // PixelFromCoord clamps in floating point before the int cast: a query
+  // point far outside the window would otherwise overflow the cast (UB).
+  x = PixelFromCoord(std::floor((p.x - window.min_x) * sx), 0, resolution - 1);
+  y = PixelFromCoord(std::floor((p.y - window.min_y) * sy), 0, resolution - 1);
 }
 
 VoronoiDiagram RenderVoronoi(std::span<const geom::Point> sites,

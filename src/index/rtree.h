@@ -42,7 +42,7 @@ class RTree {
 
   // Builds a packed tree bottom-up with Sort-Tile-Recursive; much better
   // quality and build time than repeated insertion for static datasets.
-  static RTree BulkLoad(std::vector<Entry> entries, int max_entries = 16);
+  [[nodiscard]] static RTree BulkLoad(std::vector<Entry> entries, int max_entries = 16);
 
   void Insert(const geom::Box& box, int64_t id);
 
@@ -68,7 +68,7 @@ class RTree {
 
   // Structural invariants: child boxes contained in parent boxes, fill
   // bounds respected (root excepted), uniform leaf depth.
-  Status CheckInvariants() const;
+  [[nodiscard]] Status CheckInvariants() const;
 
   struct Node;  // exposed for the join's synchronized traversal
   const Node* root() const { return root_.get(); }

@@ -25,8 +25,11 @@ TEST(EdgeIndexTest, BasicCases) {
   EXPECT_TRUE(EdgeIndex::BoundariesIntersect(ia, ic));
   EXPECT_FALSE(EdgeIndex::BoundariesIntersect(ia, in));  // containment: no crossing
   EXPECT_FALSE(EdgeIndex::BoundariesIntersect(ia, ifar));
-  // Touching boundaries intersect.
-  const EdgeIndex touch(Square(2, 0, 2));
+  // Touching boundaries intersect. (The polygon needs a name: EdgeIndex
+  // keeps a pointer, and its rvalue constructor is deleted to forbid
+  // exactly the dangling temporary this test once created.)
+  const Polygon adjacent = Square(2, 0, 2);
+  const EdgeIndex touch(adjacent);
   EXPECT_TRUE(EdgeIndex::BoundariesIntersect(ia, touch));
 }
 

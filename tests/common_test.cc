@@ -3,12 +3,24 @@
 #include <cmath>
 #include <set>
 
+#include "common/macros.h"
 #include "common/random.h"
 #include "common/stats.h"
 #include "common/status.h"
 
 namespace hasj {
 namespace {
+
+Result<int> PositiveOrError(int v) {
+  if (v > 0) return v;
+  return Status::OutOfRange("not positive");
+}
+
+Status DoublePositive(int v, int* out) {
+  HASJ_ASSIGN_OR_RETURN(const int checked, PositiveOrError(v));
+  *out = 2 * checked;
+  return Status();
+}
 
 TEST(StatusTest, OkByDefault) {
   Status s;
@@ -48,6 +60,50 @@ TEST(ResultTest, MoveOutValue) {
   Result<std::string> r = std::string("payload");
   std::string v = std::move(r).value();
   EXPECT_EQ(v, "payload");
+}
+
+TEST(ResultTest, ErrorStatusSurvivesMove) {
+  Result<std::string> r = Status::NotFound("gone");
+  const Status s = std::move(r).status();
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "gone");
+}
+
+TEST(MacrosTest, AssignOrReturnAssignsValue) {
+  int out = 0;
+  const Status s = DoublePositive(21, &out);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(out, 42);
+}
+
+TEST(MacrosTest, AssignOrReturnPropagatesError) {
+  int out = -1;
+  const Status s = DoublePositive(0, &out);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(out, -1);  // lhs untouched on the error path
+}
+
+TEST(MacrosTest, CheckOkPassesOnOkStatusAndResult) {
+  HASJ_CHECK_OK(Status());
+  HASJ_CHECK_OK(PositiveOrError(1));
+}
+
+TEST(MacrosDeathTest, CheckOkAbortsWithStatusText) {
+  EXPECT_DEATH(HASJ_CHECK_OK(Status::Internal("boom")),
+               "HASJ_CHECK_OK failed: INTERNAL: boom");
+  EXPECT_DEATH(HASJ_CHECK_OK(PositiveOrError(-3)),
+               "OUT_OF_RANGE: not positive");
+}
+
+TEST(MacrosTest, DcheckDoesNotEvaluateInRelease) {
+#ifdef NDEBUG
+  int evaluations = 0;
+  HASJ_DCHECK(++evaluations > 0);
+  EXPECT_EQ(evaluations, 0);  // odr-used but never executed
+#else
+  EXPECT_DEATH(HASJ_DCHECK(false), "HASJ_DCHECK|HASJ_CHECK");
+#endif
 }
 
 TEST(RngTest, DeterministicForSameSeed) {

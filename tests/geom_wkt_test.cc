@@ -40,6 +40,43 @@ TEST(WktParseTest, RejectsMalformed) {
   EXPECT_FALSE(ParseWktPolygon("").ok());
 }
 
+TEST(WktParseTest, RejectsTruncatedTokens) {
+  // Every truncation dies with an InvalidArgument status, never a crash.
+  for (const char* wkt : {
+           "POLY",
+           "POLYGON",
+           "POLYGON (",
+           "POLYGON ((",
+           "POLYGON ((0",
+           "POLYGON ((0 0",
+           "POLYGON ((0 0,",
+           "POLYGON ((0 0, 1",
+           "POLYGON ((0 0, 1e",     // dangling exponent
+           "POLYGON ((0 0, 1 0, 0.5 1",
+           "POLYGON ((0 0, 1 0, 0.5 1)",  // unclosed outer paren
+       }) {
+    const auto r = ParseWktPolygon(wkt);
+    ASSERT_FALSE(r.ok()) << wkt;
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument) << wkt;
+  }
+}
+
+TEST(WktParseTest, RejectsNonFiniteCoordinates) {
+  // "nan"/"inf" words are not part of the coordinate grammar...
+  EXPECT_FALSE(ParseWktPolygon("POLYGON ((nan nan, 1 0, 0 1))").ok());
+  EXPECT_FALSE(ParseWktPolygon("POLYGON ((inf 0, 1 0, 0 1))").ok());
+  // ...and literals that overflow to infinity die in Validate().
+  const auto r = ParseWktPolygon("POLYGON ((1e999 0, 1 0, 0 1))");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WktParseTest, RejectsUnclosedRings) {
+  EXPECT_FALSE(ParseWktPolygon("POLYGON ((0 0, 1 0, 0 1").ok());
+  EXPECT_FALSE(ParseWktPolygon("POLYGON ((0 0, 1 0, 0 1)").ok());
+  EXPECT_FALSE(ParseWktPolygon("POLYGON (0 0, 1 0, 0 1))").ok());
+}
+
 TEST(WktParseTest, RejectsHolesAsUnimplemented) {
   auto r = ParseWktPolygon(
       "POLYGON ((0 0, 9 0, 9 9, 0 9), (2 2, 3 2, 3 3, 2 3))");
