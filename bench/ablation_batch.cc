@@ -1,0 +1,135 @@
+// Batched tile-atlas ablation (DESIGN.md §9): geometry-comparison cost of
+// the per-pair hardware step vs the batched atlas execution, on the
+// intersection join WATER ⋈ PRISM and the within-distance join at several
+// batch sizes. Not a paper figure — the paper renders one tiny window per
+// pair — but the batch renderer is decision-identical, so the only thing
+// that may change is throughput. Every batched row verifies its result set
+// and hardware-reject count against the per-pair run.
+
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "core/distance_join.h"
+#include "core/join.h"
+
+namespace hasj::bench {
+namespace {
+
+constexpr int kBatchSizes[] = {64, 256, 1024, 4096};
+
+void SweepIntersection(const core::IntersectionJoin& join,
+                       core::JoinOptions options) {
+  options.use_hw = true;
+  options.hw.use_batching = false;
+  const core::JoinResult per_pair = join.Run(options);
+  std::printf(
+      "## intersection join, %dx%d window (candidates=%lld compared=%lld "
+      "results=%lld hw_tests=%lld)\n",
+      options.hw.resolution, options.hw.resolution,
+      static_cast<long long>(per_pair.counts.candidates),
+      static_cast<long long>(per_pair.counts.compared),
+      static_cast<long long>(per_pair.counts.results),
+      static_cast<long long>(per_pair.hw_counters.hw_tests));
+  std::printf("%-10s %12s %10s %10s %12s %10s %10s %8s\n", "batch",
+              "compare_ms", "speedup", "hw_ms", "hw_speedup", "fill_ms",
+              "scan_ms", "match");
+  std::printf("%-10s %12.1f %10s %10.1f %12s %10s %10s %8s\n", "per-pair",
+              per_pair.costs.compare_ms, "1.00x", per_pair.hw_counters.hw_ms,
+              "1.00x", "-", "-", "-");
+  for (int batch_size : kBatchSizes) {
+    options.hw.use_batching = true;
+    options.hw.batch_size = batch_size;
+    const core::JoinResult r = join.Run(options);
+    const bool match =
+        r.pairs == per_pair.pairs &&
+        r.hw_counters.hw_rejects == per_pair.hw_counters.hw_rejects &&
+        r.hw_counters.hw_tests == per_pair.hw_counters.hw_tests;
+    std::printf("%-10d %12.1f %9.2fx %10.1f %11.2fx %10.1f %10.1f %8s\n",
+                batch_size, r.costs.compare_ms,
+                per_pair.costs.compare_ms /
+                    (r.costs.compare_ms > 0 ? r.costs.compare_ms : 1e-9),
+                r.hw_counters.hw_ms,
+                per_pair.hw_counters.hw_ms /
+                    (r.hw_counters.hw_ms > 0 ? r.hw_counters.hw_ms : 1e-9),
+                r.hw_counters.batch.fill_ms, r.hw_counters.batch.scan_ms,
+                match ? "ok" : "MISMATCH");
+  }
+}
+
+void SweepDistance(const core::WithinDistanceJoin& join, double d,
+                   core::DistanceJoinOptions options) {
+  options.use_hw = true;
+  options.hw.use_batching = false;
+  const core::DistanceJoinResult per_pair = join.Run(d, options);
+  std::printf(
+      "## within-distance join d=%g, %dx%d window (candidates=%lld "
+      "compared=%lld results=%lld hw_tests=%lld)\n",
+      d, options.hw.resolution, options.hw.resolution,
+      static_cast<long long>(per_pair.counts.candidates),
+      static_cast<long long>(per_pair.counts.compared),
+      static_cast<long long>(per_pair.counts.results),
+      static_cast<long long>(per_pair.hw_counters.hw_tests));
+  std::printf("%-10s %12s %10s %10s %12s %10s %10s %8s\n", "batch",
+              "compare_ms", "speedup", "hw_ms", "hw_speedup", "fill_ms",
+              "scan_ms", "match");
+  std::printf("%-10s %12.1f %10s %10.1f %12s %10s %10s %8s\n", "per-pair",
+              per_pair.costs.compare_ms, "1.00x", per_pair.hw_counters.hw_ms,
+              "1.00x", "-", "-", "-");
+  for (int batch_size : kBatchSizes) {
+    options.hw.use_batching = true;
+    options.hw.batch_size = batch_size;
+    const core::DistanceJoinResult r = join.Run(d, options);
+    const bool match =
+        r.pairs == per_pair.pairs &&
+        r.hw_counters.hw_rejects == per_pair.hw_counters.hw_rejects &&
+        r.hw_counters.hw_tests == per_pair.hw_counters.hw_tests;
+    std::printf("%-10d %12.1f %9.2fx %10.1f %11.2fx %10.1f %10.1f %8s\n",
+                batch_size, r.costs.compare_ms,
+                per_pair.costs.compare_ms /
+                    (r.costs.compare_ms > 0 ? r.costs.compare_ms : 1e-9),
+                r.hw_counters.hw_ms,
+                per_pair.hw_counters.hw_ms /
+                    (r.hw_counters.hw_ms > 0 ? r.hw_counters.hw_ms : 1e-9),
+                r.hw_counters.batch.fill_ms, r.hw_counters.batch.scan_ms,
+                match ? "ok" : "MISMATCH");
+  }
+}
+
+int Main(int argc, char** argv) {
+  const BenchArgs args = ParseArgs(argc, argv, 0.05);
+  PrintHeader("Batched tile-atlas ablation: per-pair vs atlas hardware step",
+              args);
+
+  const data::Dataset water = Generate(data::WaterProfile(args.scale), args);
+  const data::Dataset prism = Generate(data::PrismProfile(args.scale), args);
+  PrintDataset(water);
+  PrintDataset(prism);
+
+  const core::IntersectionJoin join(water, prism);
+  for (int resolution : {8, 16, 32}) {
+    core::JoinOptions options;
+    options.num_threads = args.threads;
+    options.hw.resolution = resolution;
+    SweepIntersection(join, options);
+  }
+
+  const core::WithinDistanceJoin distance_join(water, prism);
+  core::DistanceJoinOptions distance_options;
+  distance_options.num_threads = args.threads;
+  distance_options.hw.resolution = 8;
+  SweepDistance(distance_join, 0.01, distance_options);
+
+  std::printf(
+      "# expected shape: batched hw_speedup >= 1.3x at the 8x8 window (a "
+      "packed tile is one machine word: row spans become single ORs/ANDs and "
+      "the per-pair clear/setup disappears), shrinking as the window grows; "
+      "compare_ms also includes Plan routing and the exact software confirm "
+      "of survivors, which batching does not touch, so its speedup is "
+      "diluted toward 1x; match must always be ok.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace hasj::bench
+
+int main(int argc, char** argv) { return hasj::bench::Main(argc, argv); }

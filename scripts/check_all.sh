@@ -7,11 +7,54 @@
 #   5. TSan build running the parallel-refinement cross-checks
 #   6. HASJ_PARANOID build running the conservativeness-oracle stress test
 #
-# Usage: scripts/check_all.sh
+# Usage: scripts/check_all.sh [--fast] [--labels REGEX]
+#   --fast          build + unit-labeled ctest + lint only (steps 1-2, with
+#                   ctest restricted to -L unit); skips the sanitizer and
+#                   paranoid builds. The inner development loop.
+#   --labels REGEX  like --fast but run the ctest labels matching REGEX
+#                   instead of 'unit' (labels: unit, stress, property,
+#                   paranoid — see tests/CMakeLists.txt). Example:
+#                     scripts/check_all.sh --labels 'stress|property'
 #   (build dirs: build, build-asan, build-tsan, build-paranoid)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+FAST=0
+LABELS=""
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --fast)
+      FAST=1
+      LABELS="${LABELS:-unit}"
+      shift
+      ;;
+    --labels)
+      [[ $# -ge 2 ]] || { echo "--labels needs a REGEX argument" >&2; exit 2; }
+      FAST=1
+      LABELS="$2"
+      shift 2
+      ;;
+    *)
+      echo "unknown argument: $1" >&2
+      echo "usage: scripts/check_all.sh [--fast] [--labels REGEX]" >&2
+      exit 2
+      ;;
+  esac
+done
+
+if [[ "$FAST" == 1 ]]; then
+  echo "== [1/2] build + ctest (-L '$LABELS') =="
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build -j"$(nproc)"
+  ctest --test-dir build --output-on-failure -L "$LABELS"
+
+  echo "== [2/2] domain lint =="
+  python3 scripts/lint_hasj.py
+
+  echo "Fast checks passed (labels: $LABELS)."
+  exit 0
+fi
 
 echo "== [1/6] build + ctest =="
 cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo

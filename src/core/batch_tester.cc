@@ -1,0 +1,268 @@
+#include "core/batch_tester.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+#include "common/stopwatch.h"
+#include "glsim/context.h"
+#include "glsim/raster.h"
+
+namespace hasj::core {
+
+BatchHardwareTester::BatchHardwareTester(
+    const HwConfig& config, const algo::SoftwareIntersectOptions& isect_options,
+    const algo::DistanceOptions& dist_options)
+    : config_(config),
+      isect_(config, isect_options),
+      dist_(config, dist_options),
+      atlas_(config.resolution, std::max(1, config.batch_size)) {
+  HASJ_CHECK(config.backend == HwBackend::kBitmask);
+  HASJ_CHECK(config.resolution <= glsim::Atlas::kMaxTileRes);
+  HASJ_CHECK(config.batch_size >= 1);
+}
+
+HwCounters BatchHardwareTester::counters() const {
+  HwCounters merged = isect_.counters();
+  merged += dist_.counters();
+  merged += batch_counters_;
+  return merged;
+}
+
+void BatchHardwareTester::TestIntersectionBatch(
+    std::span<const PolygonPair> pairs, uint8_t* verdicts) {
+  const size_t cap = static_cast<size_t>(atlas_.capacity());
+  for (size_t off = 0; off < pairs.size(); off += cap) {
+    const size_t len = std::min(cap, pairs.size() - off);
+    IntersectionSubBatch(pairs.subspan(off, len), verdicts + off);
+  }
+}
+
+void BatchHardwareTester::TestWithinDistanceBatch(
+    std::span<const PolygonPair> pairs, double d, uint8_t* verdicts) {
+  const size_t cap = static_cast<size_t>(atlas_.capacity());
+  for (size_t off = 0; off < pairs.size(); off += cap) {
+    const size_t len = std::min(cap, pairs.size() - off);
+    DistanceSubBatch(pairs.subspan(off, len), d, verdicts + off);
+  }
+}
+
+void BatchHardwareTester::IntersectionSubBatch(
+    std::span<const PolygonPair> pairs, uint8_t* verdicts) {
+  const size_t n = pairs.size();
+  const int res = config_.resolution;
+  if (isect_plans_.size() < n) isect_plans_.resize(n);
+  if (tile_of_.size() < n) tile_of_.assign(n, -1);
+
+  // Route every pair through the shared per-pair skeleton; assign atlas
+  // tiles to the kHardware ones in order.
+  int tiles = 0;
+  for (size_t i = 0; i < n; ++i) {
+    isect_plans_[i] = isect_.Plan(*pairs[i].first, *pairs[i].second);
+    tile_of_[i] =
+        isect_plans_[i].stage == PairPlan::Stage::kHardware ? tiles++ : -1;
+  }
+
+  if (tiles > 0) {
+    any_first_.assign(static_cast<size_t>(tiles), 0);
+    hw_overlap_.assign(static_cast<size_t>(tiles), 0);
+
+    // Fill pass: every pair's first boundary into its tile. The projection
+    // (WindowTransform) and the span->column snapping (raster.h row-span
+    // core) are the ones the per-pair tester uses, so a tile holds exactly
+    // the pixels a per-pair render would produce.
+    Stopwatch fill_watch;
+    atlas_.Clear();
+    for (size_t i = 0; i < n; ++i) {
+      if (tile_of_[i] < 0) continue;
+      const int tile = tile_of_[i];
+      const geom::Box& viewport = isect_plans_[i].viewport;
+      const glsim::WindowTransform xf =
+          glsim::WindowTransform::Make(viewport, res, res);
+      const geom::Polygon& p = *pairs[i].first;
+      glsim::Atlas::RowFiller fill(&atlas_, tile);
+      for (size_t e = 0; e < p.size(); ++e) {
+        const geom::Segment edge = p.edge(e);
+        if (!edge.Bounds().Intersects(viewport)) continue;
+        any_first_[static_cast<size_t>(tile)] = 1;
+        glsim::RasterizeLineAARowSpans(xf.ToWindow(edge.a), xf.ToWindow(edge.b),
+                                       config_.line_width, res, res, fill);
+        // Saturation early-stop, like the per-pair `unset` counter: a full
+        // tile stays full, so skipping the rest changes nothing.
+        if (atlas_.TileFull(tile)) break;
+      }
+    }
+    const double fill_ms = fill_watch.ElapsedMillis();
+
+    // Scan pass: every pair's second boundary probes its tile, fused with
+    // the shared-pixel search — a tile stops at its first doubly-colored
+    // pixel (the early-exit emit contract of raster.h).
+    Stopwatch scan_watch;
+    for (size_t i = 0; i < n; ++i) {
+      if (tile_of_[i] < 0) continue;
+      const int tile = tile_of_[i];
+      if (!any_first_[static_cast<size_t>(tile)]) continue;  // empty tile
+      const geom::Box& viewport = isect_plans_[i].viewport;
+      const glsim::WindowTransform xf =
+          glsim::WindowTransform::Make(viewport, res, res);
+      const geom::Polygon& q = *pairs[i].second;
+      glsim::Atlas::RowProber prober(atlas_, tile);
+      const auto probe = [&prober](int c0, int c1, int y) {
+        return prober(c0, c1, y);
+      };
+      for (size_t e = 0; e < q.size() && !prober.hit(); ++e) {
+        const geom::Segment edge = q.edge(e);
+        if (!edge.Bounds().Intersects(viewport)) continue;
+        glsim::RasterizeLineAARowSpans(xf.ToWindow(edge.a), xf.ToWindow(edge.b),
+                                       config_.line_width, res, res, probe);
+      }
+      hw_overlap_[static_cast<size_t>(tile)] = prober.hit() ? 1 : 0;
+    }
+    const double scan_ms = scan_watch.ElapsedMillis();
+
+    batch_counters_.hw_tests += tiles;
+    batch_counters_.hw_ms += fill_ms + scan_ms;
+    ++batch_counters_.batch.batches;
+    batch_counters_.batch.batched_pairs += tiles;
+    batch_counters_.batch.fill_ms += fill_ms;
+    batch_counters_.batch.scan_ms += scan_ms;
+  }
+
+  // Finish pass: complete every decision through the shared skeleton, in
+  // pair order (identical counters and paranoid checks to the per-pair
+  // path).
+  for (size_t i = 0; i < n; ++i) {
+    const PairPlan& plan = isect_plans_[i];
+    bool keep = false;
+    switch (plan.stage) {
+      case PairPlan::Stage::kDecided:
+        keep = plan.decision;
+        break;
+      case PairPlan::Stage::kSoftware:
+        keep = isect_.FinishSurvivor(*pairs[i].first, *pairs[i].second);
+        break;
+      case PairPlan::Stage::kHardware:
+        keep = hw_overlap_[static_cast<size_t>(tile_of_[i])]
+                   ? isect_.FinishSurvivor(*pairs[i].first, *pairs[i].second)
+                   : isect_.FinishReject(*pairs[i].first, *pairs[i].second,
+                                         plan.viewport);
+        break;
+    }
+    verdicts[i] = keep ? 1 : 0;
+    tile_of_[i] = -1;  // reset for the next sub-batch
+  }
+}
+
+void BatchHardwareTester::DistanceSubBatch(std::span<const PolygonPair> pairs,
+                                           double d, uint8_t* verdicts) {
+  const size_t n = pairs.size();
+  const int res = config_.resolution;
+  if (dist_plans_.size() < n) dist_plans_.resize(n);
+  if (tile_of_.size() < n) tile_of_.assign(n, -1);
+
+  int tiles = 0;
+  for (size_t i = 0; i < n; ++i) {
+    dist_.Plan(*pairs[i].first, *pairs[i].second, d, &dist_plans_[i]);
+    tile_of_[i] =
+        dist_plans_[i].stage == DistancePlan::Stage::kHardware ? tiles++ : -1;
+  }
+
+  if (tiles > 0) {
+    hw_overlap_.assign(static_cast<size_t>(tiles), 0);
+
+    // The per-pair tester draws the smaller clipped edge set and probes
+    // with the larger; replicate the choice so the filled tile is the same.
+    const auto chains = [](const DistancePlan& plan) {
+      const bool ep_first = plan.ep.size() <= plan.eq.size();
+      return std::pair<const std::vector<geom::Segment>*,
+                       const std::vector<geom::Segment>*>{
+          ep_first ? &plan.ep : &plan.eq, ep_first ? &plan.eq : &plan.ep};
+    };
+
+    // Fill pass: each pair's smaller dilated chain — width-D lines with
+    // wide-point end caps (one cap per chained endpoint, as per-pair).
+    Stopwatch fill_watch;
+    atlas_.Clear();
+    for (size_t i = 0; i < n; ++i) {
+      if (tile_of_[i] < 0) continue;
+      const int tile = tile_of_[i];
+      const DistancePlan& plan = dist_plans_[i];
+      const std::vector<geom::Segment>& first = *chains(plan).first;
+      const glsim::WindowTransform xf =
+          glsim::WindowTransform::Make(plan.viewport, res, res);
+      glsim::Atlas::RowFiller fill(&atlas_, tile);
+      for (size_t e = 0; e < first.size(); ++e) {
+        const geom::Point a = xf.ToWindow(first[e].a);
+        const geom::Point b = xf.ToWindow(first[e].b);
+        glsim::RasterizeLineAARowSpans(a, b, plan.width_px, res, res, fill);
+        if (e == 0 || !(first[e - 1].b == first[e].a)) {
+          glsim::RasterizeWidePointRowSpans(a, plan.width_px, res, res, fill);
+        }
+        glsim::RasterizeWidePointRowSpans(b, plan.width_px, res, res, fill);
+        if (atlas_.TileFull(tile)) break;
+      }
+    }
+    const double fill_ms = fill_watch.ElapsedMillis();
+
+    // Scan pass: the larger chain probes the tile, stopping at the first
+    // shared pixel.
+    Stopwatch scan_watch;
+    for (size_t i = 0; i < n; ++i) {
+      if (tile_of_[i] < 0) continue;
+      const int tile = tile_of_[i];
+      const DistancePlan& plan = dist_plans_[i];
+      const std::vector<geom::Segment>& second = *chains(plan).second;
+      const glsim::WindowTransform xf =
+          glsim::WindowTransform::Make(plan.viewport, res, res);
+      glsim::Atlas::RowProber prober(atlas_, tile);
+      const auto probe = [&prober](int c0, int c1, int y) {
+        return prober(c0, c1, y);
+      };
+      for (size_t e = 0; e < second.size() && !prober.hit(); ++e) {
+        const geom::Point a = xf.ToWindow(second[e].a);
+        const geom::Point b = xf.ToWindow(second[e].b);
+        glsim::RasterizeLineAARowSpans(a, b, plan.width_px, res, res, probe);
+        if (e == 0 || !(second[e - 1].b == second[e].a)) {
+          glsim::RasterizeWidePointRowSpans(a, plan.width_px, res, res, probe);
+        }
+        if (!prober.hit()) {
+          glsim::RasterizeWidePointRowSpans(b, plan.width_px, res, res, probe);
+        }
+      }
+      hw_overlap_[static_cast<size_t>(tile)] = prober.hit() ? 1 : 0;
+    }
+    const double scan_ms = scan_watch.ElapsedMillis();
+
+    batch_counters_.hw_tests += tiles;
+    batch_counters_.hw_ms += fill_ms + scan_ms;
+    ++batch_counters_.batch.batches;
+    batch_counters_.batch.batched_pairs += tiles;
+    batch_counters_.batch.fill_ms += fill_ms;
+    batch_counters_.batch.scan_ms += scan_ms;
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    const DistancePlan& plan = dist_plans_[i];
+    bool keep = false;
+    switch (plan.stage) {
+      case DistancePlan::Stage::kDecided:
+        keep = plan.decision;
+        break;
+      case DistancePlan::Stage::kSoftware:
+        keep = dist_.FinishSurvivor(*pairs[i].first, *pairs[i].second, d);
+        break;
+      case DistancePlan::Stage::kEmptyClip:
+        keep = dist_.FinishEmptyClip(*pairs[i].first, *pairs[i].second);
+        break;
+      case DistancePlan::Stage::kHardware:
+        keep = hw_overlap_[static_cast<size_t>(tile_of_[i])]
+                   ? dist_.FinishSurvivor(*pairs[i].first, *pairs[i].second, d)
+                   : dist_.FinishReject(*pairs[i].first, *pairs[i].second, d,
+                                        plan);
+        break;
+    }
+    verdicts[i] = keep ? 1 : 0;
+    tile_of_[i] = -1;
+  }
+}
+
+}  // namespace hasj::core

@@ -1,0 +1,95 @@
+#ifndef HASJ_CORE_BATCH_TESTER_H_
+#define HASJ_CORE_BATCH_TESTER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "algo/polygon_distance.h"
+#include "algo/polygon_intersect.h"
+#include "core/hw_config.h"
+#include "core/hw_distance.h"
+#include "core/hw_intersection.h"
+#include "geom/polygon.h"
+#include "glsim/atlas.h"
+
+namespace hasj::core {
+
+// One refinement candidate by reference. The polygons must outlive the
+// batch call — true for dataset-owned polygons, as everywhere in the
+// refinement stage.
+struct PolygonPair {
+  const geom::Polygon* first = nullptr;
+  const geom::Polygon* second = nullptr;
+};
+
+// Batched tile-atlas execution of the hardware tests (DESIGN.md §9).
+//
+// The per-pair testers render each candidate into their own tiny window:
+// one clear, one projection setup, one readback per pair. This tester packs
+// config.batch_size candidates into one glsim::Atlas framebuffer — one tile
+// of resolution x resolution pixels per pair — and runs the hardware step
+// of a whole batch in two passes:
+//
+//   fill:  render every pair's FIRST edge chain into its tile
+//          (Atlas::RowFiller: a row span is one OR into the tile word);
+//   scan:  render every pair's SECOND chain probing the filled tiles
+//          (Atlas::RowProber: a row span is one AND), stopping a tile at
+//          its first doubly-colored pixel.
+//
+// The atlas is cleared once per batch instead of once per pair, and the
+// whole batch shares two Stopwatch reads. Everything around the hardware
+// step is delegated to the per-pair testers' exposed decision skeleton
+// (Plan / FinishSurvivor / FinishReject), so the batched decisions — and
+// the integer counters — are identical to calling Test() per pair; the
+// property-differential suite asserts this pair-for-pair.
+//
+// Requires the bitmask backend and resolution <= glsim::Atlas::kMaxTileRes
+// (checked at construction).
+class BatchHardwareTester {
+ public:
+  explicit BatchHardwareTester(
+      const HwConfig& config = {},
+      const algo::SoftwareIntersectOptions& isect_options = {},
+      const algo::DistanceOptions& dist_options = {});
+
+  // Intersection verdicts for `pairs`: verdicts[i] = Test(first, second).
+  // Handles any pair count by looping over atlas-capacity sub-batches.
+  void TestIntersectionBatch(std::span<const PolygonPair> pairs,
+                             uint8_t* verdicts);
+
+  // Within-distance verdicts: verdicts[i] = Test(first, second, d).
+  void TestWithinDistanceBatch(std::span<const PolygonPair> pairs, double d,
+                               uint8_t* verdicts);
+
+  const HwConfig& config() const { return config_; }
+
+  // Inner testers' counters plus the batch-side hardware counters, merged.
+  // The totals match the per-pair path; only batch.* is new.
+  HwCounters counters() const;
+
+ private:
+  void IntersectionSubBatch(std::span<const PolygonPair> pairs,
+                            uint8_t* verdicts);
+  void DistanceSubBatch(std::span<const PolygonPair> pairs, double d,
+                        uint8_t* verdicts);
+
+  HwConfig config_;
+  HwIntersectionTester isect_;
+  HwDistanceTester dist_;
+  glsim::Atlas atlas_;
+  // Hardware-step counters accrued here (the inner testers never see the
+  // batched hardware step): hw_tests, hw_ms, batch.*.
+  HwCounters batch_counters_;
+  // Per-sub-batch scratch, reused for capacity (DistancePlan keeps its
+  // edge-vector capacity across Plan() calls).
+  std::vector<PairPlan> isect_plans_;
+  std::vector<DistancePlan> dist_plans_;
+  std::vector<int32_t> tile_of_;      // pair -> tile, -1 when not kHardware
+  std::vector<uint8_t> any_first_;    // per tile: first chain touched it
+  std::vector<uint8_t> hw_overlap_;   // per tile: probe found a shared pixel
+};
+
+}  // namespace hasj::core
+
+#endif  // HASJ_CORE_BATCH_TESTER_H_

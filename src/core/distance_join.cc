@@ -1,6 +1,7 @@
 #include "core/distance_join.h"
 
 #include "common/stopwatch.h"
+#include "core/batch_tester.h"
 #include "core/hw_distance.h"
 #include "core/refinement_executor.h"
 #include "filter/object_filters.h"
@@ -64,12 +65,30 @@ DistanceJoinResult WithinDistanceJoin::Run(
   HwConfig hw_config = options.hw;
   hw_config.enable_hw = options.use_hw;
   RefinementExecutor executor(options.num_threads);
-  RefinementOutcome<std::pair<int64_t, int64_t>> refined = executor.Refine(
-      undecided, [&] { return HwDistanceTester(hw_config, options.sw); },
-      [&](HwDistanceTester& tester, const std::pair<int64_t, int64_t>& c) {
-        return tester.Test(a_.polygon(static_cast<size_t>(c.first)),
-                           b_.polygon(static_cast<size_t>(c.second)), d);
-      });
+  RefinementOutcome<std::pair<int64_t, int64_t>> refined;
+  if (hw_config.use_batching && hw_config.enable_hw &&
+      hw_config.backend == HwBackend::kBitmask) {
+    // Batched hardware step (DESIGN.md §9): decision-identical to the
+    // per-pair branch below, amortized over atlas tiles.
+    refined = executor.RefineBatches(
+        undecided,
+        [&] { return BatchHardwareTester(hw_config, {}, options.sw); },
+        [&](const std::pair<int64_t, int64_t>& c) {
+          return PolygonPair{&a_.polygon(static_cast<size_t>(c.first)),
+                             &b_.polygon(static_cast<size_t>(c.second))};
+        },
+        [d](BatchHardwareTester& tester, std::span<const PolygonPair> pairs,
+            uint8_t* verdicts) {
+          tester.TestWithinDistanceBatch(pairs, d, verdicts);
+        });
+  } else {
+    refined = executor.Refine(
+        undecided, [&] { return HwDistanceTester(hw_config, options.sw); },
+        [&](HwDistanceTester& tester, const std::pair<int64_t, int64_t>& c) {
+          return tester.Test(a_.polygon(static_cast<size_t>(c.first)),
+                             b_.polygon(static_cast<size_t>(c.second)), d);
+        });
+  }
   result.counts.compared += static_cast<int64_t>(undecided.size());
   result.pairs.insert(result.pairs.end(), refined.accepted.begin(),
                       refined.accepted.end());

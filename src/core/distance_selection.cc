@@ -1,6 +1,7 @@
 #include "core/distance_selection.h"
 
 #include "common/stopwatch.h"
+#include "core/batch_tester.h"
 #include "core/hw_distance.h"
 #include "core/refinement_executor.h"
 #include "filter/object_filters.h"
@@ -53,12 +54,30 @@ DistanceSelectionResult WithinDistanceSelection::Run(
   HwConfig hw_config = options.hw;
   hw_config.enable_hw = options.use_hw;
   RefinementExecutor executor(options.num_threads);
-  RefinementOutcome<int64_t> refined = executor.Refine(
-      undecided, [&] { return HwDistanceTester(hw_config, options.sw); },
-      [&](HwDistanceTester& tester, int64_t id) {
-        return tester.Test(dataset_.polygon(static_cast<size_t>(id)), query,
-                           d);
-      });
+  RefinementOutcome<int64_t> refined;
+  if (hw_config.use_batching && hw_config.enable_hw &&
+      hw_config.backend == HwBackend::kBitmask) {
+    // Batched hardware step (DESIGN.md §9): decision-identical to the
+    // per-pair branch below, amortized over atlas tiles.
+    refined = executor.RefineBatches(
+        undecided,
+        [&] { return BatchHardwareTester(hw_config, {}, options.sw); },
+        [&](int64_t id) {
+          return PolygonPair{&dataset_.polygon(static_cast<size_t>(id)),
+                             &query};
+        },
+        [d](BatchHardwareTester& tester, std::span<const PolygonPair> pairs,
+            uint8_t* verdicts) {
+          tester.TestWithinDistanceBatch(pairs, d, verdicts);
+        });
+  } else {
+    refined = executor.Refine(
+        undecided, [&] { return HwDistanceTester(hw_config, options.sw); },
+        [&](HwDistanceTester& tester, int64_t id) {
+          return tester.Test(dataset_.polygon(static_cast<size_t>(id)), query,
+                             d);
+        });
+  }
   result.counts.compared += static_cast<int64_t>(undecided.size());
   result.ids.insert(result.ids.end(), refined.accepted.begin(),
                     refined.accepted.end());

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "core/query_stats.h"
 #include "glsim/context.h"
 
 namespace hasj::core {
@@ -40,6 +41,16 @@ struct HwConfig {
   bool use_minmax = true;
   // Hardware limits (GeForce4-like 10-pixel maximum anti-aliased width).
   glsim::HwLimits limits;
+  // Batched tile-atlas execution of the hardware step (DESIGN.md §9): the
+  // refinement executor hands each worker's candidates to a
+  // BatchHardwareTester in chunks of batch_size pairs, rendered as tiles of
+  // one shared atlas framebuffer instead of one tiny window per pair.
+  // Decision-identical to the per-pair path (the property-differential
+  // suite asserts it); only throughput changes. Requires the bitmask
+  // backend and resolution <= glsim::Atlas::kMaxTileRes.
+  bool use_batching = false;
+  // Pairs per atlas pass; 1024 tiles of 8x8 are a 256x256 framebuffer.
+  int batch_size = 1024;
 };
 
 // Observability into how often each path decided the outcome and where the
@@ -55,6 +66,7 @@ struct HwCounters {
   double pip_ms = 0.0;           // point-in-polygon step wall time
   double hw_ms = 0.0;            // hardware (rendering + search) wall time
   double sw_ms = 0.0;            // software segment/distance test wall time
+  BatchCounters batch;           // tile-atlas stats (zero on per-pair path)
 
   // Merges another tester's counters (the parallel refinement executor
   // sums per-worker testers in worker order). The integer totals are
@@ -71,6 +83,7 @@ struct HwCounters {
     pip_ms += o.pip_ms;
     hw_ms += o.hw_ms;
     sw_ms += o.sw_ms;
+    batch += o.batch;
     return *this;
   }
 };

@@ -35,42 +35,30 @@ HwDistanceTester::HwDistanceTester(const HwConfig& config,
   ctx_.set_limits(config.limits);
 }
 
-bool HwDistanceTester::Test(const geom::Polygon& p, const geom::Polygon& q,
-                            double d) {
+void HwDistanceTester::Plan(const geom::Polygon& p, const geom::Polygon& q,
+                            double d, DistancePlan* plan) {
   HASJ_CHECK(d >= 0.0);
   ++counters_.tests;
-  if (geom::MinDistance(p.Bounds(), q.Bounds()) > d) return false;
-
-  // Containment makes the distance 0 with possibly distant boundaries, so a
-  // hardware reject (boundaries not within d) does not rule it out. As in
-  // the intersection tester, the O(n+m) point-in-polygon check is deferred
-  // to the reject path and guarded by MBR nesting; the software distance
-  // test handles containment itself.
-  const auto containment = [&]() {
-    Stopwatch watch;
-    const bool pip =
-        (q.Bounds().Contains(p.Bounds()) && PolygonContains(q, p.vertex(0))) ||
-        (p.Bounds().Contains(q.Bounds()) && PolygonContains(p, q.vertex(0)));
-    counters_.pip_ms += watch.ElapsedMillis();
-    if (pip) ++counters_.pip_hits;
-    return pip;
-  };
-  const auto boundaries_within = [&]() {
-    ++counters_.sw_tests;
-    Stopwatch watch;
-    const bool result = algo::BoundariesWithinDistance(p, q, d, sw_options_);
-    counters_.sw_ms += watch.ElapsedMillis();
-    return result;
-  };
+  plan->ep.clear();
+  plan->eq.clear();
+  if (geom::MinDistance(p.Bounds(), q.Bounds()) > d) {
+    plan->stage = DistancePlan::Stage::kDecided;
+    plan->decision = false;
+    return;
+  }
 
   // Pure software mode: same refinement without the hardware filter.
-  if (!config_.enable_hw) return boundaries_within() || containment();
+  if (!config_.enable_hw) {
+    plan->stage = DistancePlan::Stage::kSoftware;
+    return;
+  }
 
   const int64_t total_vertices =
       static_cast<int64_t>(p.size()) + static_cast<int64_t>(q.size());
   if (total_vertices <= config_.sw_threshold) {
     ++counters_.sw_threshold_skips;
-    return boundaries_within() || containment();
+    plan->stage = DistancePlan::Stage::kSoftware;
+    return;
   }
 
   // Viewport: the smaller object's MBR expanded by d/2 (§3.2), squared up.
@@ -78,53 +66,113 @@ bool HwDistanceTester::Test(const geom::Polygon& p, const geom::Polygon& q,
   // midpoint of a realizing distance pair — lands inside it.
   const bool p_smaller = p.Bounds().Area() <= q.Bounds().Area();
   const geom::Box base = (p_smaller ? p : q).Bounds().Expanded(d * 0.5);
-  const geom::Box viewport = SquareUp(base);
-  const double side = std::max(viewport.Width(), viewport.Height());
+  plan->viewport = SquareUp(base);
+  const double side = std::max(plan->viewport.Width(), plan->viewport.Height());
 
   // Equation 1: line and point width in pixels covering a dilation of d.
   const double scale = config_.resolution / std::max(side, 1e-300);
-  const double width_px =
-      std::max(config_.line_width, std::ceil(d * scale));
-  if (width_px > config_.limits.max_line_width ||
-      width_px > config_.limits.max_point_size) {
+  plan->width_px = std::max(config_.line_width, std::ceil(d * scale));
+  if (plan->width_px > config_.limits.max_line_width ||
+      plan->width_px > config_.limits.max_point_size) {
     ++counters_.width_fallbacks;
-    return boundaries_within() || containment();
+    plan->stage = DistancePlan::Stage::kSoftware;
+    return;
   }
 
   // Edges whose d/2-dilation can reach the viewport (cheap conservative
   // bounding-box clip; extra edges only add pixels).
-  const geom::Box clip = viewport.Expanded(d * 0.5);
-  std::vector<geom::Segment> ep, eq;
+  const geom::Box clip = plan->viewport.Expanded(d * 0.5);
   for (size_t i = 0; i < p.size(); ++i) {
-    if (p.edge(i).Bounds().Intersects(clip)) ep.push_back(p.edge(i));
+    if (p.edge(i).Bounds().Intersects(clip)) plan->ep.push_back(p.edge(i));
   }
   // Empty clip sets preclude a close boundary pair but not containment.
-  if (ep.empty()) {
-    HASJ_PARANOID_ONLY(
-        paranoid::CheckDistanceReject(p, q, d, viewport, width_px, config_));
-    return containment();
+  if (plan->ep.empty()) {
+    HASJ_PARANOID_ONLY(paranoid::CheckDistanceReject(
+        p, q, d, plan->viewport, plan->width_px, config_));
+    plan->stage = DistancePlan::Stage::kEmptyClip;
+    return;
   }
   for (size_t i = 0; i < q.size(); ++i) {
-    if (q.edge(i).Bounds().Intersects(clip)) eq.push_back(q.edge(i));
+    if (q.edge(i).Bounds().Intersects(clip)) plan->eq.push_back(q.edge(i));
   }
-  if (eq.empty()) {
-    HASJ_PARANOID_ONLY(
-        paranoid::CheckDistanceReject(p, q, d, viewport, width_px, config_));
-    return containment();
+  if (plan->eq.empty()) {
+    HASJ_PARANOID_ONLY(paranoid::CheckDistanceReject(
+        p, q, d, plan->viewport, plan->width_px, config_));
+    plan->stage = DistancePlan::Stage::kEmptyClip;
+    return;
+  }
+
+  plan->stage = DistancePlan::Stage::kHardware;
+}
+
+bool HwDistanceTester::Containment(const geom::Polygon& p,
+                                   const geom::Polygon& q) {
+  // Containment makes the distance 0 with possibly distant boundaries, so a
+  // hardware reject (boundaries not within d) does not rule it out. As in
+  // the intersection tester, the O(n+m) point-in-polygon check is deferred
+  // to the reject path and guarded by MBR nesting; the software distance
+  // test handles containment itself.
+  Stopwatch watch;
+  const bool pip =
+      (q.Bounds().Contains(p.Bounds()) && PolygonContains(q, p.vertex(0))) ||
+      (p.Bounds().Contains(q.Bounds()) && PolygonContains(p, q.vertex(0)));
+  counters_.pip_ms += watch.ElapsedMillis();
+  if (pip) ++counters_.pip_hits;
+  return pip;
+}
+
+bool HwDistanceTester::BoundariesWithin(const geom::Polygon& p,
+                                        const geom::Polygon& q, double d) {
+  ++counters_.sw_tests;
+  Stopwatch watch;
+  const bool result = algo::BoundariesWithinDistance(p, q, d, sw_options_);
+  counters_.sw_ms += watch.ElapsedMillis();
+  return result;
+}
+
+bool HwDistanceTester::FinishSurvivor(const geom::Polygon& p,
+                                      const geom::Polygon& q, double d) {
+  return BoundariesWithin(p, q, d) || Containment(p, q);
+}
+
+bool HwDistanceTester::FinishReject(const geom::Polygon& p,
+                                    const geom::Polygon& q,
+                                    [[maybe_unused]] double d,
+                                    [[maybe_unused]] const DistancePlan& plan) {
+  ++counters_.hw_rejects;
+  HASJ_PARANOID_ONLY(paranoid::CheckDistanceReject(
+      p, q, d, plan.viewport, plan.width_px, config_));
+  return Containment(p, q);
+}
+
+bool HwDistanceTester::FinishEmptyClip(const geom::Polygon& p,
+                                       const geom::Polygon& q) {
+  return Containment(p, q);
+}
+
+bool HwDistanceTester::Test(const geom::Polygon& p, const geom::Polygon& q,
+                            double d) {
+  Plan(p, q, d, &plan_scratch_);
+  switch (plan_scratch_.stage) {
+    case DistancePlan::Stage::kDecided:
+      return plan_scratch_.decision;
+    case DistancePlan::Stage::kSoftware:
+      return FinishSurvivor(p, q, d);
+    case DistancePlan::Stage::kEmptyClip:
+      return FinishEmptyClip(p, q);
+    case DistancePlan::Stage::kHardware:
+      break;
   }
 
   ++counters_.hw_tests;
   Stopwatch watch;
-  const bool overlap = HwDilatedBoundariesOverlap(ep, eq, viewport, width_px);
+  const bool overlap =
+      HwDilatedBoundariesOverlap(plan_scratch_.ep, plan_scratch_.eq,
+                                 plan_scratch_.viewport,
+                                 plan_scratch_.width_px);
   counters_.hw_ms += watch.ElapsedMillis();
-  if (!overlap) {
-    ++counters_.hw_rejects;
-    HASJ_PARANOID_ONLY(
-        paranoid::CheckDistanceReject(p, q, d, viewport, width_px, config_));
-    return containment();
-  }
-
-  return boundaries_within() || containment();
+  if (!overlap) return FinishReject(p, q, d, plan_scratch_);
+  return FinishSurvivor(p, q, d);
 }
 
 bool HwDistanceTester::PolygonContains(const geom::Polygon& outer,

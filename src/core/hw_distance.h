@@ -14,6 +14,29 @@
 
 namespace hasj::core {
 
+// Routing decision of the within-distance refinement skeleton — the
+// distance analogue of PairPlan (hw_intersection.h), likewise exposed so
+// BatchHardwareTester shares the exact per-pair logic. The in-view dilated
+// edge chains are part of the plan because the batch path renders them in
+// two atlas passes (all first chains, then all second chains) and must not
+// re-derive them differently. Vectors keep their capacity across Plan()
+// calls when the same DistancePlan object is reused.
+struct DistancePlan {
+  enum class Stage {
+    kDecided,    // decided without any test (MBR distance miss)
+    kSoftware,   // skip hardware (disabled / sw_threshold / width fallback)
+    kEmptyClip,  // a clip set is empty: reject path, containment only
+    kHardware,   // render the dilated chains over `viewport`
+  };
+  Stage stage = Stage::kDecided;
+  bool decision = false;  // valid for kDecided
+  geom::Box viewport;     // valid for kEmptyClip / kHardware
+  double width_px = 0.0;  // valid for kEmptyClip / kHardware
+  // In-view dilated edges of p and q (kHardware only).
+  std::vector<geom::Segment> ep;
+  std::vector<geom::Segment> eq;
+};
+
 // Hardware-assisted within-distance test (the distance extension of
 // Algorithm 3.1, §3.1): each polygon boundary is rendered dilated by D/2 —
 // edges as anti-aliased lines of width D and vertices as wide points of
@@ -41,10 +64,35 @@ class HwDistanceTester {
   const HwCounters& counters() const { return counters_; }
   void ResetCounters() { counters_ = HwCounters{}; }
 
+  // Decision skeleton, exposed for BatchHardwareTester (see DistancePlan).
+  // Reuses plan->ep/eq capacity; the kEmptyClip paranoid cross-check runs
+  // inside Plan(), at the same program point as in the monolithic test.
+  void Plan(const geom::Polygon& p, const geom::Polygon& q, double d,
+            DistancePlan* plan);
+  // Exact software confirmation (survivors and software-routed pairs).
+  [[nodiscard]] bool FinishSurvivor(const geom::Polygon& p,
+                                    const geom::Polygon& q, double d);
+  // Completes a hardware reject: counts it, cross-checks in HASJ_PARANOID,
+  // decides by containment alone.
+  [[nodiscard]] bool FinishReject(const geom::Polygon& p,
+                                  const geom::Polygon& q, double d,
+                                  const DistancePlan& plan);
+  // Completes the kEmptyClip reject path (containment alone; the paranoid
+  // check already ran in Plan()).
+  [[nodiscard]] bool FinishEmptyClip(const geom::Polygon& p,
+                                     const geom::Polygon& q);
+
  private:
   bool HwDilatedBoundariesOverlap(const std::vector<geom::Segment>& ep,
                                   const std::vector<geom::Segment>& eq,
                                   const geom::Box& viewport, double width_px);
+
+  // Closed-region containment of the pair, guarded by MBR nesting.
+  bool Containment(const geom::Polygon& p, const geom::Polygon& q);
+
+  // Exact software within-distance test of the boundaries, with counters.
+  bool BoundariesWithin(const geom::Polygon& p, const geom::Polygon& q,
+                        double d);
 
   // Cached-locator containment; see HwIntersectionTester::PolygonContains.
   bool PolygonContains(const geom::Polygon& outer, geom::Point pt);
@@ -52,6 +100,7 @@ class HwDistanceTester {
   HwConfig config_;
   algo::DistanceOptions sw_options_;
   HwCounters counters_;
+  DistancePlan plan_scratch_;  // reused across Test() calls (edge capacity)
   glsim::RenderContext ctx_;
   glsim::PixelMask mask_a_;
   glsim::PixelMask mask_b_;

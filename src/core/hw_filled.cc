@@ -66,6 +66,7 @@ bool HwFilledIntersectionTester::FilledRegionsOverlap(
       mask_a_.Set(x, y);
       --unset;
     }
+    return unset == 0;  // saturated: stop drawing (early-exit contract)
   };
   bool any_first = false;
   for (size_t t = 0; t < tp.size() && unset > 0; ++t) {
@@ -83,8 +84,14 @@ bool HwFilledIntersectionTester::FilledRegionsOverlap(
   }
   if (!any_first) return false;
 
+  // Returning `found` stops the rasterizer at the first doubly-colored
+  // pixel (early-exit contract, glsim/raster.h) instead of emitting the
+  // rest of the triangle.
   bool found = false;
-  const auto probe = [&](int x, int y) { found = found || mask_a_.Test(x, y); };
+  const auto probe = [&](int x, int y) {
+    found = found || mask_a_.Test(x, y);
+    return found;
+  };
   for (size_t t = 0; t < tq.size() && !found; ++t) {
     const geom::Point a = q.vertex(static_cast<size_t>(tq[t][0]));
     const geom::Point b = q.vertex(static_cast<size_t>(tq[t][1]));

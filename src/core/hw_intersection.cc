@@ -29,60 +29,96 @@ HwIntersectionTester::HwIntersectionTester(
   ctx_.set_limits(config.limits);
 }
 
-bool HwIntersectionTester::Test(const geom::Polygon& p,
-                                const geom::Polygon& q) {
+PairPlan HwIntersectionTester::Plan(const geom::Polygon& p,
+                                    const geom::Polygon& q) {
   ++counters_.tests;
-  if (!p.Bounds().Intersects(q.Bounds())) return false;
-
-  // Point-in-polygon step of Algorithm 3.1, deferred: it is only *needed*
-  // for pure containment (a boundary crossing is caught by the segment
-  // tests), containment implies nested MBRs, and the ray test is O(n+m) —
-  // so it runs last and only when the MBRs nest (DESIGN.md lists this
-  // reordering; the outcome is identical to the paper's listing).
-  const auto containment = [&]() {
-    Stopwatch watch;
-    const bool pip =
-        (q.Bounds().Contains(p.Bounds()) && PolygonContains(q, p.vertex(0))) ||
-        (p.Bounds().Contains(q.Bounds()) && PolygonContains(p, q.vertex(0)));
-    counters_.pip_ms += watch.ElapsedMillis();
-    if (pip) ++counters_.pip_hits;
-    return pip;
-  };
-  const auto boundaries_cross = [&]() {
-    ++counters_.sw_tests;
-    Stopwatch watch;
-    const bool result = algo::BoundariesIntersect(p, q, sw_options_);
-    counters_.sw_ms += watch.ElapsedMillis();
-    return result;
-  };
+  PairPlan plan;
+  if (!p.Bounds().Intersects(q.Bounds())) {
+    plan.stage = PairPlan::Stage::kDecided;
+    plan.decision = false;
+    return plan;
+  }
 
   // Pure software mode: same refinement without the hardware filter.
-  if (!config_.enable_hw) return boundaries_cross() || containment();
+  if (!config_.enable_hw) {
+    plan.stage = PairPlan::Stage::kSoftware;
+    return plan;
+  }
 
   // sw_threshold adaptation (§4.3): simple pairs skip the hardware test.
   const int64_t total_vertices =
       static_cast<int64_t>(p.size()) + static_cast<int64_t>(q.size());
   if (total_vertices <= config_.sw_threshold) {
     ++counters_.sw_threshold_skips;
-    return boundaries_cross() || containment();
+    plan.stage = PairPlan::Stage::kSoftware;
+    return plan;
+  }
+
+  plan.stage = PairPlan::Stage::kHardware;
+  plan.viewport = p.Bounds().Intersection(q.Bounds());
+  return plan;
+}
+
+bool HwIntersectionTester::Containment(const geom::Polygon& p,
+                                       const geom::Polygon& q) {
+  // Point-in-polygon step of Algorithm 3.1, deferred: it is only *needed*
+  // for pure containment (a boundary crossing is caught by the segment
+  // tests), containment implies nested MBRs, and the ray test is O(n+m) —
+  // so it runs last and only when the MBRs nest (DESIGN.md lists this
+  // reordering; the outcome is identical to the paper's listing).
+  Stopwatch watch;
+  const bool pip =
+      (q.Bounds().Contains(p.Bounds()) && PolygonContains(q, p.vertex(0))) ||
+      (p.Bounds().Contains(q.Bounds()) && PolygonContains(p, q.vertex(0)));
+  counters_.pip_ms += watch.ElapsedMillis();
+  if (pip) ++counters_.pip_hits;
+  return pip;
+}
+
+bool HwIntersectionTester::BoundariesCross(const geom::Polygon& p,
+                                           const geom::Polygon& q) {
+  ++counters_.sw_tests;
+  Stopwatch watch;
+  const bool result = algo::BoundariesIntersect(p, q, sw_options_);
+  counters_.sw_ms += watch.ElapsedMillis();
+  return result;
+}
+
+bool HwIntersectionTester::FinishSurvivor(const geom::Polygon& p,
+                                          const geom::Polygon& q) {
+  // Software segment intersection test (exact), then containment.
+  return BoundariesCross(p, q) || Containment(p, q);
+}
+
+bool HwIntersectionTester::FinishReject(
+    const geom::Polygon& p, const geom::Polygon& q,
+    [[maybe_unused]] const geom::Box& viewport) {
+  ++counters_.hw_rejects;
+  HASJ_PARANOID_ONLY(
+      paranoid::CheckIntersectionReject(p, q, viewport, config_));
+  return Containment(p, q);
+}
+
+bool HwIntersectionTester::Test(const geom::Polygon& p,
+                                const geom::Polygon& q) {
+  const PairPlan plan = Plan(p, q);
+  switch (plan.stage) {
+    case PairPlan::Stage::kDecided:
+      return plan.decision;
+    case PairPlan::Stage::kSoftware:
+      return FinishSurvivor(p, q);
+    case PairPlan::Stage::kHardware:
+      break;
   }
 
   // Hardware segment intersection test (conservative filter): no shared
   // pixel means the boundaries cannot cross, leaving only containment.
   ++counters_.hw_tests;
-  const geom::Box viewport = p.Bounds().Intersection(q.Bounds());
   Stopwatch watch;
-  const bool overlap = HwBoundariesOverlap(p, q, viewport);
+  const bool overlap = HwBoundariesOverlap(p, q, plan.viewport);
   counters_.hw_ms += watch.ElapsedMillis();
-  if (!overlap) {
-    ++counters_.hw_rejects;
-    HASJ_PARANOID_ONLY(
-        paranoid::CheckIntersectionReject(p, q, viewport, config_));
-    return containment();
-  }
-
-  // Software segment intersection test (exact) for survivors.
-  return boundaries_cross() || containment();
+  if (!overlap) return FinishReject(p, q, plan.viewport);
+  return FinishSurvivor(p, q);
 }
 
 bool HwIntersectionTester::PolygonContains(const geom::Polygon& outer,

@@ -12,6 +12,24 @@
 
 namespace hasj::core {
 
+// Routing decision of the shared per-pair refinement skeleton: Plan()
+// classifies a pair, the hardware step (per-pair render or a batch atlas
+// tile) resolves kHardware, and the Finish*() methods complete the
+// decision. Exposed so BatchHardwareTester (core/batch_tester.h) executes
+// the exact same software-side logic as the per-pair Test() — decision
+// identity between the two paths then reduces to the hardware step, which
+// is bit-identical by construction (glsim/raster.h row-span core).
+struct PairPlan {
+  enum class Stage {
+    kDecided,   // decided without any segment test (MBR miss)
+    kSoftware,  // skip hardware, run the exact software confirmation
+    kHardware,  // run the hardware segment test over `viewport`
+  };
+  Stage stage = Stage::kDecided;
+  bool decision = false;  // valid for kDecided
+  geom::Box viewport;     // valid for kHardware
+};
+
 // Algorithm 3.1: hardware-assisted polygon intersection test.
 //
 //   1. Software point-in-polygon test (handles containment; O(n+m)).
@@ -41,11 +59,31 @@ class HwIntersectionTester {
   const HwCounters& counters() const { return counters_; }
   void ResetCounters() { counters_ = HwCounters{}; }
 
+  // Decision skeleton, exposed for BatchHardwareTester (see PairPlan).
+  // Test(p, q) == Plan -> [hardware step] -> Finish*, in that order.
+  PairPlan Plan(const geom::Polygon& p, const geom::Polygon& q);
+  // Completes a pair whose hardware filter kept it (or that skipped the
+  // hardware step): exact software segment test, then containment.
+  [[nodiscard]] bool FinishSurvivor(const geom::Polygon& p,
+                                    const geom::Polygon& q);
+  // Completes a hardware reject: counts it, cross-checks conservativeness
+  // in a HASJ_PARANOID build, and decides by containment alone.
+  [[nodiscard]] bool FinishReject(const geom::Polygon& p,
+                                  const geom::Polygon& q,
+                                  const geom::Box& viewport);
+
  private:
   // True if some pixel is covered by both boundaries within the window
   // projected onto `viewport`.
   bool HwBoundariesOverlap(const geom::Polygon& p, const geom::Polygon& q,
                            const geom::Box& viewport);
+
+  // Closed-region containment of the pair (either direction), guarded by
+  // MBR nesting; deferred to the reject/confirm paths (see Test()).
+  bool Containment(const geom::Polygon& p, const geom::Polygon& q);
+
+  // Exact software segment intersection test, with counters.
+  bool BoundariesCross(const geom::Polygon& p, const geom::Polygon& q);
 
   // Closed-region containment of `pt` in `outer`, via a lazily built and
   // cached point locator for large polygons. Cache keys are polygon

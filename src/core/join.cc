@@ -3,6 +3,7 @@
 #include <optional>
 
 #include "common/stopwatch.h"
+#include "core/batch_tester.h"
 #include "core/hw_intersection.h"
 #include "core/refinement_executor.h"
 
@@ -82,13 +83,31 @@ JoinResult IntersectionJoin::Run(const JoinOptions& options) const {
   watch.Restart();
   HwConfig hw_config = options.hw;
   hw_config.enable_hw = options.use_hw;
-  RefinementOutcome<std::pair<int64_t, int64_t>> refined = executor.Refine(
-      *to_compare,
-      [&] { return HwIntersectionTester(hw_config, options.sw); },
-      [&](HwIntersectionTester& tester, const std::pair<int64_t, int64_t>& c) {
-        return tester.Test(a_.polygon(static_cast<size_t>(c.first)),
-                           b_.polygon(static_cast<size_t>(c.second)));
-      });
+  RefinementOutcome<std::pair<int64_t, int64_t>> refined;
+  if (hw_config.use_batching && hw_config.enable_hw &&
+      hw_config.backend == HwBackend::kBitmask) {
+    // Batched hardware step: workers drain their candidate chunks through a
+    // tile-atlas tester (DESIGN.md §9); decisions and output order are
+    // identical to the per-pair branch below.
+    refined = executor.RefineBatches(
+        *to_compare,
+        [&] { return BatchHardwareTester(hw_config, options.sw); },
+        [&](const std::pair<int64_t, int64_t>& c) {
+          return PolygonPair{&a_.polygon(static_cast<size_t>(c.first)),
+                             &b_.polygon(static_cast<size_t>(c.second))};
+        },
+        [](BatchHardwareTester& tester, std::span<const PolygonPair> pairs,
+           uint8_t* verdicts) { tester.TestIntersectionBatch(pairs, verdicts); });
+  } else {
+    refined = executor.Refine(
+        *to_compare,
+        [&] { return HwIntersectionTester(hw_config, options.sw); },
+        [&](HwIntersectionTester& tester,
+            const std::pair<int64_t, int64_t>& c) {
+          return tester.Test(a_.polygon(static_cast<size_t>(c.first)),
+                             b_.polygon(static_cast<size_t>(c.second)));
+        });
+  }
   result.counts.compared += static_cast<int64_t>(to_compare->size());
   result.pairs.insert(result.pairs.end(), refined.accepted.begin(),
                       refined.accepted.end());

@@ -4,10 +4,12 @@
 #include <algorithm>
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <utility>
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "core/batch_tester.h"
 #include "core/hw_config.h"
 
 namespace hasj::core {
@@ -90,6 +92,66 @@ class RefinementExecutor {
                                                                            : 0;
                          }
                        });
+
+    out.accepted.reserve(items.size());
+    for (size_t i = 0; i < items.size(); ++i) {
+      if (verdict[i]) out.accepted.push_back(items[i]);
+    }
+    for (const Tester& tester : testers) out.counters += tester.counters();
+    return out;
+  }
+
+  // Batched variant of Refine() for BatchHardwareTester (hw_config
+  // use_batching): workers drain their candidate chunks through
+  // test_batch(tester, pairs, verdicts) instead of one call per item, and
+  // the tester amortizes the hardware step over atlas-sized sub-batches.
+  // to_pair(item) -> PolygonPair resolves items to dataset polygons once,
+  // up front. Output order and counter totals are identical to Refine()
+  // with the per-pair tester at every thread count (the batch tester's
+  // decisions are identical by construction, and the verdict-array gather
+  // is the same).
+  template <typename Item, typename MakeTester, typename ToPair,
+            typename TestBatch>
+  RefinementOutcome<Item> RefineBatches(const std::vector<Item>& items,
+                                        MakeTester&& make_tester,
+                                        ToPair&& to_pair,
+                                        TestBatch&& test_batch) const {
+    RefinementOutcome<Item> out;
+    const int64_t n = static_cast<int64_t>(items.size());
+    std::vector<PolygonPair> pairs(items.size());
+    std::vector<uint8_t> verdict(items.size(), 0);
+    if (!pool_.has_value() || n <= 1) {
+      auto tester = make_tester();
+      for (size_t i = 0; i < items.size(); ++i) pairs[i] = to_pair(items[i]);
+      if (n > 0) {
+        test_batch(tester, std::span<const PolygonPair>(pairs),
+                   verdict.data());
+      }
+      out.accepted.reserve(items.size());
+      for (size_t i = 0; i < items.size(); ++i) {
+        if (verdict[i]) out.accepted.push_back(items[i]);
+      }
+      out.counters = tester.counters();
+      return out;
+    }
+
+    using Tester = decltype(make_tester());
+    std::vector<Tester> testers;
+    testers.reserve(static_cast<size_t>(threads_));
+    for (int w = 0; w < threads_; ++w) testers.push_back(make_tester());
+
+    pool_->ParallelFor(
+        n, Grain(n), [&](int64_t begin, int64_t end, int worker) {
+          for (int64_t i = begin; i < end; ++i) {
+            pairs[static_cast<size_t>(i)] =
+                to_pair(items[static_cast<size_t>(i)]);
+          }
+          Tester& tester = testers[static_cast<size_t>(worker)];
+          test_batch(tester,
+                     std::span<const PolygonPair>(
+                         pairs.data() + begin, static_cast<size_t>(end - begin)),
+                     verdict.data() + begin);
+        });
 
     out.accepted.reserve(items.size());
     for (size_t i = 0; i < items.size(); ++i) {

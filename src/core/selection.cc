@@ -3,6 +3,7 @@
 #include <optional>
 
 #include "common/stopwatch.h"
+#include "core/batch_tester.h"
 #include "core/hw_intersection.h"
 #include "core/refinement_executor.h"
 #include "filter/interior_filter.h"
@@ -96,12 +97,27 @@ SelectionResult IntersectionSelection::Run(
   watch.Restart();
   HwConfig hw_config = options.hw;
   hw_config.enable_hw = options.use_hw;
-  RefinementOutcome<int64_t> refined = executor.Refine(
-      undecided,
-      [&] { return HwIntersectionTester(hw_config, options.sw); },
-      [&](HwIntersectionTester& tester, int64_t id) {
-        return tester.Test(dataset_.polygon(static_cast<size_t>(id)), query);
-      });
+  RefinementOutcome<int64_t> refined;
+  if (hw_config.use_batching && hw_config.enable_hw &&
+      hw_config.backend == HwBackend::kBitmask) {
+    // Batched hardware step (DESIGN.md §9): decision-identical to the
+    // per-pair branch below, amortized over atlas tiles.
+    refined = executor.RefineBatches(
+        undecided, [&] { return BatchHardwareTester(hw_config, options.sw); },
+        [&](int64_t id) {
+          return PolygonPair{&dataset_.polygon(static_cast<size_t>(id)),
+                             &query};
+        },
+        [](BatchHardwareTester& tester, std::span<const PolygonPair> pairs,
+           uint8_t* verdicts) { tester.TestIntersectionBatch(pairs, verdicts); });
+  } else {
+    refined = executor.Refine(
+        undecided,
+        [&] { return HwIntersectionTester(hw_config, options.sw); },
+        [&](HwIntersectionTester& tester, int64_t id) {
+          return tester.Test(dataset_.polygon(static_cast<size_t>(id)), query);
+        });
+  }
   result.counts.compared += static_cast<int64_t>(undecided.size());
   result.ids.insert(result.ids.end(), refined.accepted.begin(),
                     refined.accepted.end());

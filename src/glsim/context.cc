@@ -14,29 +14,39 @@ RenderContext::RenderContext(int width, int height)
   HASJ_CHECK(width > 0 && height > 0);
 }
 
-void RenderContext::SetDataRect(const geom::Box& data_rect) {
+WindowTransform WindowTransform::Make(const geom::Box& data_rect, int width,
+                                      int height) {
   HASJ_CHECK(!data_rect.IsEmpty());
-  data_rect_ = data_rect;
+  WindowTransform t;
+  t.data_rect = data_rect;
   // Inflate degenerate extents so the projection stays finite (a data rect
   // can collapse to a line or point when two MBRs touch). The pad must be
   // large relative to the coordinate magnitude or it is absorbed by
   // floating-point rounding and the extent stays zero.
-  const double w = data_rect_.Width();
-  const double h = data_rect_.Height();
-  const double magnitude =
-      std::max({w, h, std::fabs(data_rect_.min_x), std::fabs(data_rect_.max_x),
-                std::fabs(data_rect_.min_y), std::fabs(data_rect_.max_y), 1.0});
+  const double w = t.data_rect.Width();
+  const double h = t.data_rect.Height();
+  const double magnitude = std::max(
+      {w, h, std::fabs(t.data_rect.min_x), std::fabs(t.data_rect.max_x),
+       std::fabs(t.data_rect.min_y), std::fabs(t.data_rect.max_y), 1.0});
   const double pad = magnitude * 1e-9;
   if (w <= 0.0) {
-    data_rect_.min_x -= pad;
-    data_rect_.max_x += pad;
+    t.data_rect.min_x -= pad;
+    t.data_rect.max_x += pad;
   }
   if (h <= 0.0) {
-    data_rect_.min_y -= pad;
-    data_rect_.max_y += pad;
+    t.data_rect.min_y -= pad;
+    t.data_rect.max_y += pad;
   }
-  scale_x_ = width_ / data_rect_.Width();
-  scale_y_ = height_ / data_rect_.Height();
+  t.scale_x = width / t.data_rect.Width();
+  t.scale_y = height / t.data_rect.Height();
+  return t;
+}
+
+void RenderContext::SetDataRect(const geom::Box& data_rect) {
+  const WindowTransform t = WindowTransform::Make(data_rect, width_, height_);
+  data_rect_ = t.data_rect;
+  scale_x_ = t.scale_x;
+  scale_y_ = t.scale_y;
 }
 
 geom::Point RenderContext::ToWindow(geom::Point p) const {

@@ -25,6 +25,29 @@ enum class AccumOp {
   kReturn,  // color = clamp(accum * value)
 };
 
+// The orthographic data-rect -> window projection, factored out of
+// RenderContext so the batch tile atlas (glsim/atlas.h) projects with the
+// exact same arithmetic — bit-identical window coordinates are one of the
+// two ingredients of the batched path's decision identity (the other is
+// the shared row-span snapping in raster.h).
+struct WindowTransform {
+  geom::Box data_rect;
+  double scale_x = 1.0;
+  double scale_y = 1.0;
+
+  // data_rect -> [0, width] x [0, height]. A degenerate data_rect (zero
+  // width or height) is inflated minimally so the projection stays finite;
+  // the pad is relative to the coordinate magnitude or it would be absorbed
+  // by floating-point rounding.
+  static WindowTransform Make(const geom::Box& data_rect, int width,
+                              int height);
+
+  geom::Point ToWindow(geom::Point p) const {
+    return {(p.x - data_rect.min_x) * scale_x,
+            (p.y - data_rect.min_y) * scale_y};
+  }
+};
+
 // Off-screen rendering context emulating the fixed-function OpenGL pipeline
 // fragment the paper relies on: an orthographic projection of a data-space
 // rectangle onto a small window, anti-aliased line/point rasterization with

@@ -42,6 +42,18 @@ inline bool EmitStops(Emit& emit, int x, int y) {
   }
 }
 
+// Same normalization for row-range emitters: emit_row(c0, c1, y) covers the
+// whole closed column range [c0, c1] of row y at once.
+template <typename EmitRow>
+inline bool EmitRowStops(EmitRow& emit_row, int c0, int c1, int y) {
+  if constexpr (std::is_same_v<decltype(emit_row(c0, c1, y)), bool>) {
+    return emit_row(c0, c1, y);
+  } else {
+    emit_row(c0, c1, y);
+    return false;
+  }
+}
+
 // Test-only fault injection: when set, EmitRowSpan shrinks each span by
 // 0.75 px at both ends instead of conservatively closing it, so the spans
 // of a default-width (√2 px) line vanish — the seeded coverage-rule bug the
@@ -52,12 +64,16 @@ inline bool& TestCoverageShrink() {
   return shrink;
 }
 
-// Emits every cell column in row `y` whose closed cell intersects the
-// closed x-interval [xlo, xhi], with a conservative relative tolerance (the
-// same reasoning as coverage.cc: rounding must only ever add pixels).
-// Returns true when emit stopped the rasterization.
-template <typename Emit>
-bool EmitRowSpan(double xlo, double xhi, int y, int vw, Emit& emit) {
+// Maps the closed x-interval [xlo, xhi] of row `y` to the cell columns
+// whose closed cell intersects it, with a conservative relative tolerance
+// (the same reasoning as coverage.cc: rounding must only ever add pixels),
+// and hands the whole range to emit_row(c0, c1, y) in one call. The single
+// source of truth for span->column snapping: the per-pixel rasterizers and
+// the batch tile atlas both sit on top of it, which is what makes the
+// batched hardware test decision-identical to the per-pair one (DESIGN.md
+// §9). Returns true when emit_row stopped the rasterization.
+template <typename EmitRow>
+bool EmitRowSpanCols(double xlo, double xhi, int y, int vw, EmitRow& emit_row) {
   if (xlo > xhi) return false;
   if (TestCoverageShrink()) {
     xlo += 0.75;
@@ -69,10 +85,20 @@ bool EmitRowSpan(double xlo, double xhi, int y, int vw, Emit& emit) {
   // c+1 >= xlo.
   const int c0 = PixelFromCoord(std::ceil(xlo - tol) - 1.0, 0, vw - 1);
   const int c1 = PixelFromCoord(std::floor(xhi + tol), 0, vw - 1);
-  for (int c = c0; c <= c1; ++c) {
-    if (EmitStops(emit, c, y)) return true;
-  }
-  return false;
+  return EmitRowStops(emit_row, c0, c1, y);
+}
+
+// Per-pixel adapter over EmitRowSpanCols: emits every column of the range
+// individually. Returns true when emit stopped the rasterization.
+template <typename Emit>
+bool EmitRowSpan(double xlo, double xhi, int y, int vw, Emit& emit) {
+  auto per_pixel = [&emit](int c0, int c1, int y2) {
+    for (int c = c0; c <= c1; ++c) {
+      if (EmitStops(emit, c, y2)) return true;
+    }
+    return false;
+  };
+  return EmitRowSpanCols(xlo, xhi, y, vw, per_pixel);
 }
 
 // Per-row x-extents of a convex polygon over the cell rows of a viewport.
@@ -149,11 +175,32 @@ void RasterizePointTruncate(geom::Point p, int vw, int vh, Emit emit) {
   emit(PixelFromCoord(fx, 0, vw - 1), PixelFromCoord(fy, 0, vh - 1));
 }
 
-// Anti-aliased wide point: every pixel whose (closed) cell intersects the
-// disc of diameter `size` centered at p. Conservative closed-contact
-// semantics; see coverage.h.
+namespace raster_internal {
+
+// Per-pixel adapter: turns a pixel emitter into a row-range emitter so the
+// classic per-pixel rasterizers are thin wrappers over the row-span cores
+// below (one span walk, two consumers — per-pixel buffers and the batch
+// tile atlas — with identical coverage by construction).
 template <typename Emit>
-void RasterizeWidePoint(geom::Point p, double size, int vw, int vh, Emit emit) {
+auto PerPixelRows(Emit& emit) {
+  return [&emit](int c0, int c1, int y) {
+    for (int c = c0; c <= c1; ++c) {
+      if (EmitStops(emit, c, y)) return true;
+    }
+    return false;
+  };
+}
+
+}  // namespace raster_internal
+
+// Row-span core of RasterizeWidePoint: emit_row(c0, c1, y) receives, for
+// each covered row, the closed column range of pixels whose (closed) cell
+// intersects the disc of diameter `size` centered at p. Conservative
+// closed-contact semantics; see coverage.h. The early-exit contract applies
+// to emit_row (returning true stops the primitive).
+template <typename EmitRow>
+void RasterizeWidePointRowSpans(geom::Point p, double size, int vw, int vh,
+                                EmitRow emit_row) {
   const double r = size * 0.5;
   const double rtol = r + 1e-12 * (r + std::fabs(p.x) + std::fabs(p.y));
   const int y0 = PixelFromCoord(std::floor(p.y - rtol) - 1, 0, vh - 1);
@@ -164,21 +211,30 @@ void RasterizeWidePoint(geom::Point p, double size, int vw, int vh, Emit emit) {
     const double under = rtol * rtol - dy * dy;
     if (under < 0.0) continue;
     const double halfw = std::sqrt(under);
-    if (raster_internal::EmitRowSpan(p.x - halfw, p.x + halfw, y, vw, emit)) {
+    if (raster_internal::EmitRowSpanCols(p.x - halfw, p.x + halfw, y, vw,
+                                         emit_row)) {
       return;
     }
   }
 }
 
-// Anti-aliased line segment of width `width`: every pixel whose (closed)
-// cell intersects the bounding-rectangle footprint (paper Figure 4). This
-// is the rule whose conservativeness the hardware intersection test relies
-// on: every pixel the segment passes through is colored.
+// Anti-aliased wide point: every pixel whose (closed) cell intersects the
+// disc of diameter `size` centered at p. Conservative closed-contact
+// semantics; see coverage.h.
 template <typename Emit>
-void RasterizeLineAA(geom::Point a, geom::Point b, double width, int vw,
-                     int vh, Emit emit) {
+void RasterizeWidePoint(geom::Point p, double size, int vw, int vh, Emit emit) {
+  RasterizeWidePointRowSpans(p, size, vw, vh,
+                             raster_internal::PerPixelRows(emit));
+}
+
+// Row-span core of RasterizeLineAA (same contract as
+// RasterizeWidePointRowSpans; the footprint is the paper-Figure-4 width
+// rectangle).
+template <typename EmitRow>
+void RasterizeLineAARowSpans(geom::Point a, geom::Point b, double width,
+                             int vw, int vh, EmitRow emit_row) {
   if (a == b) {
-    RasterizeWidePoint(a, width, vw, vh, emit);
+    RasterizeWidePointRowSpans(a, width, vw, vh, emit_row);
     return;
   }
   HASJ_DCHECK(vh <= raster_internal::RowSpans::kMaxRows);
@@ -204,8 +260,40 @@ void RasterizeLineAA(geom::Point a, geom::Point b, double width, int vw,
   spans.AddEdge(c2, c3);
   spans.AddEdge(c3, c0);
   for (int r = spans.row_min; r <= spans.row_max; ++r) {
-    if (raster_internal::EmitRowSpan(spans.xlo[r], spans.xhi[r], r, vw,
-                                     emit)) {
+    if (raster_internal::EmitRowSpanCols(spans.xlo[r], spans.xhi[r], r, vw,
+                                         emit_row)) {
+      return;
+    }
+  }
+}
+
+// Anti-aliased line segment of width `width`: every pixel whose (closed)
+// cell intersects the bounding-rectangle footprint (paper Figure 4). This
+// is the rule whose conservativeness the hardware intersection test relies
+// on: every pixel the segment passes through is colored.
+template <typename Emit>
+void RasterizeLineAA(geom::Point a, geom::Point b, double width, int vw,
+                     int vh, Emit emit) {
+  RasterizeLineAARowSpans(a, b, width, vw, vh,
+                          raster_internal::PerPixelRows(emit));
+}
+
+// Row-span core of RasterizeTriangleConservative (same contract as above).
+template <typename EmitRow>
+void RasterizeTriangleRowSpans(geom::Point a, geom::Point b, geom::Point c,
+                               int vw, int vh, EmitRow emit_row) {
+  HASJ_DCHECK(vh <= raster_internal::RowSpans::kMaxRows);
+  const double miny = std::min(a.y, std::min(b.y, c.y));
+  const double maxy = std::max(a.y, std::max(b.y, c.y));
+  if (maxy < 0.0 || miny > vh) return;
+  static thread_local raster_internal::RowSpans spans;
+  spans.Init(miny, maxy, vh);
+  spans.AddEdge(a, b);
+  spans.AddEdge(b, c);
+  spans.AddEdge(c, a);
+  for (int r = spans.row_min; r <= spans.row_max; ++r) {
+    if (raster_internal::EmitRowSpanCols(spans.xlo[r], spans.xhi[r], r, vw,
+                                         emit_row)) {
       return;
     }
   }
@@ -218,21 +306,8 @@ void RasterizeLineAA(geom::Point a, geom::Point b, double width, int vw,
 template <typename Emit>
 void RasterizeTriangleConservative(geom::Point a, geom::Point b,
                                    geom::Point c, int vw, int vh, Emit emit) {
-  HASJ_DCHECK(vh <= raster_internal::RowSpans::kMaxRows);
-  const double miny = std::min(a.y, std::min(b.y, c.y));
-  const double maxy = std::max(a.y, std::max(b.y, c.y));
-  if (maxy < 0.0 || miny > vh) return;
-  static thread_local raster_internal::RowSpans spans;
-  spans.Init(miny, maxy, vh);
-  spans.AddEdge(a, b);
-  spans.AddEdge(b, c);
-  spans.AddEdge(c, a);
-  for (int r = spans.row_min; r <= spans.row_max; ++r) {
-    if (raster_internal::EmitRowSpan(spans.xlo[r], spans.xhi[r], r, vw,
-                                     emit)) {
-      return;
-    }
-  }
+  RasterizeTriangleRowSpans(a, b, c, vw, vh,
+                            raster_internal::PerPixelRows(emit));
 }
 
 // Basic (aliased) line rasterization with the diamond-exit rule (paper

@@ -13,6 +13,7 @@
 #include "core/hw_intersection.h"
 #include "data/generator.h"
 #include "geom/wkt.h"
+#include "tests/test_seed.h"
 
 namespace hasj {
 namespace {
@@ -36,7 +37,9 @@ TEST_P(LargeCoordinateTest, HwTestersStayExact) {
   const double offset = GetParam();
   core::HwIntersectionTester intersect;
   core::HwDistanceTester within;
-  Rng rng(901);
+  const uint64_t seed = TestSeed(901);
+  SCOPED_TRACE(SeedTrace(seed));
+  Rng rng(seed);
   for (int iter = 0; iter < 60; ++iter) {
     const Polygon a0 = data::GenerateBlobPolygon(
         {rng.Uniform(0, 8), rng.Uniform(0, 8)}, rng.Uniform(0.5, 3.0),
@@ -84,7 +87,9 @@ TEST(StressTest, HighVertexCountPairStaysExactAndFinishes) {
 }
 
 TEST(WktFuzzTest, GarbageNeverCrashes) {
-  Rng rng(907);
+  const uint64_t seed = TestSeed(907);
+  SCOPED_TRACE(SeedTrace(seed));
+  Rng rng(seed);
   const std::string alphabet = "POLYGON(), 0123456789.-+eE \t";
   for (int iter = 0; iter < 2000; ++iter) {
     std::string input;

@@ -1,0 +1,28 @@
+#ifndef HASJ_TESTS_TEST_SEED_H_
+#define HASJ_TESTS_TEST_SEED_H_
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+namespace hasj {
+
+// Seed plumbing for randomized tests: HASJ_TEST_SEED in the environment
+// overrides a suite's default seed, so a failure found under one seed can
+// be replayed exactly (`HASJ_TEST_SEED=12345 ctest -R Property ...`) and CI
+// can diversify seeds without a rebuild. Pair every use with
+// SCOPED_TRACE(SeedTrace(seed)) so a failing assertion prints the seed it
+// ran under.
+inline uint64_t TestSeed(uint64_t fallback) {
+  const char* env = std::getenv("HASJ_TEST_SEED");
+  if (env == nullptr || *env == '\0') return fallback;
+  return static_cast<uint64_t>(std::strtoull(env, nullptr, 10));
+}
+
+inline std::string SeedTrace(uint64_t seed) {
+  return "effective seed: HASJ_TEST_SEED=" + std::to_string(seed);
+}
+
+}  // namespace hasj
+
+#endif  // HASJ_TESTS_TEST_SEED_H_
