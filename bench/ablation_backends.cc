@@ -13,6 +13,7 @@ namespace {
 
 int Main(int argc, char** argv) {
   const BenchArgs args = ParseArgs(argc, argv, 0.02);
+  BenchReport report("ablation_backends", args);
   PrintHeader("Ablation: hardware-test backends (WATER join PRISM, 8x8)",
               args);
   const data::Dataset a = Generate(data::WaterProfile(args.scale), args);
@@ -40,11 +41,16 @@ int Main(int argc, char** argv) {
     options.hw.resolution = 8;
     options.hw.backend = config.backend;
     options.hw.use_minmax = config.use_minmax;
+    report.Wire(&options.hw);
     const core::JoinResult r = join.Run(options);
     std::printf("%-20s %12.1f %12lld %10lld\n", config.name,
                 r.costs.compare_ms,
                 static_cast<long long>(r.hw_counters.hw_rejects),
                 static_cast<long long>(r.counts.results));
+    report.Row(config.name,
+               {{"compare_ms", r.costs.compare_ms},
+                {"hw_rejects", static_cast<double>(r.hw_counters.hw_rejects)},
+                {"results", static_cast<double>(r.counts.results)}});
     if (reference_rejects < 0) {
       reference_rejects = r.hw_counters.hw_rejects;
     } else if (reference_rejects != r.hw_counters.hw_rejects) {
@@ -53,7 +59,7 @@ int Main(int argc, char** argv) {
     }
   }
   std::printf("# all backends must report identical hw_rejects/results.\n");
-  return 0;
+  return report.Finish();
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 // and hardware-reject count against the per-pair run.
 
 #include <cstdio>
+#include <string>
 
 #include "bench/harness.h"
 #include "core/distance_join.h"
@@ -17,11 +18,15 @@ namespace {
 
 constexpr int kBatchSizes[] = {64, 256, 1024, 4096};
 
-void SweepIntersection(const core::IntersectionJoin& join,
-                       core::JoinOptions options) {
+bool SweepIntersection(const core::IntersectionJoin& join,
+                       core::JoinOptions options, BenchReport& report) {
   options.use_hw = true;
   options.hw.use_batching = false;
+  report.Wire(&options.hw);
   const core::JoinResult per_pair = join.Run(options);
+  const std::string prefix =
+      "isect " + std::to_string(options.hw.resolution) + "x" +
+      std::to_string(options.hw.resolution) + " ";
   std::printf(
       "## intersection join, %dx%d window (candidates=%lld compared=%lld "
       "results=%lld hw_tests=%lld)\n",
@@ -36,6 +41,10 @@ void SweepIntersection(const core::IntersectionJoin& join,
   std::printf("%-10s %12.1f %10s %10.1f %12s %10s %10s %8s\n", "per-pair",
               per_pair.costs.compare_ms, "1.00x", per_pair.hw_counters.hw_ms,
               "1.00x", "-", "-", "-");
+  report.Row(prefix + "per-pair",
+             {{"compare_ms", per_pair.costs.compare_ms},
+              {"hw_ms", per_pair.hw_counters.hw_ms}});
+  bool all_match = true;
   for (int batch_size : kBatchSizes) {
     options.hw.use_batching = true;
     options.hw.batch_size = batch_size;
@@ -44,6 +53,7 @@ void SweepIntersection(const core::IntersectionJoin& join,
         r.pairs == per_pair.pairs &&
         r.hw_counters.hw_rejects == per_pair.hw_counters.hw_rejects &&
         r.hw_counters.hw_tests == per_pair.hw_counters.hw_tests;
+    all_match = all_match && match;
     std::printf("%-10d %12.1f %9.2fx %10.1f %11.2fx %10.1f %10.1f %8s\n",
                 batch_size, r.costs.compare_ms,
                 per_pair.costs.compare_ms /
@@ -53,14 +63,25 @@ void SweepIntersection(const core::IntersectionJoin& join,
                     (r.hw_counters.hw_ms > 0 ? r.hw_counters.hw_ms : 1e-9),
                 r.hw_counters.batch.fill_ms, r.hw_counters.batch.scan_ms,
                 match ? "ok" : "MISMATCH");
+    report.Row(prefix + "batch=" + std::to_string(batch_size),
+               {{"compare_ms", r.costs.compare_ms},
+                {"hw_ms", r.hw_counters.hw_ms},
+                {"fill_ms", r.hw_counters.batch.fill_ms},
+                {"scan_ms", r.hw_counters.batch.scan_ms},
+                {"match", match ? 1.0 : 0.0}});
   }
+  return all_match;
 }
 
-void SweepDistance(const core::WithinDistanceJoin& join, double d,
-                   core::DistanceJoinOptions options) {
+bool SweepDistance(const core::WithinDistanceJoin& join, double d,
+                   core::DistanceJoinOptions options, BenchReport& report) {
   options.use_hw = true;
   options.hw.use_batching = false;
+  report.Wire(&options.hw);
   const core::DistanceJoinResult per_pair = join.Run(d, options);
+  const std::string prefix =
+      "dist " + std::to_string(options.hw.resolution) + "x" +
+      std::to_string(options.hw.resolution) + " ";
   std::printf(
       "## within-distance join d=%g, %dx%d window (candidates=%lld "
       "compared=%lld results=%lld hw_tests=%lld)\n",
@@ -75,6 +96,10 @@ void SweepDistance(const core::WithinDistanceJoin& join, double d,
   std::printf("%-10s %12.1f %10s %10.1f %12s %10s %10s %8s\n", "per-pair",
               per_pair.costs.compare_ms, "1.00x", per_pair.hw_counters.hw_ms,
               "1.00x", "-", "-", "-");
+  report.Row(prefix + "per-pair",
+             {{"compare_ms", per_pair.costs.compare_ms},
+              {"hw_ms", per_pair.hw_counters.hw_ms}});
+  bool all_match = true;
   for (int batch_size : kBatchSizes) {
     options.hw.use_batching = true;
     options.hw.batch_size = batch_size;
@@ -83,6 +108,7 @@ void SweepDistance(const core::WithinDistanceJoin& join, double d,
         r.pairs == per_pair.pairs &&
         r.hw_counters.hw_rejects == per_pair.hw_counters.hw_rejects &&
         r.hw_counters.hw_tests == per_pair.hw_counters.hw_tests;
+    all_match = all_match && match;
     std::printf("%-10d %12.1f %9.2fx %10.1f %11.2fx %10.1f %10.1f %8s\n",
                 batch_size, r.costs.compare_ms,
                 per_pair.costs.compare_ms /
@@ -92,11 +118,19 @@ void SweepDistance(const core::WithinDistanceJoin& join, double d,
                     (r.hw_counters.hw_ms > 0 ? r.hw_counters.hw_ms : 1e-9),
                 r.hw_counters.batch.fill_ms, r.hw_counters.batch.scan_ms,
                 match ? "ok" : "MISMATCH");
+    report.Row(prefix + "batch=" + std::to_string(batch_size),
+               {{"compare_ms", r.costs.compare_ms},
+                {"hw_ms", r.hw_counters.hw_ms},
+                {"fill_ms", r.hw_counters.batch.fill_ms},
+                {"scan_ms", r.hw_counters.batch.scan_ms},
+                {"match", match ? 1.0 : 0.0}});
   }
+  return all_match;
 }
 
 int Main(int argc, char** argv) {
   const BenchArgs args = ParseArgs(argc, argv, 0.05);
+  BenchReport report("ablation_batch", args);
   PrintHeader("Batched tile-atlas ablation: per-pair vs atlas hardware step",
               args);
 
@@ -105,19 +139,22 @@ int Main(int argc, char** argv) {
   PrintDataset(water);
   PrintDataset(prism);
 
+  bool all_match = true;
   const core::IntersectionJoin join(water, prism);
   for (int resolution : {8, 16, 32}) {
     core::JoinOptions options;
     options.num_threads = args.threads;
     options.hw.resolution = resolution;
-    SweepIntersection(join, options);
+    all_match = SweepIntersection(join, options, report) && all_match;
   }
 
   const core::WithinDistanceJoin distance_join(water, prism);
   core::DistanceJoinOptions distance_options;
   distance_options.num_threads = args.threads;
   distance_options.hw.resolution = 8;
-  SweepDistance(distance_join, 0.01, distance_options);
+  all_match =
+      SweepDistance(distance_join, 0.01, distance_options, report) &&
+      all_match;
 
   std::printf(
       "# expected shape: batched hw_speedup >= 1.3x at the 8x8 window (a "
@@ -126,7 +163,8 @@ int Main(int argc, char** argv) {
       "compare_ms also includes Plan routing and the exact software confirm "
       "of survivors, which batching does not touch, so its speedup is "
       "diluted toward 1x; match must always be ok.\n");
-  return 0;
+  const int finish = report.Finish();
+  return all_match ? finish : 1;
 }
 
 }  // namespace

@@ -15,6 +15,7 @@ namespace {
 
 int Main(int argc, char** argv) {
   const BenchArgs args = ParseArgs(argc, argv, 0.01);
+  BenchReport report("ablation_distance", args);
   PrintHeader("Ablation: software distance-test variants (WATER join_dist "
               "PRISM candidates, D = BaseD)",
               args);
@@ -59,9 +60,11 @@ int Main(int argc, char** argv) {
     if (best == 0.0) best = ms;
     std::printf("%-20s %12.1f %9.2fx %10lld\n", config.name, ms, ms / best,
                 results);
+    report.Row(config.name, {{"compare_ms", ms},
+                             {"results", static_cast<double>(results)}});
   }
   std::printf("# paper: the restriction optimizations buy a factor 2-6.\n");
-  return 0;
+  return report.Finish();
 }
 
 }  // namespace

@@ -17,6 +17,7 @@ namespace {
 
 int Main(int argc, char** argv) {
   const BenchArgs args = ParseArgs(argc, argv, 0.01);
+  BenchReport report("ablation_filled", args);
   PrintHeader(
       "Ablation: filled-polygon strategy (triangulate + fill) vs "
       "Algorithm 3.1 edge chains (WATER join PRISM, 8x8)",
@@ -31,6 +32,7 @@ int Main(int argc, char** argv) {
 
   core::HwConfig config;
   config.resolution = 8;
+  report.Wire(&config);
 
   {
     core::HwIntersectionTester edges(config);
@@ -40,10 +42,15 @@ int Main(int argc, char** argv) {
       hits += edges.Test(a.polygon(static_cast<size_t>(i)),
                          b.polygon(static_cast<size_t>(j)));
     }
+    const double ms = watch.ElapsedMillis();
     std::printf(
-        "edge chains (Alg. 3.1):  %8.1f ms  results=%lld rejects=%lld\n",
-        watch.ElapsedMillis(), hits,
-        static_cast<long long>(edges.counters().hw_rejects));
+        "edge chains (Alg. 3.1):  %8.1f ms  results=%lld rejects=%lld\n", ms,
+        hits, static_cast<long long>(edges.counters().hw_rejects));
+    report.Row("edge chains",
+               {{"compare_ms", ms},
+                {"results", static_cast<double>(hits)},
+                {"hw_rejects",
+                 static_cast<double>(edges.counters().hw_rejects)}});
   }
   {
     core::HwFilledIntersectionTester filled(config);
@@ -53,17 +60,23 @@ int Main(int argc, char** argv) {
       hits += filled.Test(a.polygon(static_cast<size_t>(i)),
                           b.polygon(static_cast<size_t>(j)));
     }
+    const double ms = watch.ElapsedMillis();
     std::printf(
         "filled (triangulated):   %8.1f ms  results=%lld rejects=%lld  "
         "(triangulation alone: %.1f ms)\n",
-        watch.ElapsedMillis(), hits,
-        static_cast<long long>(filled.counters().hw_rejects),
+        ms, hits, static_cast<long long>(filled.counters().hw_rejects),
         filled.triangulate_ms());
+    report.Row("filled",
+               {{"compare_ms", ms},
+                {"results", static_cast<double>(hits)},
+                {"hw_rejects",
+                 static_cast<double>(filled.counters().hw_rejects)},
+                {"triangulate_ms", filled.triangulate_ms()}});
   }
   std::printf(
       "# paper's argument: triangulation makes the filled strategy lose to "
       "edge chains despite needing no point-in-polygon step.\n");
-  return 0;
+  return report.Finish();
 }
 
 }  // namespace

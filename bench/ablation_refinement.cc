@@ -19,6 +19,7 @@ namespace {
 
 int Main(int argc, char** argv) {
   const BenchArgs args = ParseArgs(argc, argv, 0.02);
+  BenchReport report("ablation_refinement", args);
   PrintHeader("Ablation: refinement engines (WATER join PRISM candidates)",
               args);
   const data::Dataset a = Generate(data::WaterProfile(args.scale), args);
@@ -43,9 +44,12 @@ int Main(int argc, char** argv) {
                                         b.polygon(static_cast<size_t>(ib)),
                                         options);
     }
-    std::printf("%-26s %12.1f %10lld\n",
-                sweep ? "plane sweep (restricted)" : "brute (restricted)",
-                watch.ElapsedMillis(), hits);
+    const double ms = watch.ElapsedMillis();
+    const char* name =
+        sweep ? "plane sweep (restricted)" : "brute (restricted)";
+    std::printf("%-26s %12.1f %10lld\n", name, ms, hits);
+    report.Row(name, {{"compare_ms", ms},
+                      {"crossings", static_cast<double>(hits)}});
   }
 
   // Edge indexes, built once per polygon (TR*-tree analog).
@@ -68,8 +72,12 @@ int Main(int argc, char** argv) {
       hits += algo::EdgeIndex::BoundariesIntersect(indexed(ia, a, i),
                                                    indexed(ib, b, j));
     }
+    const double ms = watch.ElapsedMillis();
     std::printf("%-26s %12.1f %10lld  (incl. lazy index builds)\n",
-                "edge R-trees (cached)", watch.ElapsedMillis(), hits);
+                "edge R-trees (cached)", ms, hits);
+    report.Row("edge R-trees (cached)",
+               {{"compare_ms", ms},
+                {"crossings", static_cast<double>(hits)}});
   }
 
   // Rasterization filter in front of the sweep.
@@ -107,11 +115,15 @@ int Main(int argc, char** argv) {
           break;
       }
     }
+    const double ms = watch.ElapsedMillis();
     std::printf("%-26s %12.1f %10lld  (%lld pairs decided by filter)\n",
-                "raster filter 16 + sweep", watch.ElapsedMillis(), hits,
-                decided);
+                "raster filter 16 + sweep", ms, hits, decided);
+    report.Row("raster filter 16 + sweep",
+               {{"compare_ms", ms},
+                {"crossings", static_cast<double>(hits)},
+                {"decided", static_cast<double>(decided)}});
   }
-  return 0;
+  return report.Finish();
 }
 
 }  // namespace

@@ -15,6 +15,7 @@ namespace {
 
 int Main(int argc, char** argv) {
   const BenchArgs args = ParseArgs(argc, argv, 0.1);
+  BenchReport report("ablation_rtree", args);
   PrintHeader("Ablation: R-tree build strategies (WATER MBRs)", args);
   const data::Dataset water = Generate(data::WaterProfile(args.scale), args);
   PrintDataset(water);
@@ -34,40 +35,46 @@ int Main(int argc, char** argv) {
     windows.emplace_back(x, y, x + ww, y + wh);
   }
 
-  const auto report = [&](const char* name, const index::RTree& tree,
-                          double build_ms) {
+  const auto measure = [&](const char* name, const index::RTree& tree,
+                           double build_ms) {
     int64_t nodes = 0, results = 0;
     Stopwatch watch;
     for (const geom::Box& w : windows) {
       nodes += tree.NodesTouched(w);
       results += static_cast<int64_t>(tree.QueryIntersects(w).size());
     }
+    const double query_ms = watch.ElapsedMillis();
+    const double nodes_per_query =
+        static_cast<double>(nodes) / static_cast<double>(windows.size());
     std::printf("%-22s build %8.1f ms   query %8.2f ms   nodes/query %6.1f"
                 "   results %lld\n",
-                name, build_ms, watch.ElapsedMillis(),
-                static_cast<double>(nodes) / static_cast<double>(windows.size()),
+                name, build_ms, query_ms, nodes_per_query,
                 static_cast<long long>(results));
+    report.Row(name, {{"build_ms", build_ms},
+                      {"query_ms", query_ms},
+                      {"nodes_per_query", nodes_per_query},
+                      {"results", static_cast<double>(results)}});
   };
 
   {
     Stopwatch watch;
     index::RTree tree(16, index::SplitPolicy::kQuadratic);
     for (const auto& e : entries) tree.Insert(e.box, e.id);
-    report("insert + quadratic", tree, watch.ElapsedMillis());
+    measure("insert + quadratic", tree, watch.ElapsedMillis());
   }
   {
     Stopwatch watch;
     index::RTree tree(16, index::SplitPolicy::kRStar);
     for (const auto& e : entries) tree.Insert(e.box, e.id);
-    report("insert + R* split", tree, watch.ElapsedMillis());
+    measure("insert + R* split", tree, watch.ElapsedMillis());
   }
   {
     Stopwatch watch;
     auto copy = entries;
     const index::RTree tree = index::RTree::BulkLoad(std::move(copy), 16);
-    report("STR bulk load", tree, watch.ElapsedMillis());
+    measure("STR bulk load", tree, watch.ElapsedMillis());
   }
-  return 0;
+  return report.Finish();
 }
 
 }  // namespace

@@ -14,6 +14,7 @@ namespace {
 
 int Main(int argc, char** argv) {
   const BenchArgs args = ParseArgs(argc, argv, 0.02);
+  BenchReport report("ablation_sweep", args);
   PrintHeader("Ablation: software intersection-test variants (WATER join "
               "PRISM candidates)",
               args);
@@ -54,9 +55,11 @@ int Main(int argc, char** argv) {
     if (best == 0.0) best = ms;
     std::printf("%-18s %12.1f %9.2fx %10lld\n", config.name, ms, ms / best,
                 results);
+    report.Row(config.name, {{"compare_ms", ms},
+                             {"results", static_cast<double>(results)}});
   }
   std::printf("# paper: restricted search buys ~30-40%% in practice.\n");
-  return 0;
+  return report.Finish();
 }
 
 }  // namespace

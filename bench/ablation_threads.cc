@@ -7,6 +7,7 @@
 // counts on every row.
 
 #include <cstdio>
+#include <string>
 #include <thread>
 
 #include "bench/harness.h"
@@ -16,7 +17,8 @@ namespace hasj::bench {
 namespace {
 
 void RunSweep(const core::IntersectionJoin& join, core::JoinOptions options,
-              const char* label) {
+              const char* label, const char* series, BenchReport& report) {
+  report.Wire(&options.hw);
   options.num_threads = 1;
   const core::JoinResult serial = join.Run(options);
   std::printf("## %s (candidates=%lld compared=%lld results=%lld)\n", label,
@@ -27,6 +29,9 @@ void RunSweep(const core::IntersectionJoin& join, core::JoinOptions options,
               "match");
   std::printf("%-8d %12.1f %10s %8s\n", 1, serial.costs.compare_ms, "1.00x",
               "-");
+  report.Row(std::string(series) + " threads=1",
+             {{"compare_ms", serial.costs.compare_ms},
+              {"results", static_cast<double>(serial.counts.results)}});
   for (int threads : {2, 4, 8}) {
     options.num_threads = threads;
     const core::JoinResult r = join.Run(options);
@@ -36,11 +41,15 @@ void RunSweep(const core::IntersectionJoin& join, core::JoinOptions options,
                 serial.costs.compare_ms /
                     (r.costs.compare_ms > 0 ? r.costs.compare_ms : 1e-9),
                 match ? "ok" : "MISMATCH");
+    report.Row(std::string(series) + " threads=" + std::to_string(threads),
+               {{"compare_ms", r.costs.compare_ms},
+                {"match", match ? 1.0 : 0.0}});
   }
 }
 
 int Main(int argc, char** argv) {
   const BenchArgs args = ParseArgs(argc, argv, 0.02);
+  BenchReport report("ablation_threads", args);
   PrintHeader("Thread-scaling ablation: parallel refinement executor", args);
   std::printf("# hardware_concurrency=%u\n",
               std::thread::hardware_concurrency());
@@ -53,22 +62,23 @@ int Main(int argc, char** argv) {
 
   core::JoinOptions sw;
   sw.use_hw = false;
-  RunSweep(join, sw, "software refinement");
+  RunSweep(join, sw, "software refinement", "sw", report);
 
   core::JoinOptions hw;
   hw.use_hw = true;
   hw.hw.resolution = 8;
-  RunSweep(join, hw, "hardware-assisted refinement, 8x8 window");
+  RunSweep(join, hw, "hardware-assisted refinement, 8x8 window", "hw", report);
 
   core::JoinOptions raster = hw;
   raster.raster_filter_grid = 16;
   RunSweep(join, raster,
-           "hardware-assisted + raster filter (parallel signature build)");
+           "hardware-assisted + raster filter (parallel signature build)",
+           "hw+raster", report);
 
   std::printf(
       "# expected shape: near-linear compare_ms speedup up to the physical "
       "core count; flat on a single-core host.\n");
-  return 0;
+  return report.Finish();
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 // query set STATES50, sw_threshold = 0, no interior filter.
 
 #include <cstdio>
+#include <string>
 
 #include "bench/harness.h"
 #include "core/selection.h"
@@ -11,12 +12,14 @@
 namespace hasj::bench {
 namespace {
 
-void RunDataset(const data::Dataset& dataset, const data::Dataset& queries) {
+void RunDataset(const data::Dataset& dataset, const data::Dataset& queries,
+                BenchReport& report) {
   PrintDataset(dataset);
   const core::IntersectionSelection selection(dataset);
 
-  const auto run = [&](const core::SelectionOptions& options,
+  const auto run = [&](core::SelectionOptions options,
                        core::HwCounters* hw_out) {
+    report.Wire(&options.hw);
     double compare_ms = 0.0;
     for (const geom::Polygon& query : queries.polygons()) {
       const core::SelectionResult r = selection.Run(query, options);
@@ -33,6 +36,7 @@ void RunDataset(const data::Dataset& dataset, const data::Dataset& queries) {
   std::printf("%-10s %12s %10s %12s\n", "config", "compare_ms", "vs_sw",
               "hw_rejects");
   std::printf("%-10s %12.3f %10s %12s\n", "software", sw_ms, "1.00x", "-");
+  report.Row(dataset.name() + " software", {{"compare_ms", sw_ms}});
   for (int resolution : {1, 2, 4, 8, 16, 32}) {
     core::SelectionOptions options;
     options.use_hw = true;
@@ -45,22 +49,27 @@ void RunDataset(const data::Dataset& dataset, const data::Dataset& queries) {
     std::printf("%-10s %12.3f %9.2fx %12lld\n", label, hw_ms,
                 sw_ms / (hw_ms > 0 ? hw_ms : 1e-9),
                 static_cast<long long>(counters.hw_rejects));
+    report.Row(dataset.name() + " " + label,
+               {{"compare_ms", hw_ms},
+                {"hw_tests", static_cast<double>(counters.hw_tests)},
+                {"hw_rejects", static_cast<double>(counters.hw_rejects)}});
   }
 }
 
 int Main(int argc, char** argv) {
   const BenchArgs args = ParseArgs(argc, argv, 0.05);
+  BenchReport report("fig11_selection_hw", args);
   PrintHeader(
       "Figure 11: selection geometry-comparison cost, software vs "
       "hardware-assisted (average per STATES50 query)",
       args);
   const data::Dataset queries = Generate(data::States50Profile(args.scale), args);
-  RunDataset(Generate(data::WaterProfile(args.scale), args), queries);
-  RunDataset(Generate(data::PrismProfile(args.scale), args), queries);
+  RunDataset(Generate(data::WaterProfile(args.scale), args), queries, report);
+  RunDataset(Generate(data::PrismProfile(args.scale), args), queries, report);
   std::printf(
       "# paper shape: cost falls then rises with resolution; 42-56%% "
       "(WATER) and 46-64%% (PRISM) reduction, best around 16x16.\n");
-  return 0;
+  return report.Finish();
 }
 
 }  // namespace

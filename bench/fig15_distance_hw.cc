@@ -3,6 +3,7 @@
 // D = 1 x BaseD, sw_threshold = 0.
 
 #include <cstdio>
+#include <string>
 
 #include "bench/harness.h"
 #include "core/distance_join.h"
@@ -10,7 +11,8 @@
 namespace hasj::bench {
 namespace {
 
-void RunJoin(const data::Dataset& a, const data::Dataset& b) {
+void RunJoin(const data::Dataset& a, const data::Dataset& b,
+             const char* pair, BenchReport& report) {
   PrintDataset(a);
   PrintDataset(b);
   const core::WithinDistanceJoin join(a, b);
@@ -19,16 +21,21 @@ void RunJoin(const data::Dataset& a, const data::Dataset& b) {
 
   core::DistanceJoinOptions sw_options;
   sw_options.use_hw = false;
+  report.Wire(&sw_options.hw);
   const core::DistanceJoinResult sw = join.Run(d, sw_options);
   std::printf("%-10s %12s %10s %12s %12s\n", "config", "compare_ms", "vs_sw",
               "hw_rejects", "width_fb");
   std::printf("%-10s %12.1f %10s %12s %12s\n", "software",
               sw.costs.compare_ms, "1.00x", "-", "-");
+  report.Row(std::string(pair) + " software",
+             {{"compare_ms", sw.costs.compare_ms},
+              {"results", static_cast<double>(sw.counts.results)}});
   for (int resolution : {1, 2, 4, 8, 16, 32}) {
     core::DistanceJoinOptions options;
     options.use_hw = true;
     options.hw.resolution = resolution;
     options.hw.sw_threshold = 0;
+    report.Wire(&options.hw);
     const core::DistanceJoinResult r = join.Run(d, options);
     char label[32];
     std::snprintf(label, sizeof(label), "hw %dx%d", resolution, resolution);
@@ -38,25 +45,34 @@ void RunJoin(const data::Dataset& a, const data::Dataset& b) {
                     (r.costs.compare_ms > 0 ? r.costs.compare_ms : 1e-9),
                 static_cast<long long>(r.hw_counters.hw_rejects),
                 static_cast<long long>(r.hw_counters.width_fallbacks));
+    report.Row(
+        std::string(pair) + " " + label,
+        {{"compare_ms", r.costs.compare_ms},
+         {"hw_rejects", static_cast<double>(r.hw_counters.hw_rejects)},
+         {"width_fallbacks",
+          static_cast<double>(r.hw_counters.width_fallbacks)}});
   }
 }
 
 int Main(int argc, char** argv) {
   const BenchArgs args = ParseArgs(argc, argv, 0.02);
+  BenchReport report("fig15_distance_hw", args);
   PrintHeader(
       "Figure 15: within-distance join geometry-comparison cost, software "
       "vs hardware-assisted distance test (D = 1 x BaseD)",
       args);
   std::printf("## LANDC join_dist LANDO\n");
   RunJoin(Generate(data::LandcProfile(args.scale), args),
-          Generate(data::LandoProfile(args.scale), args));
+          Generate(data::LandoProfile(args.scale), args), "LANDCxLANDO",
+          report);
   std::printf("## WATER join_dist PRISM\n");
   RunJoin(Generate(data::WaterProfile(args.scale), args),
-          Generate(data::PrismProfile(args.scale), args));
+          Generate(data::PrismProfile(args.scale), args), "WATERxPRISM",
+          report);
   std::printf(
       "# paper shape: wide-line rendering makes the hardware test barely "
       "win on LANDC-LANDO but keep a 60-81%% reduction on WATER-PRISM.\n");
-  return 0;
+  return report.Finish();
 }
 
 }  // namespace

@@ -6,51 +6,359 @@
 // builds the synthetic stand-in datasets (scaled down by --scale to fit a
 // single-core run), executes the paper's query pipeline, and prints the
 // same series the figure plots. EXPERIMENTS.md interprets the output.
+//
+// Every harness binary additionally supports the observability flags
+// (DESIGN.md §10):
+//
+//   --json=PATH    machine-readable report: the printed series plus a full
+//                  metrics-registry snapshot (schema_version 1, validated
+//                  by scripts/validate_bench_json.py);
+//   --trace=PATH   Chrome trace_event file of the run — open it in
+//                  chrome://tracing or https://ui.perfetto.dev;
+//   --explain      print an EXPLAIN ANALYZE pipeline report after the run.
+//
+// Flag parsing is strict: unknown flags and numeric values with trailing
+// garbage are usage errors (exit code 2), not silent defaults.
 
+#include <cerrno>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <initializer_list>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "common/status.h"
+#include "core/hw_config.h"
 #include "data/catalogs.h"
 #include "data/dataset.h"
 #include "data/generator.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 
 namespace hasj::bench {
 
 struct BenchArgs {
-  double scale = 0.02;  // fraction of the Table 2 object counts
-  uint64_t seed = 0;    // extra seed offset for the generators (0 = default)
-  int threads = 1;      // refinement workers (0 = hardware concurrency)
+  double scale = 0.02;     // fraction of the Table 2 object counts
+  uint64_t seed = 0;       // extra seed offset for the generators (0 = default)
+  int threads = 1;         // refinement workers (0 = hardware concurrency)
+  std::string json_path;   // --json=PATH; empty = no JSON report
+  std::string trace_path;  // --trace=PATH; empty = tracing disabled
+  bool explain = false;    // --explain: EXPLAIN ANALYZE after the run
 };
+
+// Checked replacements for atof/atoll: reject empty input, trailing
+// garbage, and out-of-range values instead of silently returning 0.
+inline bool ParseDouble(const char* text, double* out) {
+  if (text == nullptr || *text == '\0') return false;
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(text, &end);
+  if (end == text || *end != '\0' || errno == ERANGE) return false;
+  *out = value;
+  return true;
+}
+
+inline bool ParseInt64(const char* text, int64_t* out) {
+  if (text == nullptr || *text == '\0') return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(text, &end, 10);
+  if (end == text || *end != '\0' || errno == ERANGE) return false;
+  *out = value;
+  return true;
+}
+
+// Parses argv into *args (which carries the per-bench defaults in). All
+// flags live in one table so value flags share a single parse-and-validate
+// path. Returns false with a diagnostic in *error on unknown flags,
+// malformed or out-of-range values; *wants_help is set when --help was
+// seen (parsing stops there).
+inline bool TryParseArgs(int argc, char** argv, BenchArgs* args,
+                         std::string* error, bool* wants_help) {
+  struct Flag {
+    const char* name;
+    enum Kind { kDouble, kInt64, kString, kBool } kind;
+    void* target;
+  };
+  int64_t seed = static_cast<int64_t>(args->seed);
+  int64_t threads = args->threads;
+  const Flag flags[] = {
+      {"scale", Flag::kDouble, &args->scale},
+      {"seed", Flag::kInt64, &seed},
+      {"threads", Flag::kInt64, &threads},
+      {"json", Flag::kString, &args->json_path},
+      {"trace", Flag::kString, &args->trace_path},
+      {"explain", Flag::kBool, &args->explain},
+  };
+
+  *wants_help = false;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--help") == 0) {
+      *wants_help = true;
+      return true;
+    }
+    bool matched = false;
+    for (const Flag& flag : flags) {
+      const size_t name_len = std::strlen(flag.name);
+      if (std::strncmp(arg, "--", 2) != 0 ||
+          std::strncmp(arg + 2, flag.name, name_len) != 0) {
+        continue;
+      }
+      const char* rest = arg + 2 + name_len;
+      if (flag.kind == Flag::kBool) {
+        if (*rest != '\0') continue;
+        *static_cast<bool*>(flag.target) = true;
+      } else {
+        if (*rest != '=') continue;
+        const char* value = rest + 1;
+        bool ok = false;
+        switch (flag.kind) {
+          case Flag::kDouble:
+            ok = ParseDouble(value, static_cast<double*>(flag.target));
+            break;
+          case Flag::kInt64:
+            ok = ParseInt64(value, static_cast<int64_t*>(flag.target));
+            break;
+          case Flag::kString:
+            *static_cast<std::string*>(flag.target) = value;
+            ok = *value != '\0';
+            break;
+          case Flag::kBool:
+            break;
+        }
+        if (!ok) {
+          *error = std::string("invalid value for --") + flag.name + ": '" +
+                   value + "'";
+          return false;
+        }
+      }
+      matched = true;
+      break;
+    }
+    if (!matched) {
+      *error = std::string("unknown flag: '") + arg + "'";
+      return false;
+    }
+  }
+
+  if (args->scale <= 0.0 || args->scale > 1.0) {
+    *error = "--scale must be in (0, 1]";
+    return false;
+  }
+  if (seed < 0) {
+    *error = "--seed must be >= 0";
+    return false;
+  }
+  if (threads < 0 || threads > 4096) {
+    *error = "--threads must be in [0, 4096]";
+    return false;
+  }
+  args->seed = static_cast<uint64_t>(seed);
+  args->threads = static_cast<int>(threads);
+  return true;
+}
+
+inline void PrintUsage(const char* argv0, std::FILE* out) {
+  std::fprintf(out,
+               "usage: %s [--scale=F] [--seed=N] [--threads=N] [--json=PATH] "
+               "[--trace=PATH] [--explain]\n"
+               "  --scale=F    dataset scale in (0, 1] (fraction of the "
+               "paper's Table 2 counts)\n"
+               "  --seed=N     extra generator seed offset (default 0)\n"
+               "  --threads=N  refinement worker threads "
+               "(default 1 = serial, 0 = hardware concurrency)\n"
+               "  --json=PATH  write a machine-readable JSON report "
+               "(schema_version 1)\n"
+               "  --trace=PATH write a Chrome trace_event JSON file "
+               "(chrome://tracing, ui.perfetto.dev)\n"
+               "  --explain    print an EXPLAIN ANALYZE pipeline report "
+               "after the run\n",
+               argv0);
+}
 
 inline BenchArgs ParseArgs(int argc, char** argv, double default_scale) {
   BenchArgs args;
   args.scale = default_scale;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--scale=", 8) == 0) {
-      args.scale = std::atof(argv[i] + 8);
-    } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
-      args.seed = static_cast<uint64_t>(std::atoll(argv[i] + 7));
-    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
-      args.threads = std::atoi(argv[i] + 10);
-    } else if (std::strcmp(argv[i], "--help") == 0) {
-      std::printf("usage: %s [--scale=F] [--seed=N] [--threads=N]\n", argv[0]);
-      std::printf("  --threads=N  refinement worker threads "
-                  "(default 1 = serial, 0 = hardware concurrency)\n");
-      std::exit(0);
-    }
+  std::string error;
+  bool wants_help = false;
+  if (!TryParseArgs(argc, argv, &args, &error, &wants_help)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    PrintUsage(argv[0], stderr);
+    std::exit(2);
   }
-  if (args.scale <= 0.0 || args.scale > 1.0) {
-    std::fprintf(stderr, "--scale must be in (0, 1]\n");
-    std::exit(1);
-  }
-  if (args.threads < 0) {
-    std::fprintf(stderr, "--threads must be >= 0\n");
-    std::exit(1);
+  if (wants_help) {
+    PrintUsage(argv[0], stdout);
+    std::exit(0);
   }
   return args;
 }
+
+// Per-run observability sinks and the --json / --trace / --explain
+// emitters. A bench constructs one BenchReport, wires it into every
+// HwConfig it runs (Wire), records the rows it prints (Row), and returns
+// Finish() from main. When none of the flags were given every sink is
+// null, so the instrumented code stays on its zero-cost disabled path.
+class BenchReport {
+ public:
+  BenchReport(std::string bench_name, const BenchArgs& args)
+      : bench_name_(std::move(bench_name)), args_(args) {
+    if (trace() != nullptr) trace_.NameCurrentTrack("bench-main");
+  }
+
+  // Metrics sink; null unless --json or --explain asked for a snapshot.
+  obs::Registry* metrics() {
+    return args_.json_path.empty() && !args_.explain ? nullptr : &registry_;
+  }
+
+  // Trace sink; null unless --trace was given.
+  obs::TraceSession* trace() {
+    return args_.trace_path.empty() ? nullptr : &trace_;
+  }
+
+  // Points config->metrics / config->trace at this report's sinks.
+  void Wire(core::HwConfig* config) {
+    config->metrics = metrics();
+    config->trace = trace();
+  }
+
+  // Records one plotted row — the series label plus its numeric columns —
+  // reproduced verbatim in the --json report's "series" array.
+  void Row(std::string series,
+           std::initializer_list<std::pair<const char*, double>> values) {
+    SeriesRow row;
+    row.series = std::move(series);
+    for (const auto& [name, value] : values) row.values.emplace_back(name, value);
+    rows_.push_back(std::move(row));
+  }
+
+  // Emits everything the flags asked for. Returns the process exit code:
+  // 0, or 1 when an output file could not be written.
+  [[nodiscard]] int Finish() {
+    int exit_code = 0;
+    if (args_.explain) {
+      std::printf("%s", obs::RenderReport(registry_.Snapshot()).c_str());
+    }
+    if (!args_.json_path.empty()) {
+      std::string json;
+      WriteJson(&json);
+      if (!WriteFile(args_.json_path, json)) exit_code = 1;
+    }
+    if (!args_.trace_path.empty()) {
+      const Status status = trace_.WriteFile(args_.trace_path);
+      if (!status.ok()) {
+        std::fprintf(stderr, "--trace: %s\n", status.message().c_str());
+        exit_code = 1;
+      }
+    }
+    return exit_code;
+  }
+
+ private:
+  struct SeriesRow {
+    std::string series;
+    std::vector<std::pair<std::string, double>> values;
+  };
+
+  void WriteJson(std::string* out) const {
+    obs::JsonWriter w(out);
+    w.BeginObject();
+    w.Key("schema_version");
+    w.Int(1);
+    w.Key("bench_name");
+    w.String(bench_name_);
+    w.Key("scale");
+    w.Double(args_.scale);
+    w.Key("seed");
+    w.Int(static_cast<int64_t>(args_.seed));
+    w.Key("threads");
+    w.Int(args_.threads);
+    w.Key("series");
+    w.BeginArray();
+    for (const SeriesRow& row : rows_) {
+      w.BeginObject();
+      w.Key("series");
+      w.String(row.series);
+      w.Key("metrics");
+      w.BeginObject();
+      for (const auto& [name, value] : row.values) {
+        w.Key(name);
+        w.Double(value);
+      }
+      w.EndObject();
+      w.EndObject();
+    }
+    w.EndArray();
+    const obs::MetricsSnapshot snap = registry_.Snapshot();
+    w.Key("metrics");
+    w.BeginObject();
+    w.Key("counters");
+    w.BeginObject();
+    for (const auto& [name, value] : snap.counters) {
+      w.Key(name);
+      w.Int(value);
+    }
+    w.EndObject();
+    w.Key("gauges");
+    w.BeginObject();
+    for (const auto& [name, value] : snap.gauges) {
+      w.Key(name);
+      w.Double(value);
+    }
+    w.EndObject();
+    w.Key("histograms");
+    w.BeginObject();
+    for (const auto& [name, hist] : snap.histograms) {
+      w.Key(name);
+      w.BeginObject();
+      w.Key("count");
+      w.Int(hist.count);
+      w.Key("sum");
+      w.Int(hist.sum);
+      w.Key("min");
+      w.Int(hist.count > 0 ? hist.min : 0);
+      w.Key("max");
+      w.Int(hist.count > 0 ? hist.max : 0);
+      w.Key("buckets");
+      w.BeginArray();
+      for (const int64_t bucket : hist.buckets) w.Int(bucket);
+      w.EndArray();
+      w.EndObject();
+    }
+    w.EndObject();
+    w.EndObject();
+    w.EndObject();
+    out->push_back('\n');
+  }
+
+  static bool WriteFile(const std::string& path, const std::string& contents) {
+    std::FILE* file = std::fopen(path.c_str(), "wb");
+    if (file == nullptr) {
+      std::fprintf(stderr, "--json: cannot open '%s' for writing\n",
+                   path.c_str());
+      return false;
+    }
+    const size_t written =
+        std::fwrite(contents.data(), 1, contents.size(), file);
+    const bool closed = std::fclose(file) == 0;
+    if (written != contents.size() || !closed) {
+      std::fprintf(stderr, "--json: short write to '%s'\n", path.c_str());
+      return false;
+    }
+    return true;
+  }
+
+  std::string bench_name_;
+  BenchArgs args_;
+  obs::Registry registry_;
+  obs::TraceSession trace_;
+  std::vector<SeriesRow> rows_;
+};
 
 inline data::Dataset Generate(data::GeneratorProfile profile,
                               const BenchArgs& args) {

@@ -9,29 +9,34 @@
 namespace hasj::bench {
 namespace {
 
-void Row(const data::Dataset& ds) {
+void Row(const data::Dataset& ds, BenchReport& report) {
   const data::DatasetStats s = ds.Stats();
   std::printf("%-10s %8lld %6lld %8lld %8.0f\n", ds.name().c_str(),
               static_cast<long long>(s.count),
               static_cast<long long>(s.min_vertices),
               static_cast<long long>(s.max_vertices), s.mean_vertices);
+  report.Row(ds.name(), {{"count", static_cast<double>(s.count)},
+                         {"min_vertices", static_cast<double>(s.min_vertices)},
+                         {"max_vertices", static_cast<double>(s.max_vertices)},
+                         {"mean_vertices", s.mean_vertices}});
 }
 
 int Main(int argc, char** argv) {
   const BenchArgs args = ParseArgs(argc, argv, 0.05);
+  BenchReport report("table2_datasets", args);
   PrintHeader("Table 2: Statistics of Some Polygon Datasets", args);
   std::printf("%-10s %8s %6s %8s %8s\n", "Dataset", "N", "MinV", "MaxV",
               "AvgV");
-  Row(Generate(data::LandcProfile(args.scale), args));
-  Row(Generate(data::LandoProfile(args.scale), args));
-  Row(Generate(data::States50Profile(args.scale), args));
-  Row(Generate(data::PrismProfile(args.scale), args));
-  Row(Generate(data::WaterProfile(args.scale), args));
+  Row(Generate(data::LandcProfile(args.scale), args), report);
+  Row(Generate(data::LandoProfile(args.scale), args), report);
+  Row(Generate(data::States50Profile(args.scale), args), report);
+  Row(Generate(data::PrismProfile(args.scale), args), report);
+  Row(Generate(data::WaterProfile(args.scale), args), report);
   std::printf("# paper:   LANDC 14731/3/4397/192  LANDO 33860/3/8807/20\n");
   std::printf("# paper:   STATES50 31/4/10744/138 PRISM 6243/3/29556/68\n");
   std::printf("# paper:   WATER 21866/3/39360/91  (counts scale with "
               "--scale)\n");
-  return 0;
+  return report.Finish();
 }
 
 }  // namespace

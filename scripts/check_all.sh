@@ -13,7 +13,7 @@
 #                   paranoid builds. The inner development loop.
 #   --labels REGEX  like --fast but run the ctest labels matching REGEX
 #                   instead of 'unit' (labels: unit, stress, property,
-#                   paranoid — see tests/CMakeLists.txt). Example:
+#                   paranoid, obs — see tests/CMakeLists.txt). Example:
 #                     scripts/check_all.sh --labels 'stress|property'
 #   (build dirs: build, build-asan, build-tsan, build-paranoid)
 set -euo pipefail
@@ -80,13 +80,16 @@ scripts/check_asan_ubsan.sh
 echo "== [5/6] TSan =="
 scripts/check_tsan.sh
 
-echo "== [6/6] HASJ_PARANOID oracle =="
+echo "== [6/6] HASJ_PARANOID oracle + obs =="
+# The obs tests ride along so the oracle's instant events and the registry
+# counters stay consistent under HASJ_PARANOID too.
 cmake -B build-paranoid -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DHASJ_PARANOID=ON \
   -DHASJ_BUILD_BENCHMARKS=OFF \
   -DHASJ_BUILD_EXAMPLES=OFF
-cmake --build build-paranoid -j"$(nproc)" --target stress_paranoid_test
-ctest --test-dir build-paranoid --output-on-failure -R 'StressParanoidTest'
+cmake --build build-paranoid -j"$(nproc)" --target stress_paranoid_test \
+  obs_metrics_test obs_trace_test obs_report_test bench_harness_test
+ctest --test-dir build-paranoid --output-on-failure -L 'paranoid|obs'
 
 echo "All checks passed."

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # ThreadSanitizer check for the parallel refinement executor: builds the
-# tree with -DHASJ_SANITIZE=thread and runs the thread pool unit tests and
-# the thread-count cross-check tests (tests/core_parallel_refinement_test.cc)
-# under TSan. Any data race in the per-worker testers, the chunk cursor, or
-# the signature caches fails the run.
+# tree with -DHASJ_SANITIZE=thread and runs the thread pool unit tests, the
+# thread-count cross-check tests (tests/core_parallel_refinement_test.cc),
+# and the concurrent observability tests (sharded counters/histograms,
+# multi-thread trace tracks) under TSan. Any data race in the per-worker
+# testers, the chunk cursor, the signature caches, or the metric shards
+# fails the run.
 #
 # Usage: scripts/check_tsan.sh [build-dir]   (default: build-tsan)
 set -euo pipefail
@@ -18,12 +20,13 @@ cmake -B "$BUILD_DIR" -S . \
   -DHASJ_BUILD_EXAMPLES=OFF
 
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
-  --target common_thread_pool_test core_parallel_refinement_test
+  --target common_thread_pool_test core_parallel_refinement_test \
+  obs_metrics_test obs_trace_test
 
 # Halt on the first report and fail the process so CI sees it.
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 
 ctest --test-dir "$BUILD_DIR" --output-on-failure \
-  -R 'ThreadPoolTest|ParallelRefinementTest'
+  -R 'ThreadPoolTest|ParallelRefinementTest|CounterTest|HistogramTest|HistogramBucketsTest|GaugeTest|RegistryTest|MetricsSnapshotTest|TraceSessionTest'
 
 echo "TSan check passed."

@@ -1,0 +1,222 @@
+#!/usr/bin/env python3
+"""Validate hasj bench observability outputs (DESIGN.md §10).
+
+Checks two file kinds against their stable schemas:
+
+  * --json PATH   bench report written by a fig*/table*/ablation_* binary's
+                  --json flag: schema_version 1, the printed series rows,
+                  and a full metrics-registry snapshot (counters, gauges,
+                  power-of-two-bucket histograms).
+  * --trace PATH  Chrome trace_event file written by --trace: a
+                  "traceEvents" array of complete ("X"), instant ("i") and
+                  metadata ("M") events with per-track monotonic timestamps
+                  (chrome://tracing and ui.perfetto.dev both require this
+                  shape to render sensibly).
+
+Exit code 0 when every file validates, 1 otherwise (one line per problem).
+CI runs this over a small-scale bench run; it is also handy locally:
+
+  build/bench/fig12_join_hw --scale=0.01 --json=r.json --trace=t.json
+  scripts/validate_bench_json.py --json r.json --trace t.json
+"""
+
+import argparse
+import json
+import sys
+
+HISTOGRAM_BUCKETS = 64
+
+
+def _is_number(value):
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _is_int(value):
+    return isinstance(value, int) and not isinstance(value, bool)
+
+
+def validate_report(path):
+    """Returns a list of problem strings for one --json report file."""
+    errors = []
+
+    def err(message):
+        errors.append(f"{path}: {message}")
+
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"{path}: unreadable or not JSON: {e}"]
+
+    if not isinstance(doc, dict):
+        return [f"{path}: top level must be an object"]
+
+    if doc.get("schema_version") != 1:
+        err(f"schema_version must be 1, got {doc.get('schema_version')!r}")
+    if not isinstance(doc.get("bench_name"), str) or not doc.get("bench_name"):
+        err("bench_name must be a non-empty string")
+    if not _is_number(doc.get("scale")) or not 0 < doc.get("scale", 0) <= 1:
+        err(f"scale must be a number in (0, 1], got {doc.get('scale')!r}")
+    if not _is_int(doc.get("seed")) or doc.get("seed", -1) < 0:
+        err(f"seed must be a non-negative integer, got {doc.get('seed')!r}")
+    if not _is_int(doc.get("threads")) or doc.get("threads", -1) < 0:
+        err(f"threads must be a non-negative integer, got {doc.get('threads')!r}")
+
+    series = doc.get("series")
+    if not isinstance(series, list):
+        err("series must be an array")
+        series = []
+    for i, row in enumerate(series):
+        where = f"series[{i}]"
+        if not isinstance(row, dict):
+            err(f"{where} must be an object")
+            continue
+        if not isinstance(row.get("series"), str) or not row.get("series"):
+            err(f"{where}.series must be a non-empty string")
+        metrics = row.get("metrics")
+        if not isinstance(metrics, dict):
+            err(f"{where}.metrics must be an object")
+            continue
+        for key, value in metrics.items():
+            if not _is_number(value):
+                err(f"{where}.metrics[{key!r}] must be a number, got {value!r}")
+
+    snap = doc.get("metrics")
+    if not isinstance(snap, dict):
+        err("metrics must be an object")
+        return errors
+    counters = snap.get("counters")
+    if not isinstance(counters, dict):
+        err("metrics.counters must be an object")
+    else:
+        for name, value in counters.items():
+            if not _is_int(value):
+                err(f"counter {name!r} must be an integer, got {value!r}")
+    gauges = snap.get("gauges")
+    if not isinstance(gauges, dict):
+        err("metrics.gauges must be an object")
+    else:
+        for name, value in gauges.items():
+            if not _is_number(value):
+                err(f"gauge {name!r} must be a number, got {value!r}")
+    histograms = snap.get("histograms")
+    if not isinstance(histograms, dict):
+        err("metrics.histograms must be an object")
+        histograms = {}
+    for name, hist in histograms.items():
+        where = f"histogram {name!r}"
+        if not isinstance(hist, dict):
+            err(f"{where} must be an object")
+            continue
+        for field in ("count", "sum", "min", "max"):
+            if not _is_int(hist.get(field)):
+                err(f"{where}.{field} must be an integer, got {hist.get(field)!r}")
+        buckets = hist.get("buckets")
+        if (
+            not isinstance(buckets, list)
+            or len(buckets) != HISTOGRAM_BUCKETS
+            or not all(_is_int(b) and b >= 0 for b in buckets)
+        ):
+            err(f"{where}.buckets must be {HISTOGRAM_BUCKETS} non-negative integers")
+        elif _is_int(hist.get("count")) and sum(buckets) != hist["count"]:
+            err(f"{where}: bucket sum {sum(buckets)} != count {hist['count']}")
+
+    return errors
+
+
+def validate_trace(path):
+    """Returns a list of problem strings for one --trace file."""
+    errors = []
+
+    def err(message):
+        errors.append(f"{path}: {message}")
+
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"{path}: unreadable or not JSON: {e}"]
+
+    if not isinstance(doc, dict):
+        return [f"{path}: top level must be an object"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return [f"{path}: traceEvents must be an array"]
+    if not events:
+        err("traceEvents is empty")
+
+    last_ts = {}  # (pid, tid) -> last ts seen, per track
+    for i, event in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(event, dict):
+            err(f"{where} must be an object")
+            continue
+        ph = event.get("ph")
+        if ph not in ("X", "i", "M"):
+            err(f"{where}.ph must be one of X/i/M, got {ph!r}")
+            continue
+        for field in ("name", "pid", "tid"):
+            if field not in event:
+                err(f"{where} ({ph}) missing {field!r}")
+        if ph == "M":
+            if event.get("name") == "thread_name" and not isinstance(
+                event.get("args", {}).get("name"), str
+            ):
+                err(f"{where}: thread_name metadata needs args.name")
+            continue  # metadata carries no timestamp
+        ts = event.get("ts")
+        if not _is_number(ts):
+            err(f"{where} ({ph}) needs a numeric ts, got {ts!r}")
+            continue
+        if ph == "X" and (not _is_number(event.get("dur")) or event["dur"] < 0):
+            err(f"{where} (X) needs a non-negative numeric dur")
+        if ph == "i" and event.get("s") not in ("t", "p", "g"):
+            err(f"{where} (i) needs a scope s in t/p/g")
+        track = (event.get("pid"), event.get("tid"))
+        if track in last_ts and ts < last_ts[track]:
+            err(f"{where}: ts {ts} goes backwards on track pid={track[0]} tid={track[1]}")
+        last_ts[track] = ts
+
+    return errors
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--json",
+        dest="reports",
+        action="append",
+        default=[],
+        metavar="PATH",
+        help="bench --json report to validate (repeatable)",
+    )
+    parser.add_argument(
+        "--trace",
+        dest="traces",
+        action="append",
+        default=[],
+        metavar="PATH",
+        help="bench --trace file to validate (repeatable)",
+    )
+    args = parser.parse_args(argv)
+    if not args.reports and not args.traces:
+        parser.error("nothing to validate: pass --json and/or --trace")
+
+    errors = []
+    for path in args.reports:
+        errors.extend(validate_report(path))
+    for path in args.traces:
+        errors.extend(validate_trace(path))
+
+    for problem in errors:
+        print(problem, file=sys.stderr)
+    checked = len(args.reports) + len(args.traces)
+    if errors:
+        print(f"{checked} file(s) checked, {len(errors)} problem(s)", file=sys.stderr)
+        return 1
+    print(f"{checked} file(s) checked, all valid")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -8,6 +8,7 @@ namespace hasj {
 
 ThreadPool::ThreadPool(int num_threads) : num_threads_(num_threads) {
   HASJ_CHECK(num_threads >= 1);
+  wait_us_.resize(static_cast<size_t>(num_threads), 0.0);
   workers_.reserve(static_cast<size_t>(num_threads - 1));
   for (int w = 1; w < num_threads; ++w) {
     workers_.emplace_back([this, w] { WorkerLoop(w); });
@@ -44,6 +45,8 @@ void ThreadPool::ParallelFor(int64_t n, int64_t grain, const Body& body) {
     grain_ = grain;
     cursor_.store(0, std::memory_order_relaxed);
     pending_workers_ = static_cast<int>(workers_.size());
+    std::fill(wait_us_.begin(), wait_us_.end(), 0.0);
+    job_start_ = std::chrono::steady_clock::now();
     ++job_;
   }
   work_cv_.notify_all();
@@ -61,6 +64,10 @@ void ThreadPool::WorkerLoop(int worker) {
       work_cv_.wait(lock, [&] { return shutdown_ || job_ != last_job; });
       if (shutdown_) return;
       last_job = job_;
+      wait_us_[static_cast<size_t>(worker)] =
+          std::chrono::duration<double, std::micro>(
+              std::chrono::steady_clock::now() - job_start_)
+              .count();
     }
     RunChunks(worker);
     {

@@ -2,6 +2,7 @@
 #define HASJ_COMMON_THREAD_POOL_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -48,6 +49,13 @@ class ThreadPool {
   // 0 = hardware concurrency, anything positive is taken as-is.
   static int ResolveThreadCount(int requested);
 
+  // Per-worker queue wait of the most recent ParallelFor: microseconds from
+  // job publication to each worker picking up its first chunk (worker 0 is
+  // the caller and always reads 0). The pool itself stays free of any
+  // metrics dependency; core::RefinementExecutor feeds these into the
+  // obs registry. Valid only between ParallelFor calls.
+  const std::vector<double>& last_wait_us() const { return wait_us_; }
+
  private:
   void WorkerLoop(int worker);
   void RunChunks(int worker);
@@ -65,6 +73,8 @@ class ThreadPool {
   uint64_t job_ = 0;          // bumped per ParallelFor to wake the workers
   int pending_workers_ = 0;   // workers that have not finished the job yet
   bool shutdown_ = false;
+  std::chrono::steady_clock::time_point job_start_;
+  std::vector<double> wait_us_;  // per-worker queue wait of the last job
 };
 
 }  // namespace hasj

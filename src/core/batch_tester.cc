@@ -6,6 +6,8 @@
 #include "common/stopwatch.h"
 #include "glsim/context.h"
 #include "glsim/raster.h"
+#include "obs/names.h"
+#include "obs/trace.h"
 
 namespace hasj::core {
 
@@ -19,6 +21,21 @@ BatchHardwareTester::BatchHardwareTester(
   HASJ_CHECK(config.backend == HwBackend::kBitmask);
   HASJ_CHECK(config.resolution <= glsim::Atlas::kMaxTileRes);
   HASJ_CHECK(config.batch_size >= 1);
+  if (config.metrics != nullptr) {
+    batch_pairs_hist_ = &config.metrics->GetHistogram(obs::kHistBatchPairs);
+    batch_tiles_hist_ = &config.metrics->GetHistogram(obs::kHistBatchTiles);
+    occupancy_hist_ =
+        &config.metrics->GetHistogram(obs::kHistBatchOccupancyPct);
+    tile_pixels_hist_ = &config.metrics->GetHistogram(obs::kHistPixelsColored);
+  }
+}
+
+void BatchHardwareTester::RecordSubBatchShape(size_t pairs, int tiles) {
+  if (batch_pairs_hist_ == nullptr) return;
+  batch_pairs_hist_->Record(static_cast<int64_t>(pairs));
+  batch_tiles_hist_->Record(tiles);
+  occupancy_hist_->Record(static_cast<int64_t>(100) * tiles /
+                          atlas_.capacity());
 }
 
 HwCounters BatchHardwareTester::counters() const {
@@ -63,6 +80,7 @@ void BatchHardwareTester::IntersectionSubBatch(
   }
 
   if (tiles > 0) {
+    RecordSubBatchShape(n, tiles);
     any_first_.assign(static_cast<size_t>(tiles), 0);
     hw_overlap_.assign(static_cast<size_t>(tiles), 0);
 
@@ -70,6 +88,8 @@ void BatchHardwareTester::IntersectionSubBatch(
     // (WindowTransform) and the span->column snapping (raster.h row-span
     // core) are the ones the per-pair tester uses, so a tile holds exactly
     // the pixels a per-pair render would produce.
+    obs::ManualSpan pass_span;
+    pass_span.Start(config_.trace, "hw-fill", "hw");
     Stopwatch fill_watch;
     atlas_.Clear();
     for (size_t i = 0; i < n; ++i) {
@@ -88,14 +108,28 @@ void BatchHardwareTester::IntersectionSubBatch(
                                        config_.line_width, res, res, fill);
         // Saturation early-stop, like the per-pair `unset` counter: a full
         // tile stays full, so skipping the rest changes nothing.
-        if (atlas_.TileFull(tile)) break;
+        if (atlas_.TileFull(tile)) {
+          if (config_.trace != nullptr) {
+            config_.trace->Instant("tile-saturated", "hw");
+          }
+          break;
+        }
       }
     }
     const double fill_ms = fill_watch.ElapsedMillis();
+    pass_span.End();
+    if (tile_pixels_hist_ != nullptr) {
+      for (size_t i = 0; i < n; ++i) {
+        if (tile_of_[i] >= 0) {
+          tile_pixels_hist_->Record(atlas_.CountSet(tile_of_[i]));
+        }
+      }
+    }
 
     // Scan pass: every pair's second boundary probes its tile, fused with
     // the shared-pixel search — a tile stops at its first doubly-colored
     // pixel (the early-exit emit contract of raster.h).
+    pass_span.Start(config_.trace, "hw-scan", "hw");
     Stopwatch scan_watch;
     for (size_t i = 0; i < n; ++i) {
       if (tile_of_[i] < 0) continue;
@@ -118,6 +152,7 @@ void BatchHardwareTester::IntersectionSubBatch(
       hw_overlap_[static_cast<size_t>(tile)] = prober.hit() ? 1 : 0;
     }
     const double scan_ms = scan_watch.ElapsedMillis();
+    pass_span.End();
 
     batch_counters_.hw_tests += tiles;
     batch_counters_.hw_ms += fill_ms + scan_ms;
@@ -167,6 +202,7 @@ void BatchHardwareTester::DistanceSubBatch(std::span<const PolygonPair> pairs,
   }
 
   if (tiles > 0) {
+    RecordSubBatchShape(n, tiles);
     hw_overlap_.assign(static_cast<size_t>(tiles), 0);
 
     // The per-pair tester draws the smaller clipped edge set and probes
@@ -180,6 +216,8 @@ void BatchHardwareTester::DistanceSubBatch(std::span<const PolygonPair> pairs,
 
     // Fill pass: each pair's smaller dilated chain — width-D lines with
     // wide-point end caps (one cap per chained endpoint, as per-pair).
+    obs::ManualSpan pass_span;
+    pass_span.Start(config_.trace, "hw-fill", "hw");
     Stopwatch fill_watch;
     atlas_.Clear();
     for (size_t i = 0; i < n; ++i) {
@@ -198,13 +236,27 @@ void BatchHardwareTester::DistanceSubBatch(std::span<const PolygonPair> pairs,
           glsim::RasterizeWidePointRowSpans(a, plan.width_px, res, res, fill);
         }
         glsim::RasterizeWidePointRowSpans(b, plan.width_px, res, res, fill);
-        if (atlas_.TileFull(tile)) break;
+        if (atlas_.TileFull(tile)) {
+          if (config_.trace != nullptr) {
+            config_.trace->Instant("tile-saturated", "hw");
+          }
+          break;
+        }
       }
     }
     const double fill_ms = fill_watch.ElapsedMillis();
+    pass_span.End();
+    if (tile_pixels_hist_ != nullptr) {
+      for (size_t i = 0; i < n; ++i) {
+        if (tile_of_[i] >= 0) {
+          tile_pixels_hist_->Record(atlas_.CountSet(tile_of_[i]));
+        }
+      }
+    }
 
     // Scan pass: the larger chain probes the tile, stopping at the first
     // shared pixel.
+    pass_span.Start(config_.trace, "hw-scan", "hw");
     Stopwatch scan_watch;
     for (size_t i = 0; i < n; ++i) {
       if (tile_of_[i] < 0) continue;
@@ -231,6 +283,7 @@ void BatchHardwareTester::DistanceSubBatch(std::span<const PolygonPair> pairs,
       hw_overlap_[static_cast<size_t>(tile)] = prober.hit() ? 1 : 0;
     }
     const double scan_ms = scan_watch.ElapsedMillis();
+    pass_span.End();
 
     batch_counters_.hw_tests += tiles;
     batch_counters_.hw_ms += fill_ms + scan_ms;

@@ -12,6 +12,7 @@
 #include "core/hw_intersection.h"
 #include "geom/polygon.h"
 #include "glsim/atlas.h"
+#include "obs/metrics.h"
 
 namespace hasj::core {
 
@@ -74,10 +75,19 @@ class BatchHardwareTester {
   void DistanceSubBatch(std::span<const PolygonPair> pairs, double d,
                         uint8_t* verdicts);
 
+  // Records the batch-shape histograms of one sub-batch (no-op when
+  // metrics are detached).
+  void RecordSubBatchShape(size_t pairs, int tiles);
+
   HwConfig config_;
   HwIntersectionTester isect_;
   HwDistanceTester dist_;
   glsim::Atlas atlas_;
+  // Resolved once from config.metrics (null when metrics are off).
+  obs::Histogram* batch_pairs_hist_ = nullptr;
+  obs::Histogram* batch_tiles_hist_ = nullptr;
+  obs::Histogram* occupancy_hist_ = nullptr;
+  obs::Histogram* tile_pixels_hist_ = nullptr;
   // Hardware-step counters accrued here (the inner testers never see the
   // batched hardware step): hw_tests, hw_ms, batch.*.
   HwCounters batch_counters_;

@@ -3,8 +3,10 @@
 #include "common/stopwatch.h"
 #include "core/batch_tester.h"
 #include "core/hw_distance.h"
+#include "core/query_obs.h"
 #include "core/refinement_executor.h"
 #include "filter/object_filters.h"
+#include "obs/trace.h"
 
 namespace hasj::core {
 
@@ -16,15 +18,19 @@ DistanceJoinResult WithinDistanceJoin::Run(
     double d, const DistanceJoinOptions& options) const {
   DistanceJoinResult result;
   Stopwatch watch;
+  obs::ManualSpan stage_span;
 
   // Stage 1: MBR distance join (MBR distance lower-bounds object distance).
+  stage_span.Start(options.hw.trace, "mbr", "stage");
   const std::vector<std::pair<int64_t, int64_t>> candidates =
       index::JoinWithinDistance(rtree_a_, rtree_b_, d);
   result.counts.candidates = static_cast<int64_t>(candidates.size());
   result.costs.mbr_ms = watch.ElapsedMillis();
+  stage_span.End();
 
   // Stage 2: 0-Object and 1-Object filters (distance upper bounds; a bound
   // <= d makes the pair a definite positive).
+  stage_span.Start(options.hw.trace, "filter", "stage");
   watch.Restart();
   std::vector<std::pair<int64_t, int64_t>> undecided;
   undecided.reserve(candidates.size());
@@ -56,15 +62,18 @@ DistanceJoinResult WithinDistanceJoin::Run(
     undecided.emplace_back(ida, idb);
   }
   result.costs.filter_ms = watch.ElapsedMillis();
+  stage_span.End();
 
   // Stage 3: geometry comparison; the tester is the refinement engine for
   // both modes, so the software baseline shares the cached point locators.
   // One tester per worker; accepted pairs come back in candidate order at
   // every thread count.
+  stage_span.Start(options.hw.trace, "compare", "stage");
   watch.Restart();
   HwConfig hw_config = options.hw;
   hw_config.enable_hw = options.use_hw;
   RefinementExecutor executor(options.num_threads);
+  executor.SetObservability(options.hw.trace, options.hw.metrics);
   RefinementOutcome<std::pair<int64_t, int64_t>> refined;
   if (hw_config.use_batching && hw_config.enable_hw &&
       hw_config.backend == HwBackend::kBitmask) {
@@ -93,8 +102,11 @@ DistanceJoinResult WithinDistanceJoin::Run(
   result.pairs.insert(result.pairs.end(), refined.accepted.begin(),
                       refined.accepted.end());
   result.costs.compare_ms = watch.ElapsedMillis();
+  stage_span.End();
   result.counts.results = static_cast<int64_t>(result.pairs.size());
   result.hw_counters = refined.counters;
+  RecordQueryMetrics(options.hw.metrics, "distance_join", result.costs,
+                     result.counts, result.hw_counters);
   return result;
 }
 

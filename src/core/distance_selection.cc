@@ -3,8 +3,10 @@
 #include "common/stopwatch.h"
 #include "core/batch_tester.h"
 #include "core/hw_distance.h"
+#include "core/query_obs.h"
 #include "core/refinement_executor.h"
 #include "filter/object_filters.h"
+#include "obs/trace.h"
 
 namespace hasj::core {
 
@@ -16,14 +18,18 @@ DistanceSelectionResult WithinDistanceSelection::Run(
     const DistanceSelectionOptions& options) const {
   DistanceSelectionResult result;
   Stopwatch watch;
+  obs::ManualSpan stage_span;
 
   // Stage 1: MBR distance filtering.
+  stage_span.Start(options.hw.trace, "mbr", "stage");
   const std::vector<int64_t> candidates =
       rtree_.QueryWithinDistance(query.Bounds(), d);
   result.counts.candidates = static_cast<int64_t>(candidates.size());
   result.costs.mbr_ms = watch.ElapsedMillis();
+  stage_span.End();
 
   // Stage 2: 0/1-Object distance upper-bound filters.
+  stage_span.Start(options.hw.trace, "filter", "stage");
   watch.Restart();
   std::vector<int64_t> undecided;
   undecided.reserve(candidates.size());
@@ -46,14 +52,17 @@ DistanceSelectionResult WithinDistanceSelection::Run(
     undecided.push_back(id);
   }
   result.costs.filter_ms = watch.ElapsedMillis();
+  stage_span.End();
 
   // Stage 3: geometry comparison through the shared refinement engine,
   // one tester per worker; accepted ids come back in candidate order at
   // every thread count.
+  stage_span.Start(options.hw.trace, "compare", "stage");
   watch.Restart();
   HwConfig hw_config = options.hw;
   hw_config.enable_hw = options.use_hw;
   RefinementExecutor executor(options.num_threads);
+  executor.SetObservability(options.hw.trace, options.hw.metrics);
   RefinementOutcome<int64_t> refined;
   if (hw_config.use_batching && hw_config.enable_hw &&
       hw_config.backend == HwBackend::kBitmask) {
@@ -82,8 +91,11 @@ DistanceSelectionResult WithinDistanceSelection::Run(
   result.ids.insert(result.ids.end(), refined.accepted.begin(),
                     refined.accepted.end());
   result.costs.compare_ms = watch.ElapsedMillis();
+  stage_span.End();
   result.counts.results = static_cast<int64_t>(result.ids.size());
   result.hw_counters = refined.counters;
+  RecordQueryMetrics(options.hw.metrics, "distance_selection", result.costs,
+                     result.counts, result.hw_counters);
   return result;
 }
 

@@ -6,6 +6,11 @@
 #include "core/query_stats.h"
 #include "glsim/context.h"
 
+namespace hasj::obs {
+class Registry;
+class TraceSession;
+}  // namespace hasj::obs
+
 namespace hasj::core {
 
 // How the hardware segment test is executed.
@@ -51,12 +56,18 @@ struct HwConfig {
   bool use_batching = false;
   // Pairs per atlas pass; 1024 tiles of 8x8 are a 256x256 framebuffer.
   int batch_size = 1024;
+  // Observability hooks (DESIGN.md §10). Both default to null, which
+  // compiles every instrumentation site down to a pointer test: tracing and
+  // metrics cost nothing unless a session/registry is attached. Not owned.
+  obs::TraceSession* trace = nullptr;
+  obs::Registry* metrics = nullptr;
 };
 
 // Observability into how often each path decided the outcome and where the
 // time went.
 struct HwCounters {
   int64_t tests = 0;             // total Test() calls
+  int64_t mbr_misses = 0;        // decided by the per-pair MBR pre-check
   int64_t pip_hits = 0;          // decided by the point-in-polygon step
   int64_t sw_threshold_skips = 0;  // hardware skipped, software test direct
   int64_t hw_tests = 0;          // hardware segment tests executed
@@ -74,6 +85,7 @@ struct HwCounters {
   // time, which exceeds the stage's elapsed time when workers overlap.
   HwCounters& operator+=(const HwCounters& o) {
     tests += o.tests;
+    mbr_misses += o.mbr_misses;
     pip_hits += o.pip_hits;
     sw_threshold_skips += o.sw_threshold_skips;
     hw_tests += o.hw_tests;

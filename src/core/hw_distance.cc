@@ -8,6 +8,8 @@
 #include "common/stopwatch.h"
 #include "core/paranoid.h"
 #include "glsim/raster.h"
+#include "obs/names.h"
+#include "obs/trace.h"
 
 namespace hasj::core {
 namespace {
@@ -33,15 +35,26 @@ HwDistanceTester::HwDistanceTester(const HwConfig& config,
       mask_b_(config.resolution, config.resolution) {
   HASJ_CHECK(config.resolution >= 1);
   ctx_.set_limits(config.limits);
+  ctx_.set_metrics(config.metrics);
+  if (config.metrics != nullptr) {
+    pair_vertices_hist_ = &config.metrics->GetHistogram(obs::kHistPairVertices);
+    pixels_hist_ = &config.metrics->GetHistogram(obs::kHistPixelsColored);
+  }
 }
 
 void HwDistanceTester::Plan(const geom::Polygon& p, const geom::Polygon& q,
                             double d, DistancePlan* plan) {
   HASJ_CHECK(d >= 0.0);
   ++counters_.tests;
+  const int64_t total_vertices =
+      static_cast<int64_t>(p.size()) + static_cast<int64_t>(q.size());
+  if (pair_vertices_hist_ != nullptr) {
+    pair_vertices_hist_->Record(total_vertices);
+  }
   plan->ep.clear();
   plan->eq.clear();
   if (geom::MinDistance(p.Bounds(), q.Bounds()) > d) {
+    ++counters_.mbr_misses;
     plan->stage = DistancePlan::Stage::kDecided;
     plan->decision = false;
     return;
@@ -53,8 +66,6 @@ void HwDistanceTester::Plan(const geom::Polygon& p, const geom::Polygon& q,
     return;
   }
 
-  const int64_t total_vertices =
-      static_cast<int64_t>(p.size()) + static_cast<int64_t>(q.size());
   if (total_vertices <= config_.sw_threshold) {
     ++counters_.sw_threshold_skips;
     plan->stage = DistancePlan::Stage::kSoftware;
@@ -215,6 +226,12 @@ bool HwDistanceTester::HwDilatedBoundariesOverlap(
         glsim::RasterizeWidePoint(a, width_px, res, res, set);
       }
       glsim::RasterizeWidePoint(b, width_px, res, res, set);
+    }
+    if (pixels_hist_ != nullptr) {
+      pixels_hist_->Record(static_cast<int64_t>(res) * res - unset);
+    }
+    if (unset == 0 && config_.trace != nullptr) {
+      config_.trace->Instant("hw-saturated", "hw");
     }
     // The probe stops the rasterizer at the first doubly-colored pixel
     // (early-exit emit contract, glsim/raster.h).

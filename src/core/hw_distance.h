@@ -11,6 +11,7 @@
 #include "geom/segment.h"
 #include "glsim/context.h"
 #include "glsim/pixel_mask.h"
+#include "obs/metrics.h"
 
 namespace hasj::core {
 
@@ -100,6 +101,10 @@ class HwDistanceTester {
   HwConfig config_;
   algo::DistanceOptions sw_options_;
   HwCounters counters_;
+  // Resolved once from config.metrics (null when metrics are off), so the
+  // per-pair hot path pays a pointer test, not a registry lookup.
+  obs::Histogram* pair_vertices_hist_ = nullptr;
+  obs::Histogram* pixels_hist_ = nullptr;
   DistancePlan plan_scratch_;  // reused across Test() calls (edge capacity)
   glsim::RenderContext ctx_;
   glsim::PixelMask mask_a_;

@@ -6,6 +6,8 @@
 #include "common/stopwatch.h"
 #include "core/paranoid.h"
 #include "glsim/raster.h"
+#include "obs/names.h"
+#include "obs/trace.h"
 
 namespace hasj::core {
 namespace {
@@ -27,13 +29,24 @@ HwIntersectionTester::HwIntersectionTester(
   HASJ_CHECK(config.line_width > 0.0 &&
              config.line_width <= config.limits.max_line_width);
   ctx_.set_limits(config.limits);
+  ctx_.set_metrics(config.metrics);
+  if (config.metrics != nullptr) {
+    pair_vertices_hist_ = &config.metrics->GetHistogram(obs::kHistPairVertices);
+    pixels_hist_ = &config.metrics->GetHistogram(obs::kHistPixelsColored);
+  }
 }
 
 PairPlan HwIntersectionTester::Plan(const geom::Polygon& p,
                                     const geom::Polygon& q) {
   ++counters_.tests;
+  const int64_t total_vertices =
+      static_cast<int64_t>(p.size()) + static_cast<int64_t>(q.size());
+  if (pair_vertices_hist_ != nullptr) {
+    pair_vertices_hist_->Record(total_vertices);
+  }
   PairPlan plan;
   if (!p.Bounds().Intersects(q.Bounds())) {
+    ++counters_.mbr_misses;
     plan.stage = PairPlan::Stage::kDecided;
     plan.decision = false;
     return plan;
@@ -46,8 +59,6 @@ PairPlan HwIntersectionTester::Plan(const geom::Polygon& p,
   }
 
   // sw_threshold adaptation (§4.3): simple pairs skip the hardware test.
-  const int64_t total_vertices =
-      static_cast<int64_t>(p.size()) + static_cast<int64_t>(q.size());
   if (total_vertices <= config_.sw_threshold) {
     ++counters_.sw_threshold_skips;
     plan.stage = PairPlan::Stage::kSoftware;
@@ -162,6 +173,12 @@ bool HwIntersectionTester::HwBoundariesOverlap(const geom::Polygon& p,
                                }
                                return unset == 0;  // saturated: stop drawing
                              });
+    }
+    if (pixels_hist_ != nullptr) {
+      pixels_hist_->Record(static_cast<int64_t>(res) * res - unset);
+    }
+    if (unset == 0 && config_.trace != nullptr) {
+      config_.trace->Instant("hw-saturated", "hw");
     }
     if (!any_first) return false;
     // Probe the first mask while rasterizing the second boundary: the

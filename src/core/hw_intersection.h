@@ -9,6 +9,7 @@
 #include "geom/polygon.h"
 #include "glsim/context.h"
 #include "glsim/pixel_mask.h"
+#include "obs/metrics.h"
 
 namespace hasj::core {
 
@@ -94,6 +95,10 @@ class HwIntersectionTester {
   HwConfig config_;
   algo::SoftwareIntersectOptions sw_options_;
   HwCounters counters_;
+  // Resolved once from config.metrics (null when metrics are off), so the
+  // per-pair hot path pays a pointer test, not a registry lookup.
+  obs::Histogram* pair_vertices_hist_ = nullptr;
+  obs::Histogram* pixels_hist_ = nullptr;
   glsim::RenderContext ctx_;
   glsim::PixelMask mask_a_;
   glsim::PixelMask mask_b_;

@@ -5,7 +5,9 @@
 #include "common/stopwatch.h"
 #include "core/batch_tester.h"
 #include "core/hw_intersection.h"
+#include "core/query_obs.h"
 #include "core/refinement_executor.h"
+#include "obs/trace.h"
 
 namespace hasj::core {
 
@@ -17,18 +19,23 @@ JoinResult IntersectionJoin::Run(const JoinOptions& options) const {
   JoinResult result;
   Stopwatch watch;
   RefinementExecutor executor(options.num_threads);
+  executor.SetObservability(options.hw.trace, options.hw.metrics);
+  obs::ManualSpan stage_span;
 
   // Stage 1: MBR join.
+  stage_span.Start(options.hw.trace, "mbr", "stage");
   const std::vector<std::pair<int64_t, int64_t>> candidates =
       index::JoinIntersects(rtree_a_, rtree_b_);
   result.counts.candidates = static_cast<int64_t>(candidates.size());
   result.costs.mbr_ms = watch.ElapsedMillis();
+  stage_span.End();
 
   // Stage 2 (optional): rasterization intermediate filter. Signatures are
   // built lazily per polygon (at most once, std::call_once per slot) and
   // cached in the join object across runs; with a parallel executor the
   // candidate signatures are pre-built concurrently before the serial
   // decision loop reads them.
+  stage_span.Start(options.hw.trace, "filter", "stage");
   watch.Restart();
   std::vector<std::pair<int64_t, int64_t>> undecided;
   const std::vector<std::pair<int64_t, int64_t>>* to_compare = &candidates;
@@ -74,12 +81,14 @@ JoinResult IntersectionJoin::Run(const JoinOptions& options) const {
     to_compare = &undecided;
   }
   result.costs.filter_ms = watch.ElapsedMillis();
+  stage_span.End();
 
   // Stage 3: geometry comparison (the intersection join of the paper uses
   // no intermediate filter; the interior filter targets selections). The
   // tester is the refinement engine for both modes, so the software
   // baseline shares the cached point locators. Each worker owns a tester;
   // accepted pairs come back in candidate order at every thread count.
+  stage_span.Start(options.hw.trace, "compare", "stage");
   watch.Restart();
   HwConfig hw_config = options.hw;
   hw_config.enable_hw = options.use_hw;
@@ -112,8 +121,12 @@ JoinResult IntersectionJoin::Run(const JoinOptions& options) const {
   result.pairs.insert(result.pairs.end(), refined.accepted.begin(),
                       refined.accepted.end());
   result.costs.compare_ms = watch.ElapsedMillis();
+  stage_span.End();
   result.counts.results = static_cast<int64_t>(result.pairs.size());
   result.hw_counters = refined.counters;
+  RecordQueryMetrics(options.hw.metrics, "join", result.costs, result.counts,
+                     result.hw_counters, result.raster_positives,
+                     result.raster_negatives);
   return result;
 }
 

@@ -11,9 +11,24 @@
 #include "glsim/context.h"
 #include "glsim/pixel_mask.h"
 #include "glsim/raster.h"
+#include "obs/metrics.h"
+#include "obs/names.h"
+#include "obs/trace.h"
 
 namespace hasj::core::paranoid {
 namespace {
+
+// Marks one oracle invocation: an instant event on the calling worker's
+// trace track plus the paranoid.checks counter. Paranoid builds trade speed
+// for verification, so the per-call registry lookup is acceptable here.
+void NoteOracleCheck(const HwConfig& config) {
+  if (config.trace != nullptr) {
+    config.trace->Instant("paranoid-oracle", "paranoid");
+  }
+  if (config.metrics != nullptr) {
+    config.metrics->GetCounter(obs::kParanoidChecks).Increment();
+  }
+}
 
 ViolationHandler& Handler() {
   static ViolationHandler handler;
@@ -121,6 +136,7 @@ void ReportViolation(const std::string& dump) {
 void CheckIntersectionReject(const geom::Polygon& p, const geom::Polygon& q,
                              const geom::Box& viewport,
                              const HwConfig& config) {
+  NoteOracleCheck(config);
   if (!algo::BoundariesIntersect(p, q)) return;
   ReportViolation(PairDump("hw_intersection", "intersects", p, q, viewport,
                            config, config.line_width,
@@ -130,6 +146,7 @@ void CheckIntersectionReject(const geom::Polygon& p, const geom::Polygon& q,
 void CheckDistanceReject(const geom::Polygon& p, const geom::Polygon& q,
                          double d, const geom::Box& viewport, double width_px,
                          const HwConfig& config) {
+  NoteOracleCheck(config);
   if (!algo::BoundariesWithinDistance(p, q, d)) return;
   std::string dump = PairDump("hw_distance", "is within distance", p, q,
                               viewport, config, width_px,
@@ -140,6 +157,7 @@ void CheckDistanceReject(const geom::Polygon& p, const geom::Polygon& q,
 
 void CheckFilledReject(const geom::Polygon& p, const geom::Polygon& q,
                        const geom::Box& viewport, const HwConfig& config) {
+  NoteOracleCheck(config);
   if (!algo::PolygonsIntersect(p, q)) return;
   ReportViolation(PairDump("hw_filled", "intersects", p, q, viewport, config,
                            config.line_width, /*capsule_ends=*/false));

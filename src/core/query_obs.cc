@@ -1,0 +1,48 @@
+#include "core/query_obs.h"
+
+#include <string>
+
+#include "obs/names.h"
+
+namespace hasj::core {
+
+void RecordQueryMetrics(obs::Registry* metrics, const char* kind,
+                        const StageCosts& costs, const StageCounts& counts,
+                        const HwCounters& hw, int64_t raster_positives,
+                        int64_t raster_negatives) {
+  if (metrics == nullptr) return;
+
+  metrics
+      ->GetCounter(std::string(obs::kPipelinePrefix) + kind +
+                   obs::kPipelineRunsSuffix)
+      .Increment();
+
+  metrics->GetGauge(obs::kStageMbrMs).Add(costs.mbr_ms);
+  metrics->GetCounter(obs::kStageMbrOut).Add(counts.candidates);
+  metrics->GetGauge(obs::kStageFilterMs).Add(costs.filter_ms);
+  metrics->GetCounter(obs::kStageFilterDecided).Add(counts.filter_hits);
+  metrics->GetCounter(obs::kStageFilterRasterPos).Add(raster_positives);
+  metrics->GetCounter(obs::kStageFilterRasterNeg).Add(raster_negatives);
+  metrics->GetGauge(obs::kStageCompareMs).Add(costs.compare_ms);
+  metrics->GetCounter(obs::kStageCompareIn).Add(counts.compared);
+  metrics->GetCounter(obs::kQueryResults).Add(counts.results);
+
+  metrics->GetCounter(obs::kRefineTests).Add(hw.tests);
+  metrics->GetCounter(obs::kRefineMbrMisses).Add(hw.mbr_misses);
+  metrics->GetCounter(obs::kRefinePipHits).Add(hw.pip_hits);
+  metrics->GetCounter(obs::kRefineSwThresholdSkips).Add(hw.sw_threshold_skips);
+  metrics->GetCounter(obs::kRefineHwTests).Add(hw.hw_tests);
+  metrics->GetCounter(obs::kRefineHwRejects).Add(hw.hw_rejects);
+  metrics->GetCounter(obs::kRefineSwTests).Add(hw.sw_tests);
+  metrics->GetCounter(obs::kRefineWidthFallbacks).Add(hw.width_fallbacks);
+  metrics->GetGauge(obs::kRefinePipMs).Add(hw.pip_ms);
+  metrics->GetGauge(obs::kRefineHwMs).Add(hw.hw_ms);
+  metrics->GetGauge(obs::kRefineSwMs).Add(hw.sw_ms);
+
+  metrics->GetCounter(obs::kBatchBatches).Add(hw.batch.batches);
+  metrics->GetCounter(obs::kBatchBatchedPairs).Add(hw.batch.batched_pairs);
+  metrics->GetGauge(obs::kBatchFillMs).Add(hw.batch.fill_ms);
+  metrics->GetGauge(obs::kBatchScanMs).Add(hw.batch.scan_ms);
+}
+
+}  // namespace hasj::core

@@ -1,0 +1,29 @@
+#ifndef HASJ_CORE_QUERY_OBS_H_
+#define HASJ_CORE_QUERY_OBS_H_
+
+#include <cstdint>
+
+#include "core/hw_config.h"
+#include "core/query_stats.h"
+#include "obs/metrics.h"
+
+namespace hasj::core {
+
+// Canonical ingestion of one pipeline run's aggregates into a metrics
+// registry (DESIGN.md §10). The per-query StageCosts / StageCounts /
+// HwCounters structs stay the pipelines' return values; this bridge is the
+// single place that translates them into the registry's canonical names
+// (obs/names.h), so every consumer — EXPLAIN ANALYZE, bench --json, tests —
+// reads one schema. No-op when `metrics` is null.
+//
+// `kind` is the pipeline name ("selection", "join", "distance_selection",
+// "distance_join"); raster_positives/raster_negatives are the raster-filter
+// decisions (zero for pipelines without that filter).
+void RecordQueryMetrics(obs::Registry* metrics, const char* kind,
+                        const StageCosts& costs, const StageCounts& counts,
+                        const HwCounters& hw, int64_t raster_positives = 0,
+                        int64_t raster_negatives = 0);
+
+}  // namespace hasj::core
+
+#endif  // HASJ_CORE_QUERY_OBS_H_

@@ -5,12 +5,16 @@
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "common/thread_pool.h"
 #include "core/batch_tester.h"
 #include "core/hw_config.h"
+#include "obs/metrics.h"
+#include "obs/names.h"
+#include "obs/trace.h"
 
 namespace hasj::core {
 
@@ -47,6 +51,14 @@ class RefinementExecutor {
 
   int threads() const { return threads_; }
 
+  // Attaches the query's trace session and metrics registry (both may be
+  // null, the default): workers name their trace tracks, chunks get spans,
+  // and per-worker queue wait lands in the pool.queue_wait_us histogram.
+  void SetObservability(obs::TraceSession* trace, obs::Registry* metrics) {
+    trace_ = trace;
+    metrics_ = metrics;
+  }
+
   // Chunked parallel loop over [0, n): body(begin, end, worker). Runs
   // inline when the executor is serial. Used by the pipelines to pre-build
   // shared read-only state (raster-signature caches) before a serial scan.
@@ -57,6 +69,7 @@ class RefinementExecutor {
       return;
     }
     pool_->ParallelFor(n, Grain(n), body);
+    RecordPoolWait();
   }
 
   // test(tester, item) -> keep? with tester built once per worker by
@@ -68,6 +81,7 @@ class RefinementExecutor {
     RefinementOutcome<Item> out;
     const int64_t n = static_cast<int64_t>(items.size());
     if (!pool_.has_value() || n <= 1) {
+      HASJ_TRACE_SCOPE(trace_, "compare-chunk", "refine", "pairs", n);
       auto tester = make_tester();
       out.accepted.reserve(items.size());
       for (const Item& item : items) {
@@ -82,9 +96,13 @@ class RefinementExecutor {
     testers.reserve(static_cast<size_t>(threads_));
     for (int w = 0; w < threads_; ++w) testers.push_back(make_tester());
 
+    std::vector<uint8_t> named(static_cast<size_t>(threads_), 0);
     std::vector<uint8_t> verdict(items.size(), 0);
     pool_->ParallelFor(n, Grain(n),
                        [&](int64_t begin, int64_t end, int worker) {
+                         NameWorkerTrack(named, worker);
+                         HASJ_TRACE_SCOPE(trace_, "compare-chunk", "refine",
+                                          "pairs", end - begin);
                          Tester& tester = testers[static_cast<size_t>(worker)];
                          for (int64_t i = begin; i < end; ++i) {
                            verdict[static_cast<size_t>(i)] =
@@ -92,6 +110,7 @@ class RefinementExecutor {
                                                                            : 0;
                          }
                        });
+    RecordPoolWait();
 
     out.accepted.reserve(items.size());
     for (size_t i = 0; i < items.size(); ++i) {
@@ -121,6 +140,7 @@ class RefinementExecutor {
     std::vector<PolygonPair> pairs(items.size());
     std::vector<uint8_t> verdict(items.size(), 0);
     if (!pool_.has_value() || n <= 1) {
+      HASJ_TRACE_SCOPE(trace_, "compare-chunk", "refine", "pairs", n);
       auto tester = make_tester();
       for (size_t i = 0; i < items.size(); ++i) pairs[i] = to_pair(items[i]);
       if (n > 0) {
@@ -140,8 +160,12 @@ class RefinementExecutor {
     testers.reserve(static_cast<size_t>(threads_));
     for (int w = 0; w < threads_; ++w) testers.push_back(make_tester());
 
+    std::vector<uint8_t> named(static_cast<size_t>(threads_), 0);
     pool_->ParallelFor(
         n, Grain(n), [&](int64_t begin, int64_t end, int worker) {
+          NameWorkerTrack(named, worker);
+          HASJ_TRACE_SCOPE(trace_, "compare-chunk", "refine", "pairs",
+                           end - begin);
           for (int64_t i = begin; i < end; ++i) {
             pairs[static_cast<size_t>(i)] =
                 to_pair(items[static_cast<size_t>(i)]);
@@ -152,6 +176,7 @@ class RefinementExecutor {
                          pairs.data() + begin, static_cast<size_t>(end - begin)),
                      verdict.data() + begin);
         });
+    RecordPoolWait();
 
     out.accepted.reserve(items.size());
     for (size_t i = 0; i < items.size(); ++i) {
@@ -168,8 +193,30 @@ class RefinementExecutor {
     return std::max<int64_t>(1, n / (static_cast<int64_t>(threads_) * 8));
   }
 
+  // Labels the calling worker's trace track on its first chunk. Safe
+  // without atomics: invocations for one worker index are serial, and each
+  // worker touches only its own slot.
+  void NameWorkerTrack(std::vector<uint8_t>& named, int worker) const {
+    if (trace_ == nullptr || named[static_cast<size_t>(worker)] != 0) return;
+    named[static_cast<size_t>(worker)] = 1;
+    trace_->NameCurrentTrack("refine-worker-" + std::to_string(worker));
+  }
+
+  // Feeds the last job's per-worker queue wait into the registry (worker 0
+  // is the caller and never queues, so it is skipped).
+  void RecordPoolWait() const {
+    if (metrics_ == nullptr || !pool_.has_value()) return;
+    obs::Histogram& hist = metrics_->GetHistogram(obs::kHistQueueWaitUs);
+    const std::vector<double>& waits = pool_->last_wait_us();
+    for (size_t w = 1; w < waits.size(); ++w) {
+      hist.Record(static_cast<int64_t>(waits[w]));
+    }
+  }
+
   int threads_;
   mutable std::optional<ThreadPool> pool_;
+  obs::TraceSession* trace_ = nullptr;
+  obs::Registry* metrics_ = nullptr;
 };
 
 }  // namespace hasj::core

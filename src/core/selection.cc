@@ -5,8 +5,10 @@
 #include "common/stopwatch.h"
 #include "core/batch_tester.h"
 #include "core/hw_intersection.h"
+#include "core/query_obs.h"
 #include "core/refinement_executor.h"
 #include "filter/interior_filter.h"
+#include "obs/trace.h"
 
 namespace hasj::core {
 
@@ -20,15 +22,20 @@ SelectionResult IntersectionSelection::Run(
   SelectionResult result;
   Stopwatch watch;
   RefinementExecutor executor(options.num_threads);
+  executor.SetObservability(options.hw.trace, options.hw.metrics);
+  obs::ManualSpan stage_span;
 
   // Stage 1: MBR filtering.
+  stage_span.Start(options.hw.trace, "mbr", "stage");
   const std::vector<int64_t> candidates =
       rtree_.QueryIntersects(query.Bounds());
   result.counts.candidates = static_cast<int64_t>(candidates.size());
   result.costs.mbr_ms = watch.ElapsedMillis();
+  stage_span.End();
 
   // Stage 2: intermediate filtering (interior filter and/or raster
   // signature filter; the latter can also prove negatives).
+  stage_span.Start(options.hw.trace, "filter", "stage");
   watch.Restart();
   std::vector<int64_t> undecided;
   undecided.reserve(candidates.size());
@@ -89,11 +96,13 @@ SelectionResult IntersectionSelection::Run(
     undecided.push_back(id);
   }
   result.costs.filter_ms = watch.ElapsedMillis();
+  stage_span.End();
 
   // Stage 3: geometry comparison. The tester is the refinement engine for
   // both modes (use_hw toggles the hardware filter), so the software
   // baseline shares the cached point locators. Each worker owns a tester;
   // accepted ids come back in candidate order at every thread count.
+  stage_span.Start(options.hw.trace, "compare", "stage");
   watch.Restart();
   HwConfig hw_config = options.hw;
   hw_config.enable_hw = options.use_hw;
@@ -122,8 +131,12 @@ SelectionResult IntersectionSelection::Run(
   result.ids.insert(result.ids.end(), refined.accepted.begin(),
                     refined.accepted.end());
   result.costs.compare_ms = watch.ElapsedMillis();
+  stage_span.End();
   result.counts.results = static_cast<int64_t>(result.ids.size());
   result.hw_counters = refined.counters;
+  RecordQueryMetrics(options.hw.metrics, "selection", result.costs,
+                     result.counts, result.hw_counters,
+                     result.raster_positives, result.raster_negatives);
   return result;
 }
 

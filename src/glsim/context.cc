@@ -2,6 +2,7 @@
 
 #include "common/macros.h"
 #include "glsim/raster.h"
+#include "obs/names.h"
 
 namespace hasj::glsim {
 
@@ -54,7 +55,26 @@ geom::Point RenderContext::ToWindow(geom::Point p) const {
           (p.y - data_rect_.min_y) * scale_y_};
 }
 
-void RenderContext::Clear(Rgb value) { color_buffer_.Clear(value); }
+void RenderContext::set_metrics(obs::Registry* metrics) {
+  if (metrics == nullptr) {
+    draw_segments_ = nullptr;
+    draw_points_ = nullptr;
+    accum_ops_ = nullptr;
+    minmax_searches_ = nullptr;
+    clears_ = nullptr;
+    return;
+  }
+  draw_segments_ = &metrics->GetCounter(obs::kGlsimDrawSegments);
+  draw_points_ = &metrics->GetCounter(obs::kGlsimDrawPoints);
+  accum_ops_ = &metrics->GetCounter(obs::kGlsimAccumOps);
+  minmax_searches_ = &metrics->GetCounter(obs::kGlsimMinmaxSearches);
+  clears_ = &metrics->GetCounter(obs::kGlsimClears);
+}
+
+void RenderContext::Clear(Rgb value) {
+  if (clears_ != nullptr) clears_->Increment();
+  color_buffer_.Clear(value);
+}
 
 void RenderContext::ClearAccum() { accum_buffer_.Clear(); }
 
@@ -69,6 +89,7 @@ void RenderContext::SetPointSize(double size) {
 }
 
 void RenderContext::DrawSegmentAA(geom::Point a, geom::Point b) {
+  if (draw_segments_ != nullptr) draw_segments_->Increment();
   RasterizeLineAA(ToWindow(a), ToWindow(b), line_width_, width_, height_,
                   [&](int x, int y) { color_buffer_.Set(x, y, color_); });
 }
@@ -88,6 +109,9 @@ void RenderContext::DrawLineStrip(std::span<const geom::Point> chain) {
 }
 
 void RenderContext::DrawPoints(std::span<const geom::Point> points) {
+  if (draw_points_ != nullptr) {
+    draw_points_->Add(static_cast<int64_t>(points.size()));
+  }
   for (const geom::Point& p : points) {
     RasterizeWidePoint(ToWindow(p), point_size_, width_, height_,
                        [&](int x, int y) { color_buffer_.Set(x, y, color_); });
@@ -106,6 +130,7 @@ void RenderContext::DrawPolygonFilled(const geom::Polygon& polygon) {
 }
 
 void RenderContext::Accum(AccumOp op, float value) {
+  if (accum_ops_ != nullptr) accum_ops_->Increment();
   switch (op) {
     case AccumOp::kLoad:
       accum_buffer_.Load(color_buffer_, value);

@@ -7,6 +7,7 @@
 #include "geom/point.h"
 #include "geom/polygon.h"
 #include "glsim/framebuffer.h"
+#include "obs/metrics.h"
 
 namespace hasj::glsim {
 
@@ -65,6 +66,11 @@ class RenderContext {
   const HwLimits& limits() const { return limits_; }
   void set_limits(const HwLimits& limits) { limits_ = limits; }
 
+  // Attaches a metrics registry counting the simulated hardware primitives
+  // (glsim.* counters, obs/names.h). Null (the default) detaches: every
+  // recording site is one pointer test. Not owned.
+  void set_metrics(obs::Registry* metrics);
+
   // Orthographic projection: data_rect -> [0, width] x [0, height]. A
   // degenerate data_rect (zero width or height) is inflated minimally so
   // the projection stays finite.
@@ -94,7 +100,10 @@ class RenderContext {
   void Accum(AccumOp op, float value);
 
   // Hardware Minmax over the color buffer (no readback).
-  MinMax Minmax() const { return color_buffer_.ComputeMinMax(); }
+  MinMax Minmax() const {
+    if (minmax_searches_ != nullptr) minmax_searches_->Increment();
+    return color_buffer_.ComputeMinMax();
+  }
 
   const ColorBuffer& color_buffer() const { return color_buffer_; }
 
@@ -112,6 +121,12 @@ class RenderContext {
   Rgb color_{1.0f, 1.0f, 1.0f};
   double line_width_ = 1.0;
   double point_size_ = 1.0;
+  // Resolved once in set_metrics(); null = detached.
+  obs::Counter* draw_segments_ = nullptr;
+  obs::Counter* draw_points_ = nullptr;
+  obs::Counter* accum_ops_ = nullptr;
+  obs::Counter* minmax_searches_ = nullptr;
+  obs::Counter* clears_ = nullptr;
 };
 
 }  // namespace hasj::glsim

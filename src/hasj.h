@@ -37,5 +37,9 @@
 #include "geom/segment.h"
 #include "geom/wkt.h"
 #include "index/rtree.h"
+#include "obs/metrics.h"
+#include "obs/names.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 
 #endif  // HASJ_HASJ_H_

@@ -1,0 +1,119 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace hasj::obs {
+
+void JsonWriter::BeforeValue() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!stack_.empty()) {
+    if (stack_.back().has_value) out_->push_back(',');
+    stack_.back().has_value = true;
+  }
+}
+
+void JsonWriter::BeginObject() {
+  BeforeValue();
+  out_->push_back('{');
+  stack_.push_back({});
+}
+
+void JsonWriter::EndObject() {
+  stack_.pop_back();
+  out_->push_back('}');
+}
+
+void JsonWriter::BeginArray() {
+  BeforeValue();
+  out_->push_back('[');
+  stack_.push_back({});
+}
+
+void JsonWriter::EndArray() {
+  stack_.pop_back();
+  out_->push_back(']');
+}
+
+void JsonWriter::Key(std::string_view key) {
+  if (!stack_.empty()) {
+    if (stack_.back().has_value) out_->push_back(',');
+    stack_.back().has_value = true;
+  }
+  out_->push_back('"');
+  Escape(key);
+  out_->append("\":");
+  after_key_ = true;
+}
+
+void JsonWriter::String(std::string_view value) {
+  BeforeValue();
+  out_->push_back('"');
+  Escape(value);
+  out_->push_back('"');
+}
+
+void JsonWriter::Int(int64_t value) {
+  BeforeValue();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+  out_->append(buf);
+}
+
+void JsonWriter::Double(double value) {
+  BeforeValue();
+  if (!std::isfinite(value)) {
+    out_->append("null");
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out_->append(buf);
+}
+
+void JsonWriter::Bool(bool value) {
+  BeforeValue();
+  out_->append(value ? "true" : "false");
+}
+
+void JsonWriter::Null() {
+  BeforeValue();
+  out_->append("null");
+}
+
+void JsonWriter::Escape(std::string_view value) {
+  for (const char c : value) {
+    switch (c) {
+      case '"':
+        out_->append("\\\"");
+        break;
+      case '\\':
+        out_->append("\\\\");
+        break;
+      case '\n':
+        out_->append("\\n");
+        break;
+      case '\r':
+        out_->append("\\r");
+        break;
+      case '\t':
+        out_->append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out_->append(buf);
+        } else {
+          out_->push_back(c);
+        }
+        break;
+    }
+  }
+}
+
+}  // namespace hasj::obs

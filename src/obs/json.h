@@ -1,0 +1,51 @@
+#ifndef HASJ_OBS_JSON_H_
+#define HASJ_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hasj::obs {
+
+// Minimal streaming JSON writer (no external dependency). Handles comma
+// placement and string escaping; numbers are emitted with enough precision
+// to round-trip and non-finite doubles degrade to null, so the output is
+// always syntactically valid JSON. Used by the trace writer (Chrome
+// trace_event files) and the bench harness (--json reports).
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::string* out) : out_(out) {}
+
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  // Object member key; must be followed by exactly one value (or
+  // Begin{Object,Array}).
+  void Key(std::string_view key);
+
+  void String(std::string_view value);
+  void Int(int64_t value);
+  void Double(double value);
+  void Bool(bool value);
+  void Null();
+
+ private:
+  void BeforeValue();
+  void Escape(std::string_view value);
+
+  std::string* out_;
+  // One frame per open container: whether a value has been written (comma
+  // management) and whether the pending slot is a member value after Key().
+  struct Frame {
+    bool has_value = false;
+  };
+  std::vector<Frame> stack_;
+  bool after_key_ = false;
+};
+
+}  // namespace hasj::obs
+
+#endif  // HASJ_OBS_JSON_H_

@@ -1,0 +1,154 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace hasj::obs {
+
+int ThreadShard() {
+  static std::atomic<uint32_t> next{0};
+  thread_local const uint32_t slot =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return static_cast<int>(slot % static_cast<uint32_t>(kMetricShards));
+}
+
+int64_t Counter::Sum() const {
+  int64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Gauge::Add(double delta) {
+  double current = value_.load(std::memory_order_relaxed);
+  while (!value_.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+int Histogram::BucketOf(int64_t value) {
+  if (value <= 0) return 0;
+  const int bucket = std::bit_width(static_cast<uint64_t>(value));
+  return std::min(bucket, kHistogramBuckets - 1);
+}
+
+int64_t Histogram::BucketLowerBound(int bucket) {
+  if (bucket <= 0) return INT64_MIN;
+  return int64_t{1} << (bucket - 1);
+}
+
+void Histogram::Record(int64_t value) {
+  Shard& shard = shards_[static_cast<size_t>(ThreadShard())];
+  shard.buckets[static_cast<size_t>(BucketOf(value))].fetch_add(
+      1, std::memory_order_relaxed);
+  shard.sum.fetch_add(value, std::memory_order_relaxed);
+  shard.count.fetch_add(1, std::memory_order_relaxed);
+  int64_t seen = shard.min.load(std::memory_order_relaxed);
+  while (value < seen &&
+         !shard.min.compare_exchange_weak(seen, value,
+                                          std::memory_order_relaxed)) {
+  }
+  seen = shard.max.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !shard.max.compare_exchange_weak(seen, value,
+                                          std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  int64_t min = INT64_MAX;
+  int64_t max = INT64_MIN;
+  for (const Shard& shard : shards_) {
+    for (int b = 0; b < kHistogramBuckets; ++b) {
+      snap.buckets[static_cast<size_t>(b)] +=
+          shard.buckets[static_cast<size_t>(b)].load(std::memory_order_relaxed);
+    }
+    snap.sum += shard.sum.load(std::memory_order_relaxed);
+    snap.count += shard.count.load(std::memory_order_relaxed);
+    min = std::min(min, shard.min.load(std::memory_order_relaxed));
+    max = std::max(max, shard.max.load(std::memory_order_relaxed));
+  }
+  if (snap.count > 0) {
+    snap.min = min;
+    snap.max = max;
+  }
+  return snap;
+}
+
+HistogramSnapshot& HistogramSnapshot::operator+=(const HistogramSnapshot& o) {
+  if (o.count > 0) {
+    min = count > 0 ? std::min(min, o.min) : o.min;
+    max = count > 0 ? std::max(max, o.max) : o.max;
+  }
+  count += o.count;
+  sum += o.sum;
+  for (int b = 0; b < kHistogramBuckets; ++b) {
+    buckets[static_cast<size_t>(b)] += o.buckets[static_cast<size_t>(b)];
+  }
+  return *this;
+}
+
+MetricsSnapshot& MetricsSnapshot::operator+=(const MetricsSnapshot& o) {
+  for (const auto& [name, value] : o.counters) counters[name] += value;
+  for (const auto& [name, value] : o.gauges) gauges[name] += value;
+  for (const auto& [name, hist] : o.histograms) histograms[name] += hist;
+  return *this;
+}
+
+int64_t MetricsSnapshot::counter(std::string_view name) const {
+  const auto it = counters.find(std::string(name));
+  return it == counters.end() ? 0 : it->second;
+}
+
+double MetricsSnapshot::gauge(std::string_view name) const {
+  const auto it = gauges.find(std::string(name));
+  return it == gauges.end() ? 0.0 : it->second;
+}
+
+Counter& Registry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot Registry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.emplace(name, counter->Sum());
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.emplace(name, gauge->Value());
+  }
+  for (const auto& [name, hist] : histograms_) {
+    snap.histograms.emplace(name, hist->Snapshot());
+  }
+  return snap;
+}
+
+}  // namespace hasj::obs

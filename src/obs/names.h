@@ -1,0 +1,65 @@
+#ifndef HASJ_OBS_NAMES_H_
+#define HASJ_OBS_NAMES_H_
+
+namespace hasj::obs {
+
+// Canonical metric names (DESIGN.md §10). Every producer and every consumer
+// (core/query_obs.cc ingestion, the EXPLAIN report, bench JSON, tests) goes
+// through these constants so the schema cannot drift silently.
+
+// Pipeline runs: one counter per query kind, suffixed onto this prefix by
+// core/query_obs.cc ("pipeline.selection.runs", ...).
+inline constexpr char kPipelinePrefix[] = "pipeline.";
+inline constexpr char kPipelineRunsSuffix[] = ".runs";
+
+// Stage aggregates (from StageCosts / StageCounts).
+inline constexpr char kStageMbrMs[] = "stage.mbr.ms";            // gauge
+inline constexpr char kStageMbrOut[] = "stage.mbr.out";          // counter
+inline constexpr char kStageFilterMs[] = "stage.filter.ms";      // gauge
+inline constexpr char kStageFilterDecided[] = "stage.filter.decided";
+inline constexpr char kStageFilterRasterPos[] = "stage.filter.raster_pos";
+inline constexpr char kStageFilterRasterNeg[] = "stage.filter.raster_neg";
+inline constexpr char kStageCompareMs[] = "stage.compare.ms";    // gauge
+inline constexpr char kStageCompareIn[] = "stage.compare.in";    // counter
+inline constexpr char kQueryResults[] = "query.results";         // counter
+
+// Refinement routing (from HwCounters).
+inline constexpr char kRefineTests[] = "refine.tests";
+inline constexpr char kRefineMbrMisses[] = "refine.mbr_misses";
+inline constexpr char kRefinePipHits[] = "refine.pip_hits";
+inline constexpr char kRefineSwThresholdSkips[] = "refine.sw_threshold_skips";
+inline constexpr char kRefineHwTests[] = "refine.hw_tests";
+inline constexpr char kRefineHwRejects[] = "refine.hw_rejects";
+inline constexpr char kRefineSwTests[] = "refine.sw_tests";
+inline constexpr char kRefineWidthFallbacks[] = "refine.width_fallbacks";
+inline constexpr char kRefinePipMs[] = "refine.pip_ms";  // gauge
+inline constexpr char kRefineHwMs[] = "refine.hw_ms";    // gauge
+inline constexpr char kRefineSwMs[] = "refine.sw_ms";    // gauge
+
+// Batched hardware testing (from BatchCounters).
+inline constexpr char kBatchBatches[] = "batch.batches";
+inline constexpr char kBatchBatchedPairs[] = "batch.batched_pairs";
+inline constexpr char kBatchFillMs[] = "batch.fill_ms";  // gauge
+inline constexpr char kBatchScanMs[] = "batch.scan_ms";  // gauge
+
+// Distribution histograms (power-of-two buckets).
+inline constexpr char kHistPairVertices[] = "refine.pair_vertices";
+inline constexpr char kHistPixelsColored[] = "hw.pixels_colored";
+inline constexpr char kHistBatchPairs[] = "batch.pairs_per_batch";
+inline constexpr char kHistBatchTiles[] = "batch.tiles_per_batch";
+inline constexpr char kHistBatchOccupancyPct[] = "batch.occupancy_pct";
+inline constexpr char kHistQueueWaitUs[] = "pool.queue_wait_us";
+
+// Simulated-hardware primitive counts (glsim::RenderContext).
+inline constexpr char kGlsimDrawSegments[] = "glsim.draw_segments";
+inline constexpr char kGlsimDrawPoints[] = "glsim.draw_points";
+inline constexpr char kGlsimAccumOps[] = "glsim.accum_ops";
+inline constexpr char kGlsimMinmaxSearches[] = "glsim.minmax_searches";
+inline constexpr char kGlsimClears[] = "glsim.clears";
+
+// Paranoid conservativeness oracle (core/paranoid.h).
+inline constexpr char kParanoidChecks[] = "paranoid.checks";
+
+}  // namespace hasj::obs
+
+#endif  // HASJ_OBS_NAMES_H_

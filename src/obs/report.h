@@ -1,0 +1,19 @@
+#ifndef HASJ_OBS_REPORT_H_
+#define HASJ_OBS_REPORT_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace hasj::obs {
+
+// EXPLAIN ANALYZE: renders a metrics snapshot as the Figure-8-style ASCII
+// pipeline tree (MBR filter -> intermediate filter -> geometry comparison)
+// with per-stage times, cardinalities, filter selectivity, and hw/sw
+// routing fractions, followed by the recorded distribution histograms.
+// Deterministic for a given snapshot, so it is golden-testable.
+std::string RenderReport(const MetricsSnapshot& snapshot);
+
+}  // namespace hasj::obs
+
+#endif  // HASJ_OBS_REPORT_H_

@@ -1,0 +1,187 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace hasj::obs {
+
+namespace {
+
+// Sessions are numbered globally so the thread-local track cache can tell a
+// live session apart from a dead one that happened to reuse its address.
+std::atomic<uint64_t> g_next_session_id{1};
+
+struct TrackCache {
+  uint64_t session_id = 0;
+  void* track = nullptr;
+};
+
+thread_local TrackCache t_track_cache;
+
+}  // namespace
+
+TraceSession::TraceSession()
+    : session_id_(g_next_session_id.fetch_add(1, std::memory_order_relaxed)),
+      epoch_(Clock::now()) {}
+
+TraceSession::~TraceSession() = default;
+
+TraceSession::Track* TraceSession::track() {
+  if (t_track_cache.session_id == session_id_) {
+    return static_cast<Track*>(t_track_cache.track);
+  }
+  const std::thread::id self = std::this_thread::get_id();
+  Track* t = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = by_thread_.find(self);
+    if (it != by_thread_.end()) {
+      t = it->second;
+    } else {
+      auto owned = std::make_unique<Track>();
+      owned->tid = static_cast<int>(tracks_.size());
+      t = owned.get();
+      tracks_.push_back(std::move(owned));
+      by_thread_.emplace(self, t);
+    }
+  }
+  t_track_cache = {session_id_, t};
+  return t;
+}
+
+void TraceSession::Append(Track* t, const Event& event) {
+  if (t->events.size() >= kMaxEventsPerTrack) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  t->events.push_back(event);
+}
+
+void TraceSession::NameCurrentTrack(std::string name) {
+  Track* t = track();
+  std::lock_guard<std::mutex> lock(mu_);
+  t->label = std::move(name);
+}
+
+void TraceSession::Instant(const char* name, const char* cat) {
+  Event event;
+  event.name = name;
+  event.cat = cat;
+  event.arg_name = nullptr;
+  event.ts_us = NowUs();
+  event.dur_us = 0.0;
+  event.arg = 0;
+  event.phase = 'i';
+  Append(track(), event);
+}
+
+void TraceSession::Span(const char* name, const char* cat, double ts_us,
+                        double dur_us, const char* arg_name, int64_t arg) {
+  Event event;
+  event.name = name;
+  event.cat = cat;
+  event.arg_name = arg_name;
+  event.ts_us = ts_us;
+  event.dur_us = dur_us;
+  event.arg = arg;
+  event.phase = 'X';
+  Append(track(), event);
+}
+
+void TraceSession::WriteJson(std::string* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonWriter w(out);
+  w.BeginObject();
+  w.Key("displayTimeUnit");
+  w.String("ms");
+  w.Key("traceEvents");
+  w.BeginArray();
+  for (const auto& t : tracks_) {
+    if (!t->label.empty()) {
+      // Metadata event labelling the track in the viewer.
+      w.BeginObject();
+      w.Key("name");
+      w.String("thread_name");
+      w.Key("ph");
+      w.String("M");
+      w.Key("pid");
+      w.Int(1);
+      w.Key("tid");
+      w.Int(t->tid);
+      w.Key("args");
+      w.BeginObject();
+      w.Key("name");
+      w.String(t->label);
+      w.EndObject();
+      w.EndObject();
+    }
+    // Complete events are appended when their span ENDS, so a nested span
+    // precedes its parent in the buffer. Emit each track sorted by start
+    // time instead: viewers accept any order, but sorted output lets the
+    // schema validator (and tests) assert per-track ts monotonicity. The
+    // stable sort keeps append order for equal timestamps.
+    std::vector<const Event*> ordered;
+    ordered.reserve(t->events.size());
+    for (const Event& e : t->events) ordered.push_back(&e);
+    std::stable_sort(ordered.begin(), ordered.end(),
+                     [](const Event* a, const Event* b) {
+                       return a->ts_us < b->ts_us;
+                     });
+    for (const Event* ep : ordered) {
+      const Event& e = *ep;
+      w.BeginObject();
+      w.Key("name");
+      w.String(e.name);
+      w.Key("cat");
+      w.String(e.cat);
+      w.Key("ph");
+      w.String(std::string_view(&e.phase, 1));
+      w.Key("pid");
+      w.Int(1);
+      w.Key("tid");
+      w.Int(t->tid);
+      w.Key("ts");
+      w.Double(e.ts_us);
+      if (e.phase == 'X') {
+        w.Key("dur");
+        w.Double(e.dur_us);
+      }
+      if (e.phase == 'i') {
+        w.Key("s");
+        w.String("t");
+      }
+      if (e.arg_name != nullptr) {
+        w.Key("args");
+        w.BeginObject();
+        w.Key(e.arg_name);
+        w.Int(e.arg);
+        w.EndObject();
+      }
+      w.EndObject();
+    }
+  }
+  w.EndArray();
+  w.EndObject();
+}
+
+Status TraceSession::WriteFile(const std::string& path) const {
+  std::string json;
+  WriteJson(&json);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::InvalidArgument("cannot open trace file: " + path);
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const int close_rc = std::fclose(f);
+  if (written != json.size() || close_rc != 0) {
+    return Status::Internal("short write to trace file: " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace hasj::obs

@@ -1,0 +1,175 @@
+#ifndef HASJ_OBS_TRACE_H_
+#define HASJ_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace hasj::obs {
+
+// Query trace recorder (DESIGN.md §10) emitting Chrome trace_event JSON
+// (load the file in chrome://tracing or https://ui.perfetto.dev).
+//
+// Recording is lock-free per thread: each recording thread owns a private
+// event buffer registered with the session once (mutex only on the first
+// event of a thread), and every subsequent span/instant is one vector
+// append plus two steady_clock reads. Buffers map to trace tracks — one
+// track per refinement worker — and NameCurrentTrack() labels them.
+//
+// The disabled path costs one null-pointer test: every instrumentation site
+// is guarded by `session != nullptr` (HASJ_TRACE_SCOPE compiles to a
+// pointer check when HwConfig::trace is null), so pipelines pay nothing
+// when tracing is off.
+//
+// WriteJson()/WriteFile() must not run concurrently with recording (call
+// them after the traced work has completed, as the bench harness does).
+class TraceSession {
+ public:
+  // Events kept per track; the tail beyond this is counted in
+  // dropped_events() instead of growing without bound.
+  static constexpr size_t kMaxEventsPerTrack = 1 << 18;
+
+  TraceSession();
+  ~TraceSession();
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  // Microseconds since session construction (steady clock, monotonic).
+  double NowUs() const {
+    return std::chrono::duration<double, std::micro>(Clock::now() - epoch_)
+        .count();
+  }
+
+  // Labels the calling thread's track in the trace viewer.
+  void NameCurrentTrack(std::string name);
+
+  // Zero-duration marker on the calling thread's track ("i" event).
+  void Instant(const char* name, const char* cat = "hasj");
+
+  // Complete span ("X" event) on the calling thread's track. `name`, `cat`
+  // and `arg_name` must be string literals (or otherwise outlive the
+  // session); pass arg_name == nullptr for no argument.
+  void Span(const char* name, const char* cat, double ts_us, double dur_us,
+            const char* arg_name = nullptr, int64_t arg = 0);
+
+  // Events dropped because a track hit kMaxEventsPerTrack.
+  int64_t dropped_events() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  // Serializes all tracks as a Chrome trace_event JSON object.
+  void WriteJson(std::string* out) const;
+  [[nodiscard]] Status WriteFile(const std::string& path) const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Event {
+    const char* name;
+    const char* cat;
+    const char* arg_name;  // nullptr = no args
+    double ts_us;
+    double dur_us;  // spans only
+    int64_t arg;
+    char phase;  // 'X' span, 'i' instant
+  };
+  struct Track {
+    int tid = 0;
+    std::string label;
+    std::vector<Event> events;
+  };
+
+  // The calling thread's track, registered on first use.
+  Track* track();
+  void Append(Track* t, const Event& event);
+
+  const uint64_t session_id_;
+  const Clock::time_point epoch_;
+  std::atomic<int64_t> dropped_{0};
+
+  mutable std::mutex mu_;
+  std::map<std::thread::id, Track*> by_thread_;
+  std::vector<std::unique_ptr<Track>> tracks_;
+};
+
+// RAII span: records an "X" event covering its lifetime when the session is
+// non-null, nothing otherwise.
+class TraceScope {
+ public:
+  explicit TraceScope(TraceSession* session, const char* name,
+                      const char* cat = "hasj",
+                      const char* arg_name = nullptr, int64_t arg = 0)
+      : session_(session) {
+    if (session_ != nullptr) {
+      name_ = name;
+      cat_ = cat;
+      arg_name_ = arg_name;
+      arg_ = arg;
+      start_us_ = session_->NowUs();
+    }
+  }
+  ~TraceScope() {
+    if (session_ != nullptr) {
+      session_->Span(name_, cat_, start_us_, session_->NowUs() - start_us_,
+                     arg_name_, arg_);
+    }
+  }
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  TraceSession* session_;
+  const char* name_ = nullptr;
+  const char* cat_ = nullptr;
+  const char* arg_name_ = nullptr;
+  int64_t arg_ = 0;
+  double start_us_ = 0.0;
+};
+
+// Re-usable manual span for code where the start and end points do not form
+// a lexical scope (the pipeline stage boundaries). Start() on a null
+// session makes End() a no-op.
+class ManualSpan {
+ public:
+  void Start(TraceSession* session, const char* name,
+             const char* cat = "hasj") {
+    session_ = session;
+    if (session_ != nullptr) {
+      name_ = name;
+      cat_ = cat;
+      start_us_ = session_->NowUs();
+    }
+  }
+  void End() {
+    if (session_ != nullptr) {
+      session_->Span(name_, cat_, start_us_, session_->NowUs() - start_us_);
+      session_ = nullptr;
+    }
+  }
+
+ private:
+  TraceSession* session_ = nullptr;
+  const char* name_ = nullptr;
+  const char* cat_ = nullptr;
+  double start_us_ = 0.0;
+};
+
+#define HASJ_TRACE_CONCAT_INNER(a, b) a##b
+#define HASJ_TRACE_CONCAT(a, b) HASJ_TRACE_CONCAT_INNER(a, b)
+
+// Span over the enclosing scope: HASJ_TRACE_SCOPE(session, "name", "cat").
+// Compiles to a null test when the session pointer is null.
+#define HASJ_TRACE_SCOPE(session, ...)                          \
+  ::hasj::obs::TraceScope HASJ_TRACE_CONCAT(hasj_trace_scope_, \
+                                            __LINE__)((session), __VA_ARGS__)
+
+}  // namespace hasj::obs
+
+#endif  // HASJ_OBS_TRACE_H_

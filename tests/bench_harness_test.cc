@@ -1,0 +1,201 @@
+#include "bench/harness.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hasj::bench {
+namespace {
+
+// argv helper: TryParseArgs wants a mutable char** shaped like main's.
+class Argv {
+ public:
+  explicit Argv(std::vector<std::string> args) : strings_(std::move(args)) {
+    strings_.insert(strings_.begin(), "bench");
+    for (std::string& s : strings_) pointers_.push_back(s.data());
+  }
+  int argc() { return static_cast<int>(pointers_.size()); }
+  char** argv() { return pointers_.data(); }
+
+ private:
+  std::vector<std::string> strings_;
+  std::vector<char*> pointers_;
+};
+
+struct ParseResult {
+  bool ok = false;
+  bool wants_help = false;
+  std::string error;
+  BenchArgs args;
+};
+
+ParseResult Parse(std::vector<std::string> cli, double default_scale = 0.02) {
+  Argv argv(std::move(cli));
+  ParseResult r;
+  r.args.scale = default_scale;
+  r.ok = TryParseArgs(argv.argc(), argv.argv(), &r.args, &r.error,
+                      &r.wants_help);
+  return r;
+}
+
+TEST(CheckedParseTest, ParseDouble) {
+  double value = 0.0;
+  EXPECT_TRUE(ParseDouble("1.5", &value));
+  EXPECT_DOUBLE_EQ(value, 1.5);
+  EXPECT_TRUE(ParseDouble("-2e-3", &value));
+  EXPECT_DOUBLE_EQ(value, -0.002);
+  EXPECT_FALSE(ParseDouble("", &value));
+  EXPECT_FALSE(ParseDouble(nullptr, &value));
+  EXPECT_FALSE(ParseDouble("1.5x", &value));     // trailing garbage
+  EXPECT_FALSE(ParseDouble("x1.5", &value));     // no leading number
+  EXPECT_FALSE(ParseDouble("1e99999", &value));  // out of range
+}
+
+TEST(CheckedParseTest, ParseInt64) {
+  int64_t value = 0;
+  EXPECT_TRUE(ParseInt64("42", &value));
+  EXPECT_EQ(value, 42);
+  EXPECT_TRUE(ParseInt64("-7", &value));
+  EXPECT_EQ(value, -7);
+  EXPECT_FALSE(ParseInt64("", &value));
+  EXPECT_FALSE(ParseInt64(nullptr, &value));
+  EXPECT_FALSE(ParseInt64("42x", &value));   // trailing garbage
+  EXPECT_FALSE(ParseInt64("4.2", &value));   // not an integer
+  EXPECT_FALSE(ParseInt64("9223372036854775808", &value));  // overflow
+}
+
+TEST(TryParseArgsTest, DefaultsSurvive) {
+  const ParseResult r = Parse({}, 0.05);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_DOUBLE_EQ(r.args.scale, 0.05);
+  EXPECT_EQ(r.args.seed, 0u);
+  EXPECT_EQ(r.args.threads, 1);
+  EXPECT_TRUE(r.args.json_path.empty());
+  EXPECT_TRUE(r.args.trace_path.empty());
+  EXPECT_FALSE(r.args.explain);
+}
+
+TEST(TryParseArgsTest, AllFlags) {
+  const ParseResult r =
+      Parse({"--scale=0.5", "--seed=7", "--threads=4", "--json=/tmp/a.json",
+             "--trace=/tmp/a.trace", "--explain"});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_DOUBLE_EQ(r.args.scale, 0.5);
+  EXPECT_EQ(r.args.seed, 7u);
+  EXPECT_EQ(r.args.threads, 4);
+  EXPECT_EQ(r.args.json_path, "/tmp/a.json");
+  EXPECT_EQ(r.args.trace_path, "/tmp/a.trace");
+  EXPECT_TRUE(r.args.explain);
+}
+
+TEST(TryParseArgsTest, UnknownFlagRejected) {
+  const ParseResult r = Parse({"--bogus"});
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("unknown flag"), std::string::npos);
+  EXPECT_NE(r.error.find("--bogus"), std::string::npos);
+}
+
+TEST(TryParseArgsTest, PrefixOfAKnownFlagIsUnknown) {
+  // "--scaled=0.5" must not silently parse as --scale.
+  const ParseResult r = Parse({"--scaled=0.5"});
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("unknown flag"), std::string::npos);
+}
+
+TEST(TryParseArgsTest, TrailingGarbageRejected) {
+  ParseResult r = Parse({"--scale=0.5x"});
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("--scale"), std::string::npos);
+  r = Parse({"--threads=two"});
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("--threads"), std::string::npos);
+  r = Parse({"--seed=1e3"});  // integers only
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(TryParseArgsTest, RangeChecks) {
+  EXPECT_FALSE(Parse({"--scale=0"}).ok);
+  EXPECT_FALSE(Parse({"--scale=1.5"}).ok);
+  EXPECT_TRUE(Parse({"--scale=1"}).ok);
+  EXPECT_FALSE(Parse({"--threads=-1"}).ok);
+  EXPECT_TRUE(Parse({"--threads=0"}).ok);
+  EXPECT_FALSE(Parse({"--seed=-1"}).ok);
+  EXPECT_FALSE(Parse({"--json="}).ok);  // empty path
+}
+
+TEST(TryParseArgsTest, ExplainTakesNoValue) {
+  const ParseResult r = Parse({"--explain=1"});
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("unknown flag"), std::string::npos);
+}
+
+TEST(TryParseArgsTest, HelpStopsParsing) {
+  const ParseResult r = Parse({"--help", "--bogus"});
+  EXPECT_TRUE(r.ok);
+  EXPECT_TRUE(r.wants_help);
+}
+
+TEST(BenchReportTest, SinksNullWithoutFlags) {
+  BenchArgs args;
+  BenchReport report("test_bench", args);
+  EXPECT_EQ(report.metrics(), nullptr);
+  EXPECT_EQ(report.trace(), nullptr);
+  core::HwConfig config;
+  config.metrics = reinterpret_cast<obs::Registry*>(&report);  // poison
+  report.Wire(&config);
+  EXPECT_EQ(config.metrics, nullptr);
+  EXPECT_EQ(config.trace, nullptr);
+}
+
+TEST(BenchReportTest, ExplainEnablesMetrics) {
+  BenchArgs args;
+  args.explain = true;
+  BenchReport report("test_bench", args);
+  EXPECT_NE(report.metrics(), nullptr);
+  EXPECT_EQ(report.trace(), nullptr);
+}
+
+TEST(BenchReportTest, JsonReportRoundTrips) {
+  const std::string path = ::testing::TempDir() + "/hasj_bench_report.json";
+  BenchArgs args;
+  args.scale = 0.25;
+  args.seed = 3;
+  args.threads = 2;
+  args.json_path = path;
+  BenchReport report("test_bench", args);
+  ASSERT_NE(report.metrics(), nullptr);
+  report.metrics()->GetCounter("events").Add(5);
+  report.metrics()->GetHistogram("sizes").Record(9);
+  report.Row("series-a", {{"compare_ms", 1.5}, {"results", 10.0}});
+  EXPECT_EQ(report.Finish(), 0);
+
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string json;
+  char buf[4096];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) json.append(buf, n);
+  std::fclose(f);
+  std::remove(path.c_str());
+
+  EXPECT_NE(json.find("\"schema_version\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"bench_name\":\"test_bench\""), std::string::npos);
+  EXPECT_NE(json.find("\"series\":\"series-a\""), std::string::npos);
+  EXPECT_NE(json.find("\"compare_ms\":1.5"), std::string::npos);
+  EXPECT_NE(json.find("\"events\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"sizes\""), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\":["), std::string::npos);
+  EXPECT_NE(json.find("\"threads\":2"), std::string::npos);
+}
+
+TEST(BenchReportTest, FinishFailsOnUnwritablePath) {
+  BenchArgs args;
+  args.json_path = "/nonexistent-dir/report.json";
+  BenchReport report("test_bench", args);
+  EXPECT_EQ(report.Finish(), 1);
+}
+
+}  // namespace
+}  // namespace hasj::bench

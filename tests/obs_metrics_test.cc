@@ -1,0 +1,151 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace hasj::obs {
+namespace {
+
+TEST(HistogramBucketsTest, PowerOfTwoBoundaries) {
+  // Bucket 0 holds everything <= 0; bucket b >= 1 holds [2^(b-1), 2^b - 1].
+  EXPECT_EQ(Histogram::BucketOf(-100), 0);
+  EXPECT_EQ(Histogram::BucketOf(-1), 0);
+  EXPECT_EQ(Histogram::BucketOf(0), 0);
+  EXPECT_EQ(Histogram::BucketOf(1), 1);
+  EXPECT_EQ(Histogram::BucketOf(2), 2);
+  EXPECT_EQ(Histogram::BucketOf(3), 2);
+  EXPECT_EQ(Histogram::BucketOf(4), 3);
+  EXPECT_EQ(Histogram::BucketOf(7), 3);
+  EXPECT_EQ(Histogram::BucketOf(8), 4);
+  EXPECT_EQ(Histogram::BucketOf(1023), 10);
+  EXPECT_EQ(Histogram::BucketOf(1024), 11);
+  EXPECT_EQ(Histogram::BucketOf(INT64_MAX), kHistogramBuckets - 1);
+}
+
+TEST(HistogramBucketsTest, LowerBoundsMatchBucketOf) {
+  for (int b = 1; b < kHistogramBuckets; ++b) {
+    const int64_t lo = Histogram::BucketLowerBound(b);
+    EXPECT_EQ(Histogram::BucketOf(lo), b) << "bucket " << b;
+    EXPECT_EQ(Histogram::BucketOf(lo - 1), b - 1) << "bucket " << b;
+  }
+  EXPECT_EQ(Histogram::BucketLowerBound(0), INT64_MIN);
+}
+
+TEST(HistogramTest, SnapshotTotals) {
+  Histogram h;
+  for (const int64_t v : {0, 1, 1, 3, 100}) h.Record(v);
+  const HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.count, 5);
+  EXPECT_EQ(s.sum, 105);
+  EXPECT_EQ(s.min, 0);
+  EXPECT_EQ(s.max, 100);
+  EXPECT_DOUBLE_EQ(s.Mean(), 21.0);
+  EXPECT_EQ(s.buckets[0], 1);  // the 0
+  EXPECT_EQ(s.buckets[1], 2);  // the two 1s
+  EXPECT_EQ(s.buckets[2], 1);  // the 3
+  EXPECT_EQ(s.buckets[7], 1);  // 100 in [64, 127]
+}
+
+TEST(CounterTest, SumsAcrossThreads) {
+  // The sharded counter must report exact totals at any thread count.
+  for (const int threads : {1, 2, 4, 8}) {
+    Counter counter;
+    ThreadPool pool(threads);
+    pool.ParallelFor(10000, 64, [&](int64_t begin, int64_t end, int) {
+      for (int64_t i = begin; i < end; ++i) counter.Add(i % 3);
+    });
+    int64_t want = 0;
+    for (int64_t i = 0; i < 10000; ++i) want += i % 3;
+    EXPECT_EQ(counter.Sum(), want) << threads << " threads";
+  }
+}
+
+TEST(HistogramTest, MergeIdentityOneVsManyThreads) {
+  // Recording the same multiset of samples must yield bit-identical
+  // snapshots whether one thread or eight recorded them.
+  const auto record_all = [](Histogram* h, int threads) {
+    ThreadPool pool(threads);
+    pool.ParallelFor(5000, 37, [&](int64_t begin, int64_t end, int) {
+      for (int64_t i = begin; i < end; ++i) h->Record((i * i) % 911);
+    });
+  };
+  Histogram serial;
+  record_all(&serial, 1);
+  Histogram parallel;
+  record_all(&parallel, 8);
+  EXPECT_EQ(serial.Snapshot(), parallel.Snapshot());
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge g;
+  EXPECT_DOUBLE_EQ(g.Value(), 0.0);
+  g.Set(2.5);
+  EXPECT_DOUBLE_EQ(g.Value(), 2.5);
+  g.Add(1.25);
+  EXPECT_DOUBLE_EQ(g.Value(), 3.75);
+}
+
+TEST(RegistryTest, FindOrCreateReturnsStableInstances) {
+  Registry registry;
+  Counter& a = registry.GetCounter("x");
+  Counter& b = registry.GetCounter("x");
+  EXPECT_EQ(&a, &b);
+  Histogram& h1 = registry.GetHistogram("h");
+  Histogram& h2 = registry.GetHistogram("h");
+  EXPECT_EQ(&h1, &h2);
+  // Counter and histogram namespaces are independent.
+  registry.GetGauge("x").Set(1.0);
+  a.Add(7);
+  const MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.counter("x"), 7);
+  EXPECT_DOUBLE_EQ(snap.gauge("x"), 1.0);
+  EXPECT_EQ(snap.counter("absent"), 0);
+  EXPECT_DOUBLE_EQ(snap.gauge("absent"), 0.0);
+}
+
+TEST(RegistryTest, ConcurrentLookupAndRecord) {
+  Registry registry;
+  ThreadPool pool(8);
+  pool.ParallelFor(8000, 100, [&](int64_t begin, int64_t end, int) {
+    // Every chunk re-resolves the instruments — lookup must be thread-safe
+    // even though hot paths resolve once.
+    Counter& c = registry.GetCounter("events");
+    Histogram& h = registry.GetHistogram("sizes");
+    for (int64_t i = begin; i < end; ++i) {
+      c.Increment();
+      h.Record(i);
+    }
+  });
+  const MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.counter("events"), 8000);
+  EXPECT_EQ(snap.histograms.at("sizes").count, 8000);
+}
+
+TEST(MetricsSnapshotTest, Accumulate) {
+  Registry r1;
+  r1.GetCounter("c").Add(3);
+  r1.GetGauge("g").Set(1.5);
+  r1.GetHistogram("h").Record(4);
+  Registry r2;
+  r2.GetCounter("c").Add(2);
+  r2.GetCounter("only2").Add(9);
+  r2.GetGauge("g").Set(2.0);
+  r2.GetHistogram("h").Record(10);
+
+  MetricsSnapshot merged = r1.Snapshot();
+  merged += r2.Snapshot();
+  EXPECT_EQ(merged.counter("c"), 5);
+  EXPECT_EQ(merged.counter("only2"), 9);
+  EXPECT_DOUBLE_EQ(merged.gauge("g"), 3.5);
+  EXPECT_EQ(merged.histograms.at("h").count, 2);
+  EXPECT_EQ(merged.histograms.at("h").sum, 14);
+  EXPECT_EQ(merged.histograms.at("h").min, 4);
+  EXPECT_EQ(merged.histograms.at("h").max, 10);
+}
+
+}  // namespace
+}  // namespace hasj::obs

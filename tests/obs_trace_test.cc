@@ -1,0 +1,280 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace hasj::obs {
+namespace {
+
+// Minimal recursive-descent JSON syntax checker for the trace output —
+// enough to prove the writer always emits well-formed JSON without pulling
+// in a parser dependency.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : text_(text) {}
+
+  bool Valid() {
+    pos_ = 0;
+    if (!Value()) return false;
+    SkipSpace();
+    return pos_ == text_.size();
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() && std::isspace(
+                                      static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Literal(const char* word) {
+    const size_t n = std::string(word).size();
+    if (text_.compare(pos_, n, word) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  bool String() {
+    if (text_[pos_] != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+      }
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool Number() {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool Value() {
+    SkipSpace();
+    if (pos_ >= text_.size()) return false;
+    const char c = text_[pos_];
+    if (c == '{') return Object();
+    if (c == '[') return Array();
+    if (c == '"') return String();
+    if (c == 't') return Literal("true");
+    if (c == 'f') return Literal("false");
+    if (c == 'n') return Literal("null");
+    return Number();
+  }
+
+  bool Object() {
+    ++pos_;  // '{'
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipSpace();
+      if (!String()) return false;
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != ':') return false;
+      ++pos_;
+      if (!Value()) return false;
+      SkipSpace();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    if (pos_ >= text_.size() || text_[pos_] != '}') return false;
+    ++pos_;
+    return true;
+  }
+
+  bool Array() {
+    ++pos_;  // '['
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      if (!Value()) return false;
+      SkipSpace();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    if (pos_ >= text_.size() || text_[pos_] != ']') return false;
+    ++pos_;
+    return true;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+// Extracts the "tid" and "ts" of every trace event, in emission order. The
+// writer emits keys in a fixed order (… "tid": T, "ts": V …), which this
+// scan relies on.
+struct EventStamp {
+  int64_t tid = 0;
+  double ts = 0.0;
+};
+
+std::vector<EventStamp> ExtractStamps(const std::string& json) {
+  std::vector<EventStamp> stamps;
+  size_t pos = 0;
+  while ((pos = json.find("\"tid\":", pos)) != std::string::npos) {
+    EventStamp stamp;
+    stamp.tid = std::strtoll(json.c_str() + pos + 6, nullptr, 10);
+    const size_t ts_pos = json.find("\"ts\":", pos);
+    pos += 6;
+    if (ts_pos == std::string::npos) continue;  // metadata event at the end
+    // Only pair the ts with its own event object: it must appear before
+    // the next event's tid.
+    const size_t next_tid = json.find("\"tid\":", pos);
+    if (next_tid != std::string::npos && ts_pos > next_tid) continue;
+    stamp.ts = std::strtod(json.c_str() + ts_pos + 5, nullptr);
+    stamps.push_back(stamp);
+  }
+  return stamps;
+}
+
+TEST(TraceSessionTest, NullSessionIsANoOp) {
+  // The disabled path: every helper must accept a null session.
+  TraceScope scope(nullptr, "name", "cat");
+  ManualSpan span;
+  span.Start(nullptr, "stage", "cat");
+  span.End();
+  span.End();  // double End is harmless
+  TraceSession* session = nullptr;
+  HASJ_TRACE_SCOPE(session, "macro", "cat");
+}
+
+TEST(TraceSessionTest, WritesWellFormedJson) {
+  TraceSession session;
+  session.NameCurrentTrack("main");
+  {
+    HASJ_TRACE_SCOPE(&session, "outer", "test");
+    {
+      HASJ_TRACE_SCOPE(&session, "inner", "test", "pairs", 42);
+    }
+    session.Instant("ping", "test");
+  }
+  std::string json;
+  session.WriteJson(&json);
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"outer\""), std::string::npos);
+  EXPECT_NE(json.find("\"inner\""), std::string::npos);
+  EXPECT_NE(json.find("\"ping\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos) << json;
+  EXPECT_NE(json.find("thread_name"), std::string::npos);
+  EXPECT_NE(json.find("\"pairs\""), std::string::npos);
+  EXPECT_EQ(session.dropped_events(), 0);
+}
+
+TEST(TraceSessionTest, TimestampsMonotonicPerTrack) {
+  TraceSession session;
+  // Nested spans are buffered end-first; the writer must still emit each
+  // track sorted by start time.
+  for (int i = 0; i < 50; ++i) {
+    HASJ_TRACE_SCOPE(&session, "outer", "test");
+    HASJ_TRACE_SCOPE(&session, "inner", "test");
+    session.Instant("tick", "test");
+  }
+  std::string json;
+  session.WriteJson(&json);
+  ASSERT_TRUE(JsonChecker(json).Valid()) << json;
+  const std::vector<EventStamp> stamps = ExtractStamps(json);
+  ASSERT_EQ(stamps.size(), 150u);
+  std::map<int64_t, double> last;
+  for (const EventStamp& s : stamps) {
+    const auto it = last.find(s.tid);
+    if (it != last.end()) {
+      EXPECT_GE(s.ts, it->second) << "track " << s.tid;
+    }
+    last[s.tid] = s.ts;
+  }
+}
+
+TEST(TraceSessionTest, OneTrackPerThread) {
+  TraceSession session;
+  session.Instant("main-event", "test");
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 3; ++w) {
+    workers.emplace_back([&session, w] {
+      session.NameCurrentTrack("worker-" + std::to_string(w));
+      TraceScope scope(&session, "work", "test");
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  std::string json;
+  session.WriteJson(&json);
+  ASSERT_TRUE(JsonChecker(json).Valid()) << json;
+  for (const char* name : {"worker-0", "worker-1", "worker-2"}) {
+    EXPECT_NE(json.find(name), std::string::npos) << name;
+  }
+  // 4 threads recorded -> tids 0..3 all appear.
+  EXPECT_NE(json.find("\"tid\":3"), std::string::npos) << json;
+}
+
+TEST(TraceSessionTest, DropsEventsAtTrackCap) {
+  TraceSession session;
+  for (size_t i = 0; i < TraceSession::kMaxEventsPerTrack + 10; ++i) {
+    session.Instant("e", "test");
+  }
+  EXPECT_EQ(session.dropped_events(), 10);
+  std::string json;
+  session.WriteJson(&json);
+  EXPECT_TRUE(JsonChecker(json).Valid());
+}
+
+TEST(TraceSessionTest, WriteFileRoundTrip) {
+  TraceSession session;
+  session.Instant("e", "test");
+  const std::string path = ::testing::TempDir() + "/hasj_trace_test.json";
+  ASSERT_TRUE(session.WriteFile(path).ok());
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string contents;
+  char buf[4096];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) contents.append(buf, n);
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_TRUE(JsonChecker(contents).Valid());
+  EXPECT_NE(contents.find("\"e\""), std::string::npos);
+}
+
+TEST(TraceSessionTest, WriteFileBadPathFails) {
+  TraceSession session;
+  const Status status = session.WriteFile("/nonexistent-dir/trace.json");
+  EXPECT_FALSE(status.ok());
+}
+
+}  // namespace
+}  // namespace hasj::obs

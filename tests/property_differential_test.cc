@@ -85,6 +85,7 @@ std::vector<PolygonPair> AsPairs(const std::vector<PairSample>& corpus) {
 void ExpectSameIntegerCounters(const HwCounters& per_pair,
                                const HwCounters& batched) {
   EXPECT_EQ(per_pair.tests, batched.tests);
+  EXPECT_EQ(per_pair.mbr_misses, batched.mbr_misses);
   EXPECT_EQ(per_pair.pip_hits, batched.pip_hits);
   EXPECT_EQ(per_pair.sw_threshold_skips, batched.sw_threshold_skips);
   EXPECT_EQ(per_pair.hw_tests, batched.hw_tests);
