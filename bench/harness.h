@@ -26,10 +26,12 @@
 #include <cstdlib>
 #include <cstring>
 #include <initializer_list>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/fault.h"
 #include "common/status.h"
 #include "core/hw_config.h"
 #include "data/catalogs.h"
@@ -49,6 +51,11 @@ struct BenchArgs {
   std::string json_path;   // --json=PATH; empty = no JSON report
   std::string trace_path;  // --trace=PATH; empty = tracing disabled
   bool explain = false;    // --explain: EXPLAIN ANALYZE after the run
+  // Robustness knobs (DESIGN.md §11): injected hardware-site fault
+  // probability in [0, 1] (0 = no injector wired at all, the zero-cost
+  // disabled path) and per-query deadline in milliseconds (0 = none).
+  double fault_rate = 0.0;
+  double deadline_ms = 0.0;
 };
 
 // Checked replacements for atof/atoll: reject empty input, trailing
@@ -94,6 +101,8 @@ inline bool TryParseArgs(int argc, char** argv, BenchArgs* args,
       {"json", Flag::kString, &args->json_path},
       {"trace", Flag::kString, &args->trace_path},
       {"explain", Flag::kBool, &args->explain},
+      {"fault_rate", Flag::kDouble, &args->fault_rate},
+      {"deadline_ms", Flag::kDouble, &args->deadline_ms},
   };
 
   *wants_help = false;
@@ -159,6 +168,14 @@ inline bool TryParseArgs(int argc, char** argv, BenchArgs* args,
     *error = "--threads must be in [0, 4096]";
     return false;
   }
+  if (args->fault_rate < 0.0 || args->fault_rate > 1.0) {
+    *error = "--fault_rate must be in [0, 1]";
+    return false;
+  }
+  if (args->deadline_ms < 0.0) {
+    *error = "--deadline_ms must be >= 0";
+    return false;
+  }
   args->seed = static_cast<uint64_t>(seed);
   args->threads = static_cast<int>(threads);
   return true;
@@ -178,7 +195,11 @@ inline void PrintUsage(const char* argv0, std::FILE* out) {
                "  --trace=PATH write a Chrome trace_event JSON file "
                "(chrome://tracing, ui.perfetto.dev)\n"
                "  --explain    print an EXPLAIN ANALYZE pipeline report "
-               "after the run\n",
+               "after the run\n"
+               "  --fault_rate=F inject hardware faults with probability F "
+               "in [0, 1] (default 0 = no injector)\n"
+               "  --deadline_ms=F per-query deadline in milliseconds "
+               "(default 0 = none)\n",
                argv0);
 }
 
@@ -209,6 +230,14 @@ class BenchReport {
   BenchReport(std::string bench_name, const BenchArgs& args)
       : bench_name_(std::move(bench_name)), args_(args) {
     if (trace() != nullptr) trace_.NameCurrentTrack("bench-main");
+    if (args_.fault_rate > 0.0) {
+      faults_.emplace(args_.seed);
+      const FaultPlan plan = FaultPlan::Probability(args_.fault_rate);
+      faults_->SetPlan(FaultSite::kFramebufferAlloc, plan);
+      faults_->SetPlan(FaultSite::kRenderPass, plan);
+      faults_->SetPlan(FaultSite::kScanReadback, plan);
+      faults_->SetPlan(FaultSite::kBatchFill, plan);
+    }
   }
 
   // Metrics sink; null unless --json or --explain asked for a snapshot.
@@ -221,10 +250,18 @@ class BenchReport {
     return args_.trace_path.empty() ? nullptr : &trace_;
   }
 
-  // Points config->metrics / config->trace at this report's sinks.
+  // Fault injector; null unless --fault_rate > 0 wired one up.
+  FaultInjector* faults() {
+    return faults_.has_value() ? &*faults_ : nullptr;
+  }
+
+  // Points config->metrics / config->trace / config->faults at this
+  // report's sinks and applies --deadline_ms.
   void Wire(core::HwConfig* config) {
     config->metrics = metrics();
     config->trace = trace();
+    config->faults = faults();
+    config->deadline_ms = args_.deadline_ms;
   }
 
   // Records one plotted row — the series label plus its numeric columns —
@@ -278,6 +315,10 @@ class BenchReport {
     w.Int(static_cast<int64_t>(args_.seed));
     w.Key("threads");
     w.Int(args_.threads);
+    w.Key("fault_rate");
+    w.Double(args_.fault_rate);
+    w.Key("deadline_ms");
+    w.Double(args_.deadline_ms);
     w.Key("series");
     w.BeginArray();
     for (const SeriesRow& row : rows_) {
@@ -357,6 +398,7 @@ class BenchReport {
   BenchArgs args_;
   obs::Registry registry_;
   obs::TraceSession trace_;
+  std::optional<FaultInjector> faults_;
   std::vector<SeriesRow> rows_;
 };
 

@@ -13,8 +13,10 @@
 #                   paranoid builds. The inner development loop.
 #   --labels REGEX  like --fast but run the ctest labels matching REGEX
 #                   instead of 'unit' (labels: unit, stress, property,
-#                   paranoid, obs — see tests/CMakeLists.txt). Example:
+#                   paranoid, obs, chaos — see tests/CMakeLists.txt).
+#                   Examples:
 #                     scripts/check_all.sh --labels 'stress|property'
+#                     scripts/check_all.sh --labels chaos   # fault injection
 #   (build dirs: build, build-asan, build-tsan, build-paranoid)
 set -euo pipefail
 
@@ -80,16 +82,18 @@ scripts/check_asan_ubsan.sh
 echo "== [5/6] TSan =="
 scripts/check_tsan.sh
 
-echo "== [6/6] HASJ_PARANOID oracle + obs =="
-# The obs tests ride along so the oracle's instant events and the registry
-# counters stay consistent under HASJ_PARANOID too.
+echo "== [6/6] HASJ_PARANOID oracle + obs + chaos =="
+# The obs and chaos tests ride along so the oracle's instant events, the
+# registry counters, and the fault-degradation paths stay consistent under
+# HASJ_PARANOID too (every software fallback is re-checked by the oracle).
 cmake -B build-paranoid -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DHASJ_PARANOID=ON \
   -DHASJ_BUILD_BENCHMARKS=OFF \
   -DHASJ_BUILD_EXAMPLES=OFF
 cmake --build build-paranoid -j"$(nproc)" --target stress_paranoid_test \
-  obs_metrics_test obs_trace_test obs_report_test bench_harness_test
-ctest --test-dir build-paranoid --output-on-failure -L 'paranoid|obs'
+  obs_metrics_test obs_trace_test obs_report_test bench_harness_test \
+  common_fault_test chaos_fault_test
+ctest --test-dir build-paranoid --output-on-failure -L 'paranoid|obs|chaos'
 
 echo "All checks passed."

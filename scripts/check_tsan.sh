@@ -2,10 +2,12 @@
 # ThreadSanitizer check for the parallel refinement executor: builds the
 # tree with -DHASJ_SANITIZE=thread and runs the thread pool unit tests, the
 # thread-count cross-check tests (tests/core_parallel_refinement_test.cc),
-# and the concurrent observability tests (sharded counters/histograms,
-# multi-thread trace tracks) under TSan. Any data race in the per-worker
-# testers, the chunk cursor, the signature caches, or the metric shards
-# fails the run.
+# the concurrent observability tests (sharded counters/histograms,
+# multi-thread trace tracks), and the chaos/fault tests (concurrent fault
+# ordinal claims, multi-thread degradation + deadlines — DESIGN.md §11)
+# under TSan. Any data race in the per-worker testers, the chunk cursor,
+# the signature caches, the metric shards, or the fault injector fails the
+# run.
 #
 # Usage: scripts/check_tsan.sh [build-dir]   (default: build-tsan)
 set -euo pipefail
@@ -21,12 +23,12 @@ cmake -B "$BUILD_DIR" -S . \
 
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
   --target common_thread_pool_test core_parallel_refinement_test \
-  obs_metrics_test obs_trace_test
+  obs_metrics_test obs_trace_test common_fault_test chaos_fault_test
 
 # Halt on the first report and fail the process so CI sees it.
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 
 ctest --test-dir "$BUILD_DIR" --output-on-failure \
-  -R 'ThreadPoolTest|ParallelRefinementTest|CounterTest|HistogramTest|HistogramBucketsTest|GaugeTest|RegistryTest|MetricsSnapshotTest|TraceSessionTest'
+  -R 'ThreadPoolTest|ParallelRefinementTest|CounterTest|HistogramTest|HistogramBucketsTest|GaugeTest|RegistryTest|MetricsSnapshotTest|TraceSessionTest|FaultInjectorTest|CircuitBreakerTest|ChaosFaultTest'
 
 echo "TSan check passed."

@@ -124,7 +124,13 @@ def check_glsim_cast(path, lines):
 
 
 # --- status-discard -----------------------------------------------------
-STATUS_APIS = r"(?:Validate|CheckInvariants|SaveDataset|WriteSvg)"
+# Includes the Status-returning hardware/degradation APIs (DESIGN.md §11):
+# discarding a glsim gate status in core/ would silently drop the fault and
+# skip the software fallback the conservativeness argument depends on.
+STATUS_APIS = (
+    r"(?:Validate|CheckInvariants|SaveDataset|WriteSvg"
+    r"|BeginRender|BeginScan|BeginFill|TryClear|HwStep|ParallelFor|Check)"
+)
 VOID_LAUNDER = re.compile(rf"\(void\)\s*[\w.->]*\b{STATUS_APIS}\s*\(")
 
 

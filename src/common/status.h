@@ -18,6 +18,16 @@ enum class StatusCode {
   kOutOfRange,
   kInternal,
   kUnimplemented,
+  // Degradation codes (DESIGN.md §11): a hardware/glsim operation that is
+  // temporarily unusable (injected fault, breaker open) or out of resources.
+  // Callers on the refinement path treat both as "route this pair to the
+  // exact software test"; they never abort a query.
+  kUnavailable,
+  kResourceExhausted,
+  // A query hit its HwConfig::deadline_ms budget or its CancelToken; the
+  // partial result returned alongside this code is a prefix of the full
+  // result set (core/refinement_executor.h gather order).
+  kDeadlineExceeded,
 };
 
 // Lightweight absl::Status-alike. Copyable; OK status carries no message.
@@ -45,6 +55,15 @@ class [[nodiscard]] Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,6 +1,7 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <exception>
 
 #include "common/macros.h"
 
@@ -30,12 +31,20 @@ int ThreadPool::ResolveThreadCount(int requested) {
   return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
-void ThreadPool::ParallelFor(int64_t n, int64_t grain, const Body& body) {
-  if (n <= 0) return;
+Status ThreadPool::ParallelFor(int64_t n, int64_t grain, const Body& body) {
+  if (n <= 0) return Status::Ok();
   HASJ_CHECK(grain >= 1);
   if (workers_.empty()) {
-    body(0, n, 0);
-    return;
+    // One pool thread = the caller: chunking collapses to a single inline
+    // call, with the same catch boundary as the worker path.
+    try {
+      body(0, n, 0);
+    } catch (const std::exception& e) {
+      return Status::Internal(e.what());
+    } catch (...) {
+      return Status::Internal("non-std exception in ParallelFor body");
+    }
+    return Status::Ok();
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -46,6 +55,8 @@ void ThreadPool::ParallelFor(int64_t n, int64_t grain, const Body& body) {
     cursor_.store(0, std::memory_order_relaxed);
     pending_workers_ = static_cast<int>(workers_.size());
     std::fill(wait_us_.begin(), wait_us_.end(), 0.0);
+    job_failed_ = false;
+    job_error_.clear();
     job_start_ = std::chrono::steady_clock::now();
     ++job_;
   }
@@ -54,6 +65,7 @@ void ThreadPool::ParallelFor(int64_t n, int64_t grain, const Body& body) {
   std::unique_lock<std::mutex> lock(mu_);
   done_cv_.wait(lock, [&] { return pending_workers_ == 0; });
   body_ = nullptr;
+  return job_failed_ ? Status::Internal(job_error_) : Status::Ok();
 }
 
 void ThreadPool::WorkerLoop(int worker) {
@@ -84,7 +96,25 @@ void ThreadPool::RunChunks(int worker) {
   for (;;) {
     const int64_t begin = cursor_.fetch_add(grain_, std::memory_order_relaxed);
     if (begin >= n_) return;
-    (*body_)(begin, std::min(begin + grain_, n_), worker);
+    // The catch boundary is the chunk: a throwing body must neither kill
+    // the worker thread (the pool would deadlock on the next job) nor skip
+    // the pending-worker bookkeeping that ParallelFor's wait depends on.
+    // The worker keeps draining chunks; the first message wins.
+    try {
+      (*body_)(begin, std::min(begin + grain_, n_), worker);
+    } catch (const std::exception& e) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!job_failed_) {
+        job_failed_ = true;
+        job_error_ = e.what();
+      }
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!job_failed_) {
+        job_failed_ = true;
+        job_error_ = "non-std exception in ParallelFor body";
+      }
+    }
   }
 }
 

@@ -7,8 +7,11 @@
 #include <cstdint>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
+
+#include "common/status.h"
 
 namespace hasj {
 
@@ -42,8 +45,11 @@ class ThreadPool {
   int num_threads() const { return num_threads_; }
 
   // Runs body over [0, n) in chunks of at most `grain` indices; returns
-  // once every chunk has completed.
-  void ParallelFor(int64_t n, int64_t grain, const Body& body);
+  // once every chunk has completed (never deadlocks Wait-side even when a
+  // chunk throws). A body exception is caught at the chunk boundary — the
+  // worker survives and keeps draining chunks — and surfaces here as
+  // kInternal carrying the first exception's message.
+  [[nodiscard]] Status ParallelFor(int64_t n, int64_t grain, const Body& body);
 
   // Resolves a requested thread count the way the query options fields do:
   // 0 = hardware concurrency, anything positive is taken as-is.
@@ -75,6 +81,8 @@ class ThreadPool {
   bool shutdown_ = false;
   std::chrono::steady_clock::time_point job_start_;
   std::vector<double> wait_us_;  // per-worker queue wait of the last job
+  std::string job_error_;        // first body exception message of the job
+  bool job_failed_ = false;
 };
 
 }  // namespace hasj

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/macros.h"
+#include "common/status.h"
 #include "common/stopwatch.h"
 #include "glsim/context.h"
 #include "glsim/raster.h"
@@ -21,6 +22,7 @@ BatchHardwareTester::BatchHardwareTester(
   HASJ_CHECK(config.backend == HwBackend::kBitmask);
   HASJ_CHECK(config.resolution <= glsim::Atlas::kMaxTileRes);
   HASJ_CHECK(config.batch_size >= 1);
+  atlas_.set_faults(config.faults);
   if (config.metrics != nullptr) {
     batch_pairs_hist_ = &config.metrics->GetHistogram(obs::kHistBatchPairs);
     batch_tiles_hist_ = &config.metrics->GetHistogram(obs::kHistBatchTiles);
@@ -79,7 +81,22 @@ void BatchHardwareTester::IntersectionSubBatch(
         isect_plans_[i].stage == PairPlan::Stage::kHardware ? tiles++ : -1;
   }
 
-  if (tiles > 0) {
+  // Degradation routing (DESIGN.md §11): the atlas batch only runs when
+  // the breaker is fully closed and every batch-level fault gate passes.
+  // Otherwise batch_hw_ok stays false and the finish pass routes each
+  // kHardware pair through the per-pair tester's HwStep — which handles
+  // its own faults and breaker — so a batch fault degrades pair-by-pair
+  // instead of failing the batch.
+  bool batch_hw_ok = false;
+  bool batch_attempted = false;
+  Status batch_status = Status::Ok();
+  if (tiles > 0 && isect_.HwBatchAllowed()) {
+    batch_attempted = true;
+    batch_status = atlas_.TryClear();
+    if (batch_status.ok()) batch_status = atlas_.BeginFill();
+  }
+
+  if (batch_attempted && batch_status.ok()) {
     RecordSubBatchShape(n, tiles);
     any_first_.assign(static_cast<size_t>(tiles), 0);
     hw_overlap_.assign(static_cast<size_t>(tiles), 0);
@@ -91,7 +108,6 @@ void BatchHardwareTester::IntersectionSubBatch(
     obs::ManualSpan pass_span;
     pass_span.Start(config_.trace, "hw-fill", "hw");
     Stopwatch fill_watch;
-    atlas_.Clear();
     for (size_t i = 0; i < n; ++i) {
       if (tile_of_[i] < 0) continue;
       const int tile = tile_of_[i];
@@ -129,9 +145,10 @@ void BatchHardwareTester::IntersectionSubBatch(
     // Scan pass: every pair's second boundary probes its tile, fused with
     // the shared-pixel search — a tile stops at its first doubly-colored
     // pixel (the early-exit emit contract of raster.h).
+    batch_status = atlas_.BeginScan();
     pass_span.Start(config_.trace, "hw-scan", "hw");
     Stopwatch scan_watch;
-    for (size_t i = 0; i < n; ++i) {
+    for (size_t i = 0; i < n && batch_status.ok(); ++i) {
       if (tile_of_[i] < 0) continue;
       const int tile = tile_of_[i];
       if (!any_first_[static_cast<size_t>(tile)]) continue;  // empty tile
@@ -154,12 +171,21 @@ void BatchHardwareTester::IntersectionSubBatch(
     const double scan_ms = scan_watch.ElapsedMillis();
     pass_span.End();
 
-    batch_counters_.hw_tests += tiles;
-    batch_counters_.hw_ms += fill_ms + scan_ms;
-    ++batch_counters_.batch.batches;
-    batch_counters_.batch.batched_pairs += tiles;
-    batch_counters_.batch.fill_ms += fill_ms;
-    batch_counters_.batch.scan_ms += scan_ms;
+    if (batch_status.ok()) {
+      batch_hw_ok = true;
+      isect_.NoteHwSuccess();
+      batch_counters_.hw_tests += tiles;
+      batch_counters_.hw_ms += fill_ms + scan_ms;
+      ++batch_counters_.batch.batches;
+      batch_counters_.batch.batched_pairs += tiles;
+      batch_counters_.batch.fill_ms += fill_ms;
+      batch_counters_.batch.scan_ms += scan_ms;
+    }
+  }
+  if (batch_attempted && !batch_status.ok()) {
+    // One batch-level fault event: count it, feed the breaker, and leave
+    // every kHardware pair to the per-pair route below.
+    isect_.NoteHwFault();
   }
 
   // Finish pass: complete every decision through the shared skeleton, in
@@ -167,19 +193,33 @@ void BatchHardwareTester::IntersectionSubBatch(
   // path).
   for (size_t i = 0; i < n; ++i) {
     const PairPlan& plan = isect_plans_[i];
+    const geom::Polygon& a = *pairs[i].first;
+    const geom::Polygon& b = *pairs[i].second;
     bool keep = false;
     switch (plan.stage) {
       case PairPlan::Stage::kDecided:
         keep = plan.decision;
         break;
       case PairPlan::Stage::kSoftware:
-        keep = isect_.FinishSurvivor(*pairs[i].first, *pairs[i].second);
+        keep = isect_.FinishSurvivor(a, b);
         break;
       case PairPlan::Stage::kHardware:
-        keep = hw_overlap_[static_cast<size_t>(tile_of_[i])]
-                   ? isect_.FinishSurvivor(*pairs[i].first, *pairs[i].second)
-                   : isect_.FinishReject(*pairs[i].first, *pairs[i].second,
-                                         plan.viewport);
+        if (batch_hw_ok) {
+          keep = hw_overlap_[static_cast<size_t>(tile_of_[i])]
+                     ? isect_.FinishSurvivor(a, b)
+                     : isect_.FinishReject(a, b, plan.viewport);
+        } else {
+          // Per-pair retry of a faulted/bypassed batch: HwStep handles its
+          // own faults and the breaker's pair-counted reprobe.
+          bool overlap = false;
+          if (const Status hw = isect_.HwStep(a, b, plan.viewport, &overlap);
+              !hw.ok()) {
+            keep = isect_.FinishFallback(a, b);
+          } else {
+            keep = overlap ? isect_.FinishSurvivor(a, b)
+                           : isect_.FinishReject(a, b, plan.viewport);
+          }
+        }
         break;
     }
     verdicts[i] = keep ? 1 : 0;
@@ -201,7 +241,19 @@ void BatchHardwareTester::DistanceSubBatch(std::span<const PolygonPair> pairs,
         dist_plans_[i].stage == DistancePlan::Stage::kHardware ? tiles++ : -1;
   }
 
-  if (tiles > 0) {
+  // Same degradation routing as IntersectionSubBatch: atlas only when the
+  // breaker is closed and the batch-level gates pass; otherwise kHardware
+  // pairs retry per-pair in the finish pass.
+  bool batch_hw_ok = false;
+  bool batch_attempted = false;
+  Status batch_status = Status::Ok();
+  if (tiles > 0 && dist_.HwBatchAllowed()) {
+    batch_attempted = true;
+    batch_status = atlas_.TryClear();
+    if (batch_status.ok()) batch_status = atlas_.BeginFill();
+  }
+
+  if (batch_attempted && batch_status.ok()) {
     RecordSubBatchShape(n, tiles);
     hw_overlap_.assign(static_cast<size_t>(tiles), 0);
 
@@ -219,7 +271,6 @@ void BatchHardwareTester::DistanceSubBatch(std::span<const PolygonPair> pairs,
     obs::ManualSpan pass_span;
     pass_span.Start(config_.trace, "hw-fill", "hw");
     Stopwatch fill_watch;
-    atlas_.Clear();
     for (size_t i = 0; i < n; ++i) {
       if (tile_of_[i] < 0) continue;
       const int tile = tile_of_[i];
@@ -256,9 +307,10 @@ void BatchHardwareTester::DistanceSubBatch(std::span<const PolygonPair> pairs,
 
     // Scan pass: the larger chain probes the tile, stopping at the first
     // shared pixel.
+    batch_status = atlas_.BeginScan();
     pass_span.Start(config_.trace, "hw-scan", "hw");
     Stopwatch scan_watch;
-    for (size_t i = 0; i < n; ++i) {
+    for (size_t i = 0; i < n && batch_status.ok(); ++i) {
       if (tile_of_[i] < 0) continue;
       const int tile = tile_of_[i];
       const DistancePlan& plan = dist_plans_[i];
@@ -285,32 +337,50 @@ void BatchHardwareTester::DistanceSubBatch(std::span<const PolygonPair> pairs,
     const double scan_ms = scan_watch.ElapsedMillis();
     pass_span.End();
 
-    batch_counters_.hw_tests += tiles;
-    batch_counters_.hw_ms += fill_ms + scan_ms;
-    ++batch_counters_.batch.batches;
-    batch_counters_.batch.batched_pairs += tiles;
-    batch_counters_.batch.fill_ms += fill_ms;
-    batch_counters_.batch.scan_ms += scan_ms;
+    if (batch_status.ok()) {
+      batch_hw_ok = true;
+      dist_.NoteHwSuccess();
+      batch_counters_.hw_tests += tiles;
+      batch_counters_.hw_ms += fill_ms + scan_ms;
+      ++batch_counters_.batch.batches;
+      batch_counters_.batch.batched_pairs += tiles;
+      batch_counters_.batch.fill_ms += fill_ms;
+      batch_counters_.batch.scan_ms += scan_ms;
+    }
+  }
+  if (batch_attempted && !batch_status.ok()) {
+    dist_.NoteHwFault();
   }
 
   for (size_t i = 0; i < n; ++i) {
     const DistancePlan& plan = dist_plans_[i];
+    const geom::Polygon& a = *pairs[i].first;
+    const geom::Polygon& b = *pairs[i].second;
     bool keep = false;
     switch (plan.stage) {
       case DistancePlan::Stage::kDecided:
         keep = plan.decision;
         break;
       case DistancePlan::Stage::kSoftware:
-        keep = dist_.FinishSurvivor(*pairs[i].first, *pairs[i].second, d);
+        keep = dist_.FinishSurvivor(a, b, d);
         break;
       case DistancePlan::Stage::kEmptyClip:
-        keep = dist_.FinishEmptyClip(*pairs[i].first, *pairs[i].second);
+        keep = dist_.FinishEmptyClip(a, b);
         break;
       case DistancePlan::Stage::kHardware:
-        keep = hw_overlap_[static_cast<size_t>(tile_of_[i])]
-                   ? dist_.FinishSurvivor(*pairs[i].first, *pairs[i].second, d)
-                   : dist_.FinishReject(*pairs[i].first, *pairs[i].second, d,
-                                        plan);
+        if (batch_hw_ok) {
+          keep = hw_overlap_[static_cast<size_t>(tile_of_[i])]
+                     ? dist_.FinishSurvivor(a, b, d)
+                     : dist_.FinishReject(a, b, d, plan);
+        } else {
+          bool overlap = false;
+          if (const Status hw = dist_.HwStep(plan, &overlap); !hw.ok()) {
+            keep = dist_.FinishFallback(a, b, d);
+          } else {
+            keep = overlap ? dist_.FinishSurvivor(a, b, d)
+                           : dist_.FinishReject(a, b, d, plan);
+          }
+        }
         break;
     }
     verdicts[i] = keep ? 1 : 0;

@@ -18,6 +18,8 @@ DistanceJoinResult WithinDistanceJoin::Run(
     double d, const DistanceJoinOptions& options) const {
   DistanceJoinResult result;
   Stopwatch watch;
+  const QueryDeadline deadline =
+      QueryDeadline::Start(options.hw.deadline_ms, options.hw.cancel);
   obs::ManualSpan stage_span;
 
   // Stage 1: MBR distance join (MBR distance lower-bounds object distance).
@@ -34,7 +36,15 @@ DistanceJoinResult WithinDistanceJoin::Run(
   watch.Restart();
   std::vector<std::pair<int64_t, int64_t>> undecided;
   undecided.reserve(candidates.size());
-  for (const auto& [ida, idb] : candidates) {
+  const bool guarded = deadline.active();
+  for (size_t ci = 0; ci < candidates.size(); ++ci) {
+    // Poll the budget every 64 candidates: truncating here leaves `pairs`
+    // a prefix of the filter hits, which lead the complete result list.
+    if (guarded && (ci % 64) == 0 && deadline.Expired()) {
+      result.status = deadline.ToStatus();
+      break;
+    }
+    const auto& [ida, idb] = candidates[ci];
     const geom::Box& ba = a_.mbr(static_cast<size_t>(ida));
     const geom::Box& bb = b_.mbr(static_cast<size_t>(idb));
     if (options.use_zero_object_filter &&
@@ -74,35 +84,42 @@ DistanceJoinResult WithinDistanceJoin::Run(
   hw_config.enable_hw = options.use_hw;
   RefinementExecutor executor(options.num_threads);
   executor.SetObservability(options.hw.trace, options.hw.metrics);
+  executor.SetDeadline(&deadline);
+  executor.SetFaults(options.hw.faults);
   RefinementOutcome<std::pair<int64_t, int64_t>> refined;
-  if (hw_config.use_batching && hw_config.enable_hw &&
-      hw_config.backend == HwBackend::kBitmask) {
-    // Batched hardware step (DESIGN.md §9): decision-identical to the
-    // per-pair branch below, amortized over atlas tiles.
-    refined = executor.RefineBatches(
-        undecided,
-        [&] { return BatchHardwareTester(hw_config, {}, options.sw); },
-        [&](const std::pair<int64_t, int64_t>& c) {
-          return PolygonPair{&a_.polygon(static_cast<size_t>(c.first)),
-                             &b_.polygon(static_cast<size_t>(c.second))};
-        },
-        [d](BatchHardwareTester& tester, std::span<const PolygonPair> pairs,
-            uint8_t* verdicts) {
-          tester.TestWithinDistanceBatch(pairs, d, verdicts);
-        });
-  } else {
-    refined = executor.Refine(
-        undecided, [&] { return HwDistanceTester(hw_config, options.sw); },
-        [&](HwDistanceTester& tester, const std::pair<int64_t, int64_t>& c) {
-          return tester.Test(a_.polygon(static_cast<size_t>(c.first)),
-                             b_.polygon(static_cast<size_t>(c.second)), d);
-        });
+  if (result.status.ok()) {
+    if (hw_config.use_batching && hw_config.enable_hw &&
+        hw_config.backend == HwBackend::kBitmask) {
+      // Batched hardware step (DESIGN.md §9): decision-identical to the
+      // per-pair branch below, amortized over atlas tiles.
+      refined = executor.RefineBatches(
+          undecided,
+          [&] { return BatchHardwareTester(hw_config, {}, options.sw); },
+          [&](const std::pair<int64_t, int64_t>& c) {
+            return PolygonPair{&a_.polygon(static_cast<size_t>(c.first)),
+                               &b_.polygon(static_cast<size_t>(c.second))};
+          },
+          [d](BatchHardwareTester& tester, std::span<const PolygonPair> pairs,
+              uint8_t* verdicts) {
+            tester.TestWithinDistanceBatch(pairs, d, verdicts);
+          });
+    } else {
+      refined = executor.Refine(
+          undecided, [&] { return HwDistanceTester(hw_config, options.sw); },
+          [&](HwDistanceTester& tester,
+              const std::pair<int64_t, int64_t>& c) {
+            return tester.Test(a_.polygon(static_cast<size_t>(c.first)),
+                               b_.polygon(static_cast<size_t>(c.second)), d);
+          });
+    }
+    result.counts.compared += refined.attempted;
+    result.pairs.insert(result.pairs.end(), refined.accepted.begin(),
+                        refined.accepted.end());
+    result.status = refined.status;
   }
-  result.counts.compared += static_cast<int64_t>(undecided.size());
-  result.pairs.insert(result.pairs.end(), refined.accepted.begin(),
-                      refined.accepted.end());
   result.costs.compare_ms = watch.ElapsedMillis();
   stage_span.End();
+  result.counts.truncated = !result.status.ok();
   result.counts.results = static_cast<int64_t>(result.pairs.size());
   result.hw_counters = refined.counters;
   RecordQueryMetrics(options.hw.metrics, "distance_join", result.costs,

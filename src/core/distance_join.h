@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "algo/polygon_distance.h"
+#include "common/status.h"
 #include "core/hw_config.h"
 #include "core/query_stats.h"
 #include "data/dataset.h"
@@ -34,6 +35,9 @@ struct DistanceJoinResult {
   int64_t zero_object_hits = 0;
   int64_t one_object_hits = 0;
   HwCounters hw_counters;
+  // Ok for a complete run; on kDeadlineExceeded / kInternal `pairs` is an
+  // exact prefix of the complete result and counts.truncated is set.
+  Status status;
 };
 
 // Within-distance join A ⋈_dist B (the buffer query of Chan [4]): all object

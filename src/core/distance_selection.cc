@@ -18,6 +18,8 @@ DistanceSelectionResult WithinDistanceSelection::Run(
     const DistanceSelectionOptions& options) const {
   DistanceSelectionResult result;
   Stopwatch watch;
+  const QueryDeadline deadline =
+      QueryDeadline::Start(options.hw.deadline_ms, options.hw.cancel);
   obs::ManualSpan stage_span;
 
   // Stage 1: MBR distance filtering.
@@ -33,7 +35,15 @@ DistanceSelectionResult WithinDistanceSelection::Run(
   watch.Restart();
   std::vector<int64_t> undecided;
   undecided.reserve(candidates.size());
-  for (int64_t id : candidates) {
+  const bool guarded = deadline.active();
+  for (size_t ci = 0; ci < candidates.size(); ++ci) {
+    // Poll the budget every 64 candidates: truncating here leaves `ids` a
+    // prefix of the filter hits, which lead the complete result list.
+    if (guarded && (ci % 64) == 0 && deadline.Expired()) {
+      result.status = deadline.ToStatus();
+      break;
+    }
+    const int64_t id = candidates[ci];
     const geom::Box& mbr = dataset_.mbr(static_cast<size_t>(id));
     if (options.use_zero_object_filter &&
         filter::ZeroObjectUpperBound(mbr, query.Bounds()) <= d) {
@@ -63,35 +73,41 @@ DistanceSelectionResult WithinDistanceSelection::Run(
   hw_config.enable_hw = options.use_hw;
   RefinementExecutor executor(options.num_threads);
   executor.SetObservability(options.hw.trace, options.hw.metrics);
+  executor.SetDeadline(&deadline);
+  executor.SetFaults(options.hw.faults);
   RefinementOutcome<int64_t> refined;
-  if (hw_config.use_batching && hw_config.enable_hw &&
-      hw_config.backend == HwBackend::kBitmask) {
-    // Batched hardware step (DESIGN.md §9): decision-identical to the
-    // per-pair branch below, amortized over atlas tiles.
-    refined = executor.RefineBatches(
-        undecided,
-        [&] { return BatchHardwareTester(hw_config, {}, options.sw); },
-        [&](int64_t id) {
-          return PolygonPair{&dataset_.polygon(static_cast<size_t>(id)),
-                             &query};
-        },
-        [d](BatchHardwareTester& tester, std::span<const PolygonPair> pairs,
-            uint8_t* verdicts) {
-          tester.TestWithinDistanceBatch(pairs, d, verdicts);
-        });
-  } else {
-    refined = executor.Refine(
-        undecided, [&] { return HwDistanceTester(hw_config, options.sw); },
-        [&](HwDistanceTester& tester, int64_t id) {
-          return tester.Test(dataset_.polygon(static_cast<size_t>(id)), query,
-                             d);
-        });
+  if (result.status.ok()) {
+    if (hw_config.use_batching && hw_config.enable_hw &&
+        hw_config.backend == HwBackend::kBitmask) {
+      // Batched hardware step (DESIGN.md §9): decision-identical to the
+      // per-pair branch below, amortized over atlas tiles.
+      refined = executor.RefineBatches(
+          undecided,
+          [&] { return BatchHardwareTester(hw_config, {}, options.sw); },
+          [&](int64_t id) {
+            return PolygonPair{&dataset_.polygon(static_cast<size_t>(id)),
+                               &query};
+          },
+          [d](BatchHardwareTester& tester, std::span<const PolygonPair> pairs,
+              uint8_t* verdicts) {
+            tester.TestWithinDistanceBatch(pairs, d, verdicts);
+          });
+    } else {
+      refined = executor.Refine(
+          undecided, [&] { return HwDistanceTester(hw_config, options.sw); },
+          [&](HwDistanceTester& tester, int64_t id) {
+            return tester.Test(dataset_.polygon(static_cast<size_t>(id)),
+                               query, d);
+          });
+    }
+    result.counts.compared += refined.attempted;
+    result.ids.insert(result.ids.end(), refined.accepted.begin(),
+                      refined.accepted.end());
+    result.status = refined.status;
   }
-  result.counts.compared += static_cast<int64_t>(undecided.size());
-  result.ids.insert(result.ids.end(), refined.accepted.begin(),
-                    refined.accepted.end());
   result.costs.compare_ms = watch.ElapsedMillis();
   stage_span.End();
+  result.counts.truncated = !result.status.ok();
   result.counts.results = static_cast<int64_t>(result.ids.size());
   result.hw_counters = refined.counters;
   RecordQueryMetrics(options.hw.metrics, "distance_selection", result.costs,

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "algo/polygon_distance.h"
+#include "common/status.h"
 #include "core/hw_config.h"
 #include "core/query_stats.h"
 #include "data/dataset.h"
@@ -33,6 +34,9 @@ struct DistanceSelectionResult {
   int64_t zero_object_hits = 0;
   int64_t one_object_hits = 0;
   HwCounters hw_counters;
+  // Ok for a complete run; on kDeadlineExceeded / kInternal `ids` is an
+  // exact prefix of the complete result and counts.truncated is set.
+  Status status;
 };
 
 // Within-distance selection ("all objects within d of this polygon" — the

@@ -3,6 +3,8 @@
 
 #include <cstdint>
 
+#include "common/cancel.h"
+#include "common/fault.h"
 #include "core/query_stats.h"
 #include "glsim/context.h"
 
@@ -61,6 +63,26 @@ struct HwConfig {
   // metrics cost nothing unless a session/registry is attached. Not owned.
   obs::TraceSession* trace = nullptr;
   obs::Registry* metrics = nullptr;
+  // Fault injection hook (DESIGN.md §11), null-pointer-gated exactly like
+  // trace/metrics: null (the default) means glsim cannot fail and every
+  // fault gate is one pointer test. With an injector attached, a glsim op
+  // returning non-OK routes that pair to the exact software test — the
+  // conservative filter makes the fallback free in correctness terms. Not
+  // owned; configure plans before the query starts.
+  FaultInjector* faults = nullptr;
+  // Circuit breaker over the hardware path, active only when `faults` is
+  // attached (the simulator cannot fail otherwise). Counted in pairs, not
+  // wall time, so runs replay: closed -> open after
+  // breaker_fault_threshold consecutive faults; open -> half-open re-probe
+  // after breaker_reprobe_pairs pairs routed straight to software.
+  int breaker_fault_threshold = 8;
+  int64_t breaker_reprobe_pairs = 256;
+  // Query latency budget in wall milliseconds (0 = none) and cooperative
+  // cancellation flag (null = none). Checked at stage and refinement-chunk
+  // boundaries; on expiry a pipeline returns the refined prefix of its
+  // result with kDeadlineExceeded and QueryStats.counts.truncated set.
+  double deadline_ms = 0.0;
+  const CancelToken* cancel = nullptr;
 };
 
 // Observability into how often each path decided the outcome and where the
@@ -74,6 +96,10 @@ struct HwCounters {
   int64_t hw_rejects = 0;        // pairs rejected by the hardware test
   int64_t sw_tests = 0;          // software segment/distance tests run
   int64_t width_fallbacks = 0;   // distance only: width limit exceeded
+  int64_t hw_faults = 0;         // glsim ops that returned non-OK
+  int64_t hw_fallback_pairs = 0;  // pairs routed to software by a fault
+                                  // or an open breaker
+  int64_t breaker_opens = 0;     // breaker transitions into kOpen
   double pip_ms = 0.0;           // point-in-polygon step wall time
   double hw_ms = 0.0;            // hardware (rendering + search) wall time
   double sw_ms = 0.0;            // software segment/distance test wall time
@@ -92,6 +118,9 @@ struct HwCounters {
     hw_rejects += o.hw_rejects;
     sw_tests += o.sw_tests;
     width_fallbacks += o.width_fallbacks;
+    hw_faults += o.hw_faults;
+    hw_fallback_pairs += o.hw_fallback_pairs;
+    breaker_opens += o.breaker_opens;
     pip_ms += o.pip_ms;
     hw_ms += o.hw_ms;
     sw_ms += o.sw_ms;

@@ -30,12 +30,14 @@ HwDistanceTester::HwDistanceTester(const HwConfig& config,
                                    const algo::DistanceOptions& sw_options)
     : config_(config),
       sw_options_(sw_options),
+      degrade_(config),
       ctx_(config.resolution, config.resolution),
       mask_a_(config.resolution, config.resolution),
       mask_b_(config.resolution, config.resolution) {
   HASJ_CHECK(config.resolution >= 1);
   ctx_.set_limits(config.limits);
   ctx_.set_metrics(config.metrics);
+  ctx_.set_faults(config.faults);
   if (config.metrics != nullptr) {
     pair_vertices_hist_ = &config.metrics->GetHistogram(obs::kHistPairVertices);
     pixels_hist_ = &config.metrics->GetHistogram(obs::kHistPixelsColored);
@@ -175,14 +177,40 @@ bool HwDistanceTester::Test(const geom::Polygon& p, const geom::Polygon& q,
       break;
   }
 
-  ++counters_.hw_tests;
-  Stopwatch watch;
-  const bool overlap =
-      HwDilatedBoundariesOverlap(plan_scratch_.ep, plan_scratch_.eq,
-                                 plan_scratch_.viewport,
-                                 plan_scratch_.width_px);
-  counters_.hw_ms += watch.ElapsedMillis();
+  bool overlap = false;
+  if (const Status hw = HwStep(plan_scratch_, &overlap); !hw.ok()) {
+    return FinishFallback(p, q, d);
+  }
   if (!overlap) return FinishReject(p, q, d, plan_scratch_);
+  return FinishSurvivor(p, q, d);
+}
+
+Status HwDistanceTester::HwStep(const DistancePlan& plan, bool* overlap) {
+  if (HASJ_PREDICT_FALSE(!degrade_.Allow())) {
+    return Status::Unavailable("hw breaker open");
+  }
+  Stopwatch watch;
+  Status status = HwDilatedBoundariesOverlap(plan.ep, plan.eq, plan.viewport,
+                                             plan.width_px, overlap);
+  if (HASJ_PREDICT_FALSE(!status.ok())) {
+    NoteHwFault();
+    return status;
+  }
+  ++counters_.hw_tests;
+  counters_.hw_ms += watch.ElapsedMillis();
+  degrade_.Note(true, &counters_);
+  return status;
+}
+
+void HwDistanceTester::NoteHwFault() {
+  ++counters_.hw_faults;
+  degrade_.Note(false, &counters_);
+  if (config_.trace != nullptr) config_.trace->Instant("hw-fault", "fault");
+}
+
+bool HwDistanceTester::FinishFallback(const geom::Polygon& p,
+                                      const geom::Polygon& q, double d) {
+  ++counters_.hw_fallback_pairs;
   return FinishSurvivor(p, q, d);
 }
 
@@ -196,10 +224,11 @@ bool HwDistanceTester::PolygonContains(const geom::Polygon& outer,
   return it->second.Contains(pt);
 }
 
-bool HwDistanceTester::HwDilatedBoundariesOverlap(
+Status HwDistanceTester::HwDilatedBoundariesOverlap(
     const std::vector<geom::Segment>& ep, const std::vector<geom::Segment>& eq,
-    const geom::Box& viewport, double width_px) {
+    const geom::Box& viewport, double width_px, bool* overlap) {
   ctx_.SetDataRect(viewport);
+  if (Status s = ctx_.BeginRender(); !s.ok()) return s;
   const int res = config_.resolution;
 
   if (config_.backend == HwBackend::kBitmask) {
@@ -235,6 +264,7 @@ bool HwDistanceTester::HwDilatedBoundariesOverlap(
     }
     // The probe stops the rasterizer at the first doubly-colored pixel
     // (early-exit emit contract, glsim/raster.h).
+    if (Status s = ctx_.BeginScan(); !s.ok()) return s;
     bool found = false;
     const auto probe = [&](int x, int y) {
       found = found || mask_a_.Test(x, y);
@@ -249,7 +279,8 @@ bool HwDistanceTester::HwDilatedBoundariesOverlap(
       }
       if (!found) glsim::RasterizeWidePoint(b, width_px, res, res, probe);
     }
-    return found;
+    *overlap = found;
+    return Status::Ok();
   }
 
   ctx_.SetLineWidth(width_px);
@@ -276,10 +307,13 @@ bool HwDistanceTester::HwDilatedBoundariesOverlap(
   ctx_.Accum(glsim::AccumOp::kAccum, 1.0f);
   ctx_.Accum(glsim::AccumOp::kReturn, 1.0f);
 
+  if (Status s = ctx_.BeginScan(); !s.ok()) return s;
   if (config_.use_minmax) {
-    return ctx_.Minmax().max.r >= kOverlapThreshold;
+    *overlap = ctx_.Minmax().max.r >= kOverlapThreshold;
+  } else {
+    *overlap = ctx_.color_buffer().AnyPixelAtLeast(kOverlapThreshold);
   }
-  return ctx_.color_buffer().AnyPixelAtLeast(kOverlapThreshold);
+  return Status::Ok();
 }
 
 }  // namespace hasj::core

@@ -6,6 +6,8 @@
 
 #include "algo/point_locator.h"
 #include "algo/polygon_distance.h"
+#include "common/status.h"
+#include "core/degrade.h"
 #include "core/hw_config.h"
 #include "geom/polygon.h"
 #include "geom/segment.h"
@@ -83,10 +85,26 @@ class HwDistanceTester {
   [[nodiscard]] bool FinishEmptyClip(const geom::Polygon& p,
                                      const geom::Polygon& q);
 
+  // Hardware step of a kHardware plan with degradation routing, the
+  // distance analogue of HwIntersectionTester::HwStep: breaker check,
+  // fault-gated dilated render + scan; non-OK routes the pair to
+  // FinishFallback (DESIGN.md §11).
+  [[nodiscard]] Status HwStep(const DistancePlan& plan, bool* overlap);
+  // Exact software decision for a pair whose hardware step was
+  // unavailable; counted in hw_fallback_pairs.
+  [[nodiscard]] bool FinishFallback(const geom::Polygon& p,
+                                    const geom::Polygon& q, double d);
+
+  // Batch-tester degradation hooks (see HwIntersectionTester).
+  bool HwBatchAllowed() const { return degrade_.BatchAllowed(); }
+  void NoteHwFault();
+  void NoteHwSuccess() { degrade_.Note(true, &counters_); }
+
  private:
-  bool HwDilatedBoundariesOverlap(const std::vector<geom::Segment>& ep,
-                                  const std::vector<geom::Segment>& eq,
-                                  const geom::Box& viewport, double width_px);
+  [[nodiscard]] Status HwDilatedBoundariesOverlap(
+      const std::vector<geom::Segment>& ep,
+      const std::vector<geom::Segment>& eq, const geom::Box& viewport,
+      double width_px, bool* overlap);
 
   // Closed-region containment of the pair, guarded by MBR nesting.
   bool Containment(const geom::Polygon& p, const geom::Polygon& q);
@@ -101,6 +119,7 @@ class HwDistanceTester {
   HwConfig config_;
   algo::DistanceOptions sw_options_;
   HwCounters counters_;
+  HwDegrade degrade_;
   // Resolved once from config.metrics (null when metrics are off), so the
   // per-pair hot path pays a pointer test, not a registry lookup.
   obs::Histogram* pair_vertices_hist_ = nullptr;

@@ -22,6 +22,7 @@ HwIntersectionTester::HwIntersectionTester(
     const HwConfig& config, const algo::SoftwareIntersectOptions& sw_options)
     : config_(config),
       sw_options_(sw_options),
+      degrade_(config),
       ctx_(config.resolution, config.resolution),
       mask_a_(config.resolution, config.resolution),
       mask_b_(config.resolution, config.resolution) {
@@ -30,6 +31,7 @@ HwIntersectionTester::HwIntersectionTester(
              config.line_width <= config.limits.max_line_width);
   ctx_.set_limits(config.limits);
   ctx_.set_metrics(config.metrics);
+  ctx_.set_faults(config.faults);
   if (config.metrics != nullptr) {
     pair_vertices_hist_ = &config.metrics->GetHistogram(obs::kHistPairVertices);
     pixels_hist_ = &config.metrics->GetHistogram(obs::kHistPixelsColored);
@@ -123,12 +125,46 @@ bool HwIntersectionTester::Test(const geom::Polygon& p,
   }
 
   // Hardware segment intersection test (conservative filter): no shared
-  // pixel means the boundaries cannot cross, leaving only containment.
-  ++counters_.hw_tests;
-  Stopwatch watch;
-  const bool overlap = HwBoundariesOverlap(p, q, plan.viewport);
-  counters_.hw_ms += watch.ElapsedMillis();
+  // pixel means the boundaries cannot cross, leaving only containment. An
+  // unavailable hardware path (fault or open breaker) degrades to the
+  // exact software decision.
+  bool overlap = false;
+  if (const Status hw = HwStep(p, q, plan.viewport, &overlap); !hw.ok()) {
+    return FinishFallback(p, q);
+  }
   if (!overlap) return FinishReject(p, q, plan.viewport);
+  return FinishSurvivor(p, q);
+}
+
+Status HwIntersectionTester::HwStep(const geom::Polygon& p,
+                                    const geom::Polygon& q,
+                                    const geom::Box& viewport, bool* overlap) {
+  if (HASJ_PREDICT_FALSE(!degrade_.Allow())) {
+    return Status::Unavailable("hw breaker open");
+  }
+  Stopwatch watch;
+  Status status = HwBoundariesOverlap(p, q, viewport, overlap);
+  if (HASJ_PREDICT_FALSE(!status.ok())) {
+    NoteHwFault();
+    return status;
+  }
+  // hw_tests counts *completed* hardware executions, so the per-pair and
+  // batched paths agree on it under faults too.
+  ++counters_.hw_tests;
+  counters_.hw_ms += watch.ElapsedMillis();
+  degrade_.Note(true, &counters_);
+  return status;
+}
+
+void HwIntersectionTester::NoteHwFault() {
+  ++counters_.hw_faults;
+  degrade_.Note(false, &counters_);
+  if (config_.trace != nullptr) config_.trace->Instant("hw-fault", "fault");
+}
+
+bool HwIntersectionTester::FinishFallback(const geom::Polygon& p,
+                                          const geom::Polygon& q) {
+  ++counters_.hw_fallback_pairs;
   return FinishSurvivor(p, q);
 }
 
@@ -143,15 +179,17 @@ bool HwIntersectionTester::PolygonContains(const geom::Polygon& outer,
   return it->second.Contains(pt);
 }
 
-bool HwIntersectionTester::HwBoundariesOverlap(const geom::Polygon& p,
-                                               const geom::Polygon& q,
-                                               const geom::Box& viewport) {
+Status HwIntersectionTester::HwBoundariesOverlap(const geom::Polygon& p,
+                                                 const geom::Polygon& q,
+                                                 const geom::Box& viewport,
+                                                 bool* overlap) {
   // §3.2: project the MBR intersection onto the window and render only the
   // edges that reach it. The clip is a cheap per-edge bounding-box test —
   // a conservative superset of GL clipping: extra edges only add pixels,
   // and a boundary crossing lies in the viewport, so its two edges are
   // always rendered.
   ctx_.SetDataRect(viewport);
+  if (Status s = ctx_.BeginRender(); !s.ok()) return s;
   const int res = config_.resolution;
   const auto in_view = [&viewport](const geom::Segment& e) {
     return e.Bounds().Intersects(viewport);
@@ -180,12 +218,16 @@ bool HwIntersectionTester::HwBoundariesOverlap(const geom::Polygon& p,
     if (unset == 0 && config_.trace != nullptr) {
       config_.trace->Instant("hw-saturated", "hw");
     }
-    if (!any_first) return false;
+    if (!any_first) {
+      *overlap = false;
+      return Status::Ok();
+    }
     // Probe the first mask while rasterizing the second boundary: the
     // decision is identical to building both masks, found sooner. The
     // callback returns `found` so the rasterizer stops at the first
     // doubly-colored pixel instead of clipping and emitting every
     // remaining span of the current edge.
+    if (Status s = ctx_.BeginScan(); !s.ok()) return s;
     bool found = false;
     for (size_t i = 0; i < q.size() && !found; ++i) {
       const geom::Segment e = q.edge(i);
@@ -196,7 +238,8 @@ bool HwIntersectionTester::HwBoundariesOverlap(const geom::Polygon& p,
                                return found;
                              });
     }
-    return found;
+    *overlap = found;
+    return Status::Ok();
   }
 
   // Faithful Algorithm 3.1 (steps 2.1-2.8). The color buffer is cleared
@@ -219,10 +262,13 @@ bool HwIntersectionTester::HwBoundariesOverlap(const geom::Polygon& p,
   ctx_.Accum(glsim::AccumOp::kAccum, 1.0f);
   ctx_.Accum(glsim::AccumOp::kReturn, 1.0f);
 
+  if (Status s = ctx_.BeginScan(); !s.ok()) return s;
   if (config_.use_minmax) {
-    return ctx_.Minmax().max.r >= kOverlapThreshold;
+    *overlap = ctx_.Minmax().max.r >= kOverlapThreshold;
+  } else {
+    *overlap = ctx_.color_buffer().AnyPixelAtLeast(kOverlapThreshold);
   }
-  return ctx_.color_buffer().AnyPixelAtLeast(kOverlapThreshold);
+  return Status::Ok();
 }
 
 }  // namespace hasj::core

@@ -5,6 +5,8 @@
 
 #include "algo/point_locator.h"
 #include "algo/polygon_intersect.h"
+#include "common/status.h"
+#include "core/degrade.h"
 #include "core/hw_config.h"
 #include "geom/polygon.h"
 #include "glsim/context.h"
@@ -73,11 +75,33 @@ class HwIntersectionTester {
                                   const geom::Polygon& q,
                                   const geom::Box& viewport);
 
+  // Hardware step of a kHardware plan with degradation routing (DESIGN.md
+  // §11): consults the circuit breaker, runs the fault-gated glsim render
+  // and scan, and on success stores the conservative filter's verdict in
+  // *overlap. Non-OK (kUnavailable/kResourceExhausted) means the hardware
+  // path was unavailable for this pair; the caller must FinishFallback.
+  [[nodiscard]] Status HwStep(const geom::Polygon& p, const geom::Polygon& q,
+                              const geom::Box& viewport, bool* overlap);
+  // Completes a pair whose hardware step was unavailable: the exact
+  // software decision (identical to FinishSurvivor — skipping the
+  // conservative filter is always legal), counted in hw_fallback_pairs.
+  [[nodiscard]] bool FinishFallback(const geom::Polygon& p,
+                                    const geom::Polygon& q);
+
+  // Batch-tester degradation hooks: whether the breaker admits a whole
+  // atlas batch, and the outcome of a batch-level hardware event.
+  bool HwBatchAllowed() const { return degrade_.BatchAllowed(); }
+  void NoteHwFault();
+  void NoteHwSuccess() { degrade_.Note(true, &counters_); }
+
  private:
   // True if some pixel is covered by both boundaries within the window
-  // projected onto `viewport`.
-  bool HwBoundariesOverlap(const geom::Polygon& p, const geom::Polygon& q,
-                           const geom::Box& viewport);
+  // projected onto `viewport`; non-OK when a fault-gated glsim phase
+  // failed (the overlap result is then meaningless).
+  [[nodiscard]] Status HwBoundariesOverlap(const geom::Polygon& p,
+                                           const geom::Polygon& q,
+                                           const geom::Box& viewport,
+                                           bool* overlap);
 
   // Closed-region containment of the pair (either direction), guarded by
   // MBR nesting; deferred to the reject/confirm paths (see Test()).
@@ -95,6 +119,7 @@ class HwIntersectionTester {
   HwConfig config_;
   algo::SoftwareIntersectOptions sw_options_;
   HwCounters counters_;
+  HwDegrade degrade_;
   // Resolved once from config.metrics (null when metrics are off), so the
   // per-pair hot path pays a pointer test, not a registry lookup.
   obs::Histogram* pair_vertices_hist_ = nullptr;

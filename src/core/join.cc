@@ -1,6 +1,7 @@
 #include "core/join.h"
 
 #include <optional>
+#include <utility>
 
 #include "common/stopwatch.h"
 #include "core/batch_tester.h"
@@ -18,8 +19,12 @@ IntersectionJoin::IntersectionJoin(const data::Dataset& a,
 JoinResult IntersectionJoin::Run(const JoinOptions& options) const {
   JoinResult result;
   Stopwatch watch;
+  const QueryDeadline deadline =
+      QueryDeadline::Start(options.hw.deadline_ms, options.hw.cancel);
   RefinementExecutor executor(options.num_threads);
   executor.SetObservability(options.hw.trace, options.hw.metrics);
+  executor.SetDeadline(&deadline);
+  executor.SetFaults(options.hw.faults);
   obs::ManualSpan stage_span;
 
   // Stage 1: MBR join.
@@ -45,20 +50,31 @@ JoinResult IntersectionJoin::Run(const JoinOptions& options) const {
     const filter::SignatureCache::Snapshot sig_b =
         sig_cache_b_.Acquire(options.raster_filter_grid, b_.size());
     if (executor.threads() > 1) {
-      executor.ParallelFor(
-          static_cast<int64_t>(candidates.size()),
-          [&](int64_t begin, int64_t end, int /*worker*/) {
-            for (int64_t i = begin; i < end; ++i) {
-              const auto& [ida, idb] = candidates[static_cast<size_t>(i)];
-              sig_a.Get(static_cast<size_t>(ida),
-                        a_.polygon(static_cast<size_t>(ida)));
-              sig_b.Get(static_cast<size_t>(idb),
-                        b_.polygon(static_cast<size_t>(idb)));
-            }
-          });
+      if (Status s = executor.ParallelFor(
+              static_cast<int64_t>(candidates.size()),
+              [&](int64_t begin, int64_t end, int /*worker*/) {
+                for (int64_t i = begin; i < end; ++i) {
+                  const auto& [ida, idb] = candidates[static_cast<size_t>(i)];
+                  sig_a.Get(static_cast<size_t>(ida),
+                            a_.polygon(static_cast<size_t>(ida)));
+                  sig_b.Get(static_cast<size_t>(idb),
+                            b_.polygon(static_cast<size_t>(idb)));
+                }
+              });
+          !s.ok()) {
+        result.status = std::move(s);
+      }
     }
     undecided.reserve(candidates.size());
-    for (const auto& [ida, idb] : candidates) {
+    const bool guarded = deadline.active();
+    for (size_t ci = 0; ci < candidates.size() && result.status.ok(); ++ci) {
+      // Poll the budget every 64 candidates: truncating here leaves
+      // `pairs` a prefix of the filter hits, which lead the full result.
+      if (guarded && (ci % 64) == 0 && deadline.Expired()) {
+        result.status = deadline.ToStatus();
+        break;
+      }
+      const auto& [ida, idb] = candidates[ci];
       switch (filter::CompareRasterSignatures(
           sig_a.Get(static_cast<size_t>(ida),
                     a_.polygon(static_cast<size_t>(ida))),
@@ -93,35 +109,41 @@ JoinResult IntersectionJoin::Run(const JoinOptions& options) const {
   HwConfig hw_config = options.hw;
   hw_config.enable_hw = options.use_hw;
   RefinementOutcome<std::pair<int64_t, int64_t>> refined;
-  if (hw_config.use_batching && hw_config.enable_hw &&
-      hw_config.backend == HwBackend::kBitmask) {
-    // Batched hardware step: workers drain their candidate chunks through a
-    // tile-atlas tester (DESIGN.md §9); decisions and output order are
-    // identical to the per-pair branch below.
-    refined = executor.RefineBatches(
-        *to_compare,
-        [&] { return BatchHardwareTester(hw_config, options.sw); },
-        [&](const std::pair<int64_t, int64_t>& c) {
-          return PolygonPair{&a_.polygon(static_cast<size_t>(c.first)),
-                             &b_.polygon(static_cast<size_t>(c.second))};
-        },
-        [](BatchHardwareTester& tester, std::span<const PolygonPair> pairs,
-           uint8_t* verdicts) { tester.TestIntersectionBatch(pairs, verdicts); });
-  } else {
-    refined = executor.Refine(
-        *to_compare,
-        [&] { return HwIntersectionTester(hw_config, options.sw); },
-        [&](HwIntersectionTester& tester,
-            const std::pair<int64_t, int64_t>& c) {
-          return tester.Test(a_.polygon(static_cast<size_t>(c.first)),
-                             b_.polygon(static_cast<size_t>(c.second)));
-        });
+  if (result.status.ok()) {
+    if (hw_config.use_batching && hw_config.enable_hw &&
+        hw_config.backend == HwBackend::kBitmask) {
+      // Batched hardware step: workers drain their candidate chunks through
+      // a tile-atlas tester (DESIGN.md §9); decisions and output order are
+      // identical to the per-pair branch below.
+      refined = executor.RefineBatches(
+          *to_compare,
+          [&] { return BatchHardwareTester(hw_config, options.sw); },
+          [&](const std::pair<int64_t, int64_t>& c) {
+            return PolygonPair{&a_.polygon(static_cast<size_t>(c.first)),
+                               &b_.polygon(static_cast<size_t>(c.second))};
+          },
+          [](BatchHardwareTester& tester, std::span<const PolygonPair> pairs,
+             uint8_t* verdicts) {
+            tester.TestIntersectionBatch(pairs, verdicts);
+          });
+    } else {
+      refined = executor.Refine(
+          *to_compare,
+          [&] { return HwIntersectionTester(hw_config, options.sw); },
+          [&](HwIntersectionTester& tester,
+              const std::pair<int64_t, int64_t>& c) {
+            return tester.Test(a_.polygon(static_cast<size_t>(c.first)),
+                               b_.polygon(static_cast<size_t>(c.second)));
+          });
+    }
+    result.counts.compared += refined.attempted;
+    result.pairs.insert(result.pairs.end(), refined.accepted.begin(),
+                        refined.accepted.end());
+    result.status = refined.status;
   }
-  result.counts.compared += static_cast<int64_t>(to_compare->size());
-  result.pairs.insert(result.pairs.end(), refined.accepted.begin(),
-                      refined.accepted.end());
   result.costs.compare_ms = watch.ElapsedMillis();
   stage_span.End();
+  result.counts.truncated = !result.status.ok();
   result.counts.results = static_cast<int64_t>(result.pairs.size());
   result.hw_counters = refined.counters;
   RecordQueryMetrics(options.hw.metrics, "join", result.costs, result.counts,

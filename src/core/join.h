@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "algo/polygon_intersect.h"
+#include "common/status.h"
 #include "core/hw_config.h"
 #include "core/query_stats.h"
 #include "data/dataset.h"
@@ -38,6 +39,9 @@ struct JoinResult {
   int64_t raster_positives = 0;  // pairs proven intersecting by the filter
   int64_t raster_negatives = 0;  // pairs proven disjoint by the filter
   HwCounters hw_counters;
+  // Ok for a complete run; on kDeadlineExceeded / kInternal `pairs` is an
+  // exact prefix of the complete result and counts.truncated is set.
+  Status status;
 };
 
 // Intersection join A ⋈ B: all object pairs with intersecting geometries.

@@ -43,6 +43,15 @@ void RecordQueryMetrics(obs::Registry* metrics, const char* kind,
   metrics->GetCounter(obs::kBatchBatchedPairs).Add(hw.batch.batched_pairs);
   metrics->GetGauge(obs::kBatchFillMs).Add(hw.batch.fill_ms);
   metrics->GetGauge(obs::kBatchScanMs).Add(hw.batch.scan_ms);
+
+  // Robustness (DESIGN.md §11): degradation and truncation aggregates.
+  metrics->GetCounter(obs::kRefineHwFaults).Add(hw.hw_faults);
+  metrics->GetCounter(obs::kRefineHwFallbackPairs).Add(hw.hw_fallback_pairs);
+  metrics->GetCounter(obs::kBreakerOpens).Add(hw.breaker_opens);
+  if (counts.truncated) {
+    metrics->GetCounter(obs::kQueryDeadlineExceeded).Increment();
+    metrics->GetCounter(obs::kQueryTruncated).Increment();
+  }
 }
 
 }  // namespace hasj::core

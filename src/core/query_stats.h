@@ -47,12 +47,17 @@ struct StageCounts {
   int64_t filter_hits = 0;   // decided by the intermediate filter
   int64_t compared = 0;      // pairs that reached geometry comparison
   int64_t results = 0;       // final result size
+  // A deadline or cancellation truncated the run: the result is an exact
+  // prefix of the full result in candidate order (DESIGN.md §11), and the
+  // pipeline's status is kDeadlineExceeded.
+  bool truncated = false;
 
   StageCounts& operator+=(const StageCounts& o) {
     candidates += o.candidates;
     filter_hits += o.filter_hits;
     compared += o.compared;
     results += o.results;
+    truncated = truncated || o.truncated;
     return *this;
   }
 };

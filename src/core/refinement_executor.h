@@ -5,10 +5,14 @@
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/cancel.h"
+#include "common/fault.h"
+#include "common/status.h"
 #include "common/thread_pool.h"
 #include "core/batch_tester.h"
 #include "core/hw_config.h"
@@ -20,10 +24,18 @@ namespace hasj::core {
 
 // Outcome of one refinement stage: the accepted candidates in candidate
 // order plus the per-worker testers' counters merged in worker order.
+//
+// status/attempted carry the deadline contract (DESIGN.md §11): on
+// kDeadlineExceeded (budget or cancellation) or kInternal (a worker task
+// failed), `accepted` holds the verdicts of the first `attempted`
+// candidates only — a prefix of the full refinement in candidate order, so
+// a truncated query result is a prefix of the untruncated one.
 template <typename Item>
 struct RefinementOutcome {
   std::vector<Item> accepted;
   HwCounters counters;
+  Status status;           // Ok unless truncated
+  int64_t attempted = 0;   // length of the refined candidate prefix
 };
 
 // Runs the geometry-comparison stage of a query pipeline over a candidate
@@ -59,17 +71,30 @@ class RefinementExecutor {
     metrics_ = metrics;
   }
 
+  // Attaches the query's resolved deadline (null = none): Refine and
+  // RefineBatches then poll it at chunk/batch boundaries and truncate to a
+  // candidate prefix on expiry. The deadline object must outlive the calls.
+  void SetDeadline(const QueryDeadline* deadline) { deadline_ = deadline; }
+
+  // Attaches the fault injector (null = none) so the kPoolTask site can
+  // fail worker chunks — exercising the thread pool's exception surface
+  // end-to-end (the chunk body throws, the pool catches at the chunk
+  // boundary, the executor reports kInternal with a prefix result).
+  void SetFaults(FaultInjector* faults) { faults_ = faults; }
+
   // Chunked parallel loop over [0, n): body(begin, end, worker). Runs
   // inline when the executor is serial. Used by the pipelines to pre-build
   // shared read-only state (raster-signature caches) before a serial scan.
-  void ParallelFor(int64_t n, const ThreadPool::Body& body) {
-    if (n <= 0) return;
+  // Non-OK only when a body threw (kInternal, first message).
+  [[nodiscard]] Status ParallelFor(int64_t n, const ThreadPool::Body& body) {
+    if (n <= 0) return Status::Ok();
     if (!pool_.has_value()) {
       body(0, n, 0);
-      return;
+      return Status::Ok();
     }
-    pool_->ParallelFor(n, Grain(n), body);
+    Status status = pool_->ParallelFor(n, Grain(n), body);
     RecordPoolWait();
+    return status;
   }
 
   // test(tester, item) -> keep? with tester built once per worker by
@@ -80,11 +105,21 @@ class RefinementExecutor {
                                  MakeTester&& make_tester, Test&& test) const {
     RefinementOutcome<Item> out;
     const int64_t n = static_cast<int64_t>(items.size());
+    const bool guarded = deadline_ != nullptr && deadline_->active();
     if (!pool_.has_value() || n <= 1) {
       HASJ_TRACE_SCOPE(trace_, "compare-chunk", "refine", "pairs", n);
       auto tester = make_tester();
       out.accepted.reserve(items.size());
-      for (const Item& item : items) {
+      out.attempted = n;
+      for (int64_t i = 0; i < n; ++i) {
+        // kDeadlineStride amortizes the clock read; the budget can overrun
+        // by at most one stride's worth of pairs.
+        if (guarded && (i % kDeadlineStride) == 0 && deadline_->Expired()) {
+          out.status = deadline_->ToStatus();
+          out.attempted = i;
+          break;
+        }
+        const Item& item = items[static_cast<size_t>(i)];
         if (test(tester, item)) out.accepted.push_back(item);
       }
       out.counters = tester.counters();
@@ -98,24 +133,24 @@ class RefinementExecutor {
 
     std::vector<uint8_t> named(static_cast<size_t>(threads_), 0);
     std::vector<uint8_t> verdict(items.size(), 0);
-    pool_->ParallelFor(n, Grain(n),
-                       [&](int64_t begin, int64_t end, int worker) {
-                         NameWorkerTrack(named, worker);
-                         HASJ_TRACE_SCOPE(trace_, "compare-chunk", "refine",
-                                          "pairs", end - begin);
-                         Tester& tester = testers[static_cast<size_t>(worker)];
-                         for (int64_t i = begin; i < end; ++i) {
-                           verdict[static_cast<size_t>(i)] =
-                               test(tester, items[static_cast<size_t>(i)]) ? 1
-                                                                           : 0;
-                         }
-                       });
+    std::vector<uint8_t> tested(items.size(), 0);
+    const Status pool_status = pool_->ParallelFor(
+        n, Grain(n), [&](int64_t begin, int64_t end, int worker) {
+          MaybeInjectPoolFault();
+          if (guarded && deadline_->Expired()) return;  // skip, stays untested
+          NameWorkerTrack(named, worker);
+          HASJ_TRACE_SCOPE(trace_, "compare-chunk", "refine", "pairs",
+                           end - begin);
+          Tester& tester = testers[static_cast<size_t>(worker)];
+          for (int64_t i = begin; i < end; ++i) {
+            verdict[static_cast<size_t>(i)] =
+                test(tester, items[static_cast<size_t>(i)]) ? 1 : 0;
+            tested[static_cast<size_t>(i)] = 1;
+          }
+        });
     RecordPoolWait();
 
-    out.accepted.reserve(items.size());
-    for (size_t i = 0; i < items.size(); ++i) {
-      if (verdict[i]) out.accepted.push_back(items[i]);
-    }
+    GatherPrefix(items, verdict, tested, pool_status, &out);
     for (const Tester& tester : testers) out.counters += tester.counters();
     return out;
   }
@@ -137,19 +172,41 @@ class RefinementExecutor {
                                         TestBatch&& test_batch) const {
     RefinementOutcome<Item> out;
     const int64_t n = static_cast<int64_t>(items.size());
+    const bool guarded = deadline_ != nullptr && deadline_->active();
     std::vector<PolygonPair> pairs(items.size());
     std::vector<uint8_t> verdict(items.size(), 0);
     if (!pool_.has_value() || n <= 1) {
       HASJ_TRACE_SCOPE(trace_, "compare-chunk", "refine", "pairs", n);
       auto tester = make_tester();
       for (size_t i = 0; i < items.size(); ++i) pairs[i] = to_pair(items[i]);
-      if (n > 0) {
+      out.attempted = n;
+      if (n > 0 && !guarded) {
         test_batch(tester, std::span<const PolygonPair>(pairs),
                    verdict.data());
+      } else if (n > 0) {
+        // Deadline active: hand the tester one atlas-batch-sized slice at a
+        // time so the budget is polled at refinement-batch boundaries.
+        // Verdicts are per-pair, so slicing never changes them.
+        const int64_t stride =
+            std::max<int64_t>(1, tester.config().batch_size);
+        for (int64_t off = 0; off < n; off += stride) {
+          if (deadline_->Expired()) {
+            out.status = deadline_->ToStatus();
+            out.attempted = off;
+            break;
+          }
+          const size_t len =
+              static_cast<size_t>(std::min<int64_t>(stride, n - off));
+          test_batch(tester,
+                     std::span<const PolygonPair>(pairs.data() + off, len),
+                     verdict.data() + off);
+        }
       }
       out.accepted.reserve(items.size());
-      for (size_t i = 0; i < items.size(); ++i) {
-        if (verdict[i]) out.accepted.push_back(items[i]);
+      for (int64_t i = 0; i < out.attempted; ++i) {
+        if (verdict[static_cast<size_t>(i)]) {
+          out.accepted.push_back(items[static_cast<size_t>(i)]);
+        }
       }
       out.counters = tester.counters();
       return out;
@@ -161,8 +218,11 @@ class RefinementExecutor {
     for (int w = 0; w < threads_; ++w) testers.push_back(make_tester());
 
     std::vector<uint8_t> named(static_cast<size_t>(threads_), 0);
-    pool_->ParallelFor(
+    std::vector<uint8_t> tested(items.size(), 0);
+    const Status pool_status = pool_->ParallelFor(
         n, Grain(n), [&](int64_t begin, int64_t end, int worker) {
+          MaybeInjectPoolFault();
+          if (guarded && deadline_->Expired()) return;  // skip, stays untested
           NameWorkerTrack(named, worker);
           HASJ_TRACE_SCOPE(trace_, "compare-chunk", "refine", "pairs",
                            end - begin);
@@ -175,22 +235,70 @@ class RefinementExecutor {
                      std::span<const PolygonPair>(
                          pairs.data() + begin, static_cast<size_t>(end - begin)),
                      verdict.data() + begin);
+          for (int64_t i = begin; i < end; ++i) {
+            tested[static_cast<size_t>(i)] = 1;
+          }
         });
     RecordPoolWait();
 
-    out.accepted.reserve(items.size());
-    for (size_t i = 0; i < items.size(); ++i) {
-      if (verdict[i]) out.accepted.push_back(items[i]);
-    }
+    GatherPrefix(items, verdict, tested, pool_status, &out);
     for (const Tester& tester : testers) out.counters += tester.counters();
     return out;
   }
 
  private:
+  // Serial-path deadline poll stride (pairs between clock reads).
+  static constexpr int64_t kDeadlineStride = 64;
+
   // ~8 handouts per worker: coarse enough that the shared cursor is cold,
   // fine enough that one slow chunk cannot serialize the tail.
   int64_t Grain(int64_t n) const {
     return std::max<int64_t>(1, n / (static_cast<int64_t>(threads_) * 8));
+  }
+
+  // kPoolTask injection: a firing check fails the whole chunk by throwing,
+  // which is exactly the failure mode the pool's chunk-boundary catch
+  // exists for. No-op (one pointer test) without an injector.
+  void MaybeInjectPoolFault() const {
+    if (faults_ == nullptr) return;
+    if (Status s = faults_->Check(FaultSite::kPoolTask); !s.ok()) {
+      throw std::runtime_error(s.ToString());
+    }
+  }
+
+  // Serial gather of the parallel paths: accepted = verdicts over the
+  // fully-tested candidate prefix, in candidate order. With no truncation
+  // the prefix is everything and the output is byte-identical to the
+  // serial loop at every thread count; with truncation (deadline skip or a
+  // failed worker task) it is a prefix of that output.
+  template <typename Item>
+  void GatherPrefix(const std::vector<Item>& items,
+                    const std::vector<uint8_t>& verdict,
+                    const std::vector<uint8_t>& tested,
+                    const Status& pool_status,
+                    RefinementOutcome<Item>* out) const {
+    const int64_t n = static_cast<int64_t>(items.size());
+    int64_t prefix = n;
+    for (int64_t i = 0; i < n; ++i) {
+      if (!tested[static_cast<size_t>(i)]) {
+        prefix = i;
+        break;
+      }
+    }
+    out->attempted = prefix;
+    out->accepted.reserve(static_cast<size_t>(prefix));
+    for (int64_t i = 0; i < prefix; ++i) {
+      if (verdict[static_cast<size_t>(i)]) {
+        out->accepted.push_back(items[static_cast<size_t>(i)]);
+      }
+    }
+    if (!pool_status.ok()) {
+      out->status = pool_status;
+    } else if (prefix < n) {
+      out->status = deadline_ != nullptr ? deadline_->ToStatus()
+                                         : Status::DeadlineExceeded(
+                                               "refinement truncated");
+    }
   }
 
   // Labels the calling worker's trace track on its first chunk. Safe
@@ -217,6 +325,8 @@ class RefinementExecutor {
   mutable std::optional<ThreadPool> pool_;
   obs::TraceSession* trace_ = nullptr;
   obs::Registry* metrics_ = nullptr;
+  const QueryDeadline* deadline_ = nullptr;
+  FaultInjector* faults_ = nullptr;
 };
 
 }  // namespace hasj::core

@@ -1,6 +1,7 @@
 #include "core/selection.h"
 
 #include <optional>
+#include <utility>
 
 #include "common/stopwatch.h"
 #include "core/batch_tester.h"
@@ -21,8 +22,12 @@ SelectionResult IntersectionSelection::Run(
     const geom::Polygon& query, const SelectionOptions& options) const {
   SelectionResult result;
   Stopwatch watch;
+  const QueryDeadline deadline =
+      QueryDeadline::Start(options.hw.deadline_ms, options.hw.cancel);
   RefinementExecutor executor(options.num_threads);
   executor.SetObservability(options.hw.trace, options.hw.metrics);
+  executor.SetDeadline(&deadline);
+  executor.SetFaults(options.hw.faults);
   obs::ManualSpan stage_span;
 
   // Stage 1: MBR filtering.
@@ -54,21 +59,32 @@ SelectionResult IntersectionSelection::Run(
     // then reads a warm cache. Candidates the interior filter will decide
     // never need a signature, so they are skipped here too.
     if (executor.threads() > 1) {
-      executor.ParallelFor(
-          static_cast<int64_t>(candidates.size()),
-          [&](int64_t begin, int64_t end, int /*worker*/) {
-            for (int64_t i = begin; i < end; ++i) {
-              const size_t id = static_cast<size_t>(candidates[i]);
-              if (interior.has_value() &&
-                  interior->IdentifiesPositive(dataset_.mbr(id))) {
-                continue;
-              }
-              signatures->Get(id, dataset_.polygon(id));
-            }
-          });
+      if (Status s = executor.ParallelFor(
+              static_cast<int64_t>(candidates.size()),
+              [&](int64_t begin, int64_t end, int /*worker*/) {
+                for (int64_t i = begin; i < end; ++i) {
+                  const size_t id = static_cast<size_t>(candidates[i]);
+                  if (interior.has_value() &&
+                      interior->IdentifiesPositive(dataset_.mbr(id))) {
+                    continue;
+                  }
+                  signatures->Get(id, dataset_.polygon(id));
+                }
+              });
+          !s.ok()) {
+        result.status = std::move(s);
+      }
     }
   }
-  for (int64_t id : candidates) {
+  const bool guarded = deadline.active();
+  for (size_t ci = 0; ci < candidates.size() && result.status.ok(); ++ci) {
+    // Poll the budget every 64 candidates: truncating here leaves `ids` a
+    // prefix of the filter hits, which lead the complete result list.
+    if (guarded && (ci % 64) == 0 && deadline.Expired()) {
+      result.status = deadline.ToStatus();
+      break;
+    }
+    const int64_t id = candidates[ci];
     if (interior.has_value() &&
         interior->IdentifiesPositive(dataset_.mbr(static_cast<size_t>(id)))) {
       result.ids.push_back(id);
@@ -107,31 +123,35 @@ SelectionResult IntersectionSelection::Run(
   HwConfig hw_config = options.hw;
   hw_config.enable_hw = options.use_hw;
   RefinementOutcome<int64_t> refined;
-  if (hw_config.use_batching && hw_config.enable_hw &&
-      hw_config.backend == HwBackend::kBitmask) {
-    // Batched hardware step (DESIGN.md §9): decision-identical to the
-    // per-pair branch below, amortized over atlas tiles.
-    refined = executor.RefineBatches(
-        undecided, [&] { return BatchHardwareTester(hw_config, options.sw); },
-        [&](int64_t id) {
-          return PolygonPair{&dataset_.polygon(static_cast<size_t>(id)),
-                             &query};
-        },
-        [](BatchHardwareTester& tester, std::span<const PolygonPair> pairs,
-           uint8_t* verdicts) { tester.TestIntersectionBatch(pairs, verdicts); });
-  } else {
-    refined = executor.Refine(
-        undecided,
-        [&] { return HwIntersectionTester(hw_config, options.sw); },
-        [&](HwIntersectionTester& tester, int64_t id) {
-          return tester.Test(dataset_.polygon(static_cast<size_t>(id)), query);
-        });
+  if (result.status.ok()) {
+    if (hw_config.use_batching && hw_config.enable_hw &&
+        hw_config.backend == HwBackend::kBitmask) {
+      // Batched hardware step (DESIGN.md §9): decision-identical to the
+      // per-pair branch below, amortized over atlas tiles.
+      refined = executor.RefineBatches(
+          undecided, [&] { return BatchHardwareTester(hw_config, options.sw); },
+          [&](int64_t id) {
+            return PolygonPair{&dataset_.polygon(static_cast<size_t>(id)),
+                               &query};
+          },
+          [](BatchHardwareTester& tester, std::span<const PolygonPair> pairs,
+             uint8_t* verdicts) { tester.TestIntersectionBatch(pairs, verdicts); });
+    } else {
+      refined = executor.Refine(
+          undecided,
+          [&] { return HwIntersectionTester(hw_config, options.sw); },
+          [&](HwIntersectionTester& tester, int64_t id) {
+            return tester.Test(dataset_.polygon(static_cast<size_t>(id)), query);
+          });
+    }
+    result.counts.compared += refined.attempted;
+    result.ids.insert(result.ids.end(), refined.accepted.begin(),
+                      refined.accepted.end());
+    result.status = refined.status;
   }
-  result.counts.compared += static_cast<int64_t>(undecided.size());
-  result.ids.insert(result.ids.end(), refined.accepted.begin(),
-                    refined.accepted.end());
   result.costs.compare_ms = watch.ElapsedMillis();
   stage_span.End();
+  result.counts.truncated = !result.status.ok();
   result.counts.results = static_cast<int64_t>(result.ids.size());
   result.hw_counters = refined.counters;
   RecordQueryMetrics(options.hw.metrics, "selection", result.costs,

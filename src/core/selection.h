@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "algo/polygon_intersect.h"
+#include "common/status.h"
 #include "core/hw_config.h"
 #include "core/query_stats.h"
 #include "data/dataset.h"
@@ -44,6 +45,10 @@ struct SelectionResult {
   int64_t raster_positives = 0;  // decided intersecting by the raster filter
   int64_t raster_negatives = 0;  // decided disjoint by the raster filter
   HwCounters hw_counters;        // zero unless use_hw
+  // Ok for a complete run. kDeadlineExceeded (budget/cancel) or kInternal
+  // (a refinement worker failed): `ids` is then an exact prefix of the
+  // complete result and counts.truncated is set.
+  Status status;
 };
 
 // Intersection selection: all dataset objects intersecting a query polygon,

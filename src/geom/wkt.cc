@@ -78,7 +78,13 @@ class Cursor {
 
 }  // namespace
 
-Result<Polygon> ParseWktPolygon(std::string_view wkt) {
+Result<Polygon> ParseWktPolygon(std::string_view wkt,
+                                const WktLimits& limits) {
+  if (limits.max_text_bytes > 0 && wkt.size() > limits.max_text_bytes) {
+    return Status::OutOfRange("WKT text exceeds " +
+                              std::to_string(limits.max_text_bytes) +
+                              " bytes");
+  }
   Cursor cur(wkt);
   if (!cur.ConsumeKeyword("POLYGON")) {
     return Status::InvalidArgument("expected POLYGON keyword");
@@ -94,6 +100,11 @@ Result<Polygon> ParseWktPolygon(std::string_view wkt) {
     double x = 0.0, y = 0.0;
     if (!cur.ConsumeDouble(&x) || !cur.ConsumeDouble(&y)) {
       return Status::InvalidArgument("malformed coordinate pair");
+    }
+    if (limits.max_vertices > 0 && pts.size() >= limits.max_vertices) {
+      return Status::OutOfRange("ring exceeds " +
+                                std::to_string(limits.max_vertices) +
+                                " vertices");
     }
     pts.push_back({x, y});
   } while (cur.ConsumeChar(','));

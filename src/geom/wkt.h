@@ -9,12 +9,22 @@
 
 namespace hasj::geom {
 
+// Input hardening caps for WKT parsing (DESIGN.md §11): untrusted text must
+// not be able to allocate unbounded memory before validation runs. Both
+// caps return kOutOfRange; 0 disables a cap.
+struct WktLimits {
+  size_t max_text_bytes = 16u << 20;  // reject pathological inputs up front
+  size_t max_vertices = 1u << 20;     // checked as the ring is parsed
+};
+
 // Well-Known Text for the geometry subset the library supports.
 //
 // Supported input: `POLYGON ((x y, x y, ...))` with a single ring; the
 // closing duplicate vertex is optional and removed. Rings with holes are
 // rejected with kUnimplemented. Parsing is whitespace- and case-insensitive.
-[[nodiscard]] Result<Polygon> ParseWktPolygon(std::string_view wkt);
+// Inputs exceeding `limits` are rejected with kOutOfRange.
+[[nodiscard]] Result<Polygon> ParseWktPolygon(std::string_view wkt,
+                                              const WktLimits& limits = {});
 
 // Round-trippable output (`%.17g` coordinates), closing vertex included as
 // WKT requires.

@@ -23,6 +23,26 @@ Atlas::Atlas(int tile_res, int capacity)
 
 void Atlas::Clear() { std::fill(words_.begin(), words_.end(), 0); }
 
+Status Atlas::TryClear() {
+  if (faults_ != nullptr) {
+    if (Status s = faults_->Check(FaultSite::kFramebufferAlloc); !s.ok()) {
+      return s;
+    }
+  }
+  Clear();
+  return Status::Ok();
+}
+
+Status Atlas::BeginFill() {
+  if (faults_ == nullptr) return Status::Ok();
+  return faults_->Check(FaultSite::kBatchFill);
+}
+
+Status Atlas::BeginScan() {
+  if (faults_ == nullptr) return Status::Ok();
+  return faults_->Check(FaultSite::kScanReadback);
+}
+
 bool Atlas::Test(int tile, int x, int y) const {
   HASJ_DCHECK(x >= 0 && x < tile_res_ && y >= 0 && y < tile_res_);
   const uint64_t* words = tile_words(tile);

@@ -4,7 +4,9 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/fault.h"
 #include "common/macros.h"
+#include "common/status.h"
 
 namespace hasj::glsim {
 
@@ -52,6 +54,21 @@ class Atlas {
 
   // One pass over the whole framebuffer — the per-batch clear.
   void Clear();
+
+  // Fault hook, null-pointer-gated like RenderContext::set_faults: with no
+  // injector attached the atlas cannot fail and each Begin* below is one
+  // pointer test. Not owned.
+  void set_faults(FaultInjector* faults) { faults_ = faults; }
+
+  // Failable phases of a batch (DESIGN.md §11). TryClear models the
+  // per-batch buffer (re)allocation + clear (kFramebufferAlloc): on a fault
+  // nothing is cleared and the batch must not use the atlas. BeginFill and
+  // BeginScan gate the fill pass (kBatchFill) and the probe pass
+  // (kScanReadback). A batch whose Begin* faults is retried pair-by-pair
+  // through the per-pair testers — never failed outright.
+  [[nodiscard]] Status TryClear();
+  [[nodiscard]] Status BeginFill();
+  [[nodiscard]] Status BeginScan();
 
   uint64_t* tile_words(int tile) {
     HASJ_DCHECK(tile >= 0 && tile < capacity_);
@@ -141,6 +158,7 @@ class Atlas {
   int words_per_tile_;
   int tiles_per_row_;
   uint64_t row_full_ = 0;
+  FaultInjector* faults_ = nullptr;  // null = cannot fail
   std::vector<uint64_t> words_;
 };
 

@@ -71,6 +71,19 @@ void RenderContext::set_metrics(obs::Registry* metrics) {
   clears_ = &metrics->GetCounter(obs::kGlsimClears);
 }
 
+Status RenderContext::BeginRender() {
+  if (faults_ == nullptr) return Status::Ok();
+  if (Status s = faults_->Check(FaultSite::kFramebufferAlloc); !s.ok()) {
+    return s;
+  }
+  return faults_->Check(FaultSite::kRenderPass);
+}
+
+Status RenderContext::BeginScan() {
+  if (faults_ == nullptr) return Status::Ok();
+  return faults_->Check(FaultSite::kScanReadback);
+}
+
 void RenderContext::Clear(Rgb value) {
   if (clears_ != nullptr) clears_->Increment();
   color_buffer_.Clear(value);

@@ -3,6 +3,8 @@
 
 #include <span>
 
+#include "common/fault.h"
+#include "common/status.h"
 #include "geom/box.h"
 #include "geom/point.h"
 #include "geom/polygon.h"
@@ -71,6 +73,24 @@ class RenderContext {
   // recording site is one pointer test. Not owned.
   void set_metrics(obs::Registry* metrics);
 
+  // Attaches a fault injector (DESIGN.md §11). Null (the default) means
+  // the context cannot fail: BeginRender/BeginScan reduce to one pointer
+  // test, keeping the production path zero-cost like set_metrics. Not
+  // owned.
+  void set_faults(FaultInjector* faults) { faults_ = faults; }
+
+  // Fault gates for the two failable phases of a per-pair hardware test.
+  // Callers must consume the Status (the domain lint enforces it in core/)
+  // and route a non-OK pair to the exact software test.
+  //
+  // BeginRender models (re)binding the off-screen buffer for a pair plus
+  // starting its render pass — it checks kFramebufferAlloc then
+  // kRenderPass. BeginScan models the coverage probe/readback
+  // (kScanReadback). Neither mutates any buffer state: on a fault the
+  // caller simply abandons the pair's hardware attempt.
+  [[nodiscard]] Status BeginRender();
+  [[nodiscard]] Status BeginScan();
+
   // Orthographic projection: data_rect -> [0, width] x [0, height]. A
   // degenerate data_rect (zero width or height) is inflated minimally so
   // the projection stays finite.
@@ -121,6 +141,7 @@ class RenderContext {
   Rgb color_{1.0f, 1.0f, 1.0f};
   double line_width_ = 1.0;
   double point_size_ = 1.0;
+  FaultInjector* faults_ = nullptr;  // null = cannot fail
   // Resolved once in set_metrics(); null = detached.
   obs::Counter* draw_segments_ = nullptr;
   obs::Counter* draw_points_ = nullptr;

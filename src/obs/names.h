@@ -60,6 +60,16 @@ inline constexpr char kGlsimClears[] = "glsim.clears";
 // Paranoid conservativeness oracle (core/paranoid.h).
 inline constexpr char kParanoidChecks[] = "paranoid.checks";
 
+// Robustness: faults, degradation, deadlines (DESIGN.md §11).
+inline constexpr char kRefineHwFaults[] = "refine.hw_faults";
+inline constexpr char kRefineHwFallbackPairs[] = "refine.hw_fallback_pairs";
+inline constexpr char kBreakerState[] = "breaker.state";  // gauge: 0=closed,
+                                                          // 1=open, 2=half
+inline constexpr char kBreakerTransitions[] = "breaker.transitions";
+inline constexpr char kBreakerOpens[] = "breaker.opens";
+inline constexpr char kQueryDeadlineExceeded[] = "query.deadline_exceeded";
+inline constexpr char kQueryTruncated[] = "query.truncated";
+
 }  // namespace hasj::obs
 
 #endif  // HASJ_OBS_NAMES_H_

@@ -4,6 +4,8 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace hasj {
@@ -18,10 +20,12 @@ TEST(ThreadPoolTest, ResolveThreadCount) {
 TEST(ThreadPoolTest, SingleThreadRunsInline) {
   ThreadPool pool(1);
   std::vector<int> workers;
-  pool.ParallelFor(10, 3, [&](int64_t begin, int64_t end, int worker) {
-    workers.push_back(worker);
-    EXPECT_LT(begin, end);
-  });
+  ASSERT_TRUE(pool.ParallelFor(10, 3,
+                               [&](int64_t begin, int64_t end, int worker) {
+                                 workers.push_back(worker);
+                                 EXPECT_LT(begin, end);
+                               })
+                  .ok());
   // One pool thread = the caller: chunking collapses to one inline call.
   EXPECT_EQ(workers, std::vector<int>({0}));
 }
@@ -31,17 +35,21 @@ TEST(ThreadPoolTest, EveryIndexVisitedExactlyOnce) {
     for (int64_t n : {0, 1, 5, 64, 1000}) {
       ThreadPool pool(threads);
       std::vector<std::atomic<int>> visits(static_cast<size_t>(n));
-      pool.ParallelFor(n, 7, [&](int64_t begin, int64_t end, int worker) {
-        EXPECT_GE(worker, 0);
-        EXPECT_LT(worker, threads);
-        // A single-thread pool skips chunking and runs [0, n) inline.
-        if (threads > 1) {
-          EXPECT_LE(end - begin, 7);
-        }
-        for (int64_t i = begin; i < end; ++i) {
-          visits[static_cast<size_t>(i)].fetch_add(1);
-        }
-      });
+      ASSERT_TRUE(
+          pool.ParallelFor(n, 7,
+                           [&](int64_t begin, int64_t end, int worker) {
+                             EXPECT_GE(worker, 0);
+                             EXPECT_LT(worker, threads);
+                             // A single-thread pool skips chunking and runs
+                             // [0, n) inline.
+                             if (threads > 1) {
+                               EXPECT_LE(end - begin, 7);
+                             }
+                             for (int64_t i = begin; i < end; ++i) {
+                               visits[static_cast<size_t>(i)].fetch_add(1);
+                             }
+                           })
+              .ok());
       for (int64_t i = 0; i < n; ++i) {
         EXPECT_EQ(visits[static_cast<size_t>(i)].load(), 1)
             << "threads=" << threads << " n=" << n << " i=" << i;
@@ -54,11 +62,15 @@ TEST(ThreadPoolTest, PoolIsReusableAcrossJobs) {
   ThreadPool pool(4);
   for (int round = 0; round < 20; ++round) {
     std::atomic<int64_t> sum{0};
-    pool.ParallelFor(100, 9, [&](int64_t begin, int64_t end, int) {
-      int64_t local = 0;
-      for (int64_t i = begin; i < end; ++i) local += i;
-      sum.fetch_add(local);
-    });
+    ASSERT_TRUE(pool.ParallelFor(100, 9,
+                                 [&](int64_t begin, int64_t end, int) {
+                                   int64_t local = 0;
+                                   for (int64_t i = begin; i < end; ++i) {
+                                     local += i;
+                                   }
+                                   sum.fetch_add(local);
+                                 })
+                    .ok());
     EXPECT_EQ(sum.load(), 99 * 100 / 2) << "round " << round;
   }
 }
@@ -71,21 +83,94 @@ TEST(ThreadPoolTest, PerWorkerStateNeedsNoLocking) {
   ThreadPool pool(threads);
   std::vector<int64_t> per_worker(threads, 0);
   const int64_t n = 10000;
-  pool.ParallelFor(n, 13, [&](int64_t begin, int64_t end, int worker) {
-    per_worker[static_cast<size_t>(worker)] += end - begin;
-  });
+  ASSERT_TRUE(pool.ParallelFor(n, 13,
+                               [&](int64_t begin, int64_t end, int worker) {
+                                 per_worker[static_cast<size_t>(worker)] +=
+                                     end - begin;
+                               })
+                  .ok());
   EXPECT_EQ(std::accumulate(per_worker.begin(), per_worker.end(), int64_t{0}),
             n);
+}
+
+TEST(ThreadPoolTest, ThrowingBodySurfacesAsStatusAndPoolSurvives) {
+  // A chunk body that throws must not kill the worker or deadlock Wait():
+  // the pool catches at the chunk boundary, drains the job, and returns
+  // kInternal carrying the first exception message.
+  ThreadPool pool(4);
+  const Status status =
+      pool.ParallelFor(1000, 7, [&](int64_t begin, int64_t, int) {
+        if (begin >= 500) throw std::runtime_error("chunk boom");
+      });
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  EXPECT_NE(status.message().find("chunk boom"), std::string::npos);
+
+  // All workers survived: the next job runs to completion and is Ok.
+  std::atomic<int64_t> sum{0};
+  ASSERT_TRUE(pool.ParallelFor(100, 9,
+                               [&](int64_t begin, int64_t end, int) {
+                                 for (int64_t i = begin; i < end; ++i) {
+                                   sum.fetch_add(i);
+                                 }
+                               })
+                  .ok());
+  EXPECT_EQ(sum.load(), 99 * 100 / 2);
+}
+
+TEST(ThreadPoolTest, ThrowingBodyInlinePathSurfacesAsStatus) {
+  ThreadPool pool(1);  // single-thread pool runs the body inline
+  const Status status = pool.ParallelFor(10, 3, [&](int64_t, int64_t, int) {
+    throw std::runtime_error("inline boom");
+  });
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  EXPECT_NE(status.message().find("inline boom"), std::string::npos);
+  ASSERT_TRUE(
+      pool.ParallelFor(10, 3, [&](int64_t, int64_t, int) {}).ok());
+}
+
+TEST(ThreadPoolTest, NonStdExceptionIsCaughtToo) {
+  ThreadPool pool(2);
+  const Status status =
+      pool.ParallelFor(100, 5, [&](int64_t, int64_t, int) { throw 42; });
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  ASSERT_TRUE(
+      pool.ParallelFor(100, 5, [&](int64_t, int64_t, int) {}).ok());
+}
+
+TEST(ThreadPoolTest, EveryIndexStillVisitedAfterEarlierThrowingJob) {
+  // The job after a failed one must observe clean state: no leftover
+  // error, every index visited exactly once.
+  ThreadPool pool(4);
+  (void)pool.ParallelFor(64, 3, [&](int64_t, int64_t, int) {
+    throw std::runtime_error("poison");
+  });
+  const int64_t n = 1000;
+  std::vector<std::atomic<int>> visits(static_cast<size_t>(n));
+  ASSERT_TRUE(pool.ParallelFor(n, 7,
+                               [&](int64_t begin, int64_t end, int) {
+                                 for (int64_t i = begin; i < end; ++i) {
+                                   visits[static_cast<size_t>(i)].fetch_add(1);
+                                 }
+                               })
+                  .ok());
+  for (int64_t i = 0; i < n; ++i) {
+    ASSERT_EQ(visits[static_cast<size_t>(i)].load(), 1) << i;
+  }
 }
 
 TEST(ThreadPoolTest, GrainLargerThanRangeIsOneChunk) {
   ThreadPool pool(4);
   std::atomic<int> calls{0};
-  pool.ParallelFor(5, 1000, [&](int64_t begin, int64_t end, int) {
-    calls.fetch_add(1);
-    EXPECT_EQ(begin, 0);
-    EXPECT_EQ(end, 5);
-  });
+  ASSERT_TRUE(pool.ParallelFor(5, 1000,
+                               [&](int64_t begin, int64_t end, int) {
+                                 calls.fetch_add(1);
+                                 EXPECT_EQ(begin, 0);
+                                 EXPECT_EQ(end, 5);
+                               })
+                  .ok());
   EXPECT_EQ(calls.load(), 1);
 }
 

@@ -187,6 +187,74 @@ TEST(IoTest, LoadMissingFile) {
             StatusCode::kNotFound);
 }
 
+TEST(IoTest, LoadEnforcesLineByteCap) {
+  const std::string path = ::testing::TempDir() + "/hasj_longline.wkt";
+  {
+    std::ofstream out(path);
+    out << "POLYGON ((0 0, 9 0, 0 9))\n";
+    out << "POLYGON ((" << std::string(512, ' ') << "0 0, 9 0, 0 9))\n";
+  }
+  LoadLimits limits;
+  limits.max_line_bytes = 128;
+  const auto loaded = LoadDataset(path, "capped", limits);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kOutOfRange);
+  EXPECT_NE(loaded.status().message().find(":2:"), std::string::npos);
+  // Default limits admit the same file minus the oversized line.
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, LoadEnforcesObjectCountCap) {
+  const std::string path = ::testing::TempDir() + "/hasj_manyobjs.wkt";
+  {
+    std::ofstream out(path);
+    for (int i = 0; i < 10; ++i) out << "POLYGON ((0 0, 9 0, 0 9))\n";
+  }
+  LoadLimits limits;
+  limits.max_objects = 4;
+  const auto capped = LoadDataset(path, "capped", limits);
+  ASSERT_FALSE(capped.ok());
+  EXPECT_EQ(capped.status().code(), StatusCode::kOutOfRange);
+  const auto full = LoadDataset(path, "full");
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(full->size(), 10u);
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, LoadAppliesWktVertexCapWithLineContext) {
+  const std::string path = ::testing::TempDir() + "/hasj_fatpoly.wkt";
+  {
+    std::ofstream out(path);
+    out << "POLYGON ((0 0, 9 0, 0 9))\n";
+    out << "POLYGON ((";
+    for (int i = 0; i < 32; ++i) out << i << " " << i % 2 << ", ";
+    out << "0 10))\n";
+  }
+  LoadLimits limits;
+  limits.wkt.max_vertices = 8;
+  const auto loaded = LoadDataset(path, "capped", limits);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kOutOfRange);
+  EXPECT_NE(loaded.status().message().find(":2:"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, LoadPreservesParseErrorCode) {
+  // A truncated WKT line keeps kInvalidArgument (not flattened) and gains
+  // the path:line prefix.
+  const std::string path = ::testing::TempDir() + "/hasj_truncated.wkt";
+  {
+    std::ofstream out(path);
+    out << "POLYGON ((0 0, 9 0, 0 9))\n";
+    out << "POLYGON ((0 0, 9 0, 0 9\n";
+  }
+  const auto loaded = LoadDataset(path, "truncated");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find(":2:"), std::string::npos);
+  std::remove(path.c_str());
+}
+
 TEST(SvgTest, WritesWellFormedFile) {
   GeneratorProfile p;
   p.name = "svg";

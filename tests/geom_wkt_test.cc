@@ -100,6 +100,44 @@ TEST(WktRoundTripTest, ExactCoordinates) {
   }
 }
 
+TEST(WktLimitsTest, TextSizeCapRejectsOversizedInput) {
+  WktLimits limits;
+  limits.max_text_bytes = 32;
+  const std::string small = "POLYGON ((0 0, 9 0, 0 9))";
+  ASSERT_LE(small.size(), limits.max_text_bytes);
+  EXPECT_TRUE(ParseWktPolygon(small, limits).ok());
+  const std::string big =
+      "POLYGON ((0 0, 9 0, 9 9, 4 5, 0 9))";  // valid, but over the cap
+  ASSERT_GT(big.size(), limits.max_text_bytes);
+  const auto r = ParseWktPolygon(big, limits);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(WktLimitsTest, VertexCapRejectsHugeRings) {
+  std::string wkt = "POLYGON ((";
+  for (int i = 0; i < 64; ++i) {
+    wkt += std::to_string(i) + " " + std::to_string(i % 2) + ", ";
+  }
+  wkt += "0 10))";
+  WktLimits limits;
+  limits.max_vertices = 16;
+  const auto r = ParseWktPolygon(wkt, limits);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+  // The default cap is far above any test geometry: same text parses.
+  EXPECT_TRUE(ParseWktPolygon(
+                  "POLYGON ((0 0, 9 0, 9 9, 0 9))", WktLimits{})
+                  .ok());
+}
+
+TEST(WktLimitsTest, ZeroDisablesTheCaps) {
+  WktLimits limits;
+  limits.max_text_bytes = 0;
+  limits.max_vertices = 0;
+  EXPECT_TRUE(ParseWktPolygon("POLYGON ((0 0, 9 0, 9 9, 0 9))", limits).ok());
+}
+
 TEST(WktFormatTest, ClosesRing) {
   const std::string wkt = ToWkt(Polygon({{0, 0}, {1, 0}, {0, 1}}));
   EXPECT_EQ(wkt.find("POLYGON (("), 0u);

@@ -55,9 +55,13 @@ TEST(CounterTest, SumsAcrossThreads) {
   for (const int threads : {1, 2, 4, 8}) {
     Counter counter;
     ThreadPool pool(threads);
-    pool.ParallelFor(10000, 64, [&](int64_t begin, int64_t end, int) {
-      for (int64_t i = begin; i < end; ++i) counter.Add(i % 3);
-    });
+    ASSERT_TRUE(pool.ParallelFor(10000, 64,
+                                 [&](int64_t begin, int64_t end, int) {
+                                   for (int64_t i = begin; i < end; ++i) {
+                                     counter.Add(i % 3);
+                                   }
+                                 })
+                    .ok());
     int64_t want = 0;
     for (int64_t i = 0; i < 10000; ++i) want += i % 3;
     EXPECT_EQ(counter.Sum(), want) << threads << " threads";
@@ -69,9 +73,13 @@ TEST(HistogramTest, MergeIdentityOneVsManyThreads) {
   // snapshots whether one thread or eight recorded them.
   const auto record_all = [](Histogram* h, int threads) {
     ThreadPool pool(threads);
-    pool.ParallelFor(5000, 37, [&](int64_t begin, int64_t end, int) {
-      for (int64_t i = begin; i < end; ++i) h->Record((i * i) % 911);
-    });
+    ASSERT_TRUE(pool.ParallelFor(5000, 37,
+                                 [&](int64_t begin, int64_t end, int) {
+                                   for (int64_t i = begin; i < end; ++i) {
+                                     h->Record((i * i) % 911);
+                                   }
+                                 })
+                    .ok());
   };
   Histogram serial;
   record_all(&serial, 1);
@@ -110,16 +118,20 @@ TEST(RegistryTest, FindOrCreateReturnsStableInstances) {
 TEST(RegistryTest, ConcurrentLookupAndRecord) {
   Registry registry;
   ThreadPool pool(8);
-  pool.ParallelFor(8000, 100, [&](int64_t begin, int64_t end, int) {
-    // Every chunk re-resolves the instruments — lookup must be thread-safe
-    // even though hot paths resolve once.
-    Counter& c = registry.GetCounter("events");
-    Histogram& h = registry.GetHistogram("sizes");
-    for (int64_t i = begin; i < end; ++i) {
-      c.Increment();
-      h.Record(i);
-    }
-  });
+  ASSERT_TRUE(
+      pool.ParallelFor(8000, 100,
+                       [&](int64_t begin, int64_t end, int) {
+                         // Every chunk re-resolves the instruments — lookup
+                         // must be thread-safe even though hot paths resolve
+                         // once.
+                         Counter& c = registry.GetCounter("events");
+                         Histogram& h = registry.GetHistogram("sizes");
+                         for (int64_t i = begin; i < end; ++i) {
+                           c.Increment();
+                           h.Record(i);
+                         }
+                       })
+          .ok());
   const MetricsSnapshot snap = registry.Snapshot();
   EXPECT_EQ(snap.counter("events"), 8000);
   EXPECT_EQ(snap.histograms.at("sizes").count, 8000);
