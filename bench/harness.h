@@ -56,6 +56,10 @@ struct BenchArgs {
   // disabled path) and per-query deadline in milliseconds (0 = none).
   double fault_rate = 0.0;
   double deadline_ms = 0.0;
+  // Raster-interval secondary filter (DESIGN.md §12): decide candidate
+  // pairs from precomputed Hilbert-interval approximations before the
+  // hardware testers see them.
+  bool use_intervals = false;
 };
 
 // Checked replacements for atof/atoll: reject empty input, trailing
@@ -103,6 +107,7 @@ inline bool TryParseArgs(int argc, char** argv, BenchArgs* args,
       {"explain", Flag::kBool, &args->explain},
       {"fault_rate", Flag::kDouble, &args->fault_rate},
       {"deadline_ms", Flag::kDouble, &args->deadline_ms},
+      {"use_intervals", Flag::kBool, &args->use_intervals},
   };
 
   *wants_help = false;
@@ -199,7 +204,9 @@ inline void PrintUsage(const char* argv0, std::FILE* out) {
                "  --fault_rate=F inject hardware faults with probability F "
                "in [0, 1] (default 0 = no injector)\n"
                "  --deadline_ms=F per-query deadline in milliseconds "
-               "(default 0 = none)\n",
+               "(default 0 = none)\n"
+               "  --use_intervals enable the raster-interval secondary "
+               "filter (DESIGN.md section 12)\n",
                argv0);
 }
 
@@ -237,6 +244,9 @@ class BenchReport {
       faults_->SetPlan(FaultSite::kRenderPass, plan);
       faults_->SetPlan(FaultSite::kScanReadback, plan);
       faults_->SetPlan(FaultSite::kBatchFill, plan);
+      // Interval builds degrade per object at this site (DESIGN.md §12);
+      // harmless for benches that never build intervals.
+      faults_->SetPlan(FaultSite::kDatasetLoad, plan);
     }
   }
 
@@ -262,6 +272,7 @@ class BenchReport {
     config->trace = trace();
     config->faults = faults();
     config->deadline_ms = args_.deadline_ms;
+    config->use_intervals = args_.use_intervals;
   }
 
   // Records one plotted row — the series label plus its numeric columns —

@@ -129,7 +129,8 @@ def check_glsim_cast(path, lines):
 # skip the software fallback the conservativeness argument depends on.
 STATUS_APIS = (
     r"(?:Validate|CheckInvariants|SaveDataset|WriteSvg"
-    r"|BeginRender|BeginScan|BeginFill|TryClear|HwStep|ParallelFor|Check)"
+    r"|BeginRender|BeginScan|BeginFill|TryClear|HwStep|ParallelFor|Check"
+    r"|BuildIntervalApprox|ReloadDatasetInPlace)"
 )
 VOID_LAUNDER = re.compile(rf"\(void\)\s*[\w.->]*\b{STATUS_APIS}\s*\(")
 

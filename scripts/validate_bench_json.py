@@ -13,6 +13,11 @@ Checks two file kinds against their stable schemas:
                   (chrome://tracing and ui.perfetto.dev both require this
                   shape to render sensibly).
 
+`--require-counter NAME` (repeatable) additionally insists that every
+--json file's metrics.counters snapshot contains NAME — CI uses it to pin
+the counters a bench is expected to exercise (e.g. the stage.interval.*
+decision counters from ablation_intervals).
+
 Exit code 0 when every file validates, 1 otherwise (one line per problem).
 CI runs this over a small-scale bench run; it is also handy locally:
 
@@ -35,7 +40,7 @@ def _is_int(value):
     return isinstance(value, int) and not isinstance(value, bool)
 
 
-def validate_report(path):
+def validate_report(path, required_counters=()):
     """Returns a list of problem strings for one --json report file."""
     errors = []
 
@@ -92,6 +97,9 @@ def validate_report(path):
         for name, value in counters.items():
             if not _is_int(value):
                 err(f"counter {name!r} must be an integer, got {value!r}")
+        for name in required_counters:
+            if name not in counters:
+                err(f"required counter {name!r} missing from metrics.counters")
     gauges = snap.get("gauges")
     if not isinstance(gauges, dict):
         err("metrics.gauges must be an object")
@@ -198,13 +206,24 @@ def main(argv):
         metavar="PATH",
         help="bench --trace file to validate (repeatable)",
     )
+    parser.add_argument(
+        "--require-counter",
+        dest="required_counters",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="counter that must be present in every --json file's "
+        "metrics.counters snapshot (repeatable)",
+    )
     args = parser.parse_args(argv)
     if not args.reports and not args.traces:
         parser.error("nothing to validate: pass --json and/or --trace")
+    if args.required_counters and not args.reports:
+        parser.error("--require-counter needs at least one --json file")
 
     errors = []
     for path in args.reports:
-        errors.extend(validate_report(path))
+        errors.extend(validate_report(path, args.required_counters))
     for path in args.traces:
         errors.extend(validate_trace(path))
 

@@ -3,6 +3,8 @@
 #include "common/stopwatch.h"
 #include "core/batch_tester.h"
 #include "core/hw_distance.h"
+#include "core/interval_stage.h"
+#include "core/paranoid.h"
 #include "core/query_obs.h"
 #include "core/refinement_executor.h"
 #include "filter/object_filters.h"
@@ -36,8 +38,30 @@ DistanceJoinResult WithinDistanceJoin::Run(
   watch.Restart();
   std::vector<std::pair<int64_t, int64_t>> undecided;
   undecided.reserve(candidates.size());
+  // Interval secondary filter (DESIGN.md §12), accept-only here: a TRUE-HIT
+  // intersection implies distance 0 <= d; interval misses prove nothing
+  // about the gap and fall through to refinement.
+  std::shared_ptr<const filter::IntervalApprox> intervals_a;
+  std::shared_ptr<const filter::IntervalApprox> intervals_b;
+  if (options.hw.use_intervals && d >= 0.0 && result.status.ok()) {
+    geom::Box frame = a_.Bounds();
+    frame.Extend(b_.Bounds());
+    const filter::IntervalApproxConfig interval_config =
+        IntervalConfigFrom(options.hw, options.num_threads);
+    auto acquired_a = interval_cache_a_.Acquire(a_.polygons(), frame,
+                                                a_.epoch(), interval_config);
+    auto acquired_b = interval_cache_b_.Acquire(b_.polygons(), frame,
+                                                b_.epoch(), interval_config);
+    if (acquired_a.ok() && acquired_b.ok()) {
+      intervals_a = std::move(acquired_a).value();
+      intervals_b = std::move(acquired_b).value();
+    } else {
+      result.status =
+          acquired_a.ok() ? acquired_b.status() : acquired_a.status();
+    }
+  }
   const bool guarded = deadline.active();
-  for (size_t ci = 0; ci < candidates.size(); ++ci) {
+  for (size_t ci = 0; ci < candidates.size() && result.status.ok(); ++ci) {
     // Poll the budget every 64 candidates: truncating here leaves `pairs`
     // a prefix of the filter hits, which lead the complete result list.
     if (guarded && (ci % 64) == 0 && deadline.Expired()) {
@@ -68,6 +92,20 @@ DistanceJoinResult WithinDistanceJoin::Run(
         ++result.counts.filter_hits;
         continue;
       }
+    }
+    if (intervals_a != nullptr) {
+      if (filter::DecidePair(intervals_a->object(static_cast<size_t>(ida)),
+                             intervals_b->object(static_cast<size_t>(idb))) ==
+          filter::IntervalVerdict::kHit) {
+        HASJ_PARANOID_ONLY(paranoid::CheckIntervalAccept(
+            a_.polygon(static_cast<size_t>(ida)),
+            b_.polygon(static_cast<size_t>(idb)), options.hw));
+        result.pairs.emplace_back(ida, idb);
+        ++result.interval_hits;
+        ++result.counts.filter_hits;
+        continue;
+      }
+      ++result.interval_undecided;
     }
     undecided.emplace_back(ida, idb);
   }
@@ -123,7 +161,10 @@ DistanceJoinResult WithinDistanceJoin::Run(
   result.counts.results = static_cast<int64_t>(result.pairs.size());
   result.hw_counters = refined.counters;
   RecordQueryMetrics(options.hw.metrics, "distance_join", result.costs,
-                     result.counts, result.hw_counters);
+                     result.counts, result.hw_counters,
+                     /*raster_positives=*/0, /*raster_negatives=*/0,
+                     result.interval_hits, /*interval_misses=*/0,
+                     result.interval_undecided);
   return result;
 }
 

@@ -10,6 +10,7 @@
 #include "core/hw_config.h"
 #include "core/query_stats.h"
 #include "data/dataset.h"
+#include "filter/interval_approx.h"
 #include "index/rtree.h"
 
 namespace hasj::core {
@@ -34,6 +35,12 @@ struct DistanceJoinResult {
   StageCounts counts;
   int64_t zero_object_hits = 0;
   int64_t one_object_hits = 0;
+  // Interval-filter accepts (zero unless hw.use_intervals). Distance joins
+  // use the interval decision accept-only: a TRUE-HIT intersection implies
+  // distance 0 <= d, but disjoint interval lists say nothing about the
+  // gap, so there is no TRUE-MISS side here.
+  int64_t interval_hits = 0;
+  int64_t interval_undecided = 0;
   HwCounters hw_counters;
   // Ok for a complete run; on kDeadlineExceeded / kInternal `pairs` is an
   // exact prefix of the complete result and counts.truncated is set.
@@ -54,6 +61,10 @@ class WithinDistanceJoin {
   const data::Dataset& b_;
   index::RTree rtree_a_;
   index::RTree rtree_b_;
+  // Per-side raster-interval approximations (hw.use_intervals) over the
+  // union frame; keyed on each dataset's epoch.
+  filter::IntervalApproxCache interval_cache_a_;
+  filter::IntervalApproxCache interval_cache_b_;
 };
 
 }  // namespace hasj::core

@@ -3,6 +3,8 @@
 #include "common/stopwatch.h"
 #include "core/batch_tester.h"
 #include "core/hw_distance.h"
+#include "core/interval_stage.h"
+#include "core/paranoid.h"
 #include "core/query_obs.h"
 #include "core/refinement_executor.h"
 #include "filter/object_filters.h"
@@ -35,8 +37,24 @@ DistanceSelectionResult WithinDistanceSelection::Run(
   watch.Restart();
   std::vector<int64_t> undecided;
   undecided.reserve(candidates.size());
+  // Interval secondary filter (DESIGN.md §12), accept-only here: a TRUE-HIT
+  // intersection implies distance 0 <= d; interval misses prove nothing
+  // about the gap and fall through to refinement.
+  std::shared_ptr<const filter::IntervalApprox> intervals;
+  filter::ObjectIntervals query_intervals;
+  if (options.hw.use_intervals && result.status.ok()) {
+    auto acquired = interval_cache_.Acquire(
+        dataset_.polygons(), dataset_.Bounds(), dataset_.epoch(),
+        IntervalConfigFrom(options.hw, options.num_threads));
+    if (acquired.ok()) {
+      intervals = std::move(acquired).value();
+      query_intervals = intervals->ApproximateObject(query);
+    } else {
+      result.status = acquired.status();
+    }
+  }
   const bool guarded = deadline.active();
-  for (size_t ci = 0; ci < candidates.size(); ++ci) {
+  for (size_t ci = 0; ci < candidates.size() && result.status.ok(); ++ci) {
     // Poll the budget every 64 candidates: truncating here leaves `ids` a
     // prefix of the filter hits, which lead the complete result list.
     if (guarded && (ci % 64) == 0 && deadline.Expired()) {
@@ -58,6 +76,19 @@ DistanceSelectionResult WithinDistanceSelection::Run(
       ++result.one_object_hits;
       ++result.counts.filter_hits;
       continue;
+    }
+    if (intervals != nullptr && d >= 0.0) {
+      if (filter::DecidePair(query_intervals,
+                             intervals->object(static_cast<size_t>(id))) ==
+          filter::IntervalVerdict::kHit) {
+        HASJ_PARANOID_ONLY(paranoid::CheckIntervalAccept(
+            dataset_.polygon(static_cast<size_t>(id)), query, options.hw));
+        result.ids.push_back(id);
+        ++result.interval_hits;
+        ++result.counts.filter_hits;
+        continue;
+      }
+      ++result.interval_undecided;
     }
     undecided.push_back(id);
   }
@@ -111,7 +142,10 @@ DistanceSelectionResult WithinDistanceSelection::Run(
   result.counts.results = static_cast<int64_t>(result.ids.size());
   result.hw_counters = refined.counters;
   RecordQueryMetrics(options.hw.metrics, "distance_selection", result.costs,
-                     result.counts, result.hw_counters);
+                     result.counts, result.hw_counters,
+                     /*raster_positives=*/0, /*raster_negatives=*/0,
+                     result.interval_hits, /*interval_misses=*/0,
+                     result.interval_undecided);
   return result;
 }
 

@@ -9,6 +9,7 @@
 #include "core/hw_config.h"
 #include "core/query_stats.h"
 #include "data/dataset.h"
+#include "filter/interval_approx.h"
 #include "geom/polygon.h"
 #include "index/rtree.h"
 
@@ -33,6 +34,12 @@ struct DistanceSelectionResult {
   StageCounts counts;
   int64_t zero_object_hits = 0;
   int64_t one_object_hits = 0;
+  // Interval-filter accepts (zero unless hw.use_intervals). Distance
+  // queries use the interval decision accept-only: a TRUE-HIT intersection
+  // implies distance 0 <= d, but disjoint interval lists say nothing about
+  // the gap, so there is no TRUE-MISS side here.
+  int64_t interval_hits = 0;
+  int64_t interval_undecided = 0;
   HwCounters hw_counters;
   // Ok for a complete run; on kDeadlineExceeded / kInternal `ids` is an
   // exact prefix of the complete result and counts.truncated is set.
@@ -53,6 +60,9 @@ class WithinDistanceSelection {
  private:
   const data::Dataset& dataset_;
   index::RTree rtree_;
+  // Dataset-level raster-interval approximation (hw.use_intervals), built
+  // on first use and keyed on the dataset epoch.
+  filter::IntervalApproxCache interval_cache_;
 };
 
 }  // namespace hasj::core

@@ -58,6 +58,17 @@ struct HwConfig {
   bool use_batching = false;
   // Pairs per atlas pass; 1024 tiles of 8x8 are a 256x256 framebuffer.
   int batch_size = 1024;
+  // Raster-interval secondary filter (filter/interval_approx, DESIGN.md
+  // §12): approximate every dataset object as sorted Hilbert-cell interval
+  // lists once per dataset epoch, then decide candidate pairs before
+  // refinement — TRUE-HIT pairs skip the hardware testers entirely,
+  // TRUE-MISS pairs are dropped, only INCONCLUSIVE pairs are refined.
+  bool use_intervals = false;
+  // Interval grid is 2^interval_grid_bits cells per side (1..12).
+  int interval_grid_bits = 10;
+  // Whole-dataset interval storage budget; objects over their share stay
+  // unapproximated (always-inconclusive, never wrong).
+  int64_t interval_budget_bytes = 64 << 20;
   // Observability hooks (DESIGN.md §10). Both default to null, which
   // compiles every instrumentation site down to a pointer test: tracing and
   // metrics cost nothing unless a session/registry is attached. Not owned.

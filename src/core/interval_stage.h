@@ -1,0 +1,27 @@
+#ifndef HASJ_CORE_INTERVAL_STAGE_H_
+#define HASJ_CORE_INTERVAL_STAGE_H_
+
+#include "core/hw_config.h"
+#include "filter/interval_approx.h"
+
+namespace hasj::core {
+
+// Translates the pipeline-facing HwConfig knobs into the filter-layer
+// interval build configuration. One place, so all four pipelines build
+// interval approximations with identical semantics (same grid, budget,
+// fault site, and instrumentation hooks).
+inline filter::IntervalApproxConfig IntervalConfigFrom(const HwConfig& hw,
+                                                       int num_threads) {
+  filter::IntervalApproxConfig config;
+  config.grid_bits = hw.interval_grid_bits;
+  config.memory_budget_bytes = hw.interval_budget_bytes;
+  config.num_threads = num_threads;
+  config.faults = hw.faults;
+  config.trace = hw.trace;
+  config.metrics = hw.metrics;
+  return config;
+}
+
+}  // namespace hasj::core
+
+#endif  // HASJ_CORE_INTERVAL_STAGE_H_

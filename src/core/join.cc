@@ -6,6 +6,8 @@
 #include "common/stopwatch.h"
 #include "core/batch_tester.h"
 #include "core/hw_intersection.h"
+#include "core/interval_stage.h"
+#include "core/paranoid.h"
 #include "core/query_obs.h"
 #include "core/refinement_executor.h"
 #include "obs/trace.h"
@@ -44,25 +46,53 @@ JoinResult IntersectionJoin::Run(const JoinOptions& options) const {
   watch.Restart();
   std::vector<std::pair<int64_t, int64_t>> undecided;
   const std::vector<std::pair<int64_t, int64_t>>* to_compare = &candidates;
-  if (options.raster_filter_grid > 0) {
-    const filter::SignatureCache::Snapshot sig_a =
-        sig_cache_a_.Acquire(options.raster_filter_grid, a_.size());
-    const filter::SignatureCache::Snapshot sig_b =
-        sig_cache_b_.Acquire(options.raster_filter_grid, b_.size());
-    if (executor.threads() > 1) {
-      if (Status s = executor.ParallelFor(
-              static_cast<int64_t>(candidates.size()),
-              [&](int64_t begin, int64_t end, int /*worker*/) {
-                for (int64_t i = begin; i < end; ++i) {
-                  const auto& [ida, idb] = candidates[static_cast<size_t>(i)];
-                  sig_a.Get(static_cast<size_t>(ida),
-                            a_.polygon(static_cast<size_t>(ida)));
-                  sig_b.Get(static_cast<size_t>(idb),
-                            b_.polygon(static_cast<size_t>(idb)));
-                }
-              });
-          !s.ok()) {
-        result.status = std::move(s);
+  const bool use_raster = options.raster_filter_grid > 0;
+  // Interval secondary filter (DESIGN.md §12): both sides are approximated
+  // over one frame — the union of the two extents — so their Hilbert cell
+  // indices are directly comparable.
+  std::shared_ptr<const filter::IntervalApprox> intervals_a;
+  std::shared_ptr<const filter::IntervalApprox> intervals_b;
+  if (options.hw.use_intervals && result.status.ok()) {
+    geom::Box frame = a_.Bounds();
+    frame.Extend(b_.Bounds());
+    const filter::IntervalApproxConfig interval_config =
+        IntervalConfigFrom(options.hw, options.num_threads);
+    auto acquired_a = interval_cache_a_.Acquire(a_.polygons(), frame,
+                                                a_.epoch(), interval_config);
+    auto acquired_b = interval_cache_b_.Acquire(b_.polygons(), frame,
+                                                b_.epoch(), interval_config);
+    if (acquired_a.ok() && acquired_b.ok()) {
+      intervals_a = std::move(acquired_a).value();
+      intervals_b = std::move(acquired_b).value();
+    } else {
+      result.status =
+          acquired_a.ok() ? acquired_b.status() : acquired_a.status();
+    }
+  }
+  if ((use_raster || intervals_a != nullptr) && result.status.ok()) {
+    std::optional<filter::SignatureCache::Snapshot> sig_a;
+    std::optional<filter::SignatureCache::Snapshot> sig_b;
+    if (use_raster) {
+      sig_a = sig_cache_a_.Acquire(options.raster_filter_grid, a_.size(),
+                                   a_.epoch());
+      sig_b = sig_cache_b_.Acquire(options.raster_filter_grid, b_.size(),
+                                   b_.epoch());
+      if (executor.threads() > 1) {
+        if (Status s = executor.ParallelFor(
+                static_cast<int64_t>(candidates.size()),
+                [&](int64_t begin, int64_t end, int /*worker*/) {
+                  for (int64_t i = begin; i < end; ++i) {
+                    const auto& [ida, idb] =
+                        candidates[static_cast<size_t>(i)];
+                    sig_a->Get(static_cast<size_t>(ida),
+                               a_.polygon(static_cast<size_t>(ida)));
+                    sig_b->Get(static_cast<size_t>(idb),
+                               b_.polygon(static_cast<size_t>(idb)));
+                  }
+                });
+            !s.ok()) {
+          result.status = std::move(s);
+        }
       }
     }
     undecided.reserve(candidates.size());
@@ -75,11 +105,42 @@ JoinResult IntersectionJoin::Run(const JoinOptions& options) const {
         break;
       }
       const auto& [ida, idb] = candidates[ci];
+      if (intervals_a != nullptr) {
+        bool decided = true;
+        switch (filter::DecidePair(
+            intervals_a->object(static_cast<size_t>(ida)),
+            intervals_b->object(static_cast<size_t>(idb)))) {
+          case filter::IntervalVerdict::kHit:
+            HASJ_PARANOID_ONLY(paranoid::CheckIntervalAccept(
+                a_.polygon(static_cast<size_t>(ida)),
+                b_.polygon(static_cast<size_t>(idb)), options.hw));
+            result.pairs.emplace_back(ida, idb);
+            ++result.interval_hits;
+            ++result.counts.filter_hits;
+            break;
+          case filter::IntervalVerdict::kMiss:
+            HASJ_PARANOID_ONLY(paranoid::CheckIntervalReject(
+                a_.polygon(static_cast<size_t>(ida)),
+                b_.polygon(static_cast<size_t>(idb)), options.hw));
+            ++result.interval_misses;
+            ++result.counts.filter_hits;
+            break;
+          case filter::IntervalVerdict::kInconclusive:
+            ++result.interval_undecided;
+            decided = false;
+            break;
+        }
+        if (decided) continue;
+      }
+      if (!use_raster) {
+        undecided.emplace_back(ida, idb);
+        continue;
+      }
       switch (filter::CompareRasterSignatures(
-          sig_a.Get(static_cast<size_t>(ida),
-                    a_.polygon(static_cast<size_t>(ida))),
-          sig_b.Get(static_cast<size_t>(idb),
-                    b_.polygon(static_cast<size_t>(idb))))) {
+          sig_a->Get(static_cast<size_t>(ida),
+                     a_.polygon(static_cast<size_t>(ida))),
+          sig_b->Get(static_cast<size_t>(idb),
+                     b_.polygon(static_cast<size_t>(idb))))) {
         case filter::RasterFilterDecision::kIntersect:
           result.pairs.emplace_back(ida, idb);
           ++result.raster_positives;
@@ -148,7 +209,8 @@ JoinResult IntersectionJoin::Run(const JoinOptions& options) const {
   result.hw_counters = refined.counters;
   RecordQueryMetrics(options.hw.metrics, "join", result.costs, result.counts,
                      result.hw_counters, result.raster_positives,
-                     result.raster_negatives);
+                     result.raster_negatives, result.interval_hits,
+                     result.interval_misses, result.interval_undecided);
   return result;
 }
 

@@ -10,6 +10,7 @@
 #include "core/hw_config.h"
 #include "core/query_stats.h"
 #include "data/dataset.h"
+#include "filter/interval_approx.h"
 #include "filter/signature_cache.h"
 #include "index/rtree.h"
 
@@ -38,6 +39,12 @@ struct JoinResult {
   StageCounts counts;
   int64_t raster_positives = 0;  // pairs proven intersecting by the filter
   int64_t raster_negatives = 0;  // pairs proven disjoint by the filter
+  // Interval-filter decisions (zero unless hw.use_intervals): TRUE-HIT
+  // pairs accepted without refinement, TRUE-MISS pairs dropped, and the
+  // INCONCLUSIVE remainder routed to the geometry comparison.
+  int64_t interval_hits = 0;
+  int64_t interval_misses = 0;
+  int64_t interval_undecided = 0;
   HwCounters hw_counters;
   // Ok for a complete run; on kDeadlineExceeded / kInternal `pairs` is an
   // exact prefix of the complete result and counts.truncated is set.
@@ -65,6 +72,11 @@ class IntersectionJoin {
   // Per-side raster signatures, cached across runs at a fixed grid.
   filter::SignatureCache sig_cache_a_;
   filter::SignatureCache sig_cache_b_;
+  // Per-side raster-interval approximations (hw.use_intervals), built over
+  // the union frame of both datasets so cell indices are comparable; keyed
+  // on each dataset's epoch so in-place reloads rebuild them.
+  filter::IntervalApproxCache interval_cache_a_;
+  filter::IntervalApproxCache interval_cache_b_;
 };
 
 }  // namespace hasj::core

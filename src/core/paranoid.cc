@@ -163,6 +163,46 @@ void CheckFilledReject(const geom::Polygon& p, const geom::Polygon& q,
                            config.line_width, /*capsule_ends=*/false));
 }
 
+namespace {
+
+// Dump for the interval filter's decisions: no viewport or rendering — the
+// decision came from precomputed interval lists, not a framebuffer — so the
+// dump carries the exact geometry needed to replay DecidePair.
+std::string IntervalDump(const char* claim, const geom::Polygon& p,
+                         const geom::Polygon& q, const HwConfig& config) {
+  std::string dump =
+      "CONSERVATIVENESS VIOLATION in interval_approx: interval filter "
+      "decided a pair the exact predicate says ";
+  dump += claim;
+  dump += "\n  P = ";
+  dump += geom::ToWkt(p);
+  dump += "\n  Q = ";
+  dump += geom::ToWkt(q);
+  dump += "\n";
+  Append(dump, "  interval_grid_bits = %.0f, interval_budget_bytes = %.0f\n",
+         static_cast<double>(config.interval_grid_bits),
+         static_cast<double>(config.interval_budget_bytes));
+  return dump;
+}
+
+}  // namespace
+
+void CheckIntervalAccept(const geom::Polygon& p, const geom::Polygon& q,
+                         const HwConfig& config) {
+  NoteOracleCheck(config);
+  if (algo::PolygonsIntersect(p, q)) return;
+  ReportViolation(IntervalDump("does NOT intersect (bad TRUE HIT)", p, q,
+                               config));
+}
+
+void CheckIntervalReject(const geom::Polygon& p, const geom::Polygon& q,
+                         const HwConfig& config) {
+  NoteOracleCheck(config);
+  if (!algo::PolygonsIntersect(p, q)) return;
+  ReportViolation(IntervalDump("DOES intersect (bad TRUE MISS)", p, q,
+                               config));
+}
+
 void CheckNearestResult(const std::vector<geom::Point>& sites, geom::Point q,
                         int64_t got) {
   int64_t want = 0;

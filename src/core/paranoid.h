@@ -78,6 +78,16 @@ void CheckFilledReject(const geom::Polygon& p, const geom::Polygon& q,
 void CheckNearestResult(const std::vector<geom::Point>& sites, geom::Point q,
                         int64_t got);
 
+// Interval filter decided TRUE HIT: the closed regions must intersect.
+// Unlike the hardware testers the interval filter can *accept* without
+// refinement, so the oracle guards both sides of its decisions.
+void CheckIntervalAccept(const geom::Polygon& p, const geom::Polygon& q,
+                         const HwConfig& config);
+
+// Interval filter decided TRUE MISS: the closed regions must be disjoint.
+void CheckIntervalReject(const geom::Polygon& p, const geom::Polygon& q,
+                         const HwConfig& config);
+
 }  // namespace hasj::core::paranoid
 
 #endif  // HASJ_CORE_PARANOID_H_

@@ -9,7 +9,8 @@ namespace hasj::core {
 void RecordQueryMetrics(obs::Registry* metrics, const char* kind,
                         const StageCosts& costs, const StageCounts& counts,
                         const HwCounters& hw, int64_t raster_positives,
-                        int64_t raster_negatives) {
+                        int64_t raster_negatives, int64_t interval_hits,
+                        int64_t interval_misses, int64_t interval_undecided) {
   if (metrics == nullptr) return;
 
   metrics
@@ -23,6 +24,9 @@ void RecordQueryMetrics(obs::Registry* metrics, const char* kind,
   metrics->GetCounter(obs::kStageFilterDecided).Add(counts.filter_hits);
   metrics->GetCounter(obs::kStageFilterRasterPos).Add(raster_positives);
   metrics->GetCounter(obs::kStageFilterRasterNeg).Add(raster_negatives);
+  metrics->GetCounter(obs::kStageIntervalHits).Add(interval_hits);
+  metrics->GetCounter(obs::kStageIntervalMisses).Add(interval_misses);
+  metrics->GetCounter(obs::kStageIntervalUndecided).Add(interval_undecided);
   metrics->GetGauge(obs::kStageCompareMs).Add(costs.compare_ms);
   metrics->GetCounter(obs::kStageCompareIn).Add(counts.compared);
   metrics->GetCounter(obs::kQueryResults).Add(counts.results);

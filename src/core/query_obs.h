@@ -18,11 +18,16 @@ namespace hasj::core {
 //
 // `kind` is the pipeline name ("selection", "join", "distance_selection",
 // "distance_join"); raster_positives/raster_negatives are the raster-filter
-// decisions (zero for pipelines without that filter).
+// decisions and interval_hits/interval_misses/interval_undecided the
+// raster-interval filter's decisions (zero for pipelines without those
+// filters).
 void RecordQueryMetrics(obs::Registry* metrics, const char* kind,
                         const StageCosts& costs, const StageCounts& counts,
                         const HwCounters& hw, int64_t raster_positives = 0,
-                        int64_t raster_negatives = 0);
+                        int64_t raster_negatives = 0,
+                        int64_t interval_hits = 0,
+                        int64_t interval_misses = 0,
+                        int64_t interval_undecided = 0);
 
 }  // namespace hasj::core
 

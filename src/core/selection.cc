@@ -6,6 +6,8 @@
 #include "common/stopwatch.h"
 #include "core/batch_tester.h"
 #include "core/hw_intersection.h"
+#include "core/interval_stage.h"
+#include "core/paranoid.h"
 #include "core/query_obs.h"
 #include "core/refinement_executor.h"
 #include "filter/interior_filter.h"
@@ -53,7 +55,7 @@ SelectionResult IntersectionSelection::Run(
   if (options.raster_filter_grid > 0) {
     query_signature.emplace(query, options.raster_filter_grid);
     signatures = signature_cache_.Acquire(options.raster_filter_grid,
-                                          dataset_.size());
+                                          dataset_.size(), dataset_.epoch());
     // Pre-build the candidate signatures in parallel (per-slot call_once,
     // so duplicate builds cannot happen); the serial decision loop below
     // then reads a warm cache. Candidates the interior filter will decide
@@ -76,6 +78,22 @@ SelectionResult IntersectionSelection::Run(
       }
     }
   }
+  // Interval secondary filter (DESIGN.md §12): dataset approximation built
+  // once per (grid, budget, epoch) and shared across queries; the query
+  // object is approximated against the same grid here.
+  std::shared_ptr<const filter::IntervalApprox> intervals;
+  filter::ObjectIntervals query_intervals;
+  if (options.hw.use_intervals && result.status.ok()) {
+    auto acquired = interval_cache_.Acquire(
+        dataset_.polygons(), dataset_.Bounds(), dataset_.epoch(),
+        IntervalConfigFrom(options.hw, options.num_threads));
+    if (acquired.ok()) {
+      intervals = std::move(acquired).value();
+      query_intervals = intervals->ApproximateObject(query);
+    } else {
+      result.status = acquired.status();
+    }
+  }
   const bool guarded = deadline.active();
   for (size_t ci = 0; ci < candidates.size() && result.status.ok(); ++ci) {
     // Poll the budget every 64 candidates: truncating here leaves `ids` a
@@ -90,6 +108,27 @@ SelectionResult IntersectionSelection::Run(
       result.ids.push_back(id);
       ++result.counts.filter_hits;
       continue;
+    }
+    if (intervals != nullptr) {
+      switch (filter::DecidePair(query_intervals,
+                                 intervals->object(static_cast<size_t>(id)))) {
+        case filter::IntervalVerdict::kHit:
+          HASJ_PARANOID_ONLY(paranoid::CheckIntervalAccept(
+              dataset_.polygon(static_cast<size_t>(id)), query, options.hw));
+          result.ids.push_back(id);
+          ++result.interval_hits;
+          ++result.counts.filter_hits;
+          continue;
+        case filter::IntervalVerdict::kMiss:
+          HASJ_PARANOID_ONLY(paranoid::CheckIntervalReject(
+              dataset_.polygon(static_cast<size_t>(id)), query, options.hw));
+          ++result.interval_misses;
+          ++result.counts.filter_hits;
+          continue;
+        case filter::IntervalVerdict::kInconclusive:
+          ++result.interval_undecided;
+          break;
+      }
     }
     if (query_signature.has_value()) {
       switch (filter::CompareRasterSignatures(
@@ -156,7 +195,9 @@ SelectionResult IntersectionSelection::Run(
   result.hw_counters = refined.counters;
   RecordQueryMetrics(options.hw.metrics, "selection", result.costs,
                      result.counts, result.hw_counters,
-                     result.raster_positives, result.raster_negatives);
+                     result.raster_positives, result.raster_negatives,
+                     result.interval_hits, result.interval_misses,
+                     result.interval_undecided);
   return result;
 }
 

@@ -10,6 +10,7 @@
 #include "core/hw_config.h"
 #include "core/query_stats.h"
 #include "data/dataset.h"
+#include "filter/interval_approx.h"
 #include "filter/signature_cache.h"
 #include "geom/polygon.h"
 #include "index/rtree.h"
@@ -44,6 +45,12 @@ struct SelectionResult {
   StageCounts counts;
   int64_t raster_positives = 0;  // decided intersecting by the raster filter
   int64_t raster_negatives = 0;  // decided disjoint by the raster filter
+  // Interval-filter decisions (zero unless hw.use_intervals): TRUE-HIT
+  // pairs accepted without refinement, TRUE-MISS pairs dropped, and the
+  // INCONCLUSIVE remainder routed to the geometry comparison.
+  int64_t interval_hits = 0;
+  int64_t interval_misses = 0;
+  int64_t interval_undecided = 0;
   HwCounters hw_counters;        // zero unless use_hw
   // Ok for a complete run. kDeadlineExceeded (budget/cancel) or kInternal
   // (a refinement worker failed): `ids` is then an exact prefix of the
@@ -75,6 +82,10 @@ class IntersectionSelection {
   // for its grid size, so grid changes install a fresh slot array instead
   // of clearing one that another run may still be reading.
   filter::SignatureCache signature_cache_;
+  // Dataset-level raster-interval approximation (hw.use_intervals), built
+  // on first use and shared across queries; keyed on the dataset epoch so
+  // an in-place reload rebuilds it.
+  filter::IntervalApproxCache interval_cache_;
 };
 
 }  // namespace hasj::core

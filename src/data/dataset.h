@@ -1,6 +1,7 @@
 #ifndef HASJ_DATA_DATASET_H_
 #define HASJ_DATA_DATASET_H_
 
+#include <cstdint>
 #include <string>
 #include <utility>
 #include <vector>
@@ -43,7 +44,22 @@ class Dataset {
   void Add(geom::Polygon polygon) {
     extent_.Extend(polygon.Bounds());
     polygons_.push_back(std::move(polygon));
+    ++epoch_;
   }
+
+  // Drops every polygon (keeping the name) so the dataset can be refilled
+  // in place, e.g. by ReloadDatasetInPlace.
+  void Clear() {
+    polygons_.clear();
+    extent_ = geom::Box::Empty();
+    ++epoch_;
+  }
+
+  // Monotone content version: bumped by every Add/Clear. Derived snapshots
+  // (filter/signature_cache, filter/interval_approx) key on it so a dataset
+  // reloaded in place invalidates them instead of silently serving
+  // approximations of polygons that no longer exist.
+  uint64_t epoch() const { return epoch_; }
 
   const geom::Box& Bounds() const { return extent_; }
 
@@ -56,6 +72,7 @@ class Dataset {
   std::string name_;
   std::vector<geom::Polygon> polygons_;
   geom::Box extent_ = geom::Box::Empty();
+  uint64_t epoch_ = 0;
 };
 
 // The paper's Equation 2: the base query distance for a within-distance

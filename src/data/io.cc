@@ -60,4 +60,16 @@ Result<Dataset> LoadDataset(const std::string& path, std::string name,
   return dataset;
 }
 
+Status ReloadDatasetInPlace(const std::string& path, Dataset* dataset,
+                            const LoadLimits& limits) {
+  Result<Dataset> loaded = LoadDataset(path, dataset->name(), limits);
+  if (!loaded.ok()) return loaded.status();
+  Dataset fresh = std::move(loaded).value();
+  dataset->Clear();
+  for (const geom::Polygon& polygon : fresh.polygons()) {
+    dataset->Add(polygon);
+  }
+  return Status::Ok();
+}
+
 }  // namespace hasj::data

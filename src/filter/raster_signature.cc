@@ -49,7 +49,13 @@ RasterSignature::RasterSignature(const geom::Polygon& polygon, int grid_size)
 
   // Phase 2: classify runs of non-boundary cells per row (status can only
   // change across a boundary cell; see InteriorFilter for the argument).
-  for (int j = 0; j < n_; ++j) {
+  // Degenerate rings (fewer than 3 vertices, or zero area — e.g. a folded
+  // A-B-A spike) have no interior at all, and the crossing-number probe is
+  // not trustworthy on them, so every occupied cell must stay kBoundary:
+  // classifying a cell kInterior would let RegionAllInterior "prove" an
+  // intersection that does not exist.
+  const bool has_interior = polygon.size() >= 3 && polygon.Area() > 0.0;
+  for (int j = 0; has_interior && j < n_; ++j) {
     int i = 0;
     while (i < n_) {
       if (cells_[static_cast<size_t>(j) * n_ + i] ==

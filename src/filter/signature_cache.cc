@@ -12,6 +12,7 @@ struct SignatureCache::Snapshot::State {
 
   int grid = 0;
   size_t count = 0;
+  uint64_t epoch = 0;
   std::unique_ptr<Slot[]> slots;
 };
 
@@ -33,13 +34,16 @@ const RasterSignature& SignatureCache::Snapshot::Get(
 SignatureCache::SignatureCache() = default;
 SignatureCache::~SignatureCache() = default;
 
-SignatureCache::Snapshot SignatureCache::Acquire(int grid, size_t count) const {
+SignatureCache::Snapshot SignatureCache::Acquire(int grid, size_t count,
+                                                 uint64_t epoch) const {
   HASJ_CHECK(grid > 0);
   std::lock_guard<std::mutex> lock(mu_);
-  if (state_ == nullptr || state_->grid != grid || state_->count < count) {
+  if (state_ == nullptr || state_->grid != grid || state_->count < count ||
+      state_->epoch != epoch) {
     auto fresh = std::make_shared<Snapshot::State>();
     fresh->grid = grid;
     fresh->count = count;
+    fresh->epoch = epoch;
     fresh->slots = std::make_unique<Snapshot::State::Slot[]>(count);
     state_ = std::move(fresh);
   }

@@ -2,6 +2,7 @@
 #define HASJ_FILTER_SIGNATURE_CACHE_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 
@@ -42,10 +43,13 @@ class SignatureCache {
   SignatureCache();
   ~SignatureCache();
 
-  // Snapshot for `grid` over objects [0, count); reuses the live slot
-  // array when the grid matches (the cross-query amortization the paper's
-  // pre-processing taxonomy describes), otherwise installs a fresh one.
-  Snapshot Acquire(int grid, size_t count) const;
+  // Snapshot for `grid` over objects [0, count) of dataset content version
+  // `epoch` (data::Dataset::epoch); reuses the live slot array when both
+  // match (the cross-query amortization the paper's pre-processing taxonomy
+  // describes), otherwise installs a fresh one. Keying on the epoch is what
+  // keeps an in-place dataset reload from serving signatures built from the
+  // pre-reload polygons.
+  Snapshot Acquire(int grid, size_t count, uint64_t epoch) const;
 
  private:
   mutable std::mutex mu_;

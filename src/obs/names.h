@@ -57,6 +57,16 @@ inline constexpr char kGlsimAccumOps[] = "glsim.accum_ops";
 inline constexpr char kGlsimMinmaxSearches[] = "glsim.minmax_searches";
 inline constexpr char kGlsimClears[] = "glsim.clears";
 
+// Raster-interval approximation (filter/interval_approx, DESIGN.md §12).
+inline constexpr char kStageIntervalHits[] = "stage.interval.hits";
+inline constexpr char kStageIntervalMisses[] = "stage.interval.misses";
+inline constexpr char kStageIntervalUndecided[] = "stage.interval.undecided";
+inline constexpr char kIntervalBuildMs[] = "interval.build_ms";  // gauge
+inline constexpr char kIntervalObjects[] = "interval.build_objects";
+inline constexpr char kIntervalUnapproximated[] =
+    "interval.build_unapproximated";
+inline constexpr char kIntervalIntervals[] = "interval.build_intervals";
+
 // Paranoid conservativeness oracle (core/paranoid.h).
 inline constexpr char kParanoidChecks[] = "paranoid.checks";
 

@@ -340,6 +340,98 @@ TEST(ChaosFaultTest, DeadlineZeroAndNoCancelRunsToCompletion) {
   EXPECT_FALSE(r.counts.truncated);
 }
 
+TEST(ChaosFaultTest, BatchedFallbackCountersConserve) {
+  // Exact-arithmetic audit of the batched fallback accounting: with
+  // sw_threshold = 0 on the bitmask backend, every Test() either misses at
+  // the MBR pre-check or routes to hardware, and every hardware-routed
+  // pair is resolved exactly once — by a completed hardware execution
+  // (hw_tests, whether batched or per-pair-retried) or by the software
+  // fallback (hw_fallback_pairs). A pair that were double-counted across
+  // the batch and per-pair paths, or dropped between them, breaks the
+  // equation at some fault rate.
+  const data::Dataset a = MakeDataset(923, 90, 0.4);
+  const data::Dataset b = MakeDataset(924, 70, 0.4);
+  const IntersectionJoin join(a, b);
+  JoinOptions options;
+  options.use_hw = true;
+  options.hw.use_batching = true;
+  options.hw.sw_threshold = 0;
+  options.hw.backend = HwBackend::kBitmask;
+  const JoinResult baseline = join.Run(options);
+  ASSERT_TRUE(baseline.status.ok());
+  ASSERT_GT(baseline.hw_counters.hw_tests, 0);
+
+  for (const double rate : {0.0, 0.3, 1.0}) {
+    for (const int threads : {1, 3}) {
+      FaultInjector faults(ChaosSeed(rate));
+      ArmAllHwSites(&faults, rate);
+      options.hw.faults = &faults;
+      options.num_threads = threads;
+      const JoinResult r = join.Run(options);
+      ASSERT_TRUE(r.status.ok()) << CaseName(rate, true, threads);
+      EXPECT_EQ(r.pairs, baseline.pairs) << CaseName(rate, true, threads);
+      const HwCounters& hw = r.hw_counters;
+      EXPECT_EQ(hw.hw_tests + hw.hw_fallback_pairs, hw.tests - hw.mbr_misses)
+          << CaseName(rate, true, threads);
+      EXPECT_EQ(hw.sw_threshold_skips, 0);
+      // Batched pairs are the subset of hardware executions that ran in an
+      // atlas pass; per-pair retries of faulted batches add hw_tests only.
+      EXPECT_LE(hw.batch.batched_pairs, hw.hw_tests)
+          << CaseName(rate, true, threads);
+      if (rate == 0.0) {
+        EXPECT_EQ(hw.batch.batched_pairs, hw.hw_tests);
+        EXPECT_EQ(hw.hw_fallback_pairs, 0);
+        EXPECT_EQ(hw.hw_faults, 0);
+      }
+    }
+  }
+}
+
+TEST(ChaosFaultTest, IntervalJoinIdentityUnderFaults) {
+  // The interval secondary filter must keep the chaos identity: at every
+  // fault rate — including dataset-load faults that degrade interval
+  // builds — the join with intervals on returns exactly the pairs of the
+  // intervals-off baseline. (Different FaultInjector instances per run,
+  // since arming mutates the injector in place.)
+  const data::Dataset a = MakeDataset(925, 90, 0.4);
+  const data::Dataset b = MakeDataset(926, 70, 0.4);
+  JoinOptions options;
+  options.use_hw = true;
+  const JoinResult baseline = IntersectionJoin(a, b).Run(options);
+  ASSERT_TRUE(baseline.status.ok());
+  ASSERT_GT(baseline.counts.candidates, 0);
+  // Interval hits surface in stage 2, ahead of refined pairs, so compare
+  // as sets (the cross-configuration idiom of core_join_test).
+  std::vector<std::pair<int64_t, int64_t>> expected = baseline.pairs;
+  std::sort(expected.begin(), expected.end());
+
+  options.hw.use_intervals = true;
+  options.hw.interval_grid_bits = 8;
+  for (const double rate : {0.0, 0.3, 1.0}) {
+    for (const bool batched : {false, true}) {
+      // Fresh join per run so the interval cache rebuilds under this run's
+      // injector instead of reusing a clean build.
+      const IntersectionJoin join(a, b);
+      FaultInjector faults(ChaosSeed(rate));
+      ArmAllHwSites(&faults, rate);
+      faults.SetPlan(FaultSite::kDatasetLoad, FaultPlan::Probability(rate));
+      options.hw.faults = &faults;
+      options.hw.use_batching = batched;
+      const JoinResult r = join.Run(options);
+      ASSERT_TRUE(r.status.ok()) << CaseName(rate, batched, 1);
+      std::vector<std::pair<int64_t, int64_t>> got = r.pairs;
+      std::sort(got.begin(), got.end());
+      EXPECT_EQ(got, expected) << CaseName(rate, batched, 1);
+      EXPECT_EQ(r.interval_hits + r.interval_misses + r.interval_undecided,
+                r.counts.candidates)
+          << CaseName(rate, batched, 1);
+      if (rate == 0.0) {
+        EXPECT_GT(r.interval_hits + r.interval_misses, 0);
+      }
+    }
+  }
+}
+
 TEST(ChaosFaultTest, DatasetLoadFaultAbortsTheLoad) {
   const data::Dataset ds = MakeDataset(921, 10, 0.0);
   const std::string path = ::testing::TempDir() + "chaos_load.wkt";
