@@ -2,7 +2,8 @@
 # The full correctness gauntlet (DESIGN.md §6):
 #   1. normal build + complete ctest (includes the lint_hasj domain lint)
 #   2. standalone lint run (so a lint break is reported even without ctest)
-#   3. clang-tidy over src/ when clang-tidy is installed (skipped otherwise)
+#   3. clang-tidy over the sources this branch changed (full-tree sweep
+#      when there is no base to diff against) when clang-tidy is installed
 #   4. ASan + UBSan build running the full suite
 #   5. TSan build running the parallel-refinement cross-checks
 #   6. HASJ_PARANOID build running the conservativeness-oracle stress test
@@ -69,9 +70,22 @@ python3 scripts/lint_hasj.py
 echo "== [3/6] clang-tidy =="
 if command -v clang-tidy >/dev/null 2>&1; then
   cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
-  # Analyze the library sources; headers come in via HeaderFilterRegex.
-  find src -name '*.cc' -print0 |
-    xargs -0 -n 8 clang-tidy -p build --quiet
+  # Analyze the sources changed by this branch (working tree + commits past
+  # the merge-base with origin/main); headers come in via HeaderFilterRegex.
+  # Falls back to the full tree when there is no base to diff against (CI
+  # shallow clones, detached checkouts).
+  TIDY_FILES=$( {
+    git diff --name-only --diff-filter=d HEAD -- 'src/*.cc' 'src/**/*.cc'
+    if BASE=$(git merge-base HEAD origin/main 2>/dev/null); then
+      git diff --name-only --diff-filter=d "$BASE" HEAD \
+        -- 'src/*.cc' 'src/**/*.cc'
+    fi
+  } | sort -u )
+  if [[ -z "$TIDY_FILES" ]]; then
+    echo "no changed sources vs origin/main; sweeping all of src/"
+    TIDY_FILES=$(find src -name '*.cc' | sort)
+  fi
+  echo "$TIDY_FILES" | xargs -n 8 clang-tidy -p build --quiet
 else
   echo "clang-tidy not installed; skipping"
 fi

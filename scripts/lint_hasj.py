@@ -22,17 +22,41 @@ Repo-specific correctness rules that generic tooling cannot express:
   include-order    Own header first in .cc files; include blocks grouped
                    (own / <system> / "project") with each group sorted.
 
+Concurrency rules (DESIGN.md §13) — the lexical complement of the Clang
+Thread Safety Analysis the HASJ_THREAD_SAFETY build runs:
+
+  naked-mutex      No raw std::mutex / std::shared_mutex / std::lock_guard /
+                   std::unique_lock / std::scoped_lock / std::shared_lock /
+                   std::condition_variable (or their headers) outside
+                   common/mutex.h. Raw primitives are invisible to the
+                   thread-safety analysis; the annotated wrappers are not.
+  atomic-ordering  Every load/store/exchange/fetch_*/compare_exchange_* on a
+                   std::atomic names an explicit std::memory_order_* — no
+                   default-seq-cst-by-omission. Forces each site to state
+                   (and the reviewer to check) the ordering it actually
+                   needs.
+  guarded-by-coverage
+                   In any class that owns a Mutex/SharedMutex, every
+                   mutable data member must carry HASJ_GUARDED_BY /
+                   HASJ_PT_GUARDED_BY, be a std::atomic (or another
+                   synchronization primitive), be const, or carry an
+                   allow-comment naming the confinement argument. Catches
+                   the field someone adds next year without deciding who
+                   guards it.
+
 Any rule can be suppressed on a specific line with a trailing
 `// lint:allow(<rule>): <reason>` comment; the reason is mandatory.
 Exit code 0 = clean, 1 = violations (printed one per line).
+
+`--src DIR` overrides the tree to scan (default: <repo>/src); the lint
+self-test (tests/lint_hasj_test.py) uses it to run the rules over fixture
+snippets.
 """
 
+import argparse
 import os
 import re
 import sys
-
-REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-SRC = os.path.join(REPO, "src")
 
 ALLOW_RE = re.compile(r"//\s*lint:allow\(([a-z-]+)\):\s*\S")
 BARE_ALLOW_RE = re.compile(r"//\s*lint:allow\(([a-z-]+)\)\s*(?::\s*)?$")
@@ -40,8 +64,8 @@ BARE_ALLOW_RE = re.compile(r"//\s*lint:allow\(([a-z-]+)\)\s*(?::\s*)?$")
 violations = []
 
 
-def report(path, lineno, rule, message):
-    rel = os.path.relpath(path, REPO)
+def report(path, lineno, rule, message, root):
+    rel = os.path.relpath(path, root)
     violations.append(f"{rel}:{lineno}: [{rule}] {message}")
 
 
@@ -85,7 +109,7 @@ FLOAT_OPERAND = re.compile(
 COMPARISON = re.compile(r"([^=!<>]|^)([!=]=)(?!=)")
 
 
-def check_float_eq(path, lines):
+def check_float_eq(path, lines, root):
     for i, raw in enumerate(lines, 1):
         if allowed(raw, "float-eq", lines[i - 2] if i > 1 else ""):
             continue
@@ -101,6 +125,7 @@ def check_float_eq(path, lines):
                     path, i, "float-eq",
                     f"exact floating-point {m.group(2)} — use a tolerance "
                     "or justify with // lint:allow(float-eq): <reason>",
+                    root,
                 )
                 break
 
@@ -109,7 +134,7 @@ def check_float_eq(path, lines):
 RAW_CAST = re.compile(r"static_cast<\s*int\s*>\s*\(|\(int\)\s*[\w(]")
 
 
-def check_glsim_cast(path, lines):
+def check_glsim_cast(path, lines, root):
     if os.path.basename(path) == "pixel_snap.h":
         return  # the blessed helper
     for i, raw in enumerate(lines, 1):
@@ -120,6 +145,7 @@ def check_glsim_cast(path, lines):
                 path, i, "glsim-raw-cast",
                 "raw int cast in the rasterizer — route float->pixel "
                 "snapping through glsim::PixelFromCoord (pixel_snap.h)",
+                root,
             )
 
 
@@ -135,7 +161,7 @@ STATUS_APIS = (
 VOID_LAUNDER = re.compile(rf"\(void\)\s*[\w.->]*\b{STATUS_APIS}\s*\(")
 
 
-def check_status_discard(path, lines):
+def check_status_discard(path, lines, root):
     for i, raw in enumerate(lines, 1):
         if allowed(raw, "status-discard", lines[i - 2] if i > 1 else ""):
             continue
@@ -144,11 +170,14 @@ def check_status_discard(path, lines):
                 path, i, "status-discard",
                 "Status result laundered through (void) — handle it or use "
                 "HASJ_CHECK_OK",
+                root,
             )
 
 
-def check_status_nodiscard_classes():
-    status_h = os.path.join(SRC, "common", "status.h")
+def check_status_nodiscard_classes(src, root):
+    status_h = os.path.join(src, "common", "status.h")
+    if not os.path.exists(status_h):
+        return  # fixture tree without the real status header
     with open(status_h, encoding="utf-8") as f:
         text = f.read()
     for cls in ("Status", "Result"):
@@ -156,12 +185,13 @@ def check_status_nodiscard_classes():
             report(
                 status_h, 1, "status-discard",
                 f"class {cls} must be declared [[nodiscard]]",
+                root,
             )
 
 
 # --- header-guard -------------------------------------------------------
-def check_header_guard(path, lines):
-    rel = os.path.relpath(path, SRC)
+def check_header_guard(path, lines, src, root):
+    rel = os.path.relpath(path, src)
     guard = "HASJ_" + re.sub(r"[/.]", "_", rel).upper() + "_"
     text = "".join(lines)
     ifndef = re.search(r"#ifndef\s+(\S+)", text)
@@ -171,20 +201,22 @@ def check_header_guard(path, lines):
             path, 1, "header-guard",
             f"expected include guard {guard}, found "
             f"{ifndef.group(1) if ifndef else 'none'}",
+            root,
         )
     elif not define or define.group(1) != guard:
-        report(path, 1, "header-guard", f"#define does not match {guard}")
+        report(path, 1, "header-guard", f"#define does not match {guard}",
+               root)
     elif f"#endif  // {guard}" not in text:
         report(path, 1, "header-guard",
-               f"closing '#endif  // {guard}' comment missing")
+               f"closing '#endif  // {guard}' comment missing", root)
 
 
 # --- include-order ------------------------------------------------------
 INCLUDE_RE = re.compile(r'#include\s+(<[^>]+>|"[^"]+")')
 
 
-def check_include_order(path, lines):
-    rel = os.path.relpath(path, SRC)
+def check_include_order(path, lines, src, root):
+    rel = os.path.relpath(path, src)
     own_header = re.sub(r"\.cc$", ".h", rel)
     includes = []  # (lineno, token, preceded_by_blank)
     blank_before = False
@@ -201,11 +233,12 @@ def check_include_order(path, lines):
     if not includes:
         return
     idx = 0
-    if path.endswith(".cc") and os.path.exists(os.path.join(SRC, own_header)):
+    if path.endswith(".cc") and os.path.exists(os.path.join(src, own_header)):
         if includes[0][1] != f'"{own_header}"':
             report(
                 path, includes[0][0], "include-order",
                 f'own header "{own_header}" must be the first include',
+                root,
             )
             return
         idx = 1
@@ -225,6 +258,7 @@ def check_include_order(path, lines):
             report(
                 path, group[0][0], "include-order",
                 "mixed <system> and \"project\" includes in one block",
+                root,
             )
             continue
         if kinds == {"<"}:
@@ -232,6 +266,7 @@ def check_include_order(path, lines):
                 report(
                     path, group[0][0], "include-order",
                     "<system> include block after a \"project\" block",
+                    root,
                 )
         else:
             seen_project = True
@@ -240,17 +275,251 @@ def check_include_order(path, lines):
             report(
                 path, group[0][0], "include-order",
                 f"include block not sorted: {', '.join(tokens)}",
+                root,
+            )
+
+
+# --- naked-mutex --------------------------------------------------------
+# Raw standard-library locking primitives are invisible to the Clang Thread
+# Safety Analysis; the annotated wrappers in common/mutex.h are the only
+# blessed spelling. std::once_flag / std::call_once are deliberately NOT in
+# the pattern: call_once is a one-shot initialization primitive, not a lock
+# the analysis could track (its <mutex> include does need an allow-comment,
+# which is where the justification lands).
+NAKED_MUTEX = re.compile(
+    r"\bstd::(?:recursive_|timed_|recursive_timed_|shared_)?mutex\b"
+    r"|\bstd::(?:lock_guard|unique_lock|scoped_lock|shared_lock)\b"
+    r"|\bstd::condition_variable(?:_any)?\b"
+)
+NAKED_MUTEX_INCLUDE = re.compile(
+    r"#include\s+<(?:mutex|shared_mutex|condition_variable)>"
+)
+
+
+def check_naked_mutex(path, lines, src, root):
+    if os.path.relpath(path, src) == os.path.join("common", "mutex.h"):
+        return  # the blessed wrapper itself
+    for i, raw in enumerate(lines, 1):
+        if allowed(raw, "naked-mutex", lines[i - 2] if i > 1 else ""):
+            continue
+        code = strip_comments_and_strings(raw)
+        if NAKED_MUTEX.search(code) or NAKED_MUTEX_INCLUDE.search(code):
+            report(
+                path, i, "naked-mutex",
+                "raw std locking primitive outside common/mutex.h — use the "
+                "annotated Mutex/MutexLock/CondVar wrappers (or justify "
+                "with // lint:allow(naked-mutex): <reason>)",
+                root,
+            )
+
+
+# --- atomic-ordering ----------------------------------------------------
+# Atomic operations whose std::memory_order argument is optional: omitting
+# it silently means seq_cst, which is almost never what a reviewed hot path
+# intends. Requiring the argument makes every site state its ordering.
+ATOMIC_OP = re.compile(
+    r"(?:\.|->)\s*(load|store|exchange|fetch_add|fetch_sub|fetch_and|"
+    r"fetch_or|fetch_xor|compare_exchange_weak|compare_exchange_strong)"
+    r"\s*\("
+)
+# How many lines one call may span before we give up scanning for its
+# closing paren (argument lists here are short).
+MAX_CALL_SPAN = 8
+
+
+def call_argument_text(lines, line_idx, open_col):
+    """Text of a call's argument list, from the opening paren at
+    (line_idx, open_col) to its balanced close; joined across lines."""
+    depth = 0
+    parts = []
+    for j in range(line_idx, min(line_idx + MAX_CALL_SPAN, len(lines))):
+        code = strip_comments_and_strings(lines[j])
+        start = open_col if j == line_idx else 0
+        for k in range(start, len(code)):
+            ch = code[k]
+            if ch == "(":
+                depth += 1
+            elif ch == ")":
+                depth -= 1
+                if depth == 0:
+                    parts.append(code[start:k + 1])
+                    return "".join(parts)
+        parts.append(code[start:])
+    return "".join(parts)  # unbalanced: best effort
+
+
+def check_atomic_ordering(path, lines, root):
+    for i, raw in enumerate(lines, 1):
+        if allowed(raw, "atomic-ordering", lines[i - 2] if i > 1 else ""):
+            continue
+        code = strip_comments_and_strings(raw)
+        for m in ATOMIC_OP.finditer(code):
+            args = call_argument_text(lines, i - 1, m.end() - 1)
+            if "memory_order" not in args:
+                report(
+                    path, i, "atomic-ordering",
+                    f"atomic {m.group(1)}() without an explicit "
+                    "std::memory_order_* — seq-cst-by-omission; name the "
+                    "ordering the site actually needs",
+                    root,
+                )
+                break
+
+
+# --- guarded-by-coverage ------------------------------------------------
+# Any class that owns an annotated Mutex/SharedMutex must say, for every
+# mutable data member, who guards it: HASJ_GUARDED_BY / HASJ_PT_GUARDED_BY,
+# std::atomic, const-ness, another synchronization primitive, or an
+# allow-comment carrying the confinement argument.
+CLASS_DECL = re.compile(
+    r"(?<!enum )\b(class|struct)\s+(?:HASJ_\w+\([^)]*\)\s*)?"
+    r"(?:\[\[\w+\]\]\s*)?(\w+)"
+)
+OWNS_MUTEX = re.compile(r"(?<![:\w])(?:mutable\s+)?(Mutex|SharedMutex)\s+\w+\s*[;{]")
+MEMBER_NAME = re.compile(r"\b([A-Za-z]\w*_)\s*(?:\[[^\]]*\])?\s*;\s*$")
+SYNC_TYPES = re.compile(
+    r"std::atomic\b|(?<![:\w])Mutex\b|(?<![:\w])SharedMutex\b"
+    r"|(?<![:\w])CondVar\b|std::once_flag\b"
+)
+# `const T name_;` or `T* const name_;` — the member itself is immutable.
+CONST_MEMBER = re.compile(
+    r"^(?:mutable\s+)?(?:static\s+)?const\s+[\w:<>,\s]+\s\w+_\s*;$"
+    r"|[*&]\s*const\s+\w+_\s*(?:\[[^\]]*\])?\s*;\s*$"
+)
+NON_MEMBER_KEYWORDS = re.compile(
+    r"^\s*(?:friend|using|typedef|static_assert|public|private|protected|"
+    r"template|enum)\b"
+)
+
+
+class _ClassScope:
+    def __init__(self, name, body_depth):
+        self.name = name
+        self.body_depth = body_depth
+        self.owns_mutex = False
+        self.members = []  # (start_lineno, stmt_code)
+
+
+def collect_class_members(lines):
+    """Lexical single-pass scan: returns the list of finished _ClassScope
+    objects with their direct member-declaration statements."""
+    depth = 0
+    pending_class = None  # name awaiting its opening brace
+    stack = []  # mix of _ClassScope and None (non-class braces)
+    finished = []
+    stmt = ""  # accumulating statement text at the innermost class depth
+    stmt_start = 0
+    for lineno, raw in enumerate(lines, 1):
+        code = strip_comments_and_strings(raw)
+        m = CLASS_DECL.search(code)
+        if m:
+            tail = code[m.end():]
+            brace = tail.find("{")
+            semi = tail.find(";")
+            if brace != -1 and (semi == -1 or brace < semi):
+                pending_class = m.group(2)
+            elif semi == -1:
+                pending_class = m.group(2)  # brace on a later line
+        innermost = stack[-1] if stack and isinstance(stack[-1], _ClassScope) \
+            else None
+        at_member_depth = innermost is not None and depth == innermost.body_depth
+        for k, ch in enumerate(code):
+            if ch == "{":
+                depth += 1
+                if pending_class is not None:
+                    stack.append(_ClassScope(pending_class, depth))
+                    pending_class = None
+                else:
+                    stack.append(None)
+                stmt, at_member_depth = "", False
+                innermost = stack[-1] if isinstance(stack[-1], _ClassScope) \
+                    else None
+                if innermost is not None and depth == innermost.body_depth:
+                    at_member_depth = True
+            elif ch == "}":
+                depth -= 1
+                if stack:
+                    closed = stack.pop()
+                    if isinstance(closed, _ClassScope):
+                        finished.append(closed)
+                stmt, at_member_depth = "", False
+                innermost = next(
+                    (s for s in reversed(stack) if isinstance(s, _ClassScope)),
+                    None,
+                )
+                if innermost is not None and stack and \
+                        stack[-1] is innermost and depth == innermost.body_depth:
+                    at_member_depth = True
+            elif at_member_depth:
+                if not stmt.strip():
+                    stmt_start = lineno
+                stmt += ch
+                if ch == ";":
+                    text = " ".join(stmt.split()).strip()
+                    if text:
+                        innermost.members.append((stmt_start, text))
+                        if OWNS_MUTEX.search(text):
+                            innermost.owns_mutex = True
+                    stmt = ""
+        if at_member_depth:
+            stmt += " "  # line break inside a statement
+    return finished
+
+
+def is_data_member(stmt):
+    """Does a class-scope statement declare a data member (vs a method,
+    friend, using, access label, nested type...)?"""
+    if NON_MEMBER_KEYWORDS.match(stmt):
+        return None
+    # Drop annotation macros, brace initializers, and '=' initializers so a
+    # function declaration is recognizable by its remaining parentheses.
+    cleaned = re.sub(r"HASJ_\w+\s*\([^()]*\)", "", stmt)
+    cleaned = re.sub(r"\{[^{}]*\}", "", cleaned)
+    cleaned = re.sub(r"=[^;]*;", ";", cleaned)
+    cleaned = " ".join(cleaned.split())
+    if "(" in cleaned:
+        return None  # method / constructor / function pointer (rare)
+    m = MEMBER_NAME.search(cleaned)
+    return (m.group(1), cleaned) if m else None
+
+
+def check_guarded_by(path, lines, root):
+    for scope in collect_class_members(lines):
+        if not scope.owns_mutex:
+            continue
+        for start, stmt in scope.members:
+            member = is_data_member(stmt)
+            if member is None:
+                continue
+            name, cleaned = member
+            if "HASJ_GUARDED_BY" in stmt or "HASJ_PT_GUARDED_BY" in stmt:
+                continue
+            if SYNC_TYPES.search(cleaned):
+                continue
+            if CONST_MEMBER.search(cleaned):
+                continue
+            raw = lines[start - 1]
+            prev = lines[start - 2] if start > 1 else ""
+            if allowed(raw, "guarded-by-coverage", prev):
+                continue
+            report(
+                path, start, "guarded-by-coverage",
+                f"member '{name}' of mutex-owning class '{scope.name}' has "
+                "no HASJ_GUARDED_BY, is not atomic/const — annotate it, or "
+                "state the confinement argument with "
+                "// lint:allow(guarded-by-coverage): <reason>",
+                root,
             )
 
 
 # --- unknown/withered suppressions --------------------------------------
 KNOWN_RULES = {
     "float-eq", "glsim-raw-cast", "status-discard", "header-guard",
-    "include-order",
+    "include-order", "naked-mutex", "atomic-ordering", "guarded-by-coverage",
 }
 
 
-def check_suppressions(path, lines):
+def check_suppressions(path, lines, root):
     for i, raw in enumerate(lines, 1):
         m = BARE_ALLOW_RE.search(raw.rstrip())
         if m:
@@ -258,30 +527,51 @@ def check_suppressions(path, lines):
                 path, i, "lint-allow",
                 "lint:allow without a reason — write "
                 "// lint:allow(<rule>): <reason>",
+                root,
             )
             continue
         m = ALLOW_RE.search(raw)
         if m and m.group(1) not in KNOWN_RULES:
-            report(path, i, "lint-allow", f"unknown lint rule '{m.group(1)}'")
+            report(path, i, "lint-allow", f"unknown lint rule '{m.group(1)}'",
+                   root)
+
+
+def run(src, root):
+    for path in iter_files(src, {".h", ".cc"}):
+        with open(path, encoding="utf-8") as f:
+            lines = f.readlines()
+        rel = os.path.relpath(path, src)
+        top = rel.split(os.sep)[0]
+        check_suppressions(path, lines, root)
+        if top in ("geom", "algo"):
+            check_float_eq(path, lines, root)
+        if top == "glsim":
+            check_glsim_cast(path, lines, root)
+        check_status_discard(path, lines, root)
+        check_naked_mutex(path, lines, src, root)
+        check_atomic_ordering(path, lines, root)
+        check_guarded_by(path, lines, root)
+        if path.endswith(".h"):
+            check_header_guard(path, lines, src, root)
+        if path.endswith(".cc"):
+            check_include_order(path, lines, src, root)
+    check_status_nodiscard_classes(src, root)
 
 
 def main():
-    for path in iter_files(SRC, {".h", ".cc"}):
-        with open(path, encoding="utf-8") as f:
-            lines = f.readlines()
-        rel = os.path.relpath(path, SRC)
-        top = rel.split(os.sep)[0]
-        check_suppressions(path, lines)
-        if top in ("geom", "algo"):
-            check_float_eq(path, lines)
-        if top == "glsim":
-            check_glsim_cast(path, lines)
-        check_status_discard(path, lines)
-        if path.endswith(".h"):
-            check_header_guard(path, lines)
-        if path.endswith(".cc"):
-            check_include_order(path, lines)
-    check_status_nodiscard_classes()
+    repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--src", default=os.path.join(repo, "src"),
+        help="source tree to scan (default: <repo>/src); used by the lint "
+        "self-tests to point at fixture trees",
+    )
+    args = parser.parse_args()
+    src = os.path.abspath(args.src)
+    root = os.path.dirname(src) or src
+
+    del violations[:]
+    run(src, root)
 
     if violations:
         print(f"lint_hasj: {len(violations)} violation(s)", file=sys.stderr)

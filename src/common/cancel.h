@@ -12,6 +12,12 @@ namespace hasj {
 // query code polls cancelled() at refinement-batch boundaries (DESIGN.md
 // §11) and returns its partial result with kDeadlineExceeded. Reusable
 // across queries via Reset().
+//
+// Ordering contract (DESIGN.md §13): the flag is a pure boolean signal with
+// no payload — no data is published through it, and the poll sites only
+// decide "keep going or stop". memory_order_relaxed is therefore explicit
+// and deliberate: a stale read costs at most one extra poll stride of work,
+// which the deadline-overshoot bound already allows for.
 class CancelToken {
  public:
   void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }

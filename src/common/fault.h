@@ -55,8 +55,17 @@ struct FaultPlan {
 // schedule, which is exactly why correctness must never depend on which
 // pairs fault (the chaos identity property, tests/chaos_fault_test.cc).
 //
-// SetPlan is not synchronized against concurrent Check: configure the
-// injector before handing it to a query, like the rest of HwConfig.
+// Concurrency contract (DESIGN.md §13): the injector splits into plan
+// state and ordinal state. Plans (SiteState::plan) are plain data written
+// only by SetPlan/ResetCounts during the configure phase — SetPlan is NOT
+// synchronized against concurrent Check, so configure the injector before
+// handing it to a query, like the rest of HwConfig; publication to the
+// query's worker threads rides the thread-pool job handoff (the pool's
+// mutex orders everything written before ParallelFor against the workers).
+// Ordinals (SiteState::checks/fired) are the only cross-thread mutable
+// state and are atomic with explicit relaxed ordering: each counter is an
+// independent tally that publishes nothing — WouldFire reads only the
+// immutable seed and plan, so no acquire/release pairing is needed.
 class FaultInjector {
  public:
   explicit FaultInjector(uint64_t seed = 0) : seed_(seed) {}

@@ -1,0 +1,151 @@
+#ifndef HASJ_COMMON_MUTEX_H_
+#define HASJ_COMMON_MUTEX_H_
+
+// lint:allow(naked-mutex): this header IS the blessed wrapper over the raw
+// std primitives; everything else goes through the annotated types below.
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "common/thread_annotations.h"
+
+namespace hasj {
+
+// Annotated locking vocabulary for the whole tree (DESIGN.md §13).
+//
+// Every lock in the system is one of these wrappers, and every piece of
+// state a lock protects carries HASJ_GUARDED_BY naming it, so Clang Thread
+// Safety Analysis can prove at compile time that no guarded field is
+// touched without its lock and no lock is taken twice. The naked-mutex lint
+// rule (scripts/lint_hasj.py) rejects raw std::mutex / std::shared_mutex /
+// std::lock_guard / std::condition_variable outside this header, which
+// keeps future locking sites (the mutable R*-tree, the query server) inside
+// the analyzed vocabulary by construction.
+//
+// The wrappers add no state and no branches over the std primitives; under
+// a non-clang compiler the annotation macros expand to nothing and the
+// whole header is a zero-cost rename.
+
+// Exclusive-only capability over std::mutex.
+class HASJ_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() HASJ_ACQUIRE() { mu_.lock(); }
+  void Unlock() HASJ_RELEASE() { mu_.unlock(); }
+  [[nodiscard]] bool TryLock() HASJ_TRY_ACQUIRE(true) {
+    return mu_.try_lock();
+  }
+
+  // Documents (and under clang, asserts to the analysis) that the calling
+  // context holds this mutex — for branches the analysis cannot follow.
+  void AssertHeld() const HASJ_ASSERT_CAPABILITY(this) {}
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+// Reader/writer capability over std::shared_mutex. Writers use
+// Lock/Unlock (or WriterMutexLock), readers ReaderLock/ReaderUnlock (or
+// ReaderMutexLock). Present for the snapshot-isolated readers the dynamic
+// R*-tree needs (ROADMAP); no current subsystem holds one.
+class HASJ_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() HASJ_ACQUIRE() { mu_.lock(); }
+  void Unlock() HASJ_RELEASE() { mu_.unlock(); }
+  void ReaderLock() HASJ_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void ReaderUnlock() HASJ_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+  void AssertHeld() const HASJ_ASSERT_CAPABILITY(this) {}
+
+ private:
+  std::shared_mutex mu_;
+};
+
+// RAII exclusive lock; the annotated replacement for std::lock_guard.
+class HASJ_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) HASJ_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() HASJ_RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+// RAII exclusive lock over a SharedMutex.
+class HASJ_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex* mu) HASJ_ACQUIRE(mu) : mu_(mu) {
+    mu_->Lock();
+  }
+  ~WriterMutexLock() HASJ_RELEASE() { mu_->Unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+};
+
+// RAII shared (reader) lock over a SharedMutex.
+class HASJ_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex* mu) HASJ_ACQUIRE_SHARED(mu)
+      : mu_(mu) {
+    mu_->ReaderLock();
+  }
+  ~ReaderMutexLock() HASJ_RELEASE() { mu_->ReaderUnlock(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+};
+
+// Condition variable bound to the annotated Mutex. Wait() requires the
+// mutex held and holds it again on return — exactly the contract the
+// analysis checks at call sites. There is deliberately no predicate-lambda
+// overload: `while (!cond) cv.Wait(mu);` keeps the predicate's guarded
+// reads in the calling function, where the analysis can see the lock is
+// held (a lambda body is analyzed as a separate unannotated function and
+// would defeat the check).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  // Atomically releases mu, blocks, and reacquires mu before returning.
+  // Spurious wakeups are possible, as with any condition variable: always
+  // wait in a predicate loop.
+  void Wait(Mutex& mu) HASJ_REQUIRES(mu) {
+    // Adopt the caller's hold for the duration of the wait, then release
+    // ownership back so the unique_lock's destructor does not double-unlock
+    // a mutex the annotated contract says the caller still holds.
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace hasj
+
+#endif  // HASJ_COMMON_MUTEX_H_

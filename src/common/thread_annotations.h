@@ -1,0 +1,98 @@
+#ifndef HASJ_COMMON_THREAD_ANNOTATIONS_H_
+#define HASJ_COMMON_THREAD_ANNOTATIONS_H_
+
+// Portable Clang Thread Safety Analysis annotations (DESIGN.md §13).
+//
+// These macros let the locking contracts the concurrency layer documents in
+// prose — "guarded by mu_", "call with the lock held", "never call while
+// holding shard locks" — be machine-checked at compile time. Under clang
+// they expand to the thread-safety attributes that -Wthread-safety (and the
+// -Werror=thread-safety CI job behind the HASJ_THREAD_SAFETY CMake option)
+// enforces; under every other compiler they expand to nothing, so gcc
+// builds are byte-identical to the unannotated tree.
+//
+// The annotated capability types live in common/mutex.h; raw std::mutex use
+// outside that header is rejected by the naked-mutex lint rule
+// (scripts/lint_hasj.py), which is what keeps new locking sites inside the
+// analyzed vocabulary.
+//
+// Semantics (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html):
+//
+//   HASJ_GUARDED_BY(mu)     data member readable/writable only with mu held
+//   HASJ_PT_GUARDED_BY(mu)  pointer member whose *pointee* needs mu held
+//   HASJ_REQUIRES(mu)       function must be called with mu held (exclusive)
+//   HASJ_REQUIRES_SHARED(mu)  ... with at least a shared (reader) hold
+//   HASJ_ACQUIRE(mu)        function acquires mu and returns holding it
+//   HASJ_RELEASE(mu)        function releases mu
+//   HASJ_EXCLUDES(mu)       function must be called *without* mu held (it
+//                           takes mu itself; guards against self-deadlock)
+//   HASJ_CAPABILITY(name)   class is a lockable capability (Mutex)
+//   HASJ_SCOPED_CAPABILITY  RAII class acquiring in ctor / releasing in dtor
+//   HASJ_NO_THREAD_SAFETY_ANALYSIS
+//                           opt a function out of the analysis. Every use
+//                           site MUST carry a written invariant explaining
+//                           why the unanalyzed access is safe (acceptance
+//                           criterion; grep for the macro to audit them).
+
+#if defined(__clang__)
+#define HASJ_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define HASJ_THREAD_ANNOTATION_ATTRIBUTE__(x)  // off-clang: compiles away
+#endif
+
+#define HASJ_CAPABILITY(x) \
+  HASJ_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+
+#define HASJ_SCOPED_CAPABILITY \
+  HASJ_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+
+#define HASJ_GUARDED_BY(x) \
+  HASJ_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+
+#define HASJ_PT_GUARDED_BY(x) \
+  HASJ_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+
+#define HASJ_ACQUIRED_BEFORE(...) \
+  HASJ_THREAD_ANNOTATION_ATTRIBUTE__(acquired_before(__VA_ARGS__))
+
+#define HASJ_ACQUIRED_AFTER(...) \
+  HASJ_THREAD_ANNOTATION_ATTRIBUTE__(acquired_after(__VA_ARGS__))
+
+#define HASJ_REQUIRES(...) \
+  HASJ_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+
+#define HASJ_REQUIRES_SHARED(...) \
+  HASJ_THREAD_ANNOTATION_ATTRIBUTE__(requires_shared_capability(__VA_ARGS__))
+
+#define HASJ_ACQUIRE(...) \
+  HASJ_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+
+#define HASJ_ACQUIRE_SHARED(...) \
+  HASJ_THREAD_ANNOTATION_ATTRIBUTE__(acquire_shared_capability(__VA_ARGS__))
+
+#define HASJ_RELEASE(...) \
+  HASJ_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+
+#define HASJ_RELEASE_SHARED(...) \
+  HASJ_THREAD_ANNOTATION_ATTRIBUTE__(release_shared_capability(__VA_ARGS__))
+
+#define HASJ_TRY_ACQUIRE(...) \
+  HASJ_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_capability(__VA_ARGS__))
+
+#define HASJ_TRY_ACQUIRE_SHARED(...) \
+  HASJ_THREAD_ANNOTATION_ATTRIBUTE__( \
+      try_acquire_shared_capability(__VA_ARGS__))
+
+#define HASJ_EXCLUDES(...) \
+  HASJ_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+#define HASJ_ASSERT_CAPABILITY(x) \
+  HASJ_THREAD_ANNOTATION_ATTRIBUTE__(assert_capability(x))
+
+#define HASJ_RETURN_CAPABILITY(x) \
+  HASJ_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+
+#define HASJ_NO_THREAD_SAFETY_ANALYSIS \
+  HASJ_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)
+
+#endif  // HASJ_COMMON_THREAD_ANNOTATIONS_H_

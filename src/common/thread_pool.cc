@@ -18,10 +18,10 @@ ThreadPool::ThreadPool(int num_threads) : num_threads_(num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     shutdown_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& t : workers_) t.join();
 }
 
@@ -47,7 +47,7 @@ Status ThreadPool::ParallelFor(int64_t n, int64_t grain, const Body& body) {
     return Status::Ok();
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     HASJ_CHECK(body_ == nullptr);  // ParallelFor is not reentrant
     body_ = &body;
     n_ = n;
@@ -60,10 +60,10 @@ Status ThreadPool::ParallelFor(int64_t n, int64_t grain, const Body& body) {
     job_start_ = std::chrono::steady_clock::now();
     ++job_;
   }
-  work_cv_.notify_all();
-  RunChunks(0);  // the caller is worker 0
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [&] { return pending_workers_ == 0; });
+  work_cv_.NotifyAll();
+  RunChunks(0, body, n, grain);  // the caller is worker 0
+  MutexLock lock(&mu_);
+  while (pending_workers_ != 0) done_cv_.Wait(mu_);
   body_ = nullptr;
   return job_failed_ ? Status::Internal(job_error_) : Status::Ok();
 }
@@ -71,45 +71,54 @@ Status ThreadPool::ParallelFor(int64_t n, int64_t grain, const Body& body) {
 void ThreadPool::WorkerLoop(int worker) {
   uint64_t last_job = 0;
   for (;;) {
+    // Snapshot the job parameters under mu_ so the chunk loop below never
+    // touches guarded state: ParallelFor publishes body_/n_/grain_ before
+    // bumping job_, and cannot change them again until every worker has
+    // reported done.
+    const Body* body = nullptr;
+    int64_t n = 0;
+    int64_t grain = 1;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [&] { return shutdown_ || job_ != last_job; });
+      MutexLock lock(&mu_);
+      while (!shutdown_ && job_ == last_job) work_cv_.Wait(mu_);
       if (shutdown_) return;
       last_job = job_;
+      body = body_;
+      n = n_;
+      grain = grain_;
       wait_us_[static_cast<size_t>(worker)] =
           std::chrono::duration<double, std::micro>(
               std::chrono::steady_clock::now() - job_start_)
               .count();
     }
-    RunChunks(worker);
+    RunChunks(worker, *body, n, grain);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       --pending_workers_;
     }
-    done_cv_.notify_one();
+    done_cv_.NotifyOne();
   }
 }
 
-void ThreadPool::RunChunks(int worker) {
-  // n_/grain_/body_ are published before the job counter bump under mu_,
-  // which every worker re-reads under mu_ before getting here.
+void ThreadPool::RunChunks(int worker, const Body& body, int64_t n,
+                           int64_t grain) {
   for (;;) {
-    const int64_t begin = cursor_.fetch_add(grain_, std::memory_order_relaxed);
-    if (begin >= n_) return;
+    const int64_t begin = cursor_.fetch_add(grain, std::memory_order_relaxed);
+    if (begin >= n) return;
     // The catch boundary is the chunk: a throwing body must neither kill
     // the worker thread (the pool would deadlock on the next job) nor skip
     // the pending-worker bookkeeping that ParallelFor's wait depends on.
     // The worker keeps draining chunks; the first message wins.
     try {
-      (*body_)(begin, std::min(begin + grain_, n_), worker);
+      body(begin, std::min(begin + grain, n), worker);
     } catch (const std::exception& e) {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       if (!job_failed_) {
         job_failed_ = true;
         job_error_ = e.what();
       }
     } catch (...) {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       if (!job_failed_) {
         job_failed_ = true;
         job_error_ = "non-std exception in ParallelFor body";

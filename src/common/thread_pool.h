@@ -3,15 +3,15 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace hasj {
 
@@ -60,29 +60,46 @@ class ThreadPool {
   // the caller and always reads 0). The pool itself stays free of any
   // metrics dependency; core::RefinementExecutor feeds these into the
   // obs registry. Valid only between ParallelFor calls.
-  const std::vector<double>& last_wait_us() const { return wait_us_; }
+  //
+  // Invariant (unanalyzed read of wait_us_): workers write wait_us_ only
+  // under mu_ while a job is running, and ParallelFor returns only after
+  // every worker has finished the job (done_cv_ handshake). Between
+  // ParallelFor calls the pool is quiescent, so this lock-free read cannot
+  // race — a contract the caller carries ("valid only between ParallelFor
+  // calls"), not one the analysis can express.
+  const std::vector<double>& last_wait_us() const
+      HASJ_NO_THREAD_SAFETY_ANALYSIS {
+    return wait_us_;
+  }
 
  private:
   void WorkerLoop(int worker);
-  void RunChunks(int worker);
+  // Drains chunks of the current job. The job parameters are read under
+  // mu_ by the caller (WorkerLoop / ParallelFor) and passed by value, so
+  // this hot loop touches no guarded state — only the atomic cursor.
+  void RunChunks(int worker, const Body& body, int64_t n, int64_t grain);
 
   const int num_threads_;
-  std::vector<std::thread> workers_;
+  std::vector<std::thread> workers_;  // lint:allow(guarded-by-coverage): written only in the constructor and joined in the destructor, both quiescent by the no-concurrent-ParallelFor contract
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;  // workers wait here for the next job
-  std::condition_variable done_cv_;  // ParallelFor waits here for workers
-  const Body* body_ = nullptr;       // non-null while a job is running
-  int64_t n_ = 0;
-  int64_t grain_ = 1;
+  Mutex mu_;
+  CondVar work_cv_;  // workers wait here for the next job
+  CondVar done_cv_;  // ParallelFor waits here for workers
+  const Body* body_ HASJ_GUARDED_BY(mu_) = nullptr;  // non-null while a job runs
+  int64_t n_ HASJ_GUARDED_BY(mu_) = 0;
+  int64_t grain_ HASJ_GUARDED_BY(mu_) = 1;
   std::atomic<int64_t> cursor_{0};
-  uint64_t job_ = 0;          // bumped per ParallelFor to wake the workers
-  int pending_workers_ = 0;   // workers that have not finished the job yet
-  bool shutdown_ = false;
-  std::chrono::steady_clock::time_point job_start_;
-  std::vector<double> wait_us_;  // per-worker queue wait of the last job
-  std::string job_error_;        // first body exception message of the job
-  bool job_failed_ = false;
+  // Bumped per ParallelFor to wake the workers.
+  uint64_t job_ HASJ_GUARDED_BY(mu_) = 0;
+  // Workers that have not finished the job yet.
+  int pending_workers_ HASJ_GUARDED_BY(mu_) = 0;
+  bool shutdown_ HASJ_GUARDED_BY(mu_) = false;
+  std::chrono::steady_clock::time_point job_start_ HASJ_GUARDED_BY(mu_);
+  // Per-worker queue wait of the last job (see last_wait_us()).
+  std::vector<double> wait_us_ HASJ_GUARDED_BY(mu_);
+  // First body exception message of the job.
+  std::string job_error_ HASJ_GUARDED_BY(mu_);
+  bool job_failed_ HASJ_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace hasj

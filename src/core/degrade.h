@@ -17,6 +17,14 @@ namespace hasj::core {
 // its own tester, so no locking — and entirely inert when the config has no
 // fault injector attached (glsim cannot fail then, and active() lets the
 // hot path skip every breaker branch).
+//
+// Concurrency contract (DESIGN.md §13): HwDegrade and the CircuitBreaker
+// it owns are thread-confined by construction — ownership follows the
+// executor's one-tester-per-worker design, invocations for one worker are
+// serial (ThreadPool contract), and the state never crosses threads, so
+// there is no capability to annotate. The observability sinks it writes to
+// (Gauge/Counter via relaxed atomics, TraceSession via its thread-owned
+// track) are themselves safe for concurrent writers from other testers.
 class HwDegrade {
  public:
   explicit HwDegrade(const HwConfig& config) : trace_(config.trace) {

@@ -299,7 +299,7 @@ Result<IntervalApprox> BuildIntervalApprox(
 Result<std::shared_ptr<const IntervalApprox>> IntervalApproxCache::Acquire(
     std::span<const geom::Polygon> polygons, const geom::Box& frame,
     uint64_t epoch, const IntervalApproxConfig& config) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const bool fresh = cached_ != nullptr && grid_bits_ == config.grid_bits &&
                      budget_ == config.memory_budget_bytes &&
                      epoch_ == epoch && count_ == polygons.size() &&

@@ -3,11 +3,12 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <vector>
 
 #include "common/fault.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/status.h"
 #include "geom/box.h"
 #include "geom/polygon.h"
@@ -145,18 +146,24 @@ class IntervalApprox {
 // for polygons that no longer exist.
 class IntervalApproxCache {
  public:
+  // Takes mu_ itself — and holds it across a cache-miss build, so
+  // concurrent queries at the same key build the approximation once.
   [[nodiscard]] Result<std::shared_ptr<const IntervalApprox>> Acquire(
       std::span<const geom::Polygon> polygons, const geom::Box& frame,
-      uint64_t epoch, const IntervalApproxConfig& config) const;
+      uint64_t epoch, const IntervalApproxConfig& config) const
+      HASJ_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  mutable std::shared_ptr<const IntervalApprox> cached_;
-  mutable int grid_bits_ = -1;
-  mutable int64_t budget_ = -1;
-  mutable uint64_t epoch_ = 0;
-  mutable size_t count_ = 0;
-  mutable geom::Box frame_;
+  mutable Mutex mu_;
+  // The cached snapshot plus the key it was built under (grid, budget,
+  // dataset epoch, object count, frame): mu_ guards the swap-on-key-change;
+  // the pointed-to IntervalApprox is immutable once published.
+  mutable std::shared_ptr<const IntervalApprox> cached_ HASJ_GUARDED_BY(mu_);
+  mutable int grid_bits_ HASJ_GUARDED_BY(mu_) = -1;
+  mutable int64_t budget_ HASJ_GUARDED_BY(mu_) = -1;
+  mutable uint64_t epoch_ HASJ_GUARDED_BY(mu_) = 0;
+  mutable size_t count_ HASJ_GUARDED_BY(mu_) = 0;
+  mutable geom::Box frame_ HASJ_GUARDED_BY(mu_);
 };
 
 }  // namespace hasj::filter

@@ -1,5 +1,7 @@
 #include "filter/signature_cache.h"
 
+#include <mutex>  // lint:allow(naked-mutex): std::once_flag / std::call_once only — per-slot build serialization, not a lock the analysis tracks
+
 #include "common/macros.h"
 
 namespace hasj::filter {
@@ -37,7 +39,7 @@ SignatureCache::~SignatureCache() = default;
 SignatureCache::Snapshot SignatureCache::Acquire(int grid, size_t count,
                                                  uint64_t epoch) const {
   HASJ_CHECK(grid > 0);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (state_ == nullptr || state_->grid != grid || state_->count < count ||
       state_->epoch != epoch) {
     auto fresh = std::make_shared<Snapshot::State>();

@@ -4,8 +4,9 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "filter/raster_signature.h"
 #include "geom/polygon.h"
 
@@ -49,11 +50,15 @@ class SignatureCache {
   // describes), otherwise installs a fresh one. Keying on the epoch is what
   // keeps an in-place dataset reload from serving signatures built from the
   // pre-reload polygons.
-  Snapshot Acquire(int grid, size_t count, uint64_t epoch) const;
+  Snapshot Acquire(int grid, size_t count, uint64_t epoch) const
+      HASJ_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  mutable std::shared_ptr<Snapshot::State> state_;
+  mutable Mutex mu_;
+  // The live slot array. mu_ guards the epoch-keyed swap of this pointer
+  // only; the pointed-to State is immutable apart from its per-slot
+  // call_once builds, which synchronize themselves.
+  mutable std::shared_ptr<Snapshot::State> state_ HASJ_GUARDED_BY(mu_);
 };
 
 }  // namespace hasj::filter

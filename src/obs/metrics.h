@@ -6,9 +6,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace hasj::obs {
 
@@ -146,18 +148,27 @@ class Registry {
   Registry& operator=(const Registry&) = delete;
 
   // Find-or-create by name. The returned reference stays valid for the
-  // registry's lifetime (instruments are never removed).
-  Counter& GetCounter(std::string_view name);
-  Gauge& GetGauge(std::string_view name);
-  Histogram& GetHistogram(std::string_view name);
+  // registry's lifetime (instruments are never removed). Each call takes
+  // mu_ itself — resolve references once per call site, then record through
+  // them lock-free (the instruments are sharded atomics, not guarded
+  // state; mu_ protects only the name → instrument maps).
+  Counter& GetCounter(std::string_view name) HASJ_EXCLUDES(mu_);
+  Gauge& GetGauge(std::string_view name) HASJ_EXCLUDES(mu_);
+  Histogram& GetHistogram(std::string_view name) HASJ_EXCLUDES(mu_);
 
-  MetricsSnapshot Snapshot() const;
+  // Merges every instrument's shards into a point-in-time view. Takes mu_
+  // for the map walk; the per-shard reads are the atomics' own full-fence
+  // loads, so the merge must never be called with mu_ already held.
+  MetricsSnapshot Snapshot() const HASJ_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      HASJ_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      HASJ_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      HASJ_GUARDED_BY(mu_);
 };
 
 }  // namespace hasj::obs

@@ -38,7 +38,7 @@ TraceSession::Track* TraceSession::track() {
   const std::thread::id self = std::this_thread::get_id();
   Track* t = nullptr;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     const auto it = by_thread_.find(self);
     if (it != by_thread_.end()) {
       t = it->second;
@@ -64,7 +64,9 @@ void TraceSession::Append(Track* t, const Event& event) {
 
 void TraceSession::NameCurrentTrack(std::string name) {
   Track* t = track();
-  std::lock_guard<std::mutex> lock(mu_);
+  // The label (unlike the thread-owned events buffer) is read by WriteJson
+  // under mu_, so the write takes mu_ too.
+  MutexLock lock(&mu_);
   t->label = std::move(name);
 }
 
@@ -94,7 +96,7 @@ void TraceSession::Span(const char* name, const char* cat, double ts_us,
 }
 
 void TraceSession::WriteJson(std::string* out) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   JsonWriter w(out);
   w.BeginObject();
   w.Key("displayTimeUnit");

@@ -1,16 +1,18 @@
 #ifndef HASJ_OBS_TRACE_H_
 #define HASJ_OBS_TRACE_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace hasj::obs {
 
@@ -64,9 +66,11 @@ class TraceSession {
     return dropped_.load(std::memory_order_relaxed);
   }
 
-  // Serializes all tracks as a Chrome trace_event JSON object.
-  void WriteJson(std::string* out) const;
-  [[nodiscard]] Status WriteFile(const std::string& path) const;
+  // Serializes all tracks as a Chrome trace_event JSON object. Takes mu_
+  // itself; must not run concurrently with recording (see class comment).
+  void WriteJson(std::string* out) const HASJ_EXCLUDES(mu_);
+  [[nodiscard]] Status WriteFile(const std::string& path) const
+      HASJ_EXCLUDES(mu_);
 
  private:
   using Clock = std::chrono::steady_clock;
@@ -86,17 +90,29 @@ class TraceSession {
     std::vector<Event> events;
   };
 
-  // The calling thread's track, registered on first use.
-  Track* track();
+  // The calling thread's track, registered on first use (mu_ is taken on
+  // the registration miss only).
+  Track* track() HASJ_EXCLUDES(mu_);
+  // Lock-free append to the calling thread's own track.
+  //
+  // Invariant (why no lock is needed): mu_ guards the registry structure
+  // (by_thread_, tracks_) — never the Track contents. Each Track's events
+  // vector is written exclusively by the one thread that registered it
+  // (track() hands a thread its own track only), and the readers
+  // (WriteJson/WriteFile) run only after the traced work has quiesced, per
+  // the class contract. There is therefore never a concurrent reader or
+  // second writer of t->events; only the shared dropped_ counter needs to
+  // be (and is) atomic.
   void Append(Track* t, const Event& event);
 
   const uint64_t session_id_;
   const Clock::time_point epoch_;
   std::atomic<int64_t> dropped_{0};
 
-  mutable std::mutex mu_;
-  std::map<std::thread::id, Track*> by_thread_;
-  std::vector<std::unique_ptr<Track>> tracks_;
+  mutable Mutex mu_;
+  // Registry structure only; Track contents are thread-owned (see Append).
+  std::map<std::thread::id, Track*> by_thread_ HASJ_GUARDED_BY(mu_);
+  std::vector<std::unique_ptr<Track>> tracks_ HASJ_GUARDED_BY(mu_);
 };
 
 // RAII span: records an "X" event covering its lifetime when the session is

@@ -46,12 +46,14 @@ TEST(ThreadPoolTest, EveryIndexVisitedExactlyOnce) {
                                EXPECT_LE(end - begin, 7);
                              }
                              for (int64_t i = begin; i < end; ++i) {
-                               visits[static_cast<size_t>(i)].fetch_add(1);
+                               visits[static_cast<size_t>(i)].fetch_add(
+                                   1, std::memory_order_relaxed);
                              }
                            })
               .ok());
       for (int64_t i = 0; i < n; ++i) {
-        EXPECT_EQ(visits[static_cast<size_t>(i)].load(), 1)
+        EXPECT_EQ(
+            visits[static_cast<size_t>(i)].load(std::memory_order_relaxed), 1)
             << "threads=" << threads << " n=" << n << " i=" << i;
       }
     }
@@ -68,10 +70,12 @@ TEST(ThreadPoolTest, PoolIsReusableAcrossJobs) {
                                    for (int64_t i = begin; i < end; ++i) {
                                      local += i;
                                    }
-                                   sum.fetch_add(local);
+                                   sum.fetch_add(local,
+                                                 std::memory_order_relaxed);
                                  })
                     .ok());
-    EXPECT_EQ(sum.load(), 99 * 100 / 2) << "round " << round;
+    EXPECT_EQ(sum.load(std::memory_order_relaxed), 99 * 100 / 2)
+        << "round " << round;
   }
 }
 
@@ -111,11 +115,11 @@ TEST(ThreadPoolTest, ThrowingBodySurfacesAsStatusAndPoolSurvives) {
   ASSERT_TRUE(pool.ParallelFor(100, 9,
                                [&](int64_t begin, int64_t end, int) {
                                  for (int64_t i = begin; i < end; ++i) {
-                                   sum.fetch_add(i);
+                                   sum.fetch_add(i, std::memory_order_relaxed);
                                  }
                                })
                   .ok());
-  EXPECT_EQ(sum.load(), 99 * 100 / 2);
+  EXPECT_EQ(sum.load(std::memory_order_relaxed), 99 * 100 / 2);
 }
 
 TEST(ThreadPoolTest, ThrowingBodyInlinePathSurfacesAsStatus) {
@@ -152,12 +156,16 @@ TEST(ThreadPoolTest, EveryIndexStillVisitedAfterEarlierThrowingJob) {
   ASSERT_TRUE(pool.ParallelFor(n, 7,
                                [&](int64_t begin, int64_t end, int) {
                                  for (int64_t i = begin; i < end; ++i) {
-                                   visits[static_cast<size_t>(i)].fetch_add(1);
+                                   visits[static_cast<size_t>(i)].fetch_add(
+                                       1, std::memory_order_relaxed);
                                  }
                                })
                   .ok());
   for (int64_t i = 0; i < n; ++i) {
-    ASSERT_EQ(visits[static_cast<size_t>(i)].load(), 1) << i;
+    ASSERT_EQ(
+        visits[static_cast<size_t>(i)].load(std::memory_order_relaxed),
+        1)
+        << i;
   }
 }
 
@@ -166,12 +174,12 @@ TEST(ThreadPoolTest, GrainLargerThanRangeIsOneChunk) {
   std::atomic<int> calls{0};
   ASSERT_TRUE(pool.ParallelFor(5, 1000,
                                [&](int64_t begin, int64_t end, int) {
-                                 calls.fetch_add(1);
+                                 calls.fetch_add(1, std::memory_order_relaxed);
                                  EXPECT_EQ(begin, 0);
                                  EXPECT_EQ(end, 5);
                                })
                   .ok());
-  EXPECT_EQ(calls.load(), 1);
+  EXPECT_EQ(calls.load(std::memory_order_relaxed), 1);
 }
 
 }  // namespace
