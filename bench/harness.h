@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "common/fault.h"
+#include "common/simd.h"
 #include "common/status.h"
 #include "core/hw_config.h"
 #include "data/catalogs.h"
@@ -60,6 +61,10 @@ struct BenchArgs {
   // pairs from precomputed Hilbert-interval approximations before the
   // hardware testers see them.
   bool use_intervals = false;
+  // Row-span kernel backend (DESIGN.md §14): auto (default), scalar, or
+  // avx2. Parsed into simd_mode by TryParseArgs.
+  std::string simd = "auto";
+  common::SimdMode simd_mode = common::SimdMode::kAuto;
 };
 
 // Checked replacements for atof/atoll: reject empty input, trailing
@@ -108,6 +113,7 @@ inline bool TryParseArgs(int argc, char** argv, BenchArgs* args,
       {"fault_rate", Flag::kDouble, &args->fault_rate},
       {"deadline_ms", Flag::kDouble, &args->deadline_ms},
       {"use_intervals", Flag::kBool, &args->use_intervals},
+      {"simd", Flag::kString, &args->simd},
   };
 
   *wants_help = false;
@@ -181,6 +187,11 @@ inline bool TryParseArgs(int argc, char** argv, BenchArgs* args,
     *error = "--deadline_ms must be >= 0";
     return false;
   }
+  if (!common::ParseSimdMode(args->simd.c_str(), &args->simd_mode)) {
+    *error = "--simd must be one of auto, scalar, avx2 (got '" + args->simd +
+             "')";
+    return false;
+  }
   args->seed = static_cast<uint64_t>(seed);
   args->threads = static_cast<int>(threads);
   return true;
@@ -206,7 +217,9 @@ inline void PrintUsage(const char* argv0, std::FILE* out) {
                "  --deadline_ms=F per-query deadline in milliseconds "
                "(default 0 = none)\n"
                "  --use_intervals enable the raster-interval secondary "
-               "filter (DESIGN.md section 12)\n",
+               "filter (DESIGN.md section 12)\n"
+               "  --simd=MODE  row-span kernel backend: auto (default), "
+               "scalar, avx2 (DESIGN.md section 14)\n",
                argv0);
 }
 
@@ -273,6 +286,7 @@ class BenchReport {
     config->faults = faults();
     config->deadline_ms = args_.deadline_ms;
     config->use_intervals = args_.use_intervals;
+    config->simd = args_.simd_mode;
   }
 
   // Records one plotted row — the series label plus its numeric columns —

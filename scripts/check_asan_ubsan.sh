@@ -25,4 +25,10 @@ export UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1 ${UBSAN_OPTIONS:-}"
 
 ctest --test-dir "$BUILD_DIR" --output-on-failure
 
+# The scalar-vs-AVX2 differential suite is the densest raw-intrinsics
+# coverage in the tree (unaligned 256-bit loads/stores, reinterpret_casts
+# into word buffers); run its binary directly so a sanitizer report there
+# fails the script even if a label filter ever trims the ctest pass above.
+"$BUILD_DIR/tests/simd_differential_test"
+
 echo "ASan/UBSan check passed."

@@ -13,6 +13,13 @@ Repo-specific correctness rules that generic tooling cannot express:
                    static_cast<int>(double) is UB out of range, and the
                    float->pixel snap is exactly where the conservativeness
                    invariant (DESIGN.md §6) would break silently.
+  simd-intrinsics  No raw vector intrinsics (<immintrin.h>, _mm*/_mm256_*
+                   calls, __m128/__m256 types) outside the AVX2 backend TU
+                   (glsim/rowspan_avx2.cc) and the dispatch header
+                   (common/simd.h). Everything else reaches SIMD through
+                   the RowSpanEngine kernel ABI, which is what keeps the
+                   scalar/AVX2 bit-identity argument (DESIGN.md §14)
+                   auditable in one place.
   status-discard   No laundering of Status/Result returns through a (void)
                    cast, and the Status/Result classes themselves must stay
                    [[nodiscard]] (the compiler enforces call sites from
@@ -145,6 +152,38 @@ def check_glsim_cast(path, lines, root):
                 path, i, "glsim-raw-cast",
                 "raw int cast in the rasterizer — route float->pixel "
                 "snapping through glsim::PixelFromCoord (pixel_snap.h)",
+                root,
+            )
+
+
+# --- simd-intrinsics ----------------------------------------------------
+# Raw vector intrinsics are confined to the one TU that owns the AVX2
+# kernels plus the cpuid/dispatch header. A stray _mm256_* call anywhere
+# else would dodge the scalar-vs-AVX2 differential suite and the
+# -ffp-contract=off guarantees that TU is compiled with.
+SIMD_BLESSED = {
+    os.path.join("glsim", "rowspan_avx2.cc"),
+    os.path.join("common", "simd.h"),
+}
+SIMD_TOKEN = re.compile(
+    r"#include\s*<(?:immintrin|x86intrin|[xew]mmintrin|avx\w*intrin)\.h>"
+    r"|\b_mm(?:256|512)?_\w+\s*\("
+    r"|\b__m(?:64|128|256|512)[di]?\b"
+)
+
+
+def check_simd_intrinsics(path, lines, src, root):
+    if os.path.relpath(path, src) in SIMD_BLESSED:
+        return
+    for i, raw in enumerate(lines, 1):
+        if allowed(raw, "simd-intrinsics", lines[i - 2] if i > 1 else ""):
+            continue
+        if SIMD_TOKEN.search(strip_comments_and_strings(raw)):
+            report(
+                path, i, "simd-intrinsics",
+                "raw vector intrinsic outside glsim/rowspan_avx2.cc / "
+                "common/simd.h — go through the RowSpanEngine kernel ABI "
+                "(or justify with // lint:allow(simd-intrinsics): <reason>)",
                 root,
             )
 
@@ -514,8 +553,9 @@ def check_guarded_by(path, lines, root):
 
 # --- unknown/withered suppressions --------------------------------------
 KNOWN_RULES = {
-    "float-eq", "glsim-raw-cast", "status-discard", "header-guard",
-    "include-order", "naked-mutex", "atomic-ordering", "guarded-by-coverage",
+    "float-eq", "glsim-raw-cast", "simd-intrinsics", "status-discard",
+    "header-guard", "include-order", "naked-mutex", "atomic-ordering",
+    "guarded-by-coverage",
 }
 
 
@@ -547,6 +587,7 @@ def run(src, root):
             check_float_eq(path, lines, root)
         if top == "glsim":
             check_glsim_cast(path, lines, root)
+        check_simd_intrinsics(path, lines, src, root)
         check_status_discard(path, lines, root)
         check_naked_mutex(path, lines, src, root)
         check_atomic_ordering(path, lines, root)

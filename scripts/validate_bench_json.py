@@ -14,9 +14,10 @@ Checks two file kinds against their stable schemas:
                   shape to render sensibly).
 
 `--require-counter NAME` (repeatable) additionally insists that every
---json file's metrics.counters snapshot contains NAME — CI uses it to pin
-the counters a bench is expected to exercise (e.g. the stage.interval.*
-decision counters from ablation_intervals).
+--json file's metrics snapshot contains NAME as a counter or a gauge — CI
+uses it to pin the metrics a bench is expected to exercise (e.g. the
+stage.interval.* decision counters from ablation_intervals, or the
+hw.simd_backend gauge from ablation_simd).
 
 Exit code 0 when every file validates, 1 otherwise (one line per problem).
 CI runs this over a small-scale bench run; it is also handy locally:
@@ -93,20 +94,25 @@ def validate_report(path, required_counters=()):
     counters = snap.get("counters")
     if not isinstance(counters, dict):
         err("metrics.counters must be an object")
+        counters = {}
     else:
         for name, value in counters.items():
             if not _is_int(value):
                 err(f"counter {name!r} must be an integer, got {value!r}")
-        for name in required_counters:
-            if name not in counters:
-                err(f"required counter {name!r} missing from metrics.counters")
     gauges = snap.get("gauges")
     if not isinstance(gauges, dict):
         err("metrics.gauges must be an object")
+        gauges = {}
     else:
         for name, value in gauges.items():
             if not _is_number(value):
                 err(f"gauge {name!r} must be a number, got {value!r}")
+    for name in required_counters:
+        if name not in counters and name not in gauges:
+            err(
+                f"required metric {name!r} missing from metrics.counters "
+                "and metrics.gauges"
+            )
     histograms = snap.get("histograms")
     if not isinstance(histograms, dict):
         err("metrics.histograms must be an object")
@@ -212,8 +218,8 @@ def main(argv):
         action="append",
         default=[],
         metavar="NAME",
-        help="counter that must be present in every --json file's "
-        "metrics.counters snapshot (repeatable)",
+        help="metric that must be present in every --json file's "
+        "metrics.counters or metrics.gauges snapshot (repeatable)",
     )
     args = parser.parse_args(argv)
     if not args.reports and not args.traces:

@@ -1,0 +1,110 @@
+#ifndef HASJ_COMMON_ARENA_H_
+#define HASJ_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace hasj::common {
+
+// Bump allocator for per-batch scratch (the batch tester's tile arrays and
+// row-span buffers). Reset() rewinds the cursor without releasing memory,
+// so after a warm-up cycle the steady state allocates nothing — asserted
+// via grow_count() by tests/property_differential_test.cc. Alloc returns
+// uninitialized storage and runs no destructors, hence the
+// trivially-copyable restriction.
+//
+// Overflow appends a fresh block (never moves live data, so pointers from
+// earlier Allocs of the same cycle stay valid); Reset() coalesces a
+// multi-block cycle into one block sized for the whole cycle, so the next
+// cycle runs allocation-free.
+class ScratchArena {
+ public:
+  explicit ScratchArena(size_t initial_bytes = 1 << 16)
+      : next_block_bytes_(initial_bytes) {}
+
+  // Uninitialized array of n Ts, aligned for T. Grows (and counts the
+  // growth) when the current block cannot fit the request.
+  template <typename T>
+  T* Alloc(size_t n) {
+    static_assert(std::is_trivially_copyable_v<T> &&
+                      std::is_trivially_destructible_v<T>,
+                  "ScratchArena runs no constructors or destructors");
+    return reinterpret_cast<T*>(AllocBytes(n * sizeof(T), alignof(T)));
+  }
+
+  // Zero-initialized variant for the verdict/flag arrays.
+  template <typename T>
+  T* AllocZeroed(size_t n) {
+    T* out = Alloc<T>(n);
+    std::memset(static_cast<void*>(out), 0, n * sizeof(T));
+    return out;
+  }
+
+  // Rewinds the cursor; capacity is retained. A cycle that overflowed into
+  // extra blocks is coalesced into one block big enough for everything it
+  // used, so one warm-up cycle reaches the steady state.
+  void Reset() {
+    if (blocks_.size() > 1) {
+      size_t total = 0;
+      for (const Block& b : blocks_) total += b.bytes;
+      blocks_.clear();
+      AppendBlock(total);
+    }
+    cursor_ = 0;
+  }
+
+  // Number of times Alloc had to obtain memory from the system. Stable
+  // across Reset(); the zero-steady-state-allocation assertion watches it.
+  int64_t grow_count() const { return grow_count_; }
+
+  size_t capacity_bytes() const {
+    size_t total = 0;
+    for (const Block& b : blocks_) total += b.bytes;
+    return total;
+  }
+
+ private:
+  struct Block {
+    std::unique_ptr<char[]> data;
+    size_t bytes = 0;
+  };
+
+  char* AllocBytes(size_t bytes, size_t align) {
+    if (!blocks_.empty()) {
+      Block& back = blocks_.back();
+      const size_t offset = (cursor_ + align - 1) & ~(align - 1);
+      if (offset + bytes <= back.bytes) {
+        cursor_ = offset + bytes;
+        return back.data.get() + offset;
+      }
+    }
+    size_t want = next_block_bytes_;
+    while (want < bytes + align) want *= 2;
+    AppendBlock(want);
+    const size_t offset = (size_t{0} + align - 1) & ~(align - 1);
+    cursor_ = offset + bytes;
+    return blocks_.back().data.get() + offset;
+  }
+
+  void AppendBlock(size_t bytes) {
+    Block b;
+    b.data.reset(new char[bytes]);
+    b.bytes = bytes;
+    blocks_.push_back(std::move(b));
+    next_block_bytes_ = bytes * 2;
+    ++grow_count_;
+  }
+
+  std::vector<Block> blocks_;
+  size_t cursor_ = 0;  // offset into blocks_.back()
+  size_t next_block_bytes_;
+  int64_t grow_count_ = 0;
+};
+
+}  // namespace hasj::common
+
+#endif  // HASJ_COMMON_ARENA_H_

@@ -6,7 +6,7 @@
 #include "common/status.h"
 #include "common/stopwatch.h"
 #include "glsim/context.h"
-#include "glsim/raster.h"
+#include "glsim/rowspan.h"
 #include "obs/names.h"
 #include "obs/trace.h"
 
@@ -70,14 +70,16 @@ void BatchHardwareTester::IntersectionSubBatch(
   const size_t n = pairs.size();
   const int res = config_.resolution;
   if (isect_plans_.size() < n) isect_plans_.resize(n);
-  if (tile_of_.size() < n) tile_of_.assign(n, -1);
+  arena_.Reset();
+  int32_t* tile_of = arena_.Alloc<int32_t>(n);
+  glsim::RowSpanBuffer* spans = arena_.Alloc<glsim::RowSpanBuffer>(1);
 
   // Route every pair through the shared per-pair skeleton; assign atlas
   // tiles to the kHardware ones in order.
   int tiles = 0;
   for (size_t i = 0; i < n; ++i) {
     isect_plans_[i] = isect_.Plan(*pairs[i].first, *pairs[i].second);
-    tile_of_[i] =
+    tile_of[i] =
         isect_plans_[i].stage == PairPlan::Stage::kHardware ? tiles++ : -1;
   }
 
@@ -96,35 +98,41 @@ void BatchHardwareTester::IntersectionSubBatch(
     if (batch_status.ok()) batch_status = atlas_.BeginFill();
   }
 
+  uint8_t* any_first = nullptr;
+  uint8_t* hw_overlap = nullptr;
   if (batch_attempted && batch_status.ok()) {
     RecordSubBatchShape(n, tiles);
-    any_first_.assign(static_cast<size_t>(tiles), 0);
-    hw_overlap_.assign(static_cast<size_t>(tiles), 0);
+    any_first = arena_.AllocZeroed<uint8_t>(static_cast<size_t>(tiles));
+    hw_overlap = arena_.AllocZeroed<uint8_t>(static_cast<size_t>(tiles));
+    const glsim::RowSpanEngine& engine = isect_.engine();
 
     // Fill pass: every pair's first boundary into its tile. The projection
-    // (WindowTransform) and the span->column snapping (raster.h row-span
-    // core) are the ones the per-pair tester uses, so a tile holds exactly
-    // the pixels a per-pair render would produce.
+    // (WindowTransform) and the span->column snapping (rowspan.h) are the
+    // ones the per-pair tester uses, so a tile holds exactly the pixels a
+    // per-pair render would produce.
     obs::ManualSpan pass_span;
     pass_span.Start(config_.trace, "hw-fill", "hw");
     Stopwatch fill_watch;
     for (size_t i = 0; i < n; ++i) {
-      if (tile_of_[i] < 0) continue;
-      const int tile = tile_of_[i];
+      if (tile_of[i] < 0) continue;
+      const int tile = tile_of[i];
       const geom::Box& viewport = isect_plans_[i].viewport;
       const glsim::WindowTransform xf =
           glsim::WindowTransform::Make(viewport, res, res);
       const geom::Polygon& p = *pairs[i].first;
-      glsim::Atlas::RowFiller fill(&atlas_, tile);
       for (size_t e = 0; e < p.size(); ++e) {
         const geom::Segment edge = p.edge(e);
         if (!edge.Bounds().Intersects(viewport)) continue;
-        any_first_[static_cast<size_t>(tile)] = 1;
-        glsim::RasterizeLineAARowSpans(xf.ToWindow(edge.a), xf.ToWindow(edge.b),
-                                       config_.line_width, res, res, fill);
+        any_first[static_cast<size_t>(tile)] = 1;
+        if (glsim::ComputeLineAASpans(xf.ToWindow(edge.a), xf.ToWindow(edge.b),
+                                      config_.line_width, res, res, spans)) {
+          const glsim::FillResult fr = atlas_.FillTileSpans(engine, tile, spans);
+          batch_counters_.fill_spans += fr.spans;
+        }
         // Saturation early-stop, like the per-pair `unset` counter: a full
         // tile stays full, so skipping the rest changes nothing.
         if (atlas_.TileFull(tile)) {
+          ++batch_counters_.fill_saturation_stops;
           if (config_.trace != nullptr) {
             config_.trace->Instant("tile-saturated", "hw");
           }
@@ -136,37 +144,40 @@ void BatchHardwareTester::IntersectionSubBatch(
     pass_span.End();
     if (tile_pixels_hist_ != nullptr) {
       for (size_t i = 0; i < n; ++i) {
-        if (tile_of_[i] >= 0) {
-          tile_pixels_hist_->Record(atlas_.CountSet(tile_of_[i]));
+        if (tile_of[i] >= 0) {
+          tile_pixels_hist_->Record(atlas_.CountSet(tile_of[i]));
         }
       }
     }
 
     // Scan pass: every pair's second boundary probes its tile, fused with
-    // the shared-pixel search — a tile stops at its first doubly-colored
-    // pixel (the early-exit emit contract of raster.h).
+    // the shared-pixel search — a tile stops at the first primitive whose
+    // probe finds a doubly-colored row (the kernel's first-hit early stop).
     batch_status = atlas_.BeginScan();
     pass_span.Start(config_.trace, "hw-scan", "hw");
     Stopwatch scan_watch;
     for (size_t i = 0; i < n && batch_status.ok(); ++i) {
-      if (tile_of_[i] < 0) continue;
-      const int tile = tile_of_[i];
-      if (!any_first_[static_cast<size_t>(tile)]) continue;  // empty tile
+      if (tile_of[i] < 0) continue;
+      const int tile = tile_of[i];
+      if (!any_first[static_cast<size_t>(tile)]) continue;  // empty tile
       const geom::Box& viewport = isect_plans_[i].viewport;
       const glsim::WindowTransform xf =
           glsim::WindowTransform::Make(viewport, res, res);
       const geom::Polygon& q = *pairs[i].second;
-      glsim::Atlas::RowProber prober(atlas_, tile);
-      const auto probe = [&prober](int c0, int c1, int y) {
-        return prober(c0, c1, y);
-      };
-      for (size_t e = 0; e < q.size() && !prober.hit(); ++e) {
+      bool hit = false;
+      for (size_t e = 0; e < q.size() && !hit; ++e) {
         const geom::Segment edge = q.edge(e);
         if (!edge.Bounds().Intersects(viewport)) continue;
-        glsim::RasterizeLineAARowSpans(xf.ToWindow(edge.a), xf.ToWindow(edge.b),
-                                       config_.line_width, res, res, probe);
+        if (!glsim::ComputeLineAASpans(xf.ToWindow(edge.a), xf.ToWindow(edge.b),
+                                       config_.line_width, res, res, spans)) {
+          continue;
+        }
+        const glsim::ProbeResult pr = atlas_.ProbeTileSpans(engine, tile, spans);
+        batch_counters_.scan_spans += pr.spans;
+        hit = pr.hit_row >= 0;
       }
-      hw_overlap_[static_cast<size_t>(tile)] = prober.hit() ? 1 : 0;
+      if (hit) ++batch_counters_.scan_hit_stops;
+      hw_overlap[static_cast<size_t>(tile)] = hit ? 1 : 0;
     }
     const double scan_ms = scan_watch.ElapsedMillis();
     pass_span.End();
@@ -205,7 +216,7 @@ void BatchHardwareTester::IntersectionSubBatch(
         break;
       case PairPlan::Stage::kHardware:
         if (batch_hw_ok) {
-          keep = hw_overlap_[static_cast<size_t>(tile_of_[i])]
+          keep = hw_overlap[static_cast<size_t>(tile_of[i])]
                      ? isect_.FinishSurvivor(a, b)
                      : isect_.FinishReject(a, b, plan.viewport);
         } else {
@@ -223,7 +234,6 @@ void BatchHardwareTester::IntersectionSubBatch(
         break;
     }
     verdicts[i] = keep ? 1 : 0;
-    tile_of_[i] = -1;  // reset for the next sub-batch
   }
 }
 
@@ -232,12 +242,14 @@ void BatchHardwareTester::DistanceSubBatch(std::span<const PolygonPair> pairs,
   const size_t n = pairs.size();
   const int res = config_.resolution;
   if (dist_plans_.size() < n) dist_plans_.resize(n);
-  if (tile_of_.size() < n) tile_of_.assign(n, -1);
+  arena_.Reset();
+  int32_t* tile_of = arena_.Alloc<int32_t>(n);
+  glsim::RowSpanBuffer* spans = arena_.Alloc<glsim::RowSpanBuffer>(1);
 
   int tiles = 0;
   for (size_t i = 0; i < n; ++i) {
     dist_.Plan(*pairs[i].first, *pairs[i].second, d, &dist_plans_[i]);
-    tile_of_[i] =
+    tile_of[i] =
         dist_plans_[i].stage == DistancePlan::Stage::kHardware ? tiles++ : -1;
   }
 
@@ -253,9 +265,11 @@ void BatchHardwareTester::DistanceSubBatch(std::span<const PolygonPair> pairs,
     if (batch_status.ok()) batch_status = atlas_.BeginFill();
   }
 
+  uint8_t* hw_overlap = nullptr;
   if (batch_attempted && batch_status.ok()) {
     RecordSubBatchShape(n, tiles);
-    hw_overlap_.assign(static_cast<size_t>(tiles), 0);
+    hw_overlap = arena_.AllocZeroed<uint8_t>(static_cast<size_t>(tiles));
+    const glsim::RowSpanEngine& engine = dist_.engine();
 
     // The per-pair tester draws the smaller clipped edge set and probes
     // with the larger; replicate the choice so the filled tile is the same.
@@ -272,22 +286,27 @@ void BatchHardwareTester::DistanceSubBatch(std::span<const PolygonPair> pairs,
     pass_span.Start(config_.trace, "hw-fill", "hw");
     Stopwatch fill_watch;
     for (size_t i = 0; i < n; ++i) {
-      if (tile_of_[i] < 0) continue;
-      const int tile = tile_of_[i];
+      if (tile_of[i] < 0) continue;
+      const int tile = tile_of[i];
       const DistancePlan& plan = dist_plans_[i];
       const std::vector<geom::Segment>& first = *chains(plan).first;
       const glsim::WindowTransform xf =
           glsim::WindowTransform::Make(plan.viewport, res, res);
-      glsim::Atlas::RowFiller fill(&atlas_, tile);
+      const auto fill = [&](bool built) {
+        if (!built) return;
+        const glsim::FillResult fr = atlas_.FillTileSpans(engine, tile, spans);
+        batch_counters_.fill_spans += fr.spans;
+      };
       for (size_t e = 0; e < first.size(); ++e) {
         const geom::Point a = xf.ToWindow(first[e].a);
         const geom::Point b = xf.ToWindow(first[e].b);
-        glsim::RasterizeLineAARowSpans(a, b, plan.width_px, res, res, fill);
+        fill(glsim::ComputeLineAASpans(a, b, plan.width_px, res, res, spans));
         if (e == 0 || !(first[e - 1].b == first[e].a)) {
-          glsim::RasterizeWidePointRowSpans(a, plan.width_px, res, res, fill);
+          fill(glsim::ComputeWidePointSpans(a, plan.width_px, res, res, spans));
         }
-        glsim::RasterizeWidePointRowSpans(b, plan.width_px, res, res, fill);
+        fill(glsim::ComputeWidePointSpans(b, plan.width_px, res, res, spans));
         if (atlas_.TileFull(tile)) {
+          ++batch_counters_.fill_saturation_stops;
           if (config_.trace != nullptr) {
             config_.trace->Instant("tile-saturated", "hw");
           }
@@ -299,8 +318,8 @@ void BatchHardwareTester::DistanceSubBatch(std::span<const PolygonPair> pairs,
     pass_span.End();
     if (tile_pixels_hist_ != nullptr) {
       for (size_t i = 0; i < n; ++i) {
-        if (tile_of_[i] >= 0) {
-          tile_pixels_hist_->Record(atlas_.CountSet(tile_of_[i]));
+        if (tile_of[i] >= 0) {
+          tile_pixels_hist_->Record(atlas_.CountSet(tile_of[i]));
         }
       }
     }
@@ -311,28 +330,34 @@ void BatchHardwareTester::DistanceSubBatch(std::span<const PolygonPair> pairs,
     pass_span.Start(config_.trace, "hw-scan", "hw");
     Stopwatch scan_watch;
     for (size_t i = 0; i < n && batch_status.ok(); ++i) {
-      if (tile_of_[i] < 0) continue;
-      const int tile = tile_of_[i];
+      if (tile_of[i] < 0) continue;
+      const int tile = tile_of[i];
       const DistancePlan& plan = dist_plans_[i];
       const std::vector<geom::Segment>& second = *chains(plan).second;
       const glsim::WindowTransform xf =
           glsim::WindowTransform::Make(plan.viewport, res, res);
-      glsim::Atlas::RowProber prober(atlas_, tile);
-      const auto probe = [&prober](int c0, int c1, int y) {
-        return prober(c0, c1, y);
+      bool hit = false;
+      const auto probe = [&](bool built) {
+        if (!built || hit) return;
+        const glsim::ProbeResult pr = atlas_.ProbeTileSpans(engine, tile, spans);
+        batch_counters_.scan_spans += pr.spans;
+        hit = pr.hit_row >= 0;
       };
-      for (size_t e = 0; e < second.size() && !prober.hit(); ++e) {
+      for (size_t e = 0; e < second.size() && !hit; ++e) {
         const geom::Point a = xf.ToWindow(second[e].a);
         const geom::Point b = xf.ToWindow(second[e].b);
-        glsim::RasterizeLineAARowSpans(a, b, plan.width_px, res, res, probe);
+        probe(glsim::ComputeLineAASpans(a, b, plan.width_px, res, res, spans));
         if (e == 0 || !(second[e - 1].b == second[e].a)) {
-          glsim::RasterizeWidePointRowSpans(a, plan.width_px, res, res, probe);
+          probe(
+              glsim::ComputeWidePointSpans(a, plan.width_px, res, res, spans));
         }
-        if (!prober.hit()) {
-          glsim::RasterizeWidePointRowSpans(b, plan.width_px, res, res, probe);
+        if (!hit) {
+          probe(
+              glsim::ComputeWidePointSpans(b, plan.width_px, res, res, spans));
         }
       }
-      hw_overlap_[static_cast<size_t>(tile)] = prober.hit() ? 1 : 0;
+      if (hit) ++batch_counters_.scan_hit_stops;
+      hw_overlap[static_cast<size_t>(tile)] = hit ? 1 : 0;
     }
     const double scan_ms = scan_watch.ElapsedMillis();
     pass_span.End();
@@ -369,7 +394,7 @@ void BatchHardwareTester::DistanceSubBatch(std::span<const PolygonPair> pairs,
         break;
       case DistancePlan::Stage::kHardware:
         if (batch_hw_ok) {
-          keep = hw_overlap_[static_cast<size_t>(tile_of_[i])]
+          keep = hw_overlap[static_cast<size_t>(tile_of[i])]
                      ? dist_.FinishSurvivor(a, b, d)
                      : dist_.FinishReject(a, b, d, plan);
         } else {
@@ -384,7 +409,6 @@ void BatchHardwareTester::DistanceSubBatch(std::span<const PolygonPair> pairs,
         break;
     }
     verdicts[i] = keep ? 1 : 0;
-    tile_of_[i] = -1;
   }
 }
 

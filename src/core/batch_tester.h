@@ -7,6 +7,7 @@
 
 #include "algo/polygon_distance.h"
 #include "algo/polygon_intersect.h"
+#include "common/arena.h"
 #include "core/hw_config.h"
 #include "core/hw_distance.h"
 #include "core/hw_intersection.h"
@@ -33,10 +34,11 @@ struct PolygonPair {
 // of a whole batch in two passes:
 //
 //   fill:  render every pair's FIRST edge chain into its tile
-//          (Atlas::RowFiller: a row span is one OR into the tile word);
+//          (Atlas::FillTileSpans through the row-span kernel engine: a
+//          packed 8x8 tile is one OR per primitive);
 //   scan:  render every pair's SECOND chain probing the filled tiles
-//          (Atlas::RowProber: a row span is one AND), stopping a tile at
-//          its first doubly-colored pixel.
+//          (Atlas::ProbeTileSpans), stopping a tile at its first row with
+//          a doubly-colored pixel.
 //
 // The atlas is cleared once per batch instead of once per pair, and the
 // whole batch shares two Stopwatch reads. Everything around the hardware
@@ -69,6 +71,16 @@ class BatchHardwareTester {
   // The totals match the per-pair path; only batch.* is new.
   HwCounters counters() const;
 
+  // Row-span kernel backend the batch passes render through — the same
+  // engine the inner per-pair testers resolved from config.simd.
+  const glsim::RowSpanEngine& engine() const { return isect_.engine(); }
+
+  // System allocations the per-sub-batch scratch arena has performed.
+  // After one warm-up sub-batch at a given size this stops moving — the
+  // zero-steady-state-allocation property asserted by
+  // tests/property_differential_test.cc.
+  int64_t scratch_grow_count() const { return arena_.grow_count(); }
+
  private:
   void IntersectionSubBatch(std::span<const PolygonPair> pairs,
                             uint8_t* verdicts);
@@ -91,13 +103,16 @@ class BatchHardwareTester {
   // Hardware-step counters accrued here (the inner testers never see the
   // batched hardware step): hw_tests, hw_ms, batch.*.
   HwCounters batch_counters_;
-  // Per-sub-batch scratch, reused for capacity (DistancePlan keeps its
-  // edge-vector capacity across Plan() calls).
+  // Per-sub-batch scratch. The plan vectors stay members and are reused
+  // for capacity (PairPlan/DistancePlan own std::vectors, so they cannot
+  // live in the arena); the trivially-copyable gather scratch — the
+  // pair->tile map, the per-tile flag arrays, and the row-span buffer —
+  // comes from the bump arena below, Reset() once per sub-batch, so the
+  // steady-state batch loop performs zero heap allocations
+  // (scratch_grow_count() above).
   std::vector<PairPlan> isect_plans_;
   std::vector<DistancePlan> dist_plans_;
-  std::vector<int32_t> tile_of_;      // pair -> tile, -1 when not kHardware
-  std::vector<uint8_t> any_first_;    // per tile: first chain touched it
-  std::vector<uint8_t> hw_overlap_;   // per tile: probe found a shared pixel
+  common::ScratchArena arena_;
 };
 
 }  // namespace hasj::core

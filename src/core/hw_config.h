@@ -5,6 +5,7 @@
 
 #include "common/cancel.h"
 #include "common/fault.h"
+#include "common/simd.h"
 #include "core/query_stats.h"
 #include "glsim/context.h"
 
@@ -40,6 +41,13 @@ struct HwConfig {
   // vertices combined (§4.3's sw_threshold; 0 = always use hardware).
   int sw_threshold = 0;
   HwBackend backend = HwBackend::kBitmask;
+  // Row-span kernel backend for the bitmask path (DESIGN.md §14). The
+  // backends are bit-identical by contract — identical masks, verdicts,
+  // counters, and early-stop points — so this knob trades only throughput;
+  // kAuto picks the widest backend the CPU supports. Explicit kAvx2 on a
+  // host without AVX2 is a startup HASJ_CHECK failure (check
+  // glsim::RowSpanEngine::Available first; the bench --simd flag does).
+  common::SimdMode simd = common::SimdMode::kAuto;
   // Anti-aliased line width in pixels for the intersection test; the paper
   // assumes the pixel diagonal.
   double line_width = 1.4142135623730951;
@@ -111,6 +119,17 @@ struct HwCounters {
   int64_t hw_fallback_pairs = 0;  // pairs routed to software by a fault
                                   // or an open breaker
   int64_t breaker_opens = 0;     // breaker transitions into kOpen
+  // Row-span kernel work (DESIGN.md §14): non-empty row spans applied by
+  // fill kernels / probed by probe kernels, and the early-stop events both
+  // backends must reproduce exactly — fills cut short by a saturated
+  // buffer, probes cut short by the first doubly-colored row. Identical
+  // across simd backends (asserted by tests/simd_differential_test.cc);
+  // the per-pair and batched paths count fills at different granularities
+  // (primitive vs tile), so these are compared per-path only.
+  int64_t fill_spans = 0;
+  int64_t scan_spans = 0;
+  int64_t fill_saturation_stops = 0;
+  int64_t scan_hit_stops = 0;
   double pip_ms = 0.0;           // point-in-polygon step wall time
   double hw_ms = 0.0;            // hardware (rendering + search) wall time
   double sw_ms = 0.0;            // software segment/distance test wall time
@@ -132,6 +151,10 @@ struct HwCounters {
     hw_faults += o.hw_faults;
     hw_fallback_pairs += o.hw_fallback_pairs;
     breaker_opens += o.breaker_opens;
+    fill_spans += o.fill_spans;
+    scan_spans += o.scan_spans;
+    fill_saturation_stops += o.fill_saturation_stops;
+    scan_hit_stops += o.scan_hit_stops;
     pip_ms += o.pip_ms;
     hw_ms += o.hw_ms;
     sw_ms += o.sw_ms;

@@ -31,6 +31,7 @@ HwDistanceTester::HwDistanceTester(const HwConfig& config,
     : config_(config),
       sw_options_(sw_options),
       degrade_(config),
+      engine_(&glsim::RowSpanEngine::Get(config.simd)),
       ctx_(config.resolution, config.resolution),
       mask_a_(config.resolution, config.resolution),
       mask_b_(config.resolution, config.resolution) {
@@ -41,6 +42,8 @@ HwDistanceTester::HwDistanceTester(const HwConfig& config,
   if (config.metrics != nullptr) {
     pair_vertices_hist_ = &config.metrics->GetHistogram(obs::kHistPairVertices);
     pixels_hist_ = &config.metrics->GetHistogram(obs::kHistPixelsColored);
+    config.metrics->GetGauge(obs::kHwSimdBackend)
+        .Set(engine_->mode() == common::SimdMode::kAvx2 ? 1.0 : 0.0);
   }
 }
 
@@ -237,48 +240,62 @@ Status HwDistanceTester::HwDilatedBoundariesOverlap(
     const std::vector<geom::Segment>& first = ep.size() <= eq.size() ? ep : eq;
     const std::vector<geom::Segment>& second = ep.size() <= eq.size() ? eq : ep;
 
+    // Fill and probe run through the row-span kernel engine (DESIGN.md
+    // §14). Saturation stops at primitive granularity — identical masks,
+    // since unset == 0 means every pixel is already set — and the cap
+    // fills are guarded the same way so the span counters are a
+    // deterministic function of the edge chains under every backend.
     mask_a_.Clear();
-    int unset = res * res;  // stop drawing once the window saturates
-    const auto set = [&](int x, int y) {
-      if (!mask_a_.Test(x, y)) {
-        mask_a_.Set(x, y);
-        --unset;
-      }
-      return unset == 0;  // saturated: stop drawing
+    int64_t unset = static_cast<int64_t>(res) * res;
+    const auto fill = [&](bool built) {
+      if (!built) return;
+      const glsim::FillResult fr = mask_a_.FillSpans(*engine_, &spans_);
+      counters_.fill_spans += fr.spans;
+      unset -= fr.newly_set;
     };
     // Chained edges share endpoints; draw each capsule end cap once.
     for (size_t i = 0; i < first.size() && unset > 0; ++i) {
       const geom::Point a = ctx_.ToWindow(first[i].a);
       const geom::Point b = ctx_.ToWindow(first[i].b);
-      glsim::RasterizeLineAA(a, b, width_px, res, res, set);
-      if (i == 0 || !(first[i - 1].b == first[i].a)) {
-        glsim::RasterizeWidePoint(a, width_px, res, res, set);
+      fill(glsim::ComputeLineAASpans(a, b, width_px, res, res, &spans_));
+      if (unset > 0 && (i == 0 || !(first[i - 1].b == first[i].a))) {
+        fill(glsim::ComputeWidePointSpans(a, width_px, res, res, &spans_));
       }
-      glsim::RasterizeWidePoint(b, width_px, res, res, set);
+      if (unset > 0) {
+        fill(glsim::ComputeWidePointSpans(b, width_px, res, res, &spans_));
+      }
     }
     if (pixels_hist_ != nullptr) {
       pixels_hist_->Record(static_cast<int64_t>(res) * res - unset);
     }
-    if (unset == 0 && config_.trace != nullptr) {
-      config_.trace->Instant("hw-saturated", "hw");
+    if (unset == 0) {
+      ++counters_.fill_saturation_stops;
+      if (config_.trace != nullptr) {
+        config_.trace->Instant("hw-saturated", "hw");
+      }
     }
-    // The probe stops the rasterizer at the first doubly-colored pixel
-    // (early-exit emit contract, glsim/raster.h).
+    // The probe kernel stops at the first row with a doubly-colored pixel
+    // (the shared early-stop point of the bit-identity contract).
     if (Status s = ctx_.BeginScan(); !s.ok()) return s;
     bool found = false;
-    const auto probe = [&](int x, int y) {
-      found = found || mask_a_.Test(x, y);
-      return found;
+    const auto probe = [&](bool built) {
+      if (!built || found) return;
+      const glsim::ProbeResult pr = mask_a_.ProbeSpans(*engine_, &spans_);
+      counters_.scan_spans += pr.spans;
+      found = pr.hit_row >= 0;
     };
     for (size_t i = 0; i < second.size() && !found; ++i) {
       const geom::Point a = ctx_.ToWindow(second[i].a);
       const geom::Point b = ctx_.ToWindow(second[i].b);
-      glsim::RasterizeLineAA(a, b, width_px, res, res, probe);
-      if (i == 0 || !(second[i - 1].b == second[i].a)) {
-        glsim::RasterizeWidePoint(a, width_px, res, res, probe);
+      probe(glsim::ComputeLineAASpans(a, b, width_px, res, res, &spans_));
+      if (!found && (i == 0 || !(second[i - 1].b == second[i].a))) {
+        probe(glsim::ComputeWidePointSpans(a, width_px, res, res, &spans_));
       }
-      if (!found) glsim::RasterizeWidePoint(b, width_px, res, res, probe);
+      if (!found) {
+        probe(glsim::ComputeWidePointSpans(b, width_px, res, res, &spans_));
+      }
     }
+    if (found) ++counters_.scan_hit_stops;
     *overlap = found;
     return Status::Ok();
   }

@@ -13,6 +13,7 @@
 #include "geom/segment.h"
 #include "glsim/context.h"
 #include "glsim/pixel_mask.h"
+#include "glsim/rowspan.h"
 #include "obs/metrics.h"
 
 namespace hasj::core {
@@ -66,6 +67,10 @@ class HwDistanceTester {
   const HwConfig& config() const { return config_; }
   const HwCounters& counters() const { return counters_; }
   void ResetCounters() { counters_ = HwCounters{}; }
+
+  // Row-span kernel backend resolved from config.simd at construction
+  // (DESIGN.md §14); the batch tester renders through the same engine.
+  const glsim::RowSpanEngine& engine() const { return *engine_; }
 
   // Decision skeleton, exposed for BatchHardwareTester (see DistancePlan).
   // Reuses plan->ep/eq capacity; the kEmptyClip paranoid cross-check runs
@@ -125,9 +130,13 @@ class HwDistanceTester {
   obs::Histogram* pair_vertices_hist_ = nullptr;
   obs::Histogram* pixels_hist_ = nullptr;
   DistancePlan plan_scratch_;  // reused across Test() calls (edge capacity)
+  const glsim::RowSpanEngine* engine_;
   glsim::RenderContext ctx_;
   glsim::PixelMask mask_a_;
   glsim::PixelMask mask_b_;
+  // Per-primitive row-span scratch of the bitmask hot path (fixed array,
+  // reused across calls).
+  glsim::RowSpanBuffer spans_;
   std::unordered_map<const geom::Polygon*, algo::PointLocator> locators_;
 };
 

@@ -23,6 +23,7 @@ HwIntersectionTester::HwIntersectionTester(
     : config_(config),
       sw_options_(sw_options),
       degrade_(config),
+      engine_(&glsim::RowSpanEngine::Get(config.simd)),
       ctx_(config.resolution, config.resolution),
       mask_a_(config.resolution, config.resolution),
       mask_b_(config.resolution, config.resolution) {
@@ -35,6 +36,8 @@ HwIntersectionTester::HwIntersectionTester(
   if (config.metrics != nullptr) {
     pair_vertices_hist_ = &config.metrics->GetHistogram(obs::kHistPairVertices);
     pixels_hist_ = &config.metrics->GetHistogram(obs::kHistPixelsColored);
+    config.metrics->GetGauge(obs::kHwSimdBackend)
+        .Set(engine_->mode() == common::SimdMode::kAvx2 ? 1.0 : 0.0);
   }
 }
 
@@ -196,27 +199,35 @@ Status HwIntersectionTester::HwBoundariesOverlap(const geom::Polygon& p,
   };
 
   if (config_.backend == HwBackend::kBitmask) {
+    // Fill and probe run through the row-span kernel engine (DESIGN.md
+    // §14): each edge's footprint becomes a row-span buffer, applied to
+    // the mask by whole rows instead of per pixel. The saturation stop
+    // moved from pixel to primitive granularity with no observable change:
+    // unset == 0 means the mask is full, so the pixels a mid-primitive
+    // stop would have skipped are all already set.
     mask_a_.Clear();
     bool any_first = false;
-    int unset = res * res;  // stop drawing once the window saturates
+    int64_t unset = static_cast<int64_t>(res) * res;
     for (size_t i = 0; i < p.size() && unset > 0; ++i) {
       const geom::Segment e = p.edge(i);
       if (!in_view(e)) continue;
       any_first = true;
-      glsim::RasterizeLineAA(ctx_.ToWindow(e.a), ctx_.ToWindow(e.b),
-                             config_.line_width, res, res, [&](int x, int y) {
-                               if (!mask_a_.Test(x, y)) {
-                                 mask_a_.Set(x, y);
-                                 --unset;
-                               }
-                               return unset == 0;  // saturated: stop drawing
-                             });
+      if (!glsim::ComputeLineAASpans(ctx_.ToWindow(e.a), ctx_.ToWindow(e.b),
+                                     config_.line_width, res, res, &spans_)) {
+        continue;
+      }
+      const glsim::FillResult fr = mask_a_.FillSpans(*engine_, &spans_);
+      counters_.fill_spans += fr.spans;
+      unset -= fr.newly_set;
     }
     if (pixels_hist_ != nullptr) {
       pixels_hist_->Record(static_cast<int64_t>(res) * res - unset);
     }
-    if (unset == 0 && config_.trace != nullptr) {
-      config_.trace->Instant("hw-saturated", "hw");
+    if (unset == 0) {
+      ++counters_.fill_saturation_stops;
+      if (config_.trace != nullptr) {
+        config_.trace->Instant("hw-saturated", "hw");
+      }
     }
     if (!any_first) {
       *overlap = false;
@@ -224,20 +235,23 @@ Status HwIntersectionTester::HwBoundariesOverlap(const geom::Polygon& p,
     }
     // Probe the first mask while rasterizing the second boundary: the
     // decision is identical to building both masks, found sooner. The
-    // callback returns `found` so the rasterizer stops at the first
-    // doubly-colored pixel instead of clipping and emitting every
-    // remaining span of the current edge.
+    // probe kernel stops at the first row containing a doubly-colored
+    // pixel — the early-stop point every simd backend must share — and
+    // the edge loop stops with it.
     if (Status s = ctx_.BeginScan(); !s.ok()) return s;
     bool found = false;
     for (size_t i = 0; i < q.size() && !found; ++i) {
       const geom::Segment e = q.edge(i);
       if (!in_view(e)) continue;
-      glsim::RasterizeLineAA(ctx_.ToWindow(e.a), ctx_.ToWindow(e.b),
-                             config_.line_width, res, res, [&](int x, int y) {
-                               found = found || mask_a_.Test(x, y);
-                               return found;
-                             });
+      if (!glsim::ComputeLineAASpans(ctx_.ToWindow(e.a), ctx_.ToWindow(e.b),
+                                     config_.line_width, res, res, &spans_)) {
+        continue;
+      }
+      const glsim::ProbeResult pr = mask_a_.ProbeSpans(*engine_, &spans_);
+      counters_.scan_spans += pr.spans;
+      found = pr.hit_row >= 0;
     }
+    if (found) ++counters_.scan_hit_stops;
     *overlap = found;
     return Status::Ok();
   }

@@ -11,6 +11,7 @@
 #include "geom/polygon.h"
 #include "glsim/context.h"
 #include "glsim/pixel_mask.h"
+#include "glsim/rowspan.h"
 #include "obs/metrics.h"
 
 namespace hasj::core {
@@ -61,6 +62,10 @@ class HwIntersectionTester {
   const HwConfig& config() const { return config_; }
   const HwCounters& counters() const { return counters_; }
   void ResetCounters() { counters_ = HwCounters{}; }
+
+  // Row-span kernel backend resolved from config.simd at construction
+  // (DESIGN.md §14); the batch tester renders through the same engine.
+  const glsim::RowSpanEngine& engine() const { return *engine_; }
 
   // Decision skeleton, exposed for BatchHardwareTester (see PairPlan).
   // Test(p, q) == Plan -> [hardware step] -> Finish*, in that order.
@@ -124,9 +129,14 @@ class HwIntersectionTester {
   // per-pair hot path pays a pointer test, not a registry lookup.
   obs::Histogram* pair_vertices_hist_ = nullptr;
   obs::Histogram* pixels_hist_ = nullptr;
+  const glsim::RowSpanEngine* engine_;
   glsim::RenderContext ctx_;
   glsim::PixelMask mask_a_;
   glsim::PixelMask mask_b_;
+  // Per-primitive row-span scratch of the bitmask hot path; reused across
+  // calls like the render context (RowSpanBuffer is a fixed 64 KiB array,
+  // not a heap allocation).
+  glsim::RowSpanBuffer spans_;
   std::unordered_map<const geom::Polygon*, algo::PointLocator> locators_;
 };
 

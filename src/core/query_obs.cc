@@ -39,6 +39,11 @@ void RecordQueryMetrics(obs::Registry* metrics, const char* kind,
   metrics->GetCounter(obs::kRefineHwRejects).Add(hw.hw_rejects);
   metrics->GetCounter(obs::kRefineSwTests).Add(hw.sw_tests);
   metrics->GetCounter(obs::kRefineWidthFallbacks).Add(hw.width_fallbacks);
+  metrics->GetCounter(obs::kRefineFillSpans).Add(hw.fill_spans);
+  metrics->GetCounter(obs::kRefineScanSpans).Add(hw.scan_spans);
+  metrics->GetCounter(obs::kRefineFillSaturationStops)
+      .Add(hw.fill_saturation_stops);
+  metrics->GetCounter(obs::kRefineScanHitStops).Add(hw.scan_hit_stops);
   metrics->GetGauge(obs::kRefinePipMs).Add(hw.pip_ms);
   metrics->GetGauge(obs::kRefineHwMs).Add(hw.hw_ms);
   metrics->GetGauge(obs::kRefineSwMs).Add(hw.sw_ms);

@@ -131,26 +131,26 @@ class RefinementExecutor {
     testers.reserve(static_cast<size_t>(threads_));
     for (int w = 0; w < threads_; ++w) testers.push_back(make_tester());
 
-    std::vector<uint8_t> named(static_cast<size_t>(threads_), 0);
-    std::vector<uint8_t> verdict(items.size(), 0);
-    std::vector<uint8_t> tested(items.size(), 0);
+    named_.assign(static_cast<size_t>(threads_), 0);
+    verdict_.assign(items.size(), 0);
+    tested_.assign(items.size(), 0);
     const Status pool_status = pool_->ParallelFor(
         n, Grain(n), [&](int64_t begin, int64_t end, int worker) {
           MaybeInjectPoolFault();
           if (guarded && deadline_->Expired()) return;  // skip, stays untested
-          NameWorkerTrack(named, worker);
+          NameWorkerTrack(named_, worker);
           HASJ_TRACE_SCOPE(trace_, "compare-chunk", "refine", "pairs",
                            end - begin);
           Tester& tester = testers[static_cast<size_t>(worker)];
           for (int64_t i = begin; i < end; ++i) {
-            verdict[static_cast<size_t>(i)] =
+            verdict_[static_cast<size_t>(i)] =
                 test(tester, items[static_cast<size_t>(i)]) ? 1 : 0;
-            tested[static_cast<size_t>(i)] = 1;
+            tested_[static_cast<size_t>(i)] = 1;
           }
         });
     RecordPoolWait();
 
-    GatherPrefix(items, verdict, tested, pool_status, &out);
+    GatherPrefix(items, verdict_, tested_, pool_status, &out);
     for (const Tester& tester : testers) out.counters += tester.counters();
     return out;
   }
@@ -173,16 +173,19 @@ class RefinementExecutor {
     RefinementOutcome<Item> out;
     const int64_t n = static_cast<int64_t>(items.size());
     const bool guarded = deadline_ != nullptr && deadline_->active();
-    std::vector<PolygonPair> pairs(items.size());
-    std::vector<uint8_t> verdict(items.size(), 0);
+    // Member scratch: repeated RefineBatches calls (the steady state of a
+    // batched query loop) reuse the vectors' capacity instead of
+    // reallocating the pair/verdict arrays per call.
+    pairs_.resize(items.size());
+    verdict_.assign(items.size(), 0);
     if (!pool_.has_value() || n <= 1) {
       HASJ_TRACE_SCOPE(trace_, "compare-chunk", "refine", "pairs", n);
       auto tester = make_tester();
-      for (size_t i = 0; i < items.size(); ++i) pairs[i] = to_pair(items[i]);
+      for (size_t i = 0; i < items.size(); ++i) pairs_[i] = to_pair(items[i]);
       out.attempted = n;
       if (n > 0 && !guarded) {
-        test_batch(tester, std::span<const PolygonPair>(pairs),
-                   verdict.data());
+        test_batch(tester, std::span<const PolygonPair>(pairs_),
+                   verdict_.data());
       } else if (n > 0) {
         // Deadline active: hand the tester one atlas-batch-sized slice at a
         // time so the budget is polled at refinement-batch boundaries.
@@ -198,13 +201,13 @@ class RefinementExecutor {
           const size_t len =
               static_cast<size_t>(std::min<int64_t>(stride, n - off));
           test_batch(tester,
-                     std::span<const PolygonPair>(pairs.data() + off, len),
-                     verdict.data() + off);
+                     std::span<const PolygonPair>(pairs_.data() + off, len),
+                     verdict_.data() + off);
         }
       }
       out.accepted.reserve(items.size());
       for (int64_t i = 0; i < out.attempted; ++i) {
-        if (verdict[static_cast<size_t>(i)]) {
+        if (verdict_[static_cast<size_t>(i)]) {
           out.accepted.push_back(items[static_cast<size_t>(i)]);
         }
       }
@@ -217,31 +220,32 @@ class RefinementExecutor {
     testers.reserve(static_cast<size_t>(threads_));
     for (int w = 0; w < threads_; ++w) testers.push_back(make_tester());
 
-    std::vector<uint8_t> named(static_cast<size_t>(threads_), 0);
-    std::vector<uint8_t> tested(items.size(), 0);
+    named_.assign(static_cast<size_t>(threads_), 0);
+    tested_.assign(items.size(), 0);
     const Status pool_status = pool_->ParallelFor(
         n, Grain(n), [&](int64_t begin, int64_t end, int worker) {
           MaybeInjectPoolFault();
           if (guarded && deadline_->Expired()) return;  // skip, stays untested
-          NameWorkerTrack(named, worker);
+          NameWorkerTrack(named_, worker);
           HASJ_TRACE_SCOPE(trace_, "compare-chunk", "refine", "pairs",
                            end - begin);
           for (int64_t i = begin; i < end; ++i) {
-            pairs[static_cast<size_t>(i)] =
+            pairs_[static_cast<size_t>(i)] =
                 to_pair(items[static_cast<size_t>(i)]);
           }
           Tester& tester = testers[static_cast<size_t>(worker)];
           test_batch(tester,
                      std::span<const PolygonPair>(
-                         pairs.data() + begin, static_cast<size_t>(end - begin)),
-                     verdict.data() + begin);
+                         pairs_.data() + begin,
+                         static_cast<size_t>(end - begin)),
+                     verdict_.data() + begin);
           for (int64_t i = begin; i < end; ++i) {
-            tested[static_cast<size_t>(i)] = 1;
+            tested_[static_cast<size_t>(i)] = 1;
           }
         });
     RecordPoolWait();
 
-    GatherPrefix(items, verdict, tested, pool_status, &out);
+    GatherPrefix(items, verdict_, tested_, pool_status, &out);
     for (const Tester& tester : testers) out.counters += tester.counters();
     return out;
   }
@@ -323,6 +327,14 @@ class RefinementExecutor {
 
   int threads_;
   mutable std::optional<ThreadPool> pool_;
+  // Gather scratch reused across Refine/RefineBatches calls (capacity
+  // persists; assign() only rewrites contents). Mutable for the same
+  // reason as pool_: the executor runs one refinement stage at a time, so
+  // the const entry points may use per-executor scratch.
+  mutable std::vector<PolygonPair> pairs_;
+  mutable std::vector<uint8_t> verdict_;
+  mutable std::vector<uint8_t> tested_;
+  mutable std::vector<uint8_t> named_;
   obs::TraceSession* trace_ = nullptr;
   obs::Registry* metrics_ = nullptr;
   const QueryDeadline* deadline_ = nullptr;

@@ -7,6 +7,7 @@
 #include "common/fault.h"
 #include "common/macros.h"
 #include "common/status.h"
+#include "glsim/rowspan.h"
 
 namespace hasj::glsim {
 
@@ -92,9 +93,29 @@ class Atlas {
   // All bits of a full tile_res-pixel row (bits 0..tile_res-1).
   uint64_t row_mask_full() const { return row_full_; }
 
+  // Kernel entry points of the batch hot path (DESIGN.md §14): apply a
+  // primitive's row-span buffer to one tile through the given engine —
+  // packed tiles take the whole-grid-in-one-word kernels, word-per-row
+  // tiles the stride-1 row kernels. Identical bits and counts under every
+  // backend (the engine's bit-identity contract), and identical pixels to
+  // a RowFiller/RowProber emit walk of the same spans (asserted by
+  // tests/simd_differential_test.cc).
+  FillResult FillTileSpans(const RowSpanEngine& engine, int tile,
+                           RowSpanBuffer* spans) {
+    if (packed_) return engine.FillPacked(spans, tile_res_, tile_words(tile));
+    return engine.FillRows(spans, tile_res_, 1, tile_words(tile));
+  }
+  ProbeResult ProbeTileSpans(const RowSpanEngine& engine, int tile,
+                             RowSpanBuffer* spans) const {
+    if (packed_) return engine.ProbePacked(spans, tile_res_, tile_words(tile));
+    return engine.ProbeRows(spans, tile_res_, 1, tile_words(tile));
+  }
+
   // Row emitter writing row spans into one tile; plugs into
   // RasterizeLineAARowSpans / RasterizeWidePointRowSpans. Row/column
-  // ranges arrive pre-clipped to [0, tile_res).
+  // ranges arrive pre-clipped to [0, tile_res). Kept as the reference
+  // emitter of the golden tests; the batch tester goes through
+  // FillTileSpans/ProbeTileSpans above.
   class RowFiller {
    public:
     RowFiller(Atlas* atlas, int tile)
@@ -147,11 +168,6 @@ class Atlas {
   };
 
  private:
-  // Bits c0..c1 inclusive (0 <= c0 <= c1 <= 63).
-  static uint64_t RowMask(int c0, int c1) {
-    return (~uint64_t{0} >> (63 - (c1 - c0))) << c0;
-  }
-
   int tile_res_;
   int capacity_;
   bool packed_;

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/macros.h"
+#include "glsim/rowspan.h"
 
 namespace hasj::glsim {
 
@@ -13,18 +14,33 @@ namespace hasj::glsim {
 // rasterizing each polygon into a mask and intersecting masks is
 // decision-equivalent to the faithful color/accumulation-buffer pipeline
 // (asserted by tests and the backend ablation bench).
+//
+// Storage follows the two row-span kernel layouts (rowspan.h):
+//  * width*height <= 64 ("packed"): the whole grid is one word, pixel
+//    (x, y) = bit y*width + x — bit-for-bit the historical flat layout, so
+//    the paper's 8x8 per-pair window stays a single-word mask.
+//  * otherwise row-aligned: pixel (x, y) = bit x&63 of word
+//    y*stride_words + (x>>6). Costs up to one partial word per row over
+//    the flat layout but makes every row word-addressable, which is what
+//    the SIMD fill/probe kernels need.
 class PixelMask {
  public:
   PixelMask(int width, int height)
       : width_(width),
         height_(height),
-        words_((static_cast<size_t>(width) * static_cast<size_t>(height) + 63) /
-               64) {
+        packed_(static_cast<int64_t>(width) * height <= 64),
+        stride_words_(packed_ ? 1 : (width + 63) / 64),
+        words_(packed_ ? 1
+                       : static_cast<size_t>(stride_words_) *
+                             static_cast<size_t>(height)) {
     HASJ_CHECK(width > 0 && height > 0);
   }
 
   int width() const { return width_; }
   int height() const { return height_; }
+  bool packed() const { return packed_; }
+  int stride_words() const { return stride_words_; }
+  const uint64_t* words() const { return words_.data(); }
 
   void Clear() { std::fill(words_.begin(), words_.end(), 0); }
 
@@ -38,9 +54,23 @@ class PixelMask {
     return (words_[bit >> 6] >> (bit & 63)) & 1;
   }
 
-  // True if any pixel is set in both masks. Masks must match in size.
+  // Applies a primitive's row-span buffer through the given kernel engine
+  // (rowspan.h) — the hot path of the per-pair bitmask testers; Set() is
+  // the per-pixel reference the differential tests compare against.
+  FillResult FillSpans(const RowSpanEngine& engine, RowSpanBuffer* spans) {
+    if (packed_) return engine.FillPacked(spans, width_, words_.data());
+    return engine.FillRows(spans, width_, stride_words_, words_.data());
+  }
+  ProbeResult ProbeSpans(const RowSpanEngine& engine,
+                         RowSpanBuffer* spans) const {
+    if (packed_) return engine.ProbePacked(spans, width_, words_.data());
+    return engine.ProbeRows(spans, width_, stride_words_, words_.data());
+  }
+
+  // True if any pixel is set in both masks. Masks must match in size (and
+  // therefore in layout, so the word-wise AND is pixel-wise).
   bool IntersectsAny(const PixelMask& other) const {
-    HASJ_CHECK(words_.size() == other.words_.size());
+    HASJ_CHECK(width_ == other.width_ && height_ == other.height_);
     for (size_t i = 0; i < words_.size(); ++i) {
       if ((words_[i] & other.words_[i]) != 0) return true;
     }
@@ -54,14 +84,25 @@ class PixelMask {
   }
 
  private:
+  // Bit index of pixel (x, y) within words_. Both layouts keep every
+  // addressable bit inside the vector, and the row-aligned layout never
+  // sets the pad bits past `width` of a row's last word.
   size_t Index(int x, int y) const {
     HASJ_DCHECK(x >= 0 && x < width_ && y >= 0 && y < height_);
-    return static_cast<size_t>(y) * static_cast<size_t>(width_) +
-           static_cast<size_t>(x);
+    if (packed_) {
+      return static_cast<size_t>(y) * static_cast<size_t>(width_) +
+             static_cast<size_t>(x);
+    }
+    return (static_cast<size_t>(y) * static_cast<size_t>(stride_words_) +
+            (static_cast<size_t>(x) >> 6)) *
+               64 +
+           (static_cast<size_t>(x) & 63);
   }
 
   int width_;
   int height_;
+  bool packed_;
+  int stride_words_;
   std::vector<uint64_t> words_;
 };
 

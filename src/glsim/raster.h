@@ -12,6 +12,7 @@
 #include "geom/point.h"
 #include "glsim/coverage.h"
 #include "glsim/pixel_snap.h"
+#include "glsim/rowspan.h"
 
 namespace hasj::glsim {
 
@@ -54,37 +55,27 @@ inline bool EmitRowStops(EmitRow& emit_row, int c0, int c1, int y) {
   }
 }
 
-// Test-only fault injection: when set, EmitRowSpan shrinks each span by
-// 0.75 px at both ends instead of conservatively closing it, so the spans
-// of a default-width (√2 px) line vanish — the seeded coverage-rule bug the
-// HASJ_PARANOID oracle must catch (tests/stress_paranoid_test.cc). Never
-// set outside tests.
-inline bool& TestCoverageShrink() {
-  static bool shrink = false;
-  return shrink;
-}
+// The shrink fault hook and the span buffer moved to glsim scope
+// (rowspan.h) with the SIMD core; aliased here so existing callers —
+// tests/stress_paranoid_test.cc flips
+// glsim::raster_internal::TestCoverageShrink() — keep compiling.
+using ::hasj::glsim::TestCoverageShrink;
+using RowSpans = ::hasj::glsim::RowSpanBuffer;
 
 // Maps the closed x-interval [xlo, xhi] of row `y` to the cell columns
-// whose closed cell intersects it, with a conservative relative tolerance
-// (the same reasoning as coverage.cc: rounding must only ever add pixels),
-// and hands the whole range to emit_row(c0, c1, y) in one call. The single
-// source of truth for span->column snapping: the per-pixel rasterizers and
-// the batch tile atlas both sit on top of it, which is what makes the
-// batched hardware test decision-identical to the per-pair one (DESIGN.md
-// §9). Returns true when emit_row stopped the rasterization.
+// whose closed cell intersects it (SnapSpanToCols, rowspan.h — the single
+// source of truth shared with the SIMD kernels, which is what makes the
+// batched hardware test decision-identical to the per-pair one, DESIGN.md
+// §9/§14) and hands the whole range to emit_row(c0, c1, y) in one call.
+// Returns true when emit_row stopped the rasterization.
 template <typename EmitRow>
 bool EmitRowSpanCols(double xlo, double xhi, int y, int vw, EmitRow& emit_row) {
-  if (xlo > xhi) return false;
   if (TestCoverageShrink()) {
     xlo += 0.75;
-    xhi -= 0.75;
-    if (xlo > xhi) return false;  // shrunk away: the injected under-coverage
+    xhi -= 0.75;  // injected under-coverage: the span may shrink away
   }
-  const double tol = 1e-12 * (std::fabs(xlo) + std::fabs(xhi)) + 1e-300;
-  // Column c (cell [c, c+1]) intersects [xlo, xhi] iff c <= xhi and
-  // c+1 >= xlo.
-  const int c0 = PixelFromCoord(std::ceil(xlo - tol) - 1.0, 0, vw - 1);
-  const int c1 = PixelFromCoord(std::floor(xhi + tol), 0, vw - 1);
+  int c0, c1;
+  if (!SnapSpanToCols(xlo, xhi, vw, &c0, &c1)) return false;
   return EmitRowStops(emit_row, c0, c1, y);
 }
 
@@ -100,68 +91,6 @@ bool EmitRowSpan(double xlo, double xhi, int y, int vw, Emit& emit) {
   };
   return EmitRowSpanCols(xlo, xhi, y, vw, per_pixel);
 }
-
-// Per-row x-extents of a convex polygon over the cell rows of a viewport.
-// One incremental walk per edge: each border crossing y = k contributes its
-// x to the two adjacent rows, each vertex to its own row (and, when it sits
-// exactly on a border, to the row below — closed-slab semantics). The
-// result per row is exactly the x-projection of polygon ∩ closed slab.
-struct RowSpans {
-  static constexpr int kMaxRows = 4096;
-  double xlo[kMaxRows];
-  double xhi[kMaxRows];
-  int row_min = 0;
-  int row_max = -1;
-
-  // Prepares rows covering [ymin, ymax] (one guard row each side), clipped
-  // to the viewport. Rows that end up untouched stay empty (+inf extent).
-  void Init(double ymin, double ymax, int vh) {
-    row_min = PixelFromCoord(std::floor(ymin) - 1.0, 0, vh - 1);
-    row_max = PixelFromCoord(std::floor(ymax) + 1.0, 0, vh - 1);
-    for (int r = row_min; r <= row_max; ++r) {
-      xlo[r] = std::numeric_limits<double>::infinity();
-      xhi[r] = -std::numeric_limits<double>::infinity();
-    }
-  }
-
-  void Update(int row, double x) {
-    xlo[row] = std::min(xlo[row], x);
-    xhi[row] = std::max(xhi[row], x);
-  }
-
-  // A boundary point at height y: touches row floor(y), and also the row
-  // below when it lies exactly on a border. Bounds-checked in double to
-  // avoid integer overflow on extreme coordinates.
-  void AddPoint(double y, double x) {
-    const double f = std::floor(y);
-    if (f >= row_min && f <= row_max) Update(PixelFromCoord(f, row_min, row_max), x);
-    if (y == f) {
-      const double g = f - 1.0;
-      if (g >= row_min && g <= row_max) Update(PixelFromCoord(g, row_min, row_max), x);
-    }
-  }
-
-  // One polygon edge (p -> q, any order).
-  void AddEdge(geom::Point p, geom::Point q) {
-    if (p.y > q.y) std::swap(p, q);
-    AddPoint(p.y, p.x);
-    AddPoint(q.y, q.x);
-    // Border crossings k in (p.y, q.y): crossing k belongs to rows k-1, k.
-    double k0 = std::floor(p.y) + 1.0;
-    if (k0 < static_cast<double>(row_min)) k0 = row_min;
-    double k1 = std::ceil(q.y) - 1.0;
-    const double kmax = static_cast<double>(row_max) + 1.0;
-    if (k1 > kmax) k1 = kmax;
-    if (k0 > k1) return;  // no crossings: skip the division entirely
-    const double slope = (q.x - p.x) / (q.y - p.y);
-    for (double k = k0; k <= k1; k += 1.0) {
-      const double x = p.x + (k - p.y) * slope;
-      const int row = PixelFromCoord(k, row_min, row_max + 1);
-      if (row - 1 >= row_min) Update(row - 1, x);
-      if (row <= row_max) Update(row, x);
-    }
-  }
-};
 
 }  // namespace raster_internal
 
@@ -201,17 +130,10 @@ auto PerPixelRows(Emit& emit) {
 template <typename EmitRow>
 void RasterizeWidePointRowSpans(geom::Point p, double size, int vw, int vh,
                                 EmitRow emit_row) {
-  const double r = size * 0.5;
-  const double rtol = r + 1e-12 * (r + std::fabs(p.x) + std::fabs(p.y));
-  const int y0 = PixelFromCoord(std::floor(p.y - rtol) - 1, 0, vh - 1);
-  const int y1 = PixelFromCoord(std::floor(p.y + rtol) + 1, 0, vh - 1);
-  for (int y = y0; y <= y1; ++y) {
-    // x-extent of disc ∩ slab [y, y+1]: width at the slab's closest y.
-    const double dy = std::max({0.0, y - p.y, p.y - (y + 1.0)});
-    const double under = rtol * rtol - dy * dy;
-    if (under < 0.0) continue;
-    const double halfw = std::sqrt(under);
-    if (raster_internal::EmitRowSpanCols(p.x - halfw, p.x + halfw, y, vw,
+  static thread_local RowSpanBuffer spans;
+  if (!ComputeWidePointSpans(p, size, vw, vh, &spans)) return;
+  for (int y = spans.row_min; y <= spans.row_max; ++y) {
+    if (raster_internal::EmitRowSpanCols(spans.xlo[y], spans.xhi[y], y, vw,
                                          emit_row)) {
       return;
     }
@@ -233,32 +155,8 @@ void RasterizeWidePoint(geom::Point p, double size, int vw, int vh, Emit emit) {
 template <typename EmitRow>
 void RasterizeLineAARowSpans(geom::Point a, geom::Point b, double width,
                              int vw, int vh, EmitRow emit_row) {
-  if (a == b) {
-    RasterizeWidePointRowSpans(a, width, vw, vh, emit_row);
-    return;
-  }
-  HASJ_DCHECK(vh <= raster_internal::RowSpans::kMaxRows);
-  // Footprint corners a±h, b±h with h the half-width normal; computed with
-  // a single division (no normalized axes — the scan conversion does not
-  // need them, unlike the SAT predicate in coverage.h).
-  const double dx = b.x - a.x;
-  const double dy = b.y - a.y;
-  const double scale = (width * 0.5) / std::sqrt(dx * dx + dy * dy);
-  const double hx = -dy * scale;
-  const double hy = dx * scale;
-  const geom::Point c0{a.x + hx, a.y + hy};
-  const geom::Point c1{b.x + hx, b.y + hy};
-  const geom::Point c2{b.x - hx, b.y - hy};
-  const geom::Point c3{a.x - hx, a.y - hy};
-  const double miny = std::min(std::min(c0.y, c1.y), std::min(c2.y, c3.y));
-  const double maxy = std::max(std::max(c0.y, c1.y), std::max(c2.y, c3.y));
-  if (maxy < 0.0 || miny > vh) return;
-  static thread_local raster_internal::RowSpans spans;
-  spans.Init(miny, maxy, vh);
-  spans.AddEdge(c0, c1);
-  spans.AddEdge(c1, c2);
-  spans.AddEdge(c2, c3);
-  spans.AddEdge(c3, c0);
+  static thread_local RowSpanBuffer spans;
+  if (!ComputeLineAASpans(a, b, width, vw, vh, &spans)) return;
   for (int r = spans.row_min; r <= spans.row_max; ++r) {
     if (raster_internal::EmitRowSpanCols(spans.xlo[r], spans.xhi[r], r, vw,
                                          emit_row)) {
@@ -282,11 +180,11 @@ void RasterizeLineAA(geom::Point a, geom::Point b, double width, int vw,
 template <typename EmitRow>
 void RasterizeTriangleRowSpans(geom::Point a, geom::Point b, geom::Point c,
                                int vw, int vh, EmitRow emit_row) {
-  HASJ_DCHECK(vh <= raster_internal::RowSpans::kMaxRows);
+  HASJ_DCHECK(vh <= RowSpanBuffer::kMaxRows);
   const double miny = std::min(a.y, std::min(b.y, c.y));
   const double maxy = std::max(a.y, std::max(b.y, c.y));
   if (maxy < 0.0 || miny > vh) return;
-  static thread_local raster_internal::RowSpans spans;
+  static thread_local RowSpanBuffer spans;
   spans.Init(miny, maxy, vh);
   spans.AddEdge(a, b);
   spans.AddEdge(b, c);

@@ -1,0 +1,50 @@
+#include "glsim/rowspan.h"
+
+#include "common/macros.h"
+#include "common/simd.h"
+
+namespace hasj::glsim {
+
+namespace {
+
+const RowSpanKernels* Avx2KernelsIfUsable() {
+  // Both halves must hold: the TU was compiled with -mavx2 (non-null
+  // table) AND the CPU+OS enable AVX2 at runtime (cpuid/xgetbv).
+  if (!common::CpuHasAvx2()) return nullptr;
+  return rowspan_internal::GetAvx2RowSpanKernels();
+}
+
+}  // namespace
+
+bool RowSpanEngine::Available(common::SimdMode mode) {
+  switch (mode) {
+    case common::SimdMode::kAuto:
+    case common::SimdMode::kScalar:
+      return true;
+    case common::SimdMode::kAvx2:
+      return Avx2KernelsIfUsable() != nullptr;
+  }
+  return false;
+}
+
+const RowSpanEngine& RowSpanEngine::Get(common::SimdMode mode) {
+  static const RowSpanEngine scalar(common::SimdMode::kScalar,
+                                    &rowspan_internal::kScalarRowSpanKernels);
+  static const RowSpanKernels* avx2_kernels = Avx2KernelsIfUsable();
+  static const RowSpanEngine avx2(common::SimdMode::kAvx2,
+                                  avx2_kernels != nullptr
+                                      ? avx2_kernels
+                                      : &rowspan_internal::kScalarRowSpanKernels);
+  switch (mode) {
+    case common::SimdMode::kScalar:
+      return scalar;
+    case common::SimdMode::kAvx2:
+      HASJ_CHECK(avx2_kernels != nullptr);  // check Available() first
+      return avx2;
+    case common::SimdMode::kAuto:
+      return avx2_kernels != nullptr ? avx2 : scalar;
+  }
+  return scalar;
+}
+
+}  // namespace hasj::glsim

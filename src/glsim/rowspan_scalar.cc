@@ -1,0 +1,83 @@
+// Portable row-span kernels — the reference backend of the bit-identity
+// contract (DESIGN.md §14). Compiled with -ffp-contract=off (see
+// glsim/CMakeLists.txt) so the SnapSpanToCols tolerance arithmetic runs
+// the same IEEE sequence here as in the AVX2 backend, even under
+// -march=native builds where GCC would otherwise fuse the mul+add.
+
+#include <cstdint>
+
+#include "glsim/rowspan.h"
+
+namespace hasj::glsim::rowspan_internal {
+
+namespace {
+
+FillResult FillPackedScalar(const RowSpanBuffer& spans, int vw,
+                            uint64_t* word) {
+  FillResult out;
+  const uint64_t initial = *word;
+  uint64_t acc = 0;
+  for (int r = spans.row_min; r <= spans.row_max; ++r) {
+    int c0, c1;
+    if (!SnapSpanToCols(spans.xlo[r], spans.xhi[r], vw, &c0, &c1)) continue;
+    ++out.spans;
+    acc |= RowMask(c0, c1) << (r * vw);
+  }
+  *word = initial | acc;
+  out.newly_set = __builtin_popcountll(acc & ~initial);
+  return out;
+}
+
+ProbeResult ProbePackedScalar(const RowSpanBuffer& spans, int vw,
+                              const uint64_t* word) {
+  ProbeResult out;
+  for (int r = spans.row_min; r <= spans.row_max; ++r) {
+    int c0, c1;
+    if (!SnapSpanToCols(spans.xlo[r], spans.xhi[r], vw, &c0, &c1)) continue;
+    ++out.spans;
+    if (((*word >> (r * vw)) & RowMask(c0, c1)) != 0) {
+      out.hit_row = r;
+      return out;
+    }
+  }
+  return out;
+}
+
+FillResult FillRowsScalar(const RowSpanBuffer& spans, int vw,
+                          int stride_words, uint64_t* words) {
+  FillResult out;
+  for (int r = spans.row_min; r <= spans.row_max; ++r) {
+    int c0, c1;
+    if (!SnapSpanToCols(spans.xlo[r], spans.xhi[r], vw, &c0, &c1)) continue;
+    ++out.spans;
+    out.newly_set += FillRowWords(words + static_cast<size_t>(r) * stride_words,
+                                  c0, c1);
+  }
+  return out;
+}
+
+ProbeResult ProbeRowsScalar(const RowSpanBuffer& spans, int vw,
+                            int stride_words, const uint64_t* words) {
+  ProbeResult out;
+  for (int r = spans.row_min; r <= spans.row_max; ++r) {
+    int c0, c1;
+    if (!SnapSpanToCols(spans.xlo[r], spans.xhi[r], vw, &c0, &c1)) continue;
+    ++out.spans;
+    if (ProbeRowWords(words + static_cast<size_t>(r) * stride_words, c0, c1)) {
+      out.hit_row = r;
+      return out;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const RowSpanKernels kScalarRowSpanKernels = {
+    FillPackedScalar,
+    ProbePackedScalar,
+    FillRowsScalar,
+    ProbeRowsScalar,
+};
+
+}  // namespace hasj::glsim::rowspan_internal

@@ -32,6 +32,11 @@ inline constexpr char kRefineHwTests[] = "refine.hw_tests";
 inline constexpr char kRefineHwRejects[] = "refine.hw_rejects";
 inline constexpr char kRefineSwTests[] = "refine.sw_tests";
 inline constexpr char kRefineWidthFallbacks[] = "refine.width_fallbacks";
+inline constexpr char kRefineFillSpans[] = "refine.fill_spans";
+inline constexpr char kRefineScanSpans[] = "refine.scan_spans";
+inline constexpr char kRefineFillSaturationStops[] =
+    "refine.fill_saturation_stops";
+inline constexpr char kRefineScanHitStops[] = "refine.scan_hit_stops";
 inline constexpr char kRefinePipMs[] = "refine.pip_ms";  // gauge
 inline constexpr char kRefineHwMs[] = "refine.hw_ms";    // gauge
 inline constexpr char kRefineSwMs[] = "refine.sw_ms";    // gauge
@@ -49,6 +54,10 @@ inline constexpr char kHistBatchPairs[] = "batch.pairs_per_batch";
 inline constexpr char kHistBatchTiles[] = "batch.tiles_per_batch";
 inline constexpr char kHistBatchOccupancyPct[] = "batch.occupancy_pct";
 inline constexpr char kHistQueueWaitUs[] = "pool.queue_wait_us";
+
+// Row-span kernel backend actually running (DESIGN.md §14).
+// gauge: 0 = scalar, 1 = avx2. Set once per tester at construction.
+inline constexpr char kHwSimdBackend[] = "hw.simd_backend";
 
 // Simulated-hardware primitive counts (glsim::RenderContext).
 inline constexpr char kGlsimDrawSegments[] = "glsim.draw_segments";

@@ -240,6 +240,61 @@ class GuardedByCoverageTest(unittest.TestCase):
         self.assertEqual(code, 0, out)
 
 
+class SimdIntrinsicsTest(unittest.TestCase):
+    def test_intrinsics_outside_blessed_files_flagged(self):
+        code, out = run_lint({
+            "core/fastpath.cc": (
+                "#include <immintrin.h>\n"
+                "void F(double* p) {\n"
+                "  __m256d v = _mm256_loadu_pd(p);\n"
+                "  _mm256_storeu_pd(p, v);\n"
+                "}\n"
+            ),
+        })
+        self.assertEqual(code, 1, out)
+        self.assertEqual(out.count("[simd-intrinsics]"), 3, out)
+
+    def test_sse_types_and_calls_flagged(self):
+        code, out = run_lint({
+            "algo/dot.cc": (
+                "__m128d Acc(__m128d a, __m128d b) "
+                "{ return _mm_add_pd(a, b); }\n"
+            ),
+        })
+        self.assertEqual(code, 1, out)
+        self.assertIn("[simd-intrinsics]", out)
+
+    def test_blessed_backend_and_dispatch_header_exempt(self):
+        code, out = run_lint({
+            "glsim/rowspan_avx2.cc": (
+                "#include <immintrin.h>\n"
+                "__m256i G() { return _mm256_setzero_si256(); }\n"
+            ),
+            "common/simd.h": header("common/simd.h", (
+                "#include <immintrin.h>\n"
+            )),
+        })
+        self.assertEqual(code, 0, out)
+
+    def test_mentions_in_comments_ignored(self):
+        code, out = run_lint({
+            "core/notes.cc": (
+                "// the backend lowers this to _mm256_or_si256 per quad\n"
+                "int rows;\n"
+            ),
+        })
+        self.assertEqual(code, 0, out)
+
+    def test_allow_suppresses(self):
+        code, out = run_lint({
+            "core/probe.cc": (
+                "// lint:allow(simd-intrinsics): one-off perf experiment\n"
+                "__m256i v = _mm256_setzero_si256();\n"
+            ),
+        })
+        self.assertEqual(code, 0, out)
+
+
 class SuppressionHygieneTest(unittest.TestCase):
     def test_unknown_rule_reported(self):
         code, out = run_lint({

@@ -300,6 +300,38 @@ TEST(BatchIdentityConfig, SwThresholdRoutingIdentical) {
   ExpectSameIntegerCounters(per_pair.counters(), batch.counters());
 }
 
+// The batch tester's gather scratch (pair->tile map, per-tile flags, the
+// row-span buffer) comes from a bump arena that is Reset() — not freed —
+// per sub-batch: after a warm-up call at a given batch size, further batch
+// calls must perform zero system allocations (scratch_grow_count stops
+// moving).
+TEST(BatchScratch, ZeroSteadyStateAllocations) {
+  const uint64_t seed = TestSeed(2101);
+  SCOPED_TRACE(SeedTrace(seed));
+  const std::vector<PairSample> corpus = MakeCorpus(seed, 1000);
+  const std::vector<PolygonPair> pairs = AsPairs(corpus);
+
+  HwConfig config;
+  config.resolution = 8;
+  config.use_batching = true;
+  config.batch_size = 192;  // several sub-batches per call
+  BatchHardwareTester batch(config);
+  std::vector<uint8_t> verdicts(pairs.size(), 0);
+
+  // Warm-up: the first call may grow (and coalesce) the arena.
+  batch.TestIntersectionBatch(pairs, verdicts.data());
+  batch.TestWithinDistanceBatch(pairs, 0.25, verdicts.data());
+  const int64_t after_warmup = batch.scratch_grow_count();
+  EXPECT_GT(after_warmup, 0);
+
+  for (int round = 0; round < 4; ++round) {
+    batch.TestIntersectionBatch(pairs, verdicts.data());
+    batch.TestWithinDistanceBatch(pairs, 0.25, verdicts.data());
+    EXPECT_EQ(batch.scratch_grow_count(), after_warmup)
+        << "round " << round;
+  }
+}
+
 // A batch call routed entirely through software (enable_hw=false inner
 // testers are never constructed — batching requires hw; instead: pairs all
 // below sw_threshold) must keep the atlas untouched.

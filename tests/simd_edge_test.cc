@@ -1,0 +1,288 @@
+// Hand-computed golden cases for the row-span kernels (rowspan.h), aimed
+// at the bit-layout edges where a SIMD port is most likely to diverge:
+// spans starting/ending mid-word, spans narrower than one column, spans
+// crossing word boundaries, rows at the packed 8x8 tile's edges, full-row
+// saturation, zero-width spans, and spans clipped entirely outside the
+// viewport (which the snapping contract clamps INTO the border column —
+// conservative, never lost). Every case is checked against hand-computed
+// masks on the scalar backend, and — when the host has AVX2 — against the
+// AVX2 backend too, so a golden doubles as a differential case.
+//
+// The expected columns follow SnapSpanToCols: column c (cell [c, c+1])
+// intersects [xlo, xhi] iff c <= xhi and c+1 >= xlo, i.e.
+// c0 = ceil(xlo - tol) - 1 and c1 = floor(xhi + tol), clamped to
+// [0, vw-1].
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/simd.h"
+#include "glsim/rowspan.h"
+
+namespace hasj {
+namespace {
+
+using common::SimdMode;
+using glsim::FillResult;
+using glsim::ProbeResult;
+using glsim::RowSpanBuffer;
+using glsim::RowSpanEngine;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Engines under test: scalar always, avx2 when the host supports it.
+std::vector<const RowSpanEngine*> Engines() {
+  std::vector<const RowSpanEngine*> engines;
+  engines.push_back(&RowSpanEngine::Get(SimdMode::kScalar));
+  if (RowSpanEngine::Available(SimdMode::kAvx2)) {
+    engines.push_back(&RowSpanEngine::Get(SimdMode::kAvx2));
+  }
+  return engines;
+}
+
+// Buffer with all rows [0, vh) prepared and empty.
+void EmptySpans(int vh, RowSpanBuffer* spans) {
+  spans->row_min = 0;
+  spans->row_max = vh - 1;
+  for (int r = 0; r < vh; ++r) {
+    spans->xlo[r] = kInf;
+    spans->xhi[r] = -kInf;
+  }
+}
+
+uint64_t Bits(int c0, int c1) { return glsim::RowMask(c0, c1); }
+
+struct PackedCase {
+  const char* name;
+  double xlo;
+  double xhi;
+  int row;
+  uint64_t expected_row_bits;  // before the << row*vw shift
+};
+
+TEST(SimdEdge, PackedSingleRowGoldens) {
+  constexpr int vw = 8;
+  const PackedCase cases[] = {
+      // Interior span: columns 1..4 ([2,4] also touches cell [1,2] at x=2).
+      {"interior", 2.0, 4.0, 3, Bits(1, 4)},
+      // Zero-width span strictly inside cell 3: column 3 only.
+      {"zero-width-mid-cell", 3.5, 3.5, 0, Bits(3, 3)},
+      // Zero-width span exactly on the 3|4 cell border: both cells 2 and 3.
+      {"zero-width-on-border", 3.0, 3.0, 7, Bits(2, 3)},
+      // Narrower than one column, mid-row.
+      {"sub-pixel", 5.2, 5.3, 4, Bits(5, 5)},
+      // Entirely left of the viewport: clamps into column 0.
+      {"clipped-left", -7.0, -5.0, 2, Bits(0, 0)},
+      // Entirely right of the viewport: clamps into column vw-1.
+      {"clipped-right", 12.0, 14.0, 5, Bits(7, 7)},
+      // Overshooting both sides: the full row.
+      {"full-row", -3.0, 100.0, 6, Bits(0, 7)},
+      // Top row of the 8x8 tile (highest shift in the packed word).
+      {"top-row", 0.5, 6.5, 7, Bits(0, 6)},
+  };
+  for (const RowSpanEngine* engine : Engines()) {
+    for (const PackedCase& c : cases) {
+      SCOPED_TRACE(std::string(c.name) + " on " + engine->name());
+      RowSpanBuffer spans;
+      EmptySpans(8, &spans);
+      spans.xlo[c.row] = c.xlo;
+      spans.xhi[c.row] = c.xhi;
+      uint64_t word = 0;
+      const FillResult fill = engine->FillPacked(&spans, vw, &word);
+      const uint64_t expected = c.expected_row_bits << (c.row * vw);
+      EXPECT_EQ(word, expected);
+      EXPECT_EQ(fill.spans, 1);
+      EXPECT_EQ(fill.newly_set, __builtin_popcountll(expected));
+
+      // Probe against the matching mask: hit at exactly that row.
+      const ProbeResult hit = engine->ProbePacked(&spans, vw, &word);
+      EXPECT_EQ(hit.hit_row, c.row);
+      EXPECT_EQ(hit.spans, 1);
+      // Probe against the complement within the row: no hit.
+      const uint64_t miss_word = (~expected) &
+                                 (Bits(0, vw - 1) << (c.row * vw));
+      const ProbeResult miss = engine->ProbePacked(&spans, vw, &miss_word);
+      EXPECT_EQ(miss.hit_row, -1);
+      EXPECT_EQ(miss.spans, 1);
+    }
+  }
+}
+
+TEST(SimdEdge, PackedMixedRowsWithinOneQuad) {
+  // Rows 0..3 land in a single AVX2 quad: rows 0 and 2 empty, 1 and 3 set.
+  // The garbage lanes of the quad must contribute nothing.
+  constexpr int vw = 8;
+  for (const RowSpanEngine* engine : Engines()) {
+    SCOPED_TRACE(engine->name());
+    RowSpanBuffer spans;
+    EmptySpans(8, &spans);
+    spans.xlo[1] = 1.25;
+    spans.xhi[1] = 2.75;  // columns 1..2
+    spans.xlo[3] = 6.5;
+    spans.xhi[3] = 6.6;  // column 6
+    uint64_t word = 0;
+    const FillResult fill = engine->FillPacked(&spans, vw, &word);
+    const uint64_t expected =
+        (Bits(1, 2) << (1 * vw)) | (Bits(6, 6) << (3 * vw));
+    EXPECT_EQ(word, expected);
+    EXPECT_EQ(fill.spans, 2);
+    EXPECT_EQ(fill.newly_set, 3);
+
+    // Refill: everything already set, newly_set must be zero (the
+    // saturation budget the per-pair fill loop runs on).
+    const FillResult refill = engine->FillPacked(&spans, vw, &word);
+    EXPECT_EQ(refill.spans, 2);
+    EXPECT_EQ(refill.newly_set, 0);
+    EXPECT_EQ(word, expected);
+
+    // A mask hitting only row 3's span: the probe must count BOTH
+    // non-empty rows (row 1 probed and missed, row 3 hit) and stop there.
+    const uint64_t only_row3 = Bits(6, 6) << (3 * vw);
+    const ProbeResult probe = engine->ProbePacked(&spans, vw, &only_row3);
+    EXPECT_EQ(probe.hit_row, 3);
+    EXPECT_EQ(probe.spans, 2);
+  }
+}
+
+TEST(SimdEdge, RowsMidWordAndWordCrossing) {
+  // Word-per-row layout (vw=32, stride 1): spans starting and ending
+  // mid-word; and a wide layout (vw=128, stride 2) span crossing the
+  // 64-bit word boundary.
+  for (const RowSpanEngine* engine : Engines()) {
+    SCOPED_TRACE(engine->name());
+    {
+      constexpr int vw = 32;
+      RowSpanBuffer spans;
+      EmptySpans(4, &spans);
+      spans.xlo[2] = 5.25;
+      spans.xhi[2] = 17.75;  // columns 5..17
+      uint64_t words[4] = {0, 0, 0, 0};
+      const FillResult fill = engine->FillRows(&spans, vw, 1, words);
+      EXPECT_EQ(words[0], 0u);
+      EXPECT_EQ(words[1], 0u);
+      EXPECT_EQ(words[2], Bits(5, 17));
+      EXPECT_EQ(words[3], 0u);
+      EXPECT_EQ(fill.spans, 1);
+      EXPECT_EQ(fill.newly_set, 13);
+    }
+    {
+      constexpr int vw = 128;
+      RowSpanBuffer spans;
+      EmptySpans(2, &spans);
+      spans.xlo[1] = 60.0;
+      spans.xhi[1] = 70.0;  // columns 59..70: bits 59..63 of w0, 0..6 of w1
+      uint64_t words[4] = {0, 0, 0, 0};
+      const FillResult fill = engine->FillRows(&spans, vw, 2, words);
+      EXPECT_EQ(words[0], 0u);
+      EXPECT_EQ(words[1], 0u);
+      EXPECT_EQ(words[2], Bits(59, 63));
+      EXPECT_EQ(words[3], Bits(0, 6));
+      EXPECT_EQ(fill.spans, 1);
+      EXPECT_EQ(fill.newly_set, 12);
+
+      // Probe hitting only the second word of the row.
+      uint64_t mask[4] = {0, 0, 0, uint64_t{1} << 3};
+      const ProbeResult probe = engine->ProbeRows(&spans, vw, 2, mask);
+      EXPECT_EQ(probe.hit_row, 1);
+      EXPECT_EQ(probe.spans, 1);
+    }
+  }
+}
+
+TEST(SimdEdge, FullRowSaturation) {
+  // Every row overshoots the viewport on both sides: the packed grid and a
+  // word-per-row tile must both come out completely set, with newly_set
+  // equal to the pixel count.
+  for (const RowSpanEngine* engine : Engines()) {
+    SCOPED_TRACE(engine->name());
+    {
+      constexpr int vw = 8;
+      RowSpanBuffer spans;
+      EmptySpans(8, &spans);
+      for (int r = 0; r < 8; ++r) {
+        spans.xlo[r] = -100.0;
+        spans.xhi[r] = 100.0;
+      }
+      uint64_t word = 0;
+      const FillResult fill = engine->FillPacked(&spans, vw, &word);
+      EXPECT_EQ(word, ~uint64_t{0});
+      EXPECT_EQ(fill.spans, 8);
+      EXPECT_EQ(fill.newly_set, 64);
+    }
+    {
+      constexpr int vw = 64;
+      RowSpanBuffer spans;
+      EmptySpans(3, &spans);
+      for (int r = 0; r < 3; ++r) {
+        spans.xlo[r] = -1.0;
+        spans.xhi[r] = 65.0;
+      }
+      uint64_t words[3] = {0, 0, 0};
+      const FillResult fill = engine->FillRows(&spans, vw, 1, words);
+      for (int r = 0; r < 3; ++r) EXPECT_EQ(words[r], ~uint64_t{0});
+      EXPECT_EQ(fill.spans, 3);
+      EXPECT_EQ(fill.newly_set, 192);
+    }
+  }
+}
+
+TEST(SimdEdge, ProbeStopsAtFirstHitRow) {
+  // Hits exist at rows 2 and 6; the probe must report row 2 and count only
+  // the non-empty rows up to it (rows 1 and 2 — row 0 is empty and never
+  // counted). This is the early-stop point both backends must share for
+  // scan_spans to be backend-invariant.
+  constexpr int vw = 8;
+  for (const RowSpanEngine* engine : Engines()) {
+    SCOPED_TRACE(engine->name());
+    RowSpanBuffer spans;
+    EmptySpans(8, &spans);
+    for (int r : {1, 2, 5, 6}) {
+      spans.xlo[r] = 2.5;
+      spans.xhi[r] = 4.5;  // columns 2..4
+    }
+    const uint64_t mask =
+        (Bits(3, 3) << (2 * vw)) | (Bits(3, 3) << (6 * vw));
+    const ProbeResult probe = engine->ProbePacked(&spans, vw, &mask);
+    EXPECT_EQ(probe.hit_row, 2);
+    EXPECT_EQ(probe.spans, 2);
+
+    // No overlap anywhere: all four non-empty rows are probed.
+    const uint64_t miss = Bits(7, 7) << (4 * vw);
+    const ProbeResult none = engine->ProbePacked(&spans, vw, &miss);
+    EXPECT_EQ(none.hit_row, -1);
+    EXPECT_EQ(none.spans, 4);
+  }
+}
+
+TEST(SimdEdge, EmptyAndInvertedBufferIsNoop) {
+  // All-empty and inverted (xlo > xhi) rows must touch nothing and count
+  // nothing, in every layout.
+  for (const RowSpanEngine* engine : Engines()) {
+    SCOPED_TRACE(engine->name());
+    RowSpanBuffer spans;
+    EmptySpans(8, &spans);
+    spans.xlo[3] = 5.0;
+    spans.xhi[3] = 2.0;  // inverted: empty by the SnapSpanToCols contract
+    uint64_t word = 0;
+    const FillResult fill = engine->FillPacked(&spans, 8, &word);
+    EXPECT_EQ(word, 0u);
+    EXPECT_EQ(fill.spans, 0);
+    EXPECT_EQ(fill.newly_set, 0);
+    const uint64_t full = ~uint64_t{0};
+    const ProbeResult probe = engine->ProbePacked(&spans, 8, &full);
+    EXPECT_EQ(probe.hit_row, -1);
+    EXPECT_EQ(probe.spans, 0);
+
+    uint64_t words[8] = {};
+    const FillResult rows_fill = engine->FillRows(&spans, 32, 1, words);
+    EXPECT_EQ(rows_fill.spans, 0);
+    EXPECT_EQ(rows_fill.newly_set, 0);
+    for (uint64_t w : words) EXPECT_EQ(w, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace hasj
