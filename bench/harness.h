@@ -11,11 +11,16 @@
 // (DESIGN.md §10):
 //
 //   --json=PATH    machine-readable report: the printed series plus a full
-//                  metrics-registry snapshot (schema_version 1, validated
+//                  metrics-registry snapshot (schema_version 2, validated
 //                  by scripts/validate_bench_json.py);
 //   --trace=PATH   Chrome trace_event file of the run — open it in
 //                  chrome://tracing or https://ui.perfetto.dev;
-//   --explain      print an EXPLAIN ANALYZE pipeline report after the run.
+//   --explain      print an EXPLAIN ANALYZE pipeline report after the run;
+//   --pmu          sample hardware performance counters per pipeline stage
+//                  (perf_event_open; prints [SKIPPED no-perf-events] when
+//                  the kernel denies the syscall);
+//   --query_log=PATH  write one JSONL record per query (DESIGN.md §15),
+//                  sampled by --query_log_sample=F in [0, 1].
 //
 // Flag parsing is strict: unknown flags and numeric values with trailing
 // garbage are usage errors (exit code 2), not silent defaults.
@@ -40,6 +45,9 @@
 #include "data/generator.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/names.h"
+#include "obs/perf_counters.h"
+#include "obs/query_log.h"
 #include "obs/report.h"
 #include "obs/trace.h"
 
@@ -65,6 +73,11 @@ struct BenchArgs {
   // avx2. Parsed into simd_mode by TryParseArgs.
   std::string simd = "auto";
   common::SimdMode simd_mode = common::SimdMode::kAuto;
+  // Observability (DESIGN.md §15): per-stage hardware PMU sampling and the
+  // structured query log with its sampling rate.
+  bool pmu = false;
+  std::string query_log_path;      // --query_log=PATH; empty = disabled
+  double query_log_sample = 1.0;   // fraction of queries logged, [0, 1]
 };
 
 // Checked replacements for atof/atoll: reject empty input, trailing
@@ -114,6 +127,9 @@ inline bool TryParseArgs(int argc, char** argv, BenchArgs* args,
       {"deadline_ms", Flag::kDouble, &args->deadline_ms},
       {"use_intervals", Flag::kBool, &args->use_intervals},
       {"simd", Flag::kString, &args->simd},
+      {"pmu", Flag::kBool, &args->pmu},
+      {"query_log_sample", Flag::kDouble, &args->query_log_sample},
+      {"query_log", Flag::kString, &args->query_log_path},
   };
 
   *wants_help = false;
@@ -192,6 +208,10 @@ inline bool TryParseArgs(int argc, char** argv, BenchArgs* args,
              "')";
     return false;
   }
+  if (args->query_log_sample < 0.0 || args->query_log_sample > 1.0) {
+    *error = "--query_log_sample must be in [0, 1]";
+    return false;
+  }
   args->seed = static_cast<uint64_t>(seed);
   args->threads = static_cast<int>(threads);
   return true;
@@ -207,7 +227,7 @@ inline void PrintUsage(const char* argv0, std::FILE* out) {
                "  --threads=N  refinement worker threads "
                "(default 1 = serial, 0 = hardware concurrency)\n"
                "  --json=PATH  write a machine-readable JSON report "
-               "(schema_version 1)\n"
+               "(schema_version 2)\n"
                "  --trace=PATH write a Chrome trace_event JSON file "
                "(chrome://tracing, ui.perfetto.dev)\n"
                "  --explain    print an EXPLAIN ANALYZE pipeline report "
@@ -219,7 +239,13 @@ inline void PrintUsage(const char* argv0, std::FILE* out) {
                "  --use_intervals enable the raster-interval secondary "
                "filter (DESIGN.md section 12)\n"
                "  --simd=MODE  row-span kernel backend: auto (default), "
-               "scalar, avx2 (DESIGN.md section 14)\n",
+               "scalar, avx2 (DESIGN.md section 14)\n"
+               "  --pmu        sample hardware performance counters per "
+               "pipeline stage (DESIGN.md section 15)\n"
+               "  --query_log=PATH write one JSONL record per query "
+               "(DESIGN.md section 15)\n"
+               "  --query_log_sample=F fraction of queries logged, in "
+               "[0, 1] (default 1)\n",
                argv0);
 }
 
@@ -250,6 +276,14 @@ class BenchReport {
   BenchReport(std::string bench_name, const BenchArgs& args)
       : bench_name_(std::move(bench_name)), args_(args) {
     if (trace() != nullptr) trace_.NameCurrentTrack("bench-main");
+    if (args_.pmu) pmu_.emplace();
+    if (!args_.query_log_path.empty()) {
+      const Status s = query_log_.Open(args_.query_log_path);
+      if (!s.ok()) {
+        std::fprintf(stderr, "--query_log: %s\n", s.message().c_str());
+        query_log_failed_ = true;
+      }
+    }
     if (args_.fault_rate > 0.0) {
       faults_.emplace(args_.seed);
       const FaultPlan plan = FaultPlan::Probability(args_.fault_rate);
@@ -278,12 +312,23 @@ class BenchReport {
     return faults_.has_value() ? &*faults_ : nullptr;
   }
 
-  // Points config->metrics / config->trace / config->faults at this
-  // report's sinks and applies --deadline_ms.
+  // PMU sampler; null unless --pmu was given.
+  obs::PerfCounters* pmu() { return pmu_.has_value() ? &*pmu_ : nullptr; }
+
+  // Query-log sink; null unless --query_log opened a file.
+  obs::QueryLog* query_log() {
+    return query_log_.open() ? &query_log_ : nullptr;
+  }
+
+  // Points config->metrics / config->trace / config->faults / config->pmu /
+  // config->query_log at this report's sinks and applies --deadline_ms.
   void Wire(core::HwConfig* config) {
     config->metrics = metrics();
     config->trace = trace();
     config->faults = faults();
+    config->pmu = pmu();
+    config->query_log = query_log();
+    config->query_log_sample = args_.query_log_sample;
     config->deadline_ms = args_.deadline_ms;
     config->use_intervals = args_.use_intervals;
     config->simd = args_.simd_mode;
@@ -302,7 +347,23 @@ class BenchReport {
   // Emits everything the flags asked for. Returns the process exit code:
   // 0, or 1 when an output file could not be written.
   [[nodiscard]] int Finish() {
-    int exit_code = 0;
+    int exit_code = query_log_failed_ ? 1 : 0;
+    if (query_log_.open()) {
+      if (const Status s = query_log_.Close(); !s.ok()) {
+        std::fprintf(stderr, "--query_log: %s\n", s.message().c_str());
+        exit_code = 1;
+      }
+    }
+    // Surface trace truncation in the snapshot (and thus --json/--explain):
+    // a silently clipped trace reads as "covered everything" otherwise.
+    if (metrics() != nullptr && trace() != nullptr &&
+        trace_.dropped_events() > 0) {
+      registry_.GetCounter(obs::kTraceDropped).Add(trace_.dropped_events());
+    }
+    if (args_.pmu && !pmu_->available()) {
+      std::printf("# pmu: [SKIPPED no-perf-events] perf_event_open denied; "
+                  "PMU deltas are zero\n");
+    }
     if (args_.explain) {
       std::printf("%s", obs::RenderReport(registry_.Snapshot()).c_str());
     }
@@ -331,7 +392,7 @@ class BenchReport {
     obs::JsonWriter w(out);
     w.BeginObject();
     w.Key("schema_version");
-    w.Int(1);
+    w.Int(2);
     w.Key("bench_name");
     w.String(bench_name_);
     w.Key("scale");
@@ -344,6 +405,20 @@ class BenchReport {
     w.Double(args_.fault_rate);
     w.Key("deadline_ms");
     w.Double(args_.deadline_ms);
+    w.Key("simd");
+    w.String(args_.simd);
+    w.Key("use_intervals");
+    w.Bool(args_.use_intervals);
+    w.Key("pmu_requested");
+    w.Bool(args_.pmu);
+    w.Key("pmu_available");
+    w.Bool(pmu_.has_value() && pmu_->available());
+    w.Key("query_log_path");
+    w.String(args_.query_log_path);
+    w.Key("query_log_records");
+    w.Int(query_log_.written());
+    w.Key("query_log_dropped");
+    w.Int(query_log_.dropped());
     w.Key("series");
     w.BeginArray();
     for (const SeriesRow& row : rows_) {
@@ -390,6 +465,12 @@ class BenchReport {
       w.Int(hist.count > 0 ? hist.min : 0);
       w.Key("max");
       w.Int(hist.count > 0 ? hist.max : 0);
+      w.Key("p50");
+      w.Int(hist.P50());
+      w.Key("p90");
+      w.Int(hist.P90());
+      w.Key("p99");
+      w.Int(hist.P99());
       w.Key("buckets");
       w.BeginArray();
       for (const int64_t bucket : hist.buckets) w.Int(bucket);
@@ -423,6 +504,9 @@ class BenchReport {
   BenchArgs args_;
   obs::Registry registry_;
   obs::TraceSession trace_;
+  std::optional<obs::PerfCounters> pmu_;
+  obs::QueryLog query_log_;
+  bool query_log_failed_ = false;
   std::optional<FaultInjector> faults_;
   std::vector<SeriesRow> rows_;
 };

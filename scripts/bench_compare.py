@@ -1,0 +1,271 @@
+#!/usr/bin/env python3
+"""Compare a bench --json report against a checked-in baseline (DESIGN.md §15).
+
+Continuous bench-regression tracking: CI (and anyone locally) runs a bench
+with --json, then compares the report's series metrics against
+BENCH_BASELINE.json with noise-aware thresholds.
+
+  scripts/bench_compare.py --baseline BENCH_BASELINE.json --report r.json
+  scripts/bench_compare.py --baseline BENCH_BASELINE.json --report r.json \
+      --update            # rewrite the baseline from the report
+  scripts/bench_compare.py ... --warn-only   # report, never fail (shared
+                                             # CI runners have noisy clocks)
+
+Passing --report more than once for the *same* bench merges the runs:
+timing metrics keep their per-run minimum (min-of-N is far more stable than
+any single run — noise only ever adds time), and counter metrics must be
+identical across the runs (they are deterministic; a mismatch is a real bug
+and fails immediately). Baselines written with --update from N runs and
+compared against M fresh runs therefore converge on the machine's true
+floor instead of whichever scheduler hiccup a single run caught.
+
+Metric classification, by series-metric name:
+
+  * timing metrics (name ends in _ms, _us, or _frac): compared with a
+    relative threshold — warn above --warn-pct (default 15%), fail above
+    --fail-pct (default 25%). Absolute differences under --min-abs-ms
+    (default 5.0) are ignored outright: at bench scale a 3 ms stage can
+    double on timer jitter alone.
+  * counter metrics (everything else — pair counts, hw_tests, match flags):
+    compared exactly. The pipelines are deterministic at fixed
+    (scale, seed, threads), so any counter drift is a real behavior change
+    and always fails (even with --warn-only, unless --lax-counters).
+
+A baseline only applies when its config fingerprint (bench_name, scale,
+seed, threads) matches the report's; mismatched fingerprints fail loudly
+rather than comparing apples to oranges. Benches present in only one of
+the two files are reported (new bench / missing bench) but fail nothing,
+so adding a bench does not require regenerating every baseline.
+
+Exit code: 0 = OK (possibly with warnings), 1 = regression or config
+mismatch, 2 = usage/IO error.
+"""
+
+import argparse
+import json
+import sys
+
+TIMING_SUFFIXES = ("_ms", "_us", "_frac")
+FINGERPRINT_FIELDS = ("bench_name", "scale", "seed", "threads")
+
+
+def is_timing_metric(name):
+    return name.endswith(TIMING_SUFFIXES)
+
+
+def load_report(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict) or not isinstance(doc.get("series"), list):
+        raise ValueError(f"{path}: not a bench --json report")
+    return doc
+
+
+def report_to_baseline_entry(doc):
+    """Distills one bench report into its baseline form."""
+    entry = {field: doc.get(field) for field in FINGERPRINT_FIELDS}
+    entry["series"] = {}
+    for row in doc["series"]:
+        entry["series"][row["series"]] = dict(row["metrics"])
+    return entry
+
+
+def merge_entries(a, b):
+    """Merges two baseline entries for the same bench (two reps of one run
+    config): timing metrics keep the minimum, counters must agree."""
+    for field in FINGERPRINT_FIELDS:
+        if a.get(field) != b.get(field):
+            raise ValueError(
+                f"cannot merge reps of {a.get('bench_name')}: {field} differs "
+                f"({a.get(field)!r} vs {b.get(field)!r})"
+            )
+    merged = {field: a.get(field) for field in FINGERPRINT_FIELDS}
+    merged["series"] = {}
+    for series in set(a["series"]) | set(b["series"]):
+        sa = a["series"].get(series)
+        sb = b["series"].get(series)
+        if sa is None or sb is None:
+            merged["series"][series] = dict(sa or sb)
+            continue
+        row = {}
+        for metric in set(sa) | set(sb):
+            if metric not in sa or metric not in sb:
+                row[metric] = sa.get(metric, sb.get(metric))
+            elif is_timing_metric(metric):
+                row[metric] = min(sa[metric], sb[metric])
+            elif sa[metric] != sb[metric]:
+                raise ValueError(
+                    f"{a.get('bench_name')}/{series}.{metric}: counter "
+                    f"differs between reps ({sa[metric]} vs {sb[metric]}) — "
+                    "nondeterminism, not noise"
+                )
+            else:
+                row[metric] = sa[metric]
+        merged["series"][series] = row
+    return merged
+
+
+def compare_entry(baseline, report, opts):
+    """Compares one bench's baseline entry against its fresh report entry.
+
+    Returns (failures, warnings, notes) — lists of message strings.
+    """
+    failures, warnings, notes = [], [], []
+    name = baseline.get("bench_name", "?")
+
+    for field in FINGERPRINT_FIELDS:
+        if baseline.get(field) != report.get(field):
+            failures.append(
+                f"{name}: config mismatch: {field} baseline="
+                f"{baseline.get(field)!r} report={report.get(field)!r} "
+                "(regenerate the baseline or fix the run flags)"
+            )
+    if failures:
+        return failures, warnings, notes
+
+    for series, base_metrics in baseline["series"].items():
+        rep_metrics = report["series"].get(series)
+        if rep_metrics is None:
+            failures.append(f"{name}/{series}: series missing from report")
+            continue
+        for metric, base_value in base_metrics.items():
+            if metric not in rep_metrics:
+                failures.append(f"{name}/{series}.{metric}: missing from report")
+                continue
+            rep_value = rep_metrics[metric]
+            where = f"{name}/{series}.{metric}"
+            if is_timing_metric(metric):
+                diff = rep_value - base_value
+                if abs(diff) < opts.min_abs_ms:
+                    continue
+                if base_value <= 0:
+                    notes.append(
+                        f"{where}: baseline is {base_value}, report "
+                        f"{rep_value:.2f} (no relative threshold applies)"
+                    )
+                    continue
+                rel = diff / base_value
+                msg = (
+                    f"{where}: {base_value:.2f} -> {rep_value:.2f} "
+                    f"({rel * 100.0:+.1f}%)"
+                )
+                if rel > opts.fail_pct / 100.0:
+                    failures.append(f"{msg} exceeds --fail-pct={opts.fail_pct}")
+                elif rel > opts.warn_pct / 100.0:
+                    warnings.append(f"{msg} exceeds --warn-pct={opts.warn_pct}")
+                elif rel < -opts.warn_pct / 100.0:
+                    notes.append(f"{msg} — improvement; consider --update")
+            else:
+                if rep_value != base_value:
+                    msg = (
+                        f"{where}: counter changed {base_value} -> {rep_value} "
+                        "(deterministic at fixed scale/seed/threads)"
+                    )
+                    if opts.lax_counters:
+                        warnings.append(msg)
+                    else:
+                        failures.append(msg)
+    for series in report["series"]:
+        if series not in baseline["series"]:
+            notes.append(f"{name}/{series}: new series (not in baseline)")
+    return failures, warnings, notes
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True, metavar="PATH",
+                        help="checked-in baseline JSON (see BENCH_BASELINE.json)")
+    parser.add_argument("--report", action="append", default=[], metavar="PATH",
+                        required=True,
+                        help="bench --json report to compare (repeatable)")
+    parser.add_argument("--warn-pct", type=float, default=15.0,
+                        help="warn when a timing metric regresses more than "
+                        "this percent (default 15)")
+    parser.add_argument("--fail-pct", type=float, default=25.0,
+                        help="fail when a timing metric regresses more than "
+                        "this percent (default 25)")
+    parser.add_argument("--min-abs-ms", type=float, default=5.0,
+                        help="ignore timing differences smaller than this "
+                        "absolute value (default 5.0; timer noise floor)")
+    parser.add_argument("--warn-only", action="store_true",
+                        help="downgrade timing failures to warnings (shared "
+                        "CI runners); counter drift still fails unless "
+                        "--lax-counters")
+    parser.add_argument("--lax-counters", action="store_true",
+                        help="downgrade counter drift to warnings too")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from the reports instead "
+                        "of comparing")
+    opts = parser.parse_args(argv)
+
+    try:
+        reports = {}
+        for path in opts.report:
+            doc = load_report(path)
+            name = doc.get("bench_name", path)
+            entry = report_to_baseline_entry(doc)
+            reports[name] = (merge_entries(reports[name], entry)
+                             if name in reports else entry)
+    except (OSError, ValueError, json.JSONDecodeError, KeyError) as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+
+    if opts.update:
+        try:
+            with open(opts.baseline, encoding="utf-8") as f:
+                baseline_doc = json.load(f)
+        except (OSError, json.JSONDecodeError):
+            baseline_doc = {"benches": {}}
+        benches = baseline_doc.setdefault("benches", {})
+        for name, entry in reports.items():
+            benches[name] = entry
+        with open(opts.baseline, "w", encoding="utf-8") as f:
+            json.dump(baseline_doc, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"{opts.baseline}: updated {len(reports)} bench entr"
+              f"{'y' if len(reports) == 1 else 'ies'}")
+        return 0
+
+    try:
+        with open(opts.baseline, encoding="utf-8") as f:
+            baseline_doc = json.load(f)
+        benches = baseline_doc["benches"]
+    except (OSError, json.JSONDecodeError, KeyError) as e:
+        print(f"error: cannot load baseline {opts.baseline}: {e}",
+              file=sys.stderr)
+        return 2
+
+    failures, warnings, notes = [], [], []
+    for name, entry in reports.items():
+        baseline = benches.get(name)
+        if baseline is None:
+            notes.append(f"{name}: no baseline entry (new bench; run --update)")
+            continue
+        f_, w_, n_ = compare_entry(baseline, entry, opts)
+        if opts.warn_only:
+            # Counter drift stays fatal: determinism does not get noisier on
+            # a shared runner.
+            still_fatal = [m for m in f_ if "counter changed" in m
+                           or "config mismatch" in m or "missing" in m]
+            warnings.extend(m for m in f_ if m not in still_fatal)
+            f_ = still_fatal
+        failures.extend(f_)
+        warnings.extend(w_)
+        notes.extend(n_)
+    for name in benches:
+        if name not in reports:
+            notes.append(f"{name}: baseline entry with no report this run")
+
+    for msg in notes:
+        print(f"note: {msg}")
+    for msg in warnings:
+        print(f"WARNING: {msg}")
+    for msg in failures:
+        print(f"FAIL: {msg}", file=sys.stderr)
+    print(f"{len(reports)} report(s) vs baseline: {len(failures)} failure(s), "
+          f"{len(warnings)} warning(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -20,6 +20,12 @@ Repo-specific correctness rules that generic tooling cannot express:
                    the RowSpanEngine kernel ABI, which is what keeps the
                    scalar/AVX2 bit-identity argument (DESIGN.md §14)
                    auditable in one place.
+  metric-name      No string-literal metric names at Registry call sites:
+                   every GetCounter/GetGauge/GetHistogram argument in src/
+                   must be a named constant from obs/names.h (obs::k*).
+                   An inline "hasj.foo.bar" literal bypasses the one place
+                   the metric namespace is audited, and a typo there mints
+                   a silent parallel time series nobody reads.
   status-discard   No laundering of Status/Result returns through a (void)
                    cast, and the Status/Result classes themselves must stay
                    [[nodiscard]] (the compiler enforces call sites from
@@ -184,6 +190,34 @@ def check_simd_intrinsics(path, lines, src, root):
                 "raw vector intrinsic outside glsim/rowspan_avx2.cc / "
                 "common/simd.h — go through the RowSpanEngine kernel ABI "
                 "(or justify with // lint:allow(simd-intrinsics): <reason>)",
+                root,
+            )
+
+
+# --- metric-name --------------------------------------------------------
+# Registry lookups must spell their metric name as an obs/names.h constant.
+# The regex keys on a string literal opening the argument list; building a
+# name from a constant (`prefix + obs::kPipelineRunsSuffix`) stays legal
+# because the literal lives in names.h, which defines the constants and is
+# the one file exempted.
+METRIC_LOOKUP_LITERAL = re.compile(
+    r"\bGet(?:Counter|Gauge|Histogram)\s*\(\s*\"")
+
+
+def check_metric_name(path, lines, src, root):
+    if os.path.relpath(path, src) == os.path.join("obs", "names.h"):
+        return  # the canonical name table itself
+    for i, raw in enumerate(lines, 1):
+        if allowed(raw, "metric-name", lines[i - 2] if i > 1 else ""):
+            continue
+        # Match against the raw line: string stripping would erase the very
+        # literal this rule keys on.
+        if METRIC_LOOKUP_LITERAL.search(raw.split("//")[0]):
+            report(
+                path, i, "metric-name",
+                "string-literal metric name at a Registry call site — use a "
+                "named constant from obs/names.h (or justify with "
+                "// lint:allow(metric-name): <reason>)",
                 root,
             )
 
@@ -553,9 +587,9 @@ def check_guarded_by(path, lines, root):
 
 # --- unknown/withered suppressions --------------------------------------
 KNOWN_RULES = {
-    "float-eq", "glsim-raw-cast", "simd-intrinsics", "status-discard",
-    "header-guard", "include-order", "naked-mutex", "atomic-ordering",
-    "guarded-by-coverage",
+    "float-eq", "glsim-raw-cast", "simd-intrinsics", "metric-name",
+    "status-discard", "header-guard", "include-order", "naked-mutex",
+    "atomic-ordering", "guarded-by-coverage",
 }
 
 
@@ -588,6 +622,7 @@ def run(src, root):
         if top == "glsim":
             check_glsim_cast(path, lines, root)
         check_simd_intrinsics(path, lines, src, root)
+        check_metric_name(path, lines, src, root)
         check_status_discard(path, lines, root)
         check_naked_mutex(path, lines, src, root)
         check_atomic_ordering(path, lines, root)

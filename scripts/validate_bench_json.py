@@ -4,14 +4,19 @@
 Checks two file kinds against their stable schemas:
 
   * --json PATH   bench report written by a fig*/table*/ablation_* binary's
-                  --json flag: schema_version 1, the printed series rows,
+                  --json flag: schema_version 2, the printed series rows,
                   and a full metrics-registry snapshot (counters, gauges,
-                  power-of-two-bucket histograms).
+                  power-of-two-bucket histograms with p50/p90/p99).
+                  schema_version 1 (pre-quantile) files still validate.
   * --trace PATH  Chrome trace_event file written by --trace: a
                   "traceEvents" array of complete ("X"), instant ("i") and
                   metadata ("M") events with per-track monotonic timestamps
                   (chrome://tracing and ui.perfetto.dev both require this
                   shape to render sensibly).
+  * --query-log PATH  JSONL query log written by --query_log=PATH
+                  (DESIGN.md §15): one record per sampled query with the
+                  config fingerprint, stage costs/counts, hardware
+                  counters, filter tallies, events, and PMU deltas.
 
 `--require-counter NAME` (repeatable) additionally insists that every
 --json file's metrics snapshot contains NAME as a counter or a gauge — CI
@@ -57,8 +62,9 @@ def validate_report(path, required_counters=()):
     if not isinstance(doc, dict):
         return [f"{path}: top level must be an object"]
 
-    if doc.get("schema_version") != 1:
-        err(f"schema_version must be 1, got {doc.get('schema_version')!r}")
+    schema = doc.get("schema_version")
+    if schema not in (1, 2):
+        err(f"schema_version must be 1 or 2, got {schema!r}")
     if not isinstance(doc.get("bench_name"), str) or not doc.get("bench_name"):
         err("bench_name must be a non-empty string")
     if not _is_number(doc.get("scale")) or not 0 < doc.get("scale", 0) <= 1:
@@ -125,6 +131,28 @@ def validate_report(path, required_counters=()):
         for field in ("count", "sum", "min", "max"):
             if not _is_int(hist.get(field)):
                 err(f"{where}.{field} must be an integer, got {hist.get(field)!r}")
+        if schema == 2:
+            for field in ("p50", "p90", "p99"):
+                if not _is_int(hist.get(field)):
+                    err(
+                        f"{where}.{field} must be an integer, "
+                        f"got {hist.get(field)!r}"
+                    )
+            if all(_is_int(hist.get(f)) for f in ("p50", "p90", "p99")):
+                if not hist["p50"] <= hist["p90"] <= hist["p99"]:
+                    err(
+                        f"{where}: quantiles must be ordered, got "
+                        f"p50={hist['p50']} p90={hist['p90']} p99={hist['p99']}"
+                    )
+            if (
+                all(
+                    _is_int(hist.get(f))
+                    for f in ("count", "min", "max", "p50", "p99")
+                )
+                and hist["count"] > 0
+                and not hist["min"] <= hist["p50"] <= hist["p99"] <= hist["max"]
+            ):
+                err(f"{where}: quantiles must lie within [min, max]")
         buckets = hist.get("buckets")
         if (
             not isinstance(buckets, list)
@@ -134,6 +162,117 @@ def validate_report(path, required_counters=()):
             err(f"{where}.buckets must be {HISTOGRAM_BUCKETS} non-negative integers")
         elif _is_int(hist.get("count")) and sum(buckets) != hist["count"]:
             err(f"{where}: bucket sum {sum(buckets)} != count {hist['count']}")
+
+    return errors
+
+
+QUERY_LOG_KINDS = ("selection", "join", "distance_selection", "distance_join")
+
+QUERY_LOG_OBJECTS = {
+    "config": (
+        "enable_hw",
+        "backend",
+        "resolution",
+        "sw_threshold",
+        "simd",
+        "use_batching",
+        "batch_size",
+        "use_intervals",
+        "interval_grid_bits",
+        "deadline_ms",
+        "faults",
+    ),
+    "costs": ("mbr_ms", "filter_ms", "compare_ms", "total_ms"),
+    "counts": ("candidates", "filter_hits", "compared", "results", "truncated"),
+    "hw": (
+        "tests",
+        "mbr_misses",
+        "pip_hits",
+        "sw_threshold_skips",
+        "hw_tests",
+        "hw_rejects",
+        "sw_tests",
+        "width_fallbacks",
+        "hw_faults",
+        "hw_fallback_pairs",
+        "breaker_opens",
+        "fill_spans",
+        "scan_spans",
+        "batches",
+        "batched_pairs",
+    ),
+    "filter": (
+        "raster_pos",
+        "raster_neg",
+        "interval_hits",
+        "interval_misses",
+        "interval_undecided",
+    ),
+    "events": ("deadline_exceeded", "faulted", "breaker_opened"),
+}
+
+PMU_STAGES = ("hw_fill", "hw_scan", "interval_decide", "exact_compare")
+PMU_EVENTS = ("cycles", "instructions", "cache_misses", "branch_misses")
+
+
+def validate_query_log(path):
+    """Returns a list of problem strings for one --query_log JSONL file."""
+    errors = []
+
+    def err(message):
+        errors.append(f"{path}: {message}")
+
+    try:
+        with open(path, encoding="utf-8") as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        return [f"{path}: unreadable: {e}"]
+
+    if not lines:
+        err("query log is empty")
+    for i, line in enumerate(lines):
+        where = f"line {i + 1}"
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as e:
+            err(f"{where}: not JSON: {e}")
+            continue
+        if not isinstance(record, dict):
+            err(f"{where}: record must be an object")
+            continue
+        if record.get("schema_version") != 1:
+            err(
+                f"{where}: schema_version must be 1, "
+                f"got {record.get('schema_version')!r}"
+            )
+        if record.get("kind") not in QUERY_LOG_KINDS:
+            err(f"{where}: kind must be one of {QUERY_LOG_KINDS}, "
+                f"got {record.get('kind')!r}")
+        for section, fields in QUERY_LOG_OBJECTS.items():
+            obj = record.get(section)
+            if not isinstance(obj, dict):
+                err(f"{where}: {section} must be an object, got {obj!r}")
+                continue
+            for field in fields:
+                if field not in obj:
+                    err(f"{where}: {section}.{field} missing")
+        pmu = record.get("pmu", "absent")
+        if pmu == "absent":
+            err(f"{where}: pmu must be present (null when no PMU attached)")
+        elif pmu is not None:
+            if not isinstance(pmu, dict):
+                err(f"{where}: pmu must be null or an object, got {pmu!r}")
+            else:
+                if not isinstance(pmu.get("available"), bool):
+                    err(f"{where}: pmu.available must be a boolean")
+                for stage in PMU_STAGES:
+                    deltas = pmu.get(stage)
+                    if not isinstance(deltas, dict):
+                        err(f"{where}: pmu.{stage} must be an object")
+                        continue
+                    for event in PMU_EVENTS:
+                        if not _is_int(deltas.get(event)):
+                            err(f"{where}: pmu.{stage}.{event} must be an integer")
 
     return errors
 
@@ -213,6 +352,14 @@ def main(argv):
         help="bench --trace file to validate (repeatable)",
     )
     parser.add_argument(
+        "--query-log",
+        dest="query_logs",
+        action="append",
+        default=[],
+        metavar="PATH",
+        help="bench --query_log JSONL file to validate (repeatable)",
+    )
+    parser.add_argument(
         "--require-counter",
         dest="required_counters",
         action="append",
@@ -222,8 +369,10 @@ def main(argv):
         "metrics.counters or metrics.gauges snapshot (repeatable)",
     )
     args = parser.parse_args(argv)
-    if not args.reports and not args.traces:
-        parser.error("nothing to validate: pass --json and/or --trace")
+    if not args.reports and not args.traces and not args.query_logs:
+        parser.error(
+            "nothing to validate: pass --json, --trace and/or --query-log"
+        )
     if args.required_counters and not args.reports:
         parser.error("--require-counter needs at least one --json file")
 
@@ -232,10 +381,12 @@ def main(argv):
         errors.extend(validate_report(path, args.required_counters))
     for path in args.traces:
         errors.extend(validate_trace(path))
+    for path in args.query_logs:
+        errors.extend(validate_query_log(path))
 
     for problem in errors:
         print(problem, file=sys.stderr)
-    checked = len(args.reports) + len(args.traces)
+    checked = len(args.reports) + len(args.traces) + len(args.query_logs)
     if errors:
         print(f"{checked} file(s) checked, {len(errors)} problem(s)", file=sys.stderr)
         return 1

@@ -1,6 +1,7 @@
 #include "core/batch_tester.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "common/macros.h"
 #include "common/status.h"
@@ -8,6 +9,7 @@
 #include "glsim/context.h"
 #include "glsim/rowspan.h"
 #include "obs/names.h"
+#include "obs/perf_counters.h"
 #include "obs/trace.h"
 
 namespace hasj::core {
@@ -112,6 +114,11 @@ void BatchHardwareTester::IntersectionSubBatch(
     // per-pair render would produce.
     obs::ManualSpan pass_span;
     pass_span.Start(config_.trace, "hw-fill", "hw");
+    // Batch-granular PMU scope (per-pair scopes would dominate the cost
+    // here); the trace span carries the pass's event deltas as args.
+    std::optional<obs::PmuScope> fill_pmu(std::in_place, config_.pmu,
+                                          obs::PmuStage::kHwFill,
+                                          config_.trace);
     Stopwatch fill_watch;
     for (size_t i = 0; i < n; ++i) {
       if (tile_of[i] < 0) continue;
@@ -141,6 +148,7 @@ void BatchHardwareTester::IntersectionSubBatch(
       }
     }
     const double fill_ms = fill_watch.ElapsedMillis();
+    fill_pmu.reset();
     pass_span.End();
     if (tile_pixels_hist_ != nullptr) {
       for (size_t i = 0; i < n; ++i) {
@@ -155,6 +163,9 @@ void BatchHardwareTester::IntersectionSubBatch(
     // probe finds a doubly-colored row (the kernel's first-hit early stop).
     batch_status = atlas_.BeginScan();
     pass_span.Start(config_.trace, "hw-scan", "hw");
+    std::optional<obs::PmuScope> scan_pmu(std::in_place, config_.pmu,
+                                          obs::PmuStage::kHwScan,
+                                          config_.trace);
     Stopwatch scan_watch;
     for (size_t i = 0; i < n && batch_status.ok(); ++i) {
       if (tile_of[i] < 0) continue;
@@ -180,6 +191,7 @@ void BatchHardwareTester::IntersectionSubBatch(
       hw_overlap[static_cast<size_t>(tile)] = hit ? 1 : 0;
     }
     const double scan_ms = scan_watch.ElapsedMillis();
+    scan_pmu.reset();
     pass_span.End();
 
     if (batch_status.ok()) {
@@ -284,6 +296,10 @@ void BatchHardwareTester::DistanceSubBatch(std::span<const PolygonPair> pairs,
     // wide-point end caps (one cap per chained endpoint, as per-pair).
     obs::ManualSpan pass_span;
     pass_span.Start(config_.trace, "hw-fill", "hw");
+    // Batch-granular PMU scope, as in IntersectionSubBatch.
+    std::optional<obs::PmuScope> fill_pmu(std::in_place, config_.pmu,
+                                          obs::PmuStage::kHwFill,
+                                          config_.trace);
     Stopwatch fill_watch;
     for (size_t i = 0; i < n; ++i) {
       if (tile_of[i] < 0) continue;
@@ -315,6 +331,7 @@ void BatchHardwareTester::DistanceSubBatch(std::span<const PolygonPair> pairs,
       }
     }
     const double fill_ms = fill_watch.ElapsedMillis();
+    fill_pmu.reset();
     pass_span.End();
     if (tile_pixels_hist_ != nullptr) {
       for (size_t i = 0; i < n; ++i) {
@@ -328,6 +345,9 @@ void BatchHardwareTester::DistanceSubBatch(std::span<const PolygonPair> pairs,
     // shared pixel.
     batch_status = atlas_.BeginScan();
     pass_span.Start(config_.trace, "hw-scan", "hw");
+    std::optional<obs::PmuScope> scan_pmu(std::in_place, config_.pmu,
+                                          obs::PmuStage::kHwScan,
+                                          config_.trace);
     Stopwatch scan_watch;
     for (size_t i = 0; i < n && batch_status.ok(); ++i) {
       if (tile_of[i] < 0) continue;
@@ -360,6 +380,7 @@ void BatchHardwareTester::DistanceSubBatch(std::span<const PolygonPair> pairs,
       hw_overlap[static_cast<size_t>(tile)] = hit ? 1 : 0;
     }
     const double scan_ms = scan_watch.ElapsedMillis();
+    scan_pmu.reset();
     pass_span.End();
 
     if (batch_status.ok()) {

@@ -1,5 +1,7 @@
 #include "core/distance_join.h"
 
+#include <optional>
+
 #include "common/stopwatch.h"
 #include "core/batch_tester.h"
 #include "core/hw_distance.h"
@@ -8,6 +10,7 @@
 #include "core/query_obs.h"
 #include "core/refinement_executor.h"
 #include "filter/object_filters.h"
+#include "obs/perf_counters.h"
 #include "obs/trace.h"
 
 namespace hasj::core {
@@ -20,6 +23,7 @@ DistanceJoinResult WithinDistanceJoin::Run(
     double d, const DistanceJoinOptions& options) const {
   DistanceJoinResult result;
   Stopwatch watch;
+  const obs::PmuSnapshot pmu_begin = obs::PmuSnapshotOf(options.hw.pmu);
   const QueryDeadline deadline =
       QueryDeadline::Start(options.hw.deadline_ms, options.hw.cancel);
   obs::ManualSpan stage_span;
@@ -61,6 +65,14 @@ DistanceJoinResult WithinDistanceJoin::Run(
     }
   }
   const bool guarded = deadline.active();
+  // PMU attribution for the serial decision loop, active only when the
+  // interval filter (which dominates the loop) is; ended explicitly after
+  // the loop so the compare stage is not attributed here.
+  std::optional<obs::PmuScope> interval_pmu;
+  if (intervals_a != nullptr && options.hw.pmu != nullptr) {
+    interval_pmu.emplace(options.hw.pmu, obs::PmuStage::kIntervalDecide,
+                         options.hw.trace);
+  }
   for (size_t ci = 0; ci < candidates.size() && result.status.ok(); ++ci) {
     // Poll the budget every 64 candidates: truncating here leaves `pairs`
     // a prefix of the filter hits, which lead the complete result list.
@@ -109,6 +121,7 @@ DistanceJoinResult WithinDistanceJoin::Run(
     }
     undecided.emplace_back(ida, idb);
   }
+  interval_pmu.reset();
   result.costs.filter_ms = watch.ElapsedMillis();
   stage_span.End();
 
@@ -160,11 +173,11 @@ DistanceJoinResult WithinDistanceJoin::Run(
   result.counts.truncated = !result.status.ok();
   result.counts.results = static_cast<int64_t>(result.pairs.size());
   result.hw_counters = refined.counters;
-  RecordQueryMetrics(options.hw.metrics, "distance_join", result.costs,
-                     result.counts, result.hw_counters,
-                     /*raster_positives=*/0, /*raster_negatives=*/0,
-                     result.interval_hits, /*interval_misses=*/0,
-                     result.interval_undecided);
+  RecordQueryObs(options.hw, "distance_join", result.costs, result.counts,
+                 result.hw_counters,
+                 {.interval_hits = result.interval_hits,
+                  .interval_undecided = result.interval_undecided},
+                 pmu_begin);
   return result;
 }
 

@@ -10,6 +10,8 @@
 #include "glsim/context.h"
 
 namespace hasj::obs {
+class PerfCounters;
+class QueryLog;
 class Registry;
 class TraceSession;
 }  // namespace hasj::obs
@@ -82,6 +84,17 @@ struct HwConfig {
   // metrics cost nothing unless a session/registry is attached. Not owned.
   obs::TraceSession* trace = nullptr;
   obs::Registry* metrics = nullptr;
+  // Hardware PMU telemetry (obs/perf_counters.h, DESIGN.md §15):
+  // cycles/instructions/cache-misses/branch-misses per pipeline stage via
+  // perf_event_open. Null-gated like trace/metrics; degrades to zeros when
+  // the syscall is denied (pmu.available gauge says which). Not owned.
+  obs::PerfCounters* pmu = nullptr;
+  // Structured query log (obs/query_log.h): one JSONL record per query,
+  // written asynchronously, sampled by query_log_sample (1 = every query,
+  // 0 = attached but never sampled — the ablation_obs overhead
+  // configuration). Null-gated and not owned, like the other sinks.
+  obs::QueryLog* query_log = nullptr;
+  double query_log_sample = 1.0;
   // Fault injection hook (DESIGN.md §11), null-pointer-gated exactly like
   // trace/metrics: null (the default) means glsim cannot fail and every
   // fault gate is one pointer test. With an injector attached, a glsim op

@@ -9,6 +9,7 @@
 #include "core/paranoid.h"
 #include "glsim/raster.h"
 #include "obs/names.h"
+#include "obs/perf_counters.h"
 #include "obs/trace.h"
 
 namespace hasj::core {
@@ -140,6 +141,9 @@ bool HwDistanceTester::Containment(const geom::Polygon& p,
 bool HwDistanceTester::BoundariesWithin(const geom::Polygon& p,
                                         const geom::Polygon& q, double d) {
   ++counters_.sw_tests;
+  // Per-pair PMU scope; no trace span — one span per pair would drown the
+  // trace, and the pipeline already emits per-stage spans.
+  obs::PmuScope pmu(config_.pmu, obs::PmuStage::kExactCompare);
   Stopwatch watch;
   const bool result = algo::BoundariesWithinDistance(p, q, d, sw_options_);
   counters_.sw_ms += watch.ElapsedMillis();
@@ -254,15 +258,18 @@ Status HwDistanceTester::HwDilatedBoundariesOverlap(
       unset -= fr.newly_set;
     };
     // Chained edges share endpoints; draw each capsule end cap once.
-    for (size_t i = 0; i < first.size() && unset > 0; ++i) {
-      const geom::Point a = ctx_.ToWindow(first[i].a);
-      const geom::Point b = ctx_.ToWindow(first[i].b);
-      fill(glsim::ComputeLineAASpans(a, b, width_px, res, res, &spans_));
-      if (unset > 0 && (i == 0 || !(first[i - 1].b == first[i].a))) {
-        fill(glsim::ComputeWidePointSpans(a, width_px, res, res, &spans_));
-      }
-      if (unset > 0) {
-        fill(glsim::ComputeWidePointSpans(b, width_px, res, res, &spans_));
+    {
+      obs::PmuScope fill_pmu(config_.pmu, obs::PmuStage::kHwFill);
+      for (size_t i = 0; i < first.size() && unset > 0; ++i) {
+        const geom::Point a = ctx_.ToWindow(first[i].a);
+        const geom::Point b = ctx_.ToWindow(first[i].b);
+        fill(glsim::ComputeLineAASpans(a, b, width_px, res, res, &spans_));
+        if (unset > 0 && (i == 0 || !(first[i - 1].b == first[i].a))) {
+          fill(glsim::ComputeWidePointSpans(a, width_px, res, res, &spans_));
+        }
+        if (unset > 0) {
+          fill(glsim::ComputeWidePointSpans(b, width_px, res, res, &spans_));
+        }
       }
     }
     if (pixels_hist_ != nullptr) {
@@ -284,15 +291,18 @@ Status HwDistanceTester::HwDilatedBoundariesOverlap(
       counters_.scan_spans += pr.spans;
       found = pr.hit_row >= 0;
     };
-    for (size_t i = 0; i < second.size() && !found; ++i) {
-      const geom::Point a = ctx_.ToWindow(second[i].a);
-      const geom::Point b = ctx_.ToWindow(second[i].b);
-      probe(glsim::ComputeLineAASpans(a, b, width_px, res, res, &spans_));
-      if (!found && (i == 0 || !(second[i - 1].b == second[i].a))) {
-        probe(glsim::ComputeWidePointSpans(a, width_px, res, res, &spans_));
-      }
-      if (!found) {
-        probe(glsim::ComputeWidePointSpans(b, width_px, res, res, &spans_));
+    {
+      obs::PmuScope scan_pmu(config_.pmu, obs::PmuStage::kHwScan);
+      for (size_t i = 0; i < second.size() && !found; ++i) {
+        const geom::Point a = ctx_.ToWindow(second[i].a);
+        const geom::Point b = ctx_.ToWindow(second[i].b);
+        probe(glsim::ComputeLineAASpans(a, b, width_px, res, res, &spans_));
+        if (!found && (i == 0 || !(second[i - 1].b == second[i].a))) {
+          probe(glsim::ComputeWidePointSpans(a, width_px, res, res, &spans_));
+        }
+        if (!found) {
+          probe(glsim::ComputeWidePointSpans(b, width_px, res, res, &spans_));
+        }
       }
     }
     if (found) ++counters_.scan_hit_stops;
@@ -317,8 +327,12 @@ Status HwDistanceTester::HwDilatedBoundariesOverlap(
   };
   ctx_.Clear();
   ctx_.ClearAccum();
-  draw(ep);
-  ctx_.Accum(glsim::AccumOp::kLoad, 1.0f);
+  {
+    obs::PmuScope fill_pmu(config_.pmu, obs::PmuStage::kHwFill);
+    draw(ep);
+    ctx_.Accum(glsim::AccumOp::kLoad, 1.0f);
+  }
+  obs::PmuScope scan_pmu(config_.pmu, obs::PmuStage::kHwScan);
   ctx_.Clear();
   draw(eq);
   ctx_.Accum(glsim::AccumOp::kAccum, 1.0f);

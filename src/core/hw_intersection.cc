@@ -7,6 +7,7 @@
 #include "core/paranoid.h"
 #include "glsim/raster.h"
 #include "obs/names.h"
+#include "obs/perf_counters.h"
 #include "obs/trace.h"
 
 namespace hasj::core {
@@ -94,6 +95,9 @@ bool HwIntersectionTester::Containment(const geom::Polygon& p,
 bool HwIntersectionTester::BoundariesCross(const geom::Polygon& p,
                                            const geom::Polygon& q) {
   ++counters_.sw_tests;
+  // Per-pair PMU scope; no trace span — one span per pair would drown the
+  // trace, and the pipeline already emits per-stage spans.
+  obs::PmuScope pmu(config_.pmu, obs::PmuStage::kExactCompare);
   Stopwatch watch;
   const bool result = algo::BoundariesIntersect(p, q, sw_options_);
   counters_.sw_ms += watch.ElapsedMillis();
@@ -208,17 +212,21 @@ Status HwIntersectionTester::HwBoundariesOverlap(const geom::Polygon& p,
     mask_a_.Clear();
     bool any_first = false;
     int64_t unset = static_cast<int64_t>(res) * res;
-    for (size_t i = 0; i < p.size() && unset > 0; ++i) {
-      const geom::Segment e = p.edge(i);
-      if (!in_view(e)) continue;
-      any_first = true;
-      if (!glsim::ComputeLineAASpans(ctx_.ToWindow(e.a), ctx_.ToWindow(e.b),
-                                     config_.line_width, res, res, &spans_)) {
-        continue;
+    {
+      obs::PmuScope fill_pmu(config_.pmu, obs::PmuStage::kHwFill);
+      for (size_t i = 0; i < p.size() && unset > 0; ++i) {
+        const geom::Segment e = p.edge(i);
+        if (!in_view(e)) continue;
+        any_first = true;
+        if (!glsim::ComputeLineAASpans(ctx_.ToWindow(e.a), ctx_.ToWindow(e.b),
+                                       config_.line_width, res, res,
+                                       &spans_)) {
+          continue;
+        }
+        const glsim::FillResult fr = mask_a_.FillSpans(*engine_, &spans_);
+        counters_.fill_spans += fr.spans;
+        unset -= fr.newly_set;
       }
-      const glsim::FillResult fr = mask_a_.FillSpans(*engine_, &spans_);
-      counters_.fill_spans += fr.spans;
-      unset -= fr.newly_set;
     }
     if (pixels_hist_ != nullptr) {
       pixels_hist_->Record(static_cast<int64_t>(res) * res - unset);
@@ -240,16 +248,20 @@ Status HwIntersectionTester::HwBoundariesOverlap(const geom::Polygon& p,
     // the edge loop stops with it.
     if (Status s = ctx_.BeginScan(); !s.ok()) return s;
     bool found = false;
-    for (size_t i = 0; i < q.size() && !found; ++i) {
-      const geom::Segment e = q.edge(i);
-      if (!in_view(e)) continue;
-      if (!glsim::ComputeLineAASpans(ctx_.ToWindow(e.a), ctx_.ToWindow(e.b),
-                                     config_.line_width, res, res, &spans_)) {
-        continue;
+    {
+      obs::PmuScope scan_pmu(config_.pmu, obs::PmuStage::kHwScan);
+      for (size_t i = 0; i < q.size() && !found; ++i) {
+        const geom::Segment e = q.edge(i);
+        if (!in_view(e)) continue;
+        if (!glsim::ComputeLineAASpans(ctx_.ToWindow(e.a), ctx_.ToWindow(e.b),
+                                       config_.line_width, res, res,
+                                       &spans_)) {
+          continue;
+        }
+        const glsim::ProbeResult pr = mask_a_.ProbeSpans(*engine_, &spans_);
+        counters_.scan_spans += pr.spans;
+        found = pr.hit_row >= 0;
       }
-      const glsim::ProbeResult pr = mask_a_.ProbeSpans(*engine_, &spans_);
-      counters_.scan_spans += pr.spans;
-      found = pr.hit_row >= 0;
     }
     if (found) ++counters_.scan_hit_stops;
     *overlap = found;
@@ -263,11 +275,15 @@ Status HwIntersectionTester::HwBoundariesOverlap(const geom::Polygon& p,
   ctx_.SetColor(glsim::Rgb{0.5f, 0.5f, 0.5f});
   ctx_.Clear();
   ctx_.ClearAccum();
-  for (size_t i = 0; i < p.size(); ++i) {
-    const geom::Segment e = p.edge(i);
-    if (in_view(e)) ctx_.DrawSegment(e.a, e.b);
+  {
+    obs::PmuScope fill_pmu(config_.pmu, obs::PmuStage::kHwFill);
+    for (size_t i = 0; i < p.size(); ++i) {
+      const geom::Segment e = p.edge(i);
+      if (in_view(e)) ctx_.DrawSegment(e.a, e.b);
+    }
+    ctx_.Accum(glsim::AccumOp::kLoad, 1.0f);
   }
-  ctx_.Accum(glsim::AccumOp::kLoad, 1.0f);
+  obs::PmuScope scan_pmu(config_.pmu, obs::PmuStage::kHwScan);
   ctx_.Clear();
   for (size_t i = 0; i < q.size(); ++i) {
     const geom::Segment e = q.edge(i);

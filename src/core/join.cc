@@ -10,6 +10,7 @@
 #include "core/paranoid.h"
 #include "core/query_obs.h"
 #include "core/refinement_executor.h"
+#include "obs/perf_counters.h"
 #include "obs/trace.h"
 
 namespace hasj::core {
@@ -21,6 +22,7 @@ IntersectionJoin::IntersectionJoin(const data::Dataset& a,
 JoinResult IntersectionJoin::Run(const JoinOptions& options) const {
   JoinResult result;
   Stopwatch watch;
+  const obs::PmuSnapshot pmu_begin = obs::PmuSnapshotOf(options.hw.pmu);
   const QueryDeadline deadline =
       QueryDeadline::Start(options.hw.deadline_ms, options.hw.cancel);
   RefinementExecutor executor(options.num_threads);
@@ -97,6 +99,14 @@ JoinResult IntersectionJoin::Run(const JoinOptions& options) const {
     }
     undecided.reserve(candidates.size());
     const bool guarded = deadline.active();
+    // PMU attribution for the serial decision loop, active only when the
+    // interval filter (which dominates the loop) is; ended explicitly
+    // after the loop so the compare stage is not attributed here.
+    std::optional<obs::PmuScope> interval_pmu;
+    if (intervals_a != nullptr && options.hw.pmu != nullptr) {
+      interval_pmu.emplace(options.hw.pmu, obs::PmuStage::kIntervalDecide,
+                           options.hw.trace);
+    }
     for (size_t ci = 0; ci < candidates.size() && result.status.ok(); ++ci) {
       // Poll the budget every 64 candidates: truncating here leaves
       // `pairs` a prefix of the filter hits, which lead the full result.
@@ -155,6 +165,7 @@ JoinResult IntersectionJoin::Run(const JoinOptions& options) const {
           break;
       }
     }
+    interval_pmu.reset();
     to_compare = &undecided;
   }
   result.costs.filter_ms = watch.ElapsedMillis();
@@ -207,10 +218,14 @@ JoinResult IntersectionJoin::Run(const JoinOptions& options) const {
   result.counts.truncated = !result.status.ok();
   result.counts.results = static_cast<int64_t>(result.pairs.size());
   result.hw_counters = refined.counters;
-  RecordQueryMetrics(options.hw.metrics, "join", result.costs, result.counts,
-                     result.hw_counters, result.raster_positives,
-                     result.raster_negatives, result.interval_hits,
-                     result.interval_misses, result.interval_undecided);
+  RecordQueryObs(options.hw, "join", result.costs, result.counts,
+                 result.hw_counters,
+                 {.raster_positives = result.raster_positives,
+                  .raster_negatives = result.raster_negatives,
+                  .interval_hits = result.interval_hits,
+                  .interval_misses = result.interval_misses,
+                  .interval_undecided = result.interval_undecided},
+                 pmu_begin);
   return result;
 }
 

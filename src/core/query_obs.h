@@ -6,28 +6,46 @@
 #include "core/hw_config.h"
 #include "core/query_stats.h"
 #include "obs/metrics.h"
+#include "obs/perf_counters.h"
 
 namespace hasj::core {
 
-// Canonical ingestion of one pipeline run's aggregates into a metrics
-// registry (DESIGN.md §10). The per-query StageCosts / StageCounts /
-// HwCounters structs stay the pipelines' return values; this bridge is the
-// single place that translates them into the registry's canonical names
-// (obs/names.h), so every consumer — EXPLAIN ANALYZE, bench --json, tests —
-// reads one schema. No-op when `metrics` is null.
+// Intermediate-filter decision tallies a pipeline run reports alongside
+// its StageCounts (zero for pipelines without the corresponding filter).
+struct QueryObsTallies {
+  int64_t raster_positives = 0;   // raster-signature filter decisions
+  int64_t raster_negatives = 0;
+  int64_t interval_hits = 0;      // raster-interval filter decisions
+  int64_t interval_misses = 0;
+  int64_t interval_undecided = 0;
+};
+
+// Canonical per-query observability fan-out (DESIGN.md §10, §15). The
+// per-query StageCosts / StageCounts / HwCounters structs stay the
+// pipelines' return values; this bridge is the single place that
+// translates them into every attached sink, so all consumers — EXPLAIN
+// ANALYZE, bench --json, the query log, tests — read one schema:
+//
+//  * config.metrics   — counters/gauges under obs/names.h names, plus the
+//                       per-pipeline per-stage latency histograms
+//                       ("pipeline.<kind>.mbr_us", ...) feeding the
+//                       report's p50/p90/p99 columns, plus the per-stage
+//                       PMU delta counters and the pmu.available gauge
+//                       when config.pmu is attached;
+//  * config.query_log — one JSONL record (config fingerprint, costs,
+//                       counts, hardware counters, filter tallies,
+//                       fault/breaker/deadline events, PMU deltas) when
+//                       ShouldSample(config.query_log_sample) fires.
 //
 // `kind` is the pipeline name ("selection", "join", "distance_selection",
-// "distance_join"); raster_positives/raster_negatives are the raster-filter
-// decisions and interval_hits/interval_misses/interval_undecided the
-// raster-interval filter's decisions (zero for pipelines without those
-// filters).
-void RecordQueryMetrics(obs::Registry* metrics, const char* kind,
-                        const StageCosts& costs, const StageCounts& counts,
-                        const HwCounters& hw, int64_t raster_positives = 0,
-                        int64_t raster_negatives = 0,
-                        int64_t interval_hits = 0,
-                        int64_t interval_misses = 0,
-                        int64_t interval_undecided = 0);
+// "distance_join"). `pmu_begin` is the PMU snapshot the pipeline captured
+// at Run() entry (obs::PmuSnapshotOf(config.pmu)); the per-query delta is
+// the session snapshot now minus then. No-op per sink when that sink is
+// null.
+void RecordQueryObs(const HwConfig& config, const char* kind,
+                    const StageCosts& costs, const StageCounts& counts,
+                    const HwCounters& hw, const QueryObsTallies& tallies,
+                    const obs::PmuSnapshot& pmu_begin);
 
 }  // namespace hasj::core
 

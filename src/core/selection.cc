@@ -11,6 +11,7 @@
 #include "core/query_obs.h"
 #include "core/refinement_executor.h"
 #include "filter/interior_filter.h"
+#include "obs/perf_counters.h"
 #include "obs/trace.h"
 
 namespace hasj::core {
@@ -24,6 +25,7 @@ SelectionResult IntersectionSelection::Run(
     const geom::Polygon& query, const SelectionOptions& options) const {
   SelectionResult result;
   Stopwatch watch;
+  const obs::PmuSnapshot pmu_begin = obs::PmuSnapshotOf(options.hw.pmu);
   const QueryDeadline deadline =
       QueryDeadline::Start(options.hw.deadline_ms, options.hw.cancel);
   RefinementExecutor executor(options.num_threads);
@@ -95,6 +97,14 @@ SelectionResult IntersectionSelection::Run(
     }
   }
   const bool guarded = deadline.active();
+  // PMU attribution for the serial decision loop, active only when the
+  // interval filter (which dominates the loop) is; ended explicitly after
+  // the loop so the compare stage is not attributed here.
+  std::optional<obs::PmuScope> interval_pmu;
+  if (intervals != nullptr && options.hw.pmu != nullptr) {
+    interval_pmu.emplace(options.hw.pmu, obs::PmuStage::kIntervalDecide,
+                         options.hw.trace);
+  }
   for (size_t ci = 0; ci < candidates.size() && result.status.ok(); ++ci) {
     // Poll the budget every 64 candidates: truncating here leaves `ids` a
     // prefix of the filter hits, which lead the complete result list.
@@ -150,6 +160,7 @@ SelectionResult IntersectionSelection::Run(
     }
     undecided.push_back(id);
   }
+  interval_pmu.reset();
   result.costs.filter_ms = watch.ElapsedMillis();
   stage_span.End();
 
@@ -193,11 +204,14 @@ SelectionResult IntersectionSelection::Run(
   result.counts.truncated = !result.status.ok();
   result.counts.results = static_cast<int64_t>(result.ids.size());
   result.hw_counters = refined.counters;
-  RecordQueryMetrics(options.hw.metrics, "selection", result.costs,
-                     result.counts, result.hw_counters,
-                     result.raster_positives, result.raster_negatives,
-                     result.interval_hits, result.interval_misses,
-                     result.interval_undecided);
+  RecordQueryObs(options.hw, "selection", result.costs, result.counts,
+                 result.hw_counters,
+                 {.raster_positives = result.raster_positives,
+                  .raster_negatives = result.raster_negatives,
+                  .interval_hits = result.interval_hits,
+                  .interval_misses = result.interval_misses,
+                  .interval_undecided = result.interval_undecided},
+                 pmu_begin);
   return result;
 }
 

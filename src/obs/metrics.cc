@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 
 namespace hasj::obs {
 
@@ -36,6 +37,12 @@ int Histogram::BucketOf(int64_t value) {
 int64_t Histogram::BucketLowerBound(int bucket) {
   if (bucket <= 0) return INT64_MIN;
   return int64_t{1} << (bucket - 1);
+}
+
+int64_t Histogram::BucketUpperBound(int bucket) {
+  if (bucket <= 0) return 0;
+  if (bucket >= kHistogramBuckets - 1) return INT64_MAX;
+  return (int64_t{1} << bucket) - 1;
 }
 
 void Histogram::Record(int64_t value) {
@@ -75,6 +82,24 @@ HistogramSnapshot Histogram::Snapshot() const {
     snap.max = max;
   }
   return snap;
+}
+
+int64_t HistogramSnapshot::Quantile(double q) const {
+  if (count <= 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target sample, 1-based; ceil without floating error for
+  // the q = 0 and q = 1 edges.
+  int64_t rank = static_cast<int64_t>(
+      std::ceil(q * static_cast<double>(count)));
+  rank = std::clamp<int64_t>(rank, 1, count);
+  int64_t seen = 0;
+  for (int b = 0; b < kHistogramBuckets; ++b) {
+    seen += buckets[static_cast<size_t>(b)];
+    if (seen >= rank) {
+      return std::clamp(Histogram::BucketUpperBound(b), min, max);
+    }
+  }
+  return max;
 }
 
 HistogramSnapshot& HistogramSnapshot::operator+=(const HistogramSnapshot& o) {

@@ -94,6 +94,19 @@ struct HistogramSnapshot {
     return count > 0 ? static_cast<double>(sum) / static_cast<double>(count)
                      : 0.0;
   }
+
+  // Exact bucket-resolved quantile: the value reported for the
+  // ceil(q * count)-th smallest sample is its bucket's inclusive upper
+  // bound (2^b - 1), clamped to the recorded [min, max]. Deterministic,
+  // hand-computable from the bucket layout, and merge-invariant: because
+  // shard/snapshot merges sum buckets exactly, quantiles are identical at
+  // every thread count. 0 when the histogram is empty; q is clamped to
+  // [0, 1].
+  int64_t Quantile(double q) const;
+  int64_t P50() const { return Quantile(0.50); }
+  int64_t P90() const { return Quantile(0.90); }
+  int64_t P99() const { return Quantile(0.99); }
+
   HistogramSnapshot& operator+=(const HistogramSnapshot& o);
   bool operator==(const HistogramSnapshot& o) const = default;
 };
@@ -112,6 +125,9 @@ class Histogram {
   // Smallest value a bucket holds (bucket 0 has no lower bound; returns the
   // most negative int64 there).
   static int64_t BucketLowerBound(int bucket);
+  // Largest value a bucket holds: 0 for bucket 0 (which ends at <= 0),
+  // 2^b - 1 for 1 <= b < 63, INT64_MAX for the overflow tail bucket.
+  static int64_t BucketUpperBound(int bucket);
 
   HistogramSnapshot Snapshot() const;
 

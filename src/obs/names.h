@@ -76,6 +76,39 @@ inline constexpr char kIntervalUnapproximated[] =
     "interval.build_unapproximated";
 inline constexpr char kIntervalIntervals[] = "interval.build_intervals";
 
+// Per-pipeline per-stage latency histograms (microseconds per query),
+// suffixed onto kPipelinePrefix + kind by core/query_obs.cc
+// ("pipeline.join.filter_us", ...). Power-of-two buckets; the report's
+// p50/p90/p99 columns come from HistogramSnapshot::Quantile over these.
+inline constexpr char kPipelineMbrUsSuffix[] = ".mbr_us";
+inline constexpr char kPipelineFilterUsSuffix[] = ".filter_us";
+inline constexpr char kPipelineCompareUsSuffix[] = ".compare_us";
+inline constexpr char kPipelineTotalUsSuffix[] = ".total_us";
+
+// Hardware PMU telemetry (obs/perf_counters.h, DESIGN.md §15).
+// kPmuAvailable is a 0/1 gauge: whether perf_event_open worked in this
+// environment (0 in most containers/CI — the counters then stay zero).
+inline constexpr char kPmuAvailable[] = "pmu.available";  // gauge
+// Counters of multiplex-corrected event deltas, indexed
+// [obs::PmuStage][obs::PmuEvent] — keep rows/columns in lockstep with
+// those enums (4 stages x 4 events).
+inline constexpr const char* kPmuStageEventNames[4][4] = {
+    {"pmu.hw_fill.cycles", "pmu.hw_fill.instructions",
+     "pmu.hw_fill.cache_misses", "pmu.hw_fill.branch_misses"},
+    {"pmu.hw_scan.cycles", "pmu.hw_scan.instructions",
+     "pmu.hw_scan.cache_misses", "pmu.hw_scan.branch_misses"},
+    {"pmu.interval_decide.cycles", "pmu.interval_decide.instructions",
+     "pmu.interval_decide.cache_misses", "pmu.interval_decide.branch_misses"},
+    {"pmu.exact_compare.cycles", "pmu.exact_compare.instructions",
+     "pmu.exact_compare.cache_misses", "pmu.exact_compare.branch_misses"},
+};
+
+// Trace drop-cap visibility: events discarded after a track hit
+// TraceSession::kMaxEventsPerTrack. The session only counts internally;
+// the bench harness exports the count under this name so truncated traces
+// are visible in reports and JSON.
+inline constexpr char kTraceDropped[] = "trace.dropped";
+
 // Paranoid conservativeness oracle (core/paranoid.h).
 inline constexpr char kParanoidChecks[] = "paranoid.checks";
 

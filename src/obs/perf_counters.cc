@@ -1,0 +1,262 @@
+#include "obs/perf_counters.h"
+
+#include <atomic>
+#include <cstring>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace hasj::obs {
+
+namespace {
+
+// Sessions are numbered globally so the thread-local group cache can tell a
+// live session apart from a dead one that reused its address (the same
+// scheme as TraceSession's track cache).
+std::atomic<uint64_t> g_next_pmu_id{1};
+
+struct GroupCache {
+  uint64_t session_id = 0;
+  void* group = nullptr;
+};
+
+thread_local GroupCache t_group_cache;
+
+const char* const kStageNames[kPmuStageCount] = {
+    "hw_fill", "hw_scan", "interval_decide", "exact_compare"};
+const char* const kEventNames[kPmuEventCount] = {
+    "cycles", "instructions", "cache_misses", "branch_misses"};
+// Span names must outlive the trace session, hence static literals.
+const char* const kStageSpanNames[kPmuStageCount] = {
+    "pmu.hw_fill", "pmu.hw_scan", "pmu.interval_decide", "pmu.exact_compare"};
+
+}  // namespace
+
+const char* PmuStageName(PmuStage stage) {
+  return kStageNames[static_cast<size_t>(stage)];
+}
+
+const char* PmuEventName(PmuEvent event) {
+  return kEventNames[static_cast<size_t>(event)];
+}
+
+int64_t PmuSnapshot::total(PmuEvent event) const {
+  int64_t sum = 0;
+  for (int s = 0; s < kPmuStageCount; ++s) {
+    sum += value[static_cast<size_t>(s)][static_cast<size_t>(event)];
+  }
+  return sum;
+}
+
+PmuSnapshot& PmuSnapshot::operator-=(const PmuSnapshot& o) {
+  for (int s = 0; s < kPmuStageCount; ++s) {
+    for (int e = 0; e < kPmuEventCount; ++e) {
+      value[static_cast<size_t>(s)][static_cast<size_t>(e)] -=
+          o.value[static_cast<size_t>(s)][static_cast<size_t>(e)];
+    }
+    scopes[static_cast<size_t>(s)] -= o.scopes[static_cast<size_t>(s)];
+  }
+  return *this;
+}
+
+PmuSnapshot PmuSnapshotOf(const PerfCounters* pmu) {
+  return pmu != nullptr ? pmu->Snapshot() : PmuSnapshot{};
+}
+
+#if defined(__linux__)
+
+namespace {
+
+// Hardware event ids in PmuEvent order.
+constexpr uint64_t kEventConfigs[kPmuEventCount] = {
+    PERF_COUNT_HW_CPU_CYCLES, PERF_COUNT_HW_INSTRUCTIONS,
+    PERF_COUNT_HW_CACHE_MISSES, PERF_COUNT_HW_BRANCH_MISSES};
+
+int OpenEvent(uint64_t config, int group_fd) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.size = sizeof(attr);
+  attr.type = PERF_TYPE_HARDWARE;
+  attr.config = config;
+  // User space only: counting kernel time needs elevated
+  // perf_event_paranoid, and the rasterizer/compare hot paths are pure
+  // user-space work anyway.
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  // One read() returns the whole group plus the enabled/running times the
+  // multiplex correction needs.
+  attr.read_format = PERF_FORMAT_GROUP | PERF_FORMAT_TOTAL_TIME_ENABLED |
+                     PERF_FORMAT_TOTAL_TIME_RUNNING;
+  return static_cast<int>(syscall(SYS_perf_event_open, &attr, /*pid=*/0,
+                                  /*cpu=*/-1, group_fd, /*flags=*/0UL));
+}
+
+}  // namespace
+
+// One perf event group for one thread: the leader fd plus the read-buffer
+// position of each PmuEvent (-1 when that sibling failed to open — the
+// group degrades per event, not as a whole).
+struct PerfCounters::ThreadGroup {
+  int leader_fd = -1;
+  int n_values = 0;
+  std::array<int, kPmuEventCount> position{-1, -1, -1, -1};
+
+  ~ThreadGroup() {
+    // Closing the leader last keeps the group valid while siblings close.
+    for (int e = kPmuEventCount - 1; e >= 1; --e) {
+      if (fds[static_cast<size_t>(e)] >= 0) close(fds[static_cast<size_t>(e)]);
+    }
+    if (leader_fd >= 0) close(leader_fd);
+  }
+
+  std::array<int, kPmuEventCount> fds{-1, -1, -1, -1};
+};
+
+bool PerfCounters::Supported() {
+  static const bool supported = [] {
+    const int fd = OpenEvent(PERF_COUNT_HW_CPU_CYCLES, -1);
+    if (fd < 0) return false;
+    close(fd);
+    return true;
+  }();
+  return supported;
+}
+
+PerfCounters::ThreadGroup* PerfCounters::AcquireThreadGroup() {
+  if (t_group_cache.session_id == instance_id_) {
+    return static_cast<ThreadGroup*>(t_group_cache.group);
+  }
+  ThreadGroup* group = nullptr;
+  if (available()) {
+    auto owned = std::make_unique<ThreadGroup>();
+    owned->leader_fd = OpenEvent(kEventConfigs[0], -1);
+    if (owned->leader_fd >= 0) {
+      owned->fds[0] = owned->leader_fd;
+      owned->position[0] = 0;
+      owned->n_values = 1;
+      for (int e = 1; e < kPmuEventCount; ++e) {
+        const int fd =
+            OpenEvent(kEventConfigs[e], owned->leader_fd);
+        if (fd < 0) continue;  // that event reads as zero
+        owned->fds[static_cast<size_t>(e)] = fd;
+        owned->position[static_cast<size_t>(e)] = owned->n_values++;
+      }
+      group = owned.get();
+      MutexLock lock(&mu_);
+      groups_.push_back(std::move(owned));
+    }
+  }
+  // Cache failures too, so a thread that cannot open a group pays one
+  // thread_local compare per scope, not one syscall.
+  t_group_cache = {instance_id_, group};
+  return group;
+}
+
+bool PerfCounters::ReadGroup(ThreadGroup* group, PmuRawSample* sample) {
+  // read() layout with PERF_FORMAT_GROUP: nr, time_enabled, time_running,
+  // value[nr].
+  uint64_t buf[3 + kPmuEventCount] = {};
+  const size_t want =
+      (3 + static_cast<size_t>(group->n_values)) * sizeof(uint64_t);
+  const ssize_t got = read(group->leader_fd, buf, want);
+  if (got != static_cast<ssize_t>(want)) return false;
+  sample->time_enabled = buf[1];
+  sample->time_running = buf[2];
+  for (int e = 0; e < kPmuEventCount; ++e) {
+    const int pos = group->position[static_cast<size_t>(e)];
+    sample->value[static_cast<size_t>(e)] =
+        pos >= 0 ? buf[3 + static_cast<size_t>(pos)] : 0;
+  }
+  return true;
+}
+
+#else  // !defined(__linux__)
+
+struct PerfCounters::ThreadGroup {};
+
+bool PerfCounters::Supported() { return false; }
+
+PerfCounters::ThreadGroup* PerfCounters::AcquireThreadGroup() {
+  return nullptr;
+}
+
+bool PerfCounters::ReadGroup(ThreadGroup* /*group*/,
+                             PmuRawSample* /*sample*/) {
+  return false;
+}
+
+#endif  // defined(__linux__)
+
+PerfCounters::PerfCounters()
+    : instance_id_(g_next_pmu_id.fetch_add(1, std::memory_order_relaxed)) {
+  available_.store(Supported(), std::memory_order_relaxed);
+}
+
+PerfCounters::~PerfCounters() = default;
+
+PmuSnapshot PerfCounters::Snapshot() const {
+  PmuSnapshot snap;
+  for (int s = 0; s < kPmuStageCount; ++s) {
+    for (int e = 0; e < kPmuEventCount; ++e) {
+      snap.value[static_cast<size_t>(s)][static_cast<size_t>(e)] =
+          events_[static_cast<size_t>(s)][static_cast<size_t>(e)].Sum();
+    }
+    snap.scopes[static_cast<size_t>(s)] =
+        scopes_[static_cast<size_t>(s)].Sum();
+  }
+  return snap;
+}
+
+void PerfCounters::Accumulate(
+    PmuStage stage, const std::array<int64_t, kPmuEventCount>& delta) {
+  auto& row = events_[static_cast<size_t>(stage)];
+  for (int e = 0; e < kPmuEventCount; ++e) {
+    row[static_cast<size_t>(e)].Add(delta[static_cast<size_t>(e)]);
+  }
+  scopes_[static_cast<size_t>(stage)].Increment();
+}
+
+void PmuScope::Begin() {
+  group_ = pmu_->AcquireThreadGroup();
+  if (group_ == nullptr) return;
+  if (!PerfCounters::ReadGroup(group_, &begin_)) {
+    group_ = nullptr;
+    return;
+  }
+  if (trace_ != nullptr) start_us_ = trace_->NowUs();
+}
+
+void PmuScope::End() {
+  PmuRawSample end;
+  if (!PerfCounters::ReadGroup(group_, &end)) return;
+  // Multiplex correction: scale the raw delta by the fraction of the
+  // scope's interval the group was actually scheduled on the PMU.
+  const uint64_t enabled = end.time_enabled - begin_.time_enabled;
+  const uint64_t running = end.time_running - begin_.time_running;
+  std::array<int64_t, kPmuEventCount> delta{};
+  if (running > 0) {
+    const double scale =
+        static_cast<double>(enabled) / static_cast<double>(running);
+    for (int e = 0; e < kPmuEventCount; ++e) {
+      const uint64_t raw = end.value[static_cast<size_t>(e)] -
+                           begin_.value[static_cast<size_t>(e)];
+      delta[static_cast<size_t>(e)] =
+          static_cast<int64_t>(static_cast<double>(raw) * scale + 0.5);
+    }
+  }
+  pmu_->Accumulate(stage_, delta);
+  if (trace_ != nullptr) {
+    const size_t s = static_cast<size_t>(stage_);
+    trace_->SpanWithArgs(
+        kStageSpanNames[s], "pmu", start_us_, trace_->NowUs() - start_us_,
+        {{kEventNames[0], delta[0]},
+         {kEventNames[1], delta[1]},
+         {kEventNames[2], delta[2]},
+         {kEventNames[3], delta[3]}});
+  }
+}
+
+}  // namespace hasj::obs

@@ -1,0 +1,183 @@
+#ifndef HASJ_OBS_PERF_COUNTERS_H_
+#define HASJ_OBS_PERF_COUNTERS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace hasj::obs {
+
+// Hardware PMU telemetry (DESIGN.md §15).
+//
+// A PerfCounters session samples the CPU's performance monitoring unit via
+// perf_event_open(2): cycles, instructions, cache misses and branch misses,
+// opened as one counter group per recording thread (pid = self, cpu = any,
+// user space only, so no privileges beyond perf_event_paranoid <= 2 are
+// needed). PmuScope reads the group at scope entry and exit and attributes
+// the multiplex-corrected delta to one of four pipeline stages — the
+// hardware fill and scan passes, the interval decision loop, and the exact
+// software compare — which is exactly the attribution the paper's
+// hardware/software crossover argument needs and wall clocks cannot give.
+//
+// Multiplex correction: the kernel rotates counter groups when more groups
+// exist than hardware counters, so each read reports TIME_ENABLED and
+// TIME_RUNNING alongside the raw values. A scope's delta is scaled by
+// enabled/running over the scope's own interval, the standard unbiased
+// estimate; when the group ran the whole time the factor is exactly 1.
+//
+// Degradation: in containers and CI the syscall is typically denied
+// (seccomp, perf_event_paranoid, missing PMU). Construction probes once;
+// when unavailable every PmuScope is inert and available() reports false,
+// which consumers export as the `pmu.available` gauge — runs degrade to
+// zeros, never to errors. A null PerfCounters* (the HwConfig default)
+// costs one pointer test per scope, like trace/metrics/faults.
+//
+// Accumulation is sharded (obs::Counter) so concurrent refinement workers
+// do not contend; Snapshot() merges the shards. Per-query deltas come from
+// snapshot subtraction: snapshot at query start, subtract from the snapshot
+// at query end (core/query_obs.cc does this).
+
+// Pipeline stages the PMU attributes cost to. Values index
+// kPmuStageEventNames (obs/names.h); keep the two in lockstep.
+enum class PmuStage {
+  kHwFill = 0,         // hardware rasterization fill pass
+  kHwScan = 1,         // hardware probe/scan pass
+  kIntervalDecide = 2, // raster-interval filter decision loop
+  kExactCompare = 3,   // exact software segment/distance tests
+};
+inline constexpr int kPmuStageCount = 4;
+
+// Hardware events sampled per stage. Values index the inner dimension of
+// kPmuStageEventNames (obs/names.h).
+enum class PmuEvent {
+  kCycles = 0,
+  kInstructions = 1,
+  kCacheMisses = 2,
+  kBranchMisses = 3,
+};
+inline constexpr int kPmuEventCount = 4;
+
+const char* PmuStageName(PmuStage stage);  // "hw_fill", ...
+const char* PmuEventName(PmuEvent event);  // "cycles", ...
+
+// One raw group read: the kernel's enabled/running times plus the raw
+// (unscaled) event values. Events whose counter failed to open read 0.
+struct PmuRawSample {
+  uint64_t time_enabled = 0;
+  uint64_t time_running = 0;
+  std::array<uint64_t, kPmuEventCount> value{};
+};
+
+// Point-in-time merge of a session's accumulated stage deltas
+// (multiplex-corrected counts) plus how many scopes closed per stage.
+struct PmuSnapshot {
+  std::array<std::array<int64_t, kPmuEventCount>, kPmuStageCount> value{};
+  std::array<int64_t, kPmuStageCount> scopes{};
+
+  int64_t at(PmuStage stage, PmuEvent event) const {
+    return value[static_cast<size_t>(stage)][static_cast<size_t>(event)];
+  }
+  // Sum of one event across all stages.
+  int64_t total(PmuEvent event) const;
+  PmuSnapshot& operator-=(const PmuSnapshot& o);
+  bool operator==(const PmuSnapshot& o) const = default;
+};
+
+// Convenience for per-query deltas: empty snapshot when no session is
+// attached, so pipelines can capture unconditionally.
+class PerfCounters;
+PmuSnapshot PmuSnapshotOf(const PerfCounters* pmu);
+
+class PerfCounters {
+ public:
+  PerfCounters();
+  ~PerfCounters();
+  PerfCounters(const PerfCounters&) = delete;
+  PerfCounters& operator=(const PerfCounters&) = delete;
+
+  // Whether this process can open the hardware counter group at all
+  // (probed once per process; false on non-Linux builds and when
+  // perf_event_open is denied or the PMU is absent).
+  static bool Supported();
+
+  // Probed at construction; false means every scope is inert and all
+  // deltas stay zero. Exported as the pmu.available gauge.
+  bool available() const {
+    return available_.load(std::memory_order_relaxed);
+  }
+
+  PmuSnapshot Snapshot() const;
+
+ private:
+  friend class PmuScope;
+
+  // Per-thread perf event group (leader + siblings), opened lazily on a
+  // thread's first scope and cached thread-locally (keyed by instance id,
+  // mirroring TraceSession's track cache). Defined in the .cc.
+  struct ThreadGroup;
+
+  // The calling thread's group; null when the PMU is unavailable or this
+  // thread's open failed. One thread_local lookup on the fast path.
+  ThreadGroup* AcquireThreadGroup();
+  // Reads the group into *sample; false on a short or failed read.
+  static bool ReadGroup(ThreadGroup* group, PmuRawSample* sample);
+  void Accumulate(PmuStage stage,
+                  const std::array<int64_t, kPmuEventCount>& delta);
+
+  const uint64_t instance_id_;
+  std::atomic<bool> available_{false};
+
+  // Sharded accumulators; Counter is internally synchronized.
+  // lint:allow(guarded-by-coverage): sharded relaxed atomics, not mu_ state
+  std::array<std::array<Counter, kPmuEventCount>, kPmuStageCount> events_;
+  // lint:allow(guarded-by-coverage): sharded relaxed atomics, not mu_ state
+  std::array<Counter, kPmuStageCount> scopes_;
+
+  mutable Mutex mu_;
+  // Owns the per-thread groups (fd cleanup at destruction); the groups
+  // themselves are only ever read by their owning thread.
+  std::vector<std::unique_ptr<ThreadGroup>> groups_ HASJ_GUARDED_BY(mu_);
+};
+
+// RAII stage attribution: reads the calling thread's counter group at
+// construction and destruction and accumulates the multiplex-corrected
+// delta under `stage`. Inert (two pointer tests) when `pmu` is null or
+// unavailable. When `trace` is also non-null, the scope additionally emits
+// a "pmu.<stage>" span carrying the four deltas as args — this is how PMU
+// numbers land on Chrome-trace spans; pass null at per-pair granularity
+// where a span per pair would drown the trace.
+class PmuScope {
+ public:
+  explicit PmuScope(PerfCounters* pmu, PmuStage stage,
+                    TraceSession* trace = nullptr)
+      : pmu_(pmu), stage_(stage), trace_(trace) {
+    if (pmu_ != nullptr) Begin();
+  }
+  ~PmuScope() {
+    if (group_ != nullptr) End();
+  }
+  PmuScope(const PmuScope&) = delete;
+  PmuScope& operator=(const PmuScope&) = delete;
+
+ private:
+  void Begin();
+  void End();
+
+  PerfCounters* pmu_;
+  PerfCounters::ThreadGroup* group_ = nullptr;
+  PmuStage stage_;
+  TraceSession* trace_;
+  double start_us_ = 0.0;
+  PmuRawSample begin_;
+};
+
+}  // namespace hasj::obs
+
+#endif  // HASJ_OBS_PERF_COUNTERS_H_

@@ -1,0 +1,128 @@
+#include "obs/query_log.h"
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+namespace hasj::obs {
+
+namespace {
+
+// ShouldSample's fixed-point scale: rates are quantized to 2^-16, so the
+// smallest non-zero rate keeps one record in 65536.
+constexpr int64_t kSampleOne = int64_t{1} << 16;
+
+}  // namespace
+
+QueryLog::~QueryLog() {
+  // Best effort on destruction; callers that care about write errors call
+  // Close() themselves (the bench harness does).
+  (void)Close();
+}
+
+Status QueryLog::Open(const std::string& path, size_t capacity) {
+  if (open()) {
+    return Status::InvalidArgument("query log already open");
+  }
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::InvalidArgument("cannot open query log file: " + path);
+  }
+  {
+    MutexLock lock(&mu_);
+    closing_ = false;
+    write_error_ = Status::Ok();
+    capacity_ = capacity > 0 ? capacity : 1;
+  }
+  file_ = f;
+  writer_ = std::thread([this] { WriterLoop(); });
+  open_.store(true, std::memory_order_release);
+  return Status::Ok();
+}
+
+void QueryLog::Append(std::string line) {
+  if (!open()) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  bool notify = false;
+  {
+    MutexLock lock(&mu_);
+    if (closing_ || queue_.size() >= capacity_) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    notify = queue_.empty();
+    queue_.push_back(std::move(line));
+  }
+  if (notify) cv_.NotifyOne();
+}
+
+bool QueryLog::ShouldSample(double rate) {
+  if (rate >= 1.0) return true;
+  const int64_t step = static_cast<int64_t>(rate * kSampleOne);
+  if (step <= 0) return false;
+  // The accumulator gains `rate` (in 2^-16 units) per call; a call samples
+  // iff it carries the accumulator across a whole-record boundary. Exact,
+  // deterministic in the number of calls, and one relaxed fetch_add.
+  const int64_t before = sample_acc_.fetch_add(step, std::memory_order_relaxed);
+  return (before + step) / kSampleOne > before / kSampleOne;
+}
+
+Status QueryLog::Close() {
+  if (!open()) {
+    MutexLock lock(&mu_);
+    return write_error_;
+  }
+  {
+    MutexLock lock(&mu_);
+    closing_ = true;
+  }
+  cv_.NotifyAll();
+  writer_.join();
+  open_.store(false, std::memory_order_release);
+  const int close_rc = std::fclose(file_);
+  file_ = nullptr;
+  MutexLock lock(&mu_);
+  if (write_error_.ok() && close_rc != 0) {
+    write_error_ = Status::Internal("query log close failed");
+  }
+  return write_error_;
+}
+
+void QueryLog::WriterLoop() {
+  std::vector<std::string> batch;
+  bool failed = false;
+  for (;;) {
+    batch.clear();
+    {
+      MutexLock lock(&mu_);
+      while (queue_.empty() && !closing_) cv_.Wait(mu_);
+      while (!queue_.empty()) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      if (batch.empty() && closing_) return;
+    }
+    // I/O outside the lock: producers can keep appending while the batch
+    // drains to disk.
+    for (std::string& line : batch) {
+      line.push_back('\n');
+      if (!failed &&
+          std::fwrite(line.data(), 1, line.size(), file_) != line.size()) {
+        failed = true;
+        MutexLock lock(&mu_);
+        if (write_error_.ok()) {
+          write_error_ = Status::Internal("query log short write");
+        }
+      }
+      if (failed) {
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        written_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+}
+
+}  // namespace hasj::obs

@@ -1,0 +1,94 @@
+#ifndef HASJ_OBS_QUERY_LOG_H_
+#define HASJ_OBS_QUERY_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <string>
+#include <thread>
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+
+namespace hasj::obs {
+
+// Structured query log (DESIGN.md §15): an asynchronous JSONL writer
+// emitting one record per query, attached through HwConfig::query_log and
+// null-gated like trace/metrics — a query path with no log attached pays
+// one pointer test.
+//
+// The producer side (core/query_obs.cc, at end of every pipeline Run) is
+// lock-cheap: rendering the record happens on the query thread, but the
+// write is one bounded-queue push under a mutex held for a deque splice —
+// never for I/O. A dedicated writer thread drains the queue to the file,
+// so fwrite latency and fsync stalls cannot land in query tail latency.
+// When the queue is full the record is dropped and counted (dropped()),
+// bounding memory under any production rate.
+//
+// Sampling: ShouldSample(rate) is a deterministic fixed-point accumulator
+// — rate 1 keeps every record, 0.25 every 4th, 0 none. Rate 0 with a log
+// attached is the "enabled but unsampled" configuration the ablation_obs
+// overhead gate measures: every query pays the pointer test and the
+// sampling add, nothing else.
+class QueryLog {
+ public:
+  // Bounded queue capacity in records; beyond it Append drops.
+  static constexpr size_t kDefaultCapacity = 4096;
+
+  QueryLog() = default;
+  ~QueryLog();
+  QueryLog(const QueryLog&) = delete;
+  QueryLog& operator=(const QueryLog&) = delete;
+
+  // Opens `path` for writing and starts the writer thread. Fails if the
+  // file cannot be created or the log is already open.
+  [[nodiscard]] Status Open(const std::string& path,
+                            size_t capacity = kDefaultCapacity);
+
+  // Enqueues one JSONL record (a complete JSON object, no trailing
+  // newline — the writer adds it). Drops (and counts) when the queue is
+  // full or the log is closed.
+  void Append(std::string line);
+
+  // Deterministic sampling gate: accumulates `rate` per call and fires on
+  // unit-interval crossings. Thread-safe; the accumulator is shared, so at
+  // rate r an r-fraction of *all* calls samples regardless of which thread
+  // makes them.
+  bool ShouldSample(double rate);
+
+  // Flushes the queue, joins the writer and closes the file. Returns the
+  // first write error seen over the log's lifetime. Idempotent.
+  [[nodiscard]] Status Close();
+
+  bool open() const { return open_.load(std::memory_order_acquire); }
+  int64_t written() const { return written_.load(std::memory_order_relaxed); }
+  int64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+ private:
+  void WriterLoop();
+
+  std::atomic<bool> open_{false};
+  std::atomic<int64_t> written_{0};
+  std::atomic<int64_t> dropped_{0};
+  // ShouldSample's fixed-point accumulator, in 2^-16 units of a record.
+  std::atomic<int64_t> sample_acc_{0};
+
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<std::string> queue_ HASJ_GUARDED_BY(mu_);
+  bool closing_ HASJ_GUARDED_BY(mu_) = false;
+  Status write_error_ HASJ_GUARDED_BY(mu_);
+  size_t capacity_ HASJ_GUARDED_BY(mu_) = kDefaultCapacity;
+  // Written only by the writer thread after Open; Close joins before
+  // fclose, so there is never a concurrent user.
+  // lint:allow(guarded-by-coverage): confined to the writer thread
+  std::FILE* file_ = nullptr;
+  // lint:allow(guarded-by-coverage): set in Open, joined in Close
+  std::thread writer_;
+};
+
+}  // namespace hasj::obs
+
+#endif  // HASJ_OBS_QUERY_LOG_H_

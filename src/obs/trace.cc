@@ -74,23 +74,41 @@ void TraceSession::Instant(const char* name, const char* cat) {
   Event event;
   event.name = name;
   event.cat = cat;
-  event.arg_name = nullptr;
+  event.arg_names = {};
+  event.args = {};
   event.ts_us = NowUs();
   event.dur_us = 0.0;
-  event.arg = 0;
+  event.arg_count = 0;
   event.phase = 'i';
   Append(track(), event);
 }
 
 void TraceSession::Span(const char* name, const char* cat, double ts_us,
                         double dur_us, const char* arg_name, int64_t arg) {
+  if (arg_name != nullptr) {
+    SpanWithArgs(name, cat, ts_us, dur_us, {{arg_name, arg}});
+  } else {
+    SpanWithArgs(name, cat, ts_us, dur_us, {});
+  }
+}
+
+void TraceSession::SpanWithArgs(const char* name, const char* cat,
+                                double ts_us, double dur_us,
+                                std::initializer_list<SpanArg> args) {
   Event event;
   event.name = name;
   event.cat = cat;
-  event.arg_name = arg_name;
+  event.arg_names = {};
+  event.args = {};
+  event.arg_count = 0;
+  for (const SpanArg& a : args) {
+    if (event.arg_count >= kMaxSpanArgs) break;
+    event.arg_names[static_cast<size_t>(event.arg_count)] = a.name;
+    event.args[static_cast<size_t>(event.arg_count)] = a.value;
+    ++event.arg_count;
+  }
   event.ts_us = ts_us;
   event.dur_us = dur_us;
-  event.arg = arg;
   event.phase = 'X';
   Append(track(), event);
 }
@@ -157,11 +175,13 @@ void TraceSession::WriteJson(std::string* out) const {
         w.Key("s");
         w.String("t");
       }
-      if (e.arg_name != nullptr) {
+      if (e.arg_count > 0) {
         w.Key("args");
         w.BeginObject();
-        w.Key(e.arg_name);
-        w.Int(e.arg);
+        for (int a = 0; a < e.arg_count; ++a) {
+          w.Key(e.arg_names[static_cast<size_t>(a)]);
+          w.Int(e.args[static_cast<size_t>(a)]);
+        }
         w.EndObject();
       }
       w.EndObject();

@@ -1,9 +1,11 @@
 #ifndef HASJ_OBS_TRACE_H_
 #define HASJ_OBS_TRACE_H_
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <initializer_list>
 #include <map>
 #include <memory>
 #include <string>
@@ -61,6 +63,17 @@ class TraceSession {
   void Span(const char* name, const char* cat, double ts_us, double dur_us,
             const char* arg_name = nullptr, int64_t arg = 0);
 
+  // Up to kMaxSpanArgs named integer args on one span (the PMU scopes
+  // attach their per-stage counter deltas this way). Extra args beyond the
+  // cap are ignored; names must outlive the session like `name`/`cat`.
+  static constexpr int kMaxSpanArgs = 4;
+  struct SpanArg {
+    const char* name;
+    int64_t value;
+  };
+  void SpanWithArgs(const char* name, const char* cat, double ts_us,
+                    double dur_us, std::initializer_list<SpanArg> args);
+
   // Events dropped because a track hit kMaxEventsPerTrack.
   int64_t dropped_events() const {
     return dropped_.load(std::memory_order_relaxed);
@@ -78,11 +91,12 @@ class TraceSession {
   struct Event {
     const char* name;
     const char* cat;
-    const char* arg_name;  // nullptr = no args
+    std::array<const char*, kMaxSpanArgs> arg_names;  // first arg_count set
+    std::array<int64_t, kMaxSpanArgs> args;
     double ts_us;
     double dur_us;  // spans only
-    int64_t arg;
-    char phase;  // 'X' span, 'i' instant
+    int arg_count;  // 0 = no args
+    char phase;     // 'X' span, 'i' instant
   };
   struct Track {
     int tid = 0;

@@ -75,6 +75,9 @@ TEST(TryParseArgsTest, DefaultsSurvive) {
   EXPECT_TRUE(r.args.json_path.empty());
   EXPECT_TRUE(r.args.trace_path.empty());
   EXPECT_FALSE(r.args.explain);
+  EXPECT_FALSE(r.args.pmu);
+  EXPECT_TRUE(r.args.query_log_path.empty());
+  EXPECT_DOUBLE_EQ(r.args.query_log_sample, 1.0);
 }
 
 TEST(TryParseArgsTest, AllFlags) {
@@ -88,6 +91,37 @@ TEST(TryParseArgsTest, AllFlags) {
   EXPECT_EQ(r.args.json_path, "/tmp/a.json");
   EXPECT_EQ(r.args.trace_path, "/tmp/a.trace");
   EXPECT_TRUE(r.args.explain);
+}
+
+TEST(TryParseArgsTest, ObservabilityFlags) {
+  const ParseResult r = Parse({"--pmu", "--query_log=/tmp/q.jsonl",
+                               "--query_log_sample=0.25"});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_TRUE(r.args.pmu);
+  EXPECT_EQ(r.args.query_log_path, "/tmp/q.jsonl");
+  EXPECT_DOUBLE_EQ(r.args.query_log_sample, 0.25);
+}
+
+TEST(TryParseArgsTest, QueryLogSampleRangeChecked) {
+  EXPECT_TRUE(Parse({"--query_log_sample=0"}).ok);
+  EXPECT_TRUE(Parse({"--query_log_sample=1"}).ok);
+  EXPECT_FALSE(Parse({"--query_log_sample=1.5"}).ok);
+  EXPECT_FALSE(Parse({"--query_log_sample=-0.1"}).ok);
+}
+
+TEST(TryParseArgsTest, PmuTakesNoValue) {
+  const ParseResult r = Parse({"--pmu=1"});
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("unknown flag"), std::string::npos);
+}
+
+TEST(TryParseArgsTest, QueryLogIsNotAPrefixOfItsSampleFlag) {
+  // --query_log and --query_log_sample share a prefix; each must bind to
+  // its own value.
+  const ParseResult r = Parse({"--query_log_sample=0.5"});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_TRUE(r.args.query_log_path.empty());
+  EXPECT_DOUBLE_EQ(r.args.query_log_sample, 0.5);
 }
 
 TEST(TryParseArgsTest, UnknownFlagRejected) {
@@ -180,7 +214,7 @@ TEST(BenchReportTest, JsonReportRoundTrips) {
   std::fclose(f);
   std::remove(path.c_str());
 
-  EXPECT_NE(json.find("\"schema_version\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"schema_version\":2"), std::string::npos) << json;
   EXPECT_NE(json.find("\"bench_name\":\"test_bench\""), std::string::npos);
   EXPECT_NE(json.find("\"series\":\"series-a\""), std::string::npos);
   EXPECT_NE(json.find("\"compare_ms\":1.5"), std::string::npos);
@@ -188,6 +222,12 @@ TEST(BenchReportTest, JsonReportRoundTrips) {
   EXPECT_NE(json.find("\"sizes\""), std::string::npos);
   EXPECT_NE(json.find("\"buckets\":["), std::string::npos);
   EXPECT_NE(json.find("\"threads\":2"), std::string::npos);
+  // Schema 2: histogram quantiles and the observability run-config fields.
+  EXPECT_NE(json.find("\"p50\":9"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p99\":9"), std::string::npos);
+  EXPECT_NE(json.find("\"pmu_requested\":false"), std::string::npos);
+  EXPECT_NE(json.find("\"pmu_available\":false"), std::string::npos);
+  EXPECT_NE(json.find("\"query_log_records\":0"), std::string::npos);
 }
 
 TEST(BenchReportTest, FinishFailsOnUnwritablePath) {

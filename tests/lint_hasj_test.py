@@ -295,6 +295,51 @@ class SimdIntrinsicsTest(unittest.TestCase):
         self.assertEqual(code, 0, out)
 
 
+class MetricNameTest(unittest.TestCase):
+    def test_literal_name_flagged(self):
+        code, out = run_lint({
+            "core/pipeline.cc": (
+                "void F(obs::Registry* m) {\n"
+                '  m->GetCounter("hasj.query.results").Increment();\n'
+                '  m->GetGauge("hasj.stage.mbr_ms").Add(1.0);\n'
+                '  m->GetHistogram("hasj.hist.pair_vertices").Record(3);\n'
+                "}\n"
+            ),
+        })
+        self.assertEqual(code, 1, out)
+        self.assertEqual(out.count("[metric-name]"), 3, out)
+
+    def test_names_h_constant_clean(self):
+        code, out = run_lint({
+            "core/pipeline.cc": (
+                "void F(obs::Registry* m) {\n"
+                "  m->GetCounter(obs::kQueryResults).Increment();\n"
+                "  m->GetHistogram(prefix + obs::kPipelineTotalUsSuffix)\n"
+                "      .Record(7);\n"
+                "}\n"
+            ),
+        })
+        self.assertEqual(code, 0, out)
+
+    def test_names_h_itself_exempt(self):
+        code, out = run_lint({
+            "obs/names.h": header("obs/names.h", (
+                'inline constexpr char kDemo[] = "hasj.demo";\n'
+                "// e.g. registry.GetCounter(\"hasj.demo\") resolves here\n"
+            )),
+        })
+        self.assertEqual(code, 0, out)
+
+    def test_allow_suppresses(self):
+        code, out = run_lint({
+            "core/probe.cc": (
+                "// lint:allow(metric-name): throwaway local experiment\n"
+                'm->GetCounter("hasj.scratch").Increment();\n'
+            ),
+        })
+        self.assertEqual(code, 0, out)
+
+
 class SuppressionHygieneTest(unittest.TestCase):
     def test_unknown_rule_reported(self):
         code, out = run_lint({

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "obs/metrics.h"
+
+namespace hasj::obs {
+namespace {
+
+// The quantile contract (metrics.h): the reported value for quantile q is
+// the inclusive upper bound (2^b - 1) of the bucket holding the
+// ceil(q * count)-th smallest sample, clamped to the recorded [min, max].
+// Every case below is hand-computed from that rule.
+
+TEST(QuantileTest, HandComputedBucketBoundaries) {
+  Histogram h;
+  // Samples 1..10. Buckets: b1={1}, b2={2,3}, b3={4..7}, b4={8,9,10}.
+  for (int64_t v = 1; v <= 10; ++v) h.Record(v);
+  const HistogramSnapshot s = h.Snapshot();
+  // P50: rank ceil(0.5*10)=5; cumulative 1,3,7 -> bucket 3, upper bound 7.
+  EXPECT_EQ(s.P50(), 7);
+  // P90: rank 9; cumulative reaches 10 in bucket 4, upper bound 15,
+  // clamped to max=10.
+  EXPECT_EQ(s.P90(), 10);
+  // P99: rank ceil(9.9)=10 -> same bucket as P90.
+  EXPECT_EQ(s.P99(), 10);
+  // q=0 clamps the rank to 1 (the minimum); bucket 1's bound is 1.
+  EXPECT_EQ(s.Quantile(0.0), 1);
+  EXPECT_EQ(s.Quantile(1.0), 10);
+}
+
+TEST(QuantileTest, ClampsBucketBoundToObservedRange) {
+  Histogram h;
+  // Both samples land in bucket 7 ([64, 127]): intra-bucket rank is not
+  // resolvable, so every quantile reports the bucket bound 127 clamped to
+  // the observed max — the bucket edge must not leak past real samples.
+  h.Record(100);
+  h.Record(110);
+  const HistogramSnapshot s = h.Snapshot();
+  for (const double q : {0.0, 0.5, 0.99, 1.0}) {
+    EXPECT_EQ(s.Quantile(q), 110) << "q=" << q;
+  }
+  // With a second occupied bucket the lower quantiles resolve to the lower
+  // bucket's bound while the top quantiles clamp to max: {100, 110, 1000}
+  // has P50 rank 2 -> bucket 7 bound 127, P99 rank 3 -> bucket 10 bound
+  // 1023 clamped to 1000.
+  h.Record(1000);
+  const HistogramSnapshot t = h.Snapshot();
+  EXPECT_EQ(t.P50(), 127);
+  EXPECT_EQ(t.P99(), 1000);
+}
+
+TEST(QuantileTest, EmptyHistogramIsZero) {
+  const HistogramSnapshot s = Histogram().Snapshot();
+  EXPECT_EQ(s.count, 0);
+  EXPECT_EQ(s.P50(), 0);
+  EXPECT_EQ(s.P90(), 0);
+  EXPECT_EQ(s.P99(), 0);
+  EXPECT_EQ(s.Quantile(0.0), 0);
+  EXPECT_EQ(s.Quantile(1.0), 0);
+}
+
+TEST(QuantileTest, SingleSample) {
+  Histogram h;
+  h.Record(100);
+  const HistogramSnapshot s = h.Snapshot();
+  for (const double q : {0.0, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_EQ(s.Quantile(q), 100) << "q=" << q;
+  }
+}
+
+TEST(QuantileTest, SaturatedTopBucket) {
+  Histogram h;
+  h.Record(1);
+  for (int i = 0; i < 3; ++i) h.Record(INT64_MAX);
+  const HistogramSnapshot s = h.Snapshot();
+  // Ranks 2..4 all sit in the overflow tail bucket, whose upper bound is
+  // INT64_MAX — the clamp to max must not overflow past it.
+  EXPECT_EQ(s.P50(), INT64_MAX);
+  EXPECT_EQ(s.P99(), INT64_MAX);
+  EXPECT_EQ(s.Quantile(0.0), 1);
+}
+
+TEST(QuantileTest, OutOfRangeQClamped) {
+  Histogram h;
+  for (int64_t v = 1; v <= 10; ++v) h.Record(v);
+  const HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.Quantile(-0.5), s.Quantile(0.0));
+  EXPECT_EQ(s.Quantile(1.5), s.Quantile(1.0));
+}
+
+TEST(QuantileTest, MergeIdentityOneVsEightThreads) {
+  // Quantiles are derived from exact bucket sums, so recording the same
+  // sample set across 1 thread and 8 threads must give identical
+  // quantiles — the property the per-pipeline latency histograms rely on
+  // when RefinementExecutor shards recording across workers.
+  auto record_all = [](int threads) {
+    Histogram h;
+    ThreadPool pool(threads);
+    EXPECT_TRUE(pool.ParallelFor(10000, 64,
+                                 [&](int64_t begin, int64_t end, int) {
+                                   for (int64_t i = begin; i < end; ++i) {
+                                     h.Record((i * 37) % 5000);
+                                   }
+                                 })
+                    .ok());
+    return h.Snapshot();
+  };
+  const HistogramSnapshot one = record_all(1);
+  const HistogramSnapshot eight = record_all(8);
+  EXPECT_EQ(one, eight);
+  for (const double q : {0.0, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_EQ(one.Quantile(q), eight.Quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(QuantileTest, SnapshotMergeMatchesSingleHistogram) {
+  // operator+= sums buckets exactly, so quantiles of a merged snapshot
+  // equal quantiles of one histogram that saw every sample.
+  Histogram a;
+  Histogram b;
+  Histogram all;
+  for (int64_t v = 1; v <= 200; ++v) {
+    (v % 2 == 0 ? a : b).Record(v * 3);
+    all.Record(v * 3);
+  }
+  HistogramSnapshot merged = a.Snapshot();
+  merged += b.Snapshot();
+  const HistogramSnapshot whole = all.Snapshot();
+  EXPECT_EQ(merged, whole);
+  EXPECT_EQ(merged.P50(), whole.P50());
+  EXPECT_EQ(merged.P99(), whole.P99());
+}
+
+}  // namespace
+}  // namespace hasj::obs

@@ -1,0 +1,107 @@
+#include "obs/query_log.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace hasj::obs {
+namespace {
+
+std::vector<std::string> ReadLines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(QueryLogTest, OpenAppendCloseRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/hasj_query_log.jsonl";
+  QueryLog log;
+  ASSERT_TRUE(log.Open(path).ok());
+  EXPECT_TRUE(log.open());
+  log.Append(R"({"kind":"join","n":1})");
+  log.Append(R"({"kind":"join","n":2})");
+  log.Append(R"({"kind":"selection","n":3})");
+  ASSERT_TRUE(log.Close().ok());
+  EXPECT_FALSE(log.open());
+  EXPECT_EQ(log.written(), 3);
+  EXPECT_EQ(log.dropped(), 0);
+  const std::vector<std::string> lines = ReadLines(path);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], R"({"kind":"join","n":1})");
+  EXPECT_EQ(lines[2], R"({"kind":"selection","n":3})");
+  std::remove(path.c_str());
+}
+
+TEST(QueryLogTest, AppendWhileClosedDropsAndCounts) {
+  QueryLog log;
+  log.Append("never-opened");
+  log.Append("still-closed");
+  EXPECT_EQ(log.written(), 0);
+  EXPECT_EQ(log.dropped(), 2);
+}
+
+TEST(QueryLogTest, EveryAppendIsWrittenOrDropped) {
+  // At capacity 1 the bounded queue may drop under a burst (how many
+  // depends on writer-thread scheduling), but the accounting invariant is
+  // exact: every Append lands in written() or dropped(), and the file
+  // holds precisely written() lines.
+  const std::string path = ::testing::TempDir() + "/hasj_query_log_cap.jsonl";
+  QueryLog log;
+  ASSERT_TRUE(log.Open(path, /*capacity=*/1).ok());
+  const int appends = 1000;
+  for (int i = 0; i < appends; ++i) log.Append("{\"n\":" + std::to_string(i) + "}");
+  ASSERT_TRUE(log.Close().ok());
+  EXPECT_EQ(log.written() + log.dropped(), appends);
+  EXPECT_EQ(ReadLines(path).size(), static_cast<size_t>(log.written()));
+  std::remove(path.c_str());
+}
+
+TEST(QueryLogTest, CloseIsIdempotent) {
+  const std::string path = ::testing::TempDir() + "/hasj_query_log_idem.jsonl";
+  QueryLog log;
+  ASSERT_TRUE(log.Open(path).ok());
+  EXPECT_TRUE(log.Close().ok());
+  EXPECT_TRUE(log.Close().ok());
+  // Reopening after a clean close is legal.
+  ASSERT_TRUE(log.Open(path).ok());
+  EXPECT_TRUE(log.Close().ok());
+  std::remove(path.c_str());
+}
+
+TEST(QueryLogTest, DoubleOpenRejected) {
+  const std::string path = ::testing::TempDir() + "/hasj_query_log_dup.jsonl";
+  QueryLog log;
+  ASSERT_TRUE(log.Open(path).ok());
+  EXPECT_FALSE(log.Open(path).ok());
+  EXPECT_TRUE(log.Close().ok());
+  std::remove(path.c_str());
+}
+
+TEST(QueryLogTest, ShouldSampleRateEdges) {
+  QueryLog log;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(log.ShouldSample(1.0));
+    EXPECT_FALSE(log.ShouldSample(0.0));
+  }
+}
+
+TEST(QueryLogTest, ShouldSampleFractionalRateIsExact) {
+  // The fixed-point accumulator is deterministic in the call count: rate r
+  // over n calls samples floor-accurate r*n records, independent of timing.
+  QueryLog log;
+  int sampled = 0;
+  for (int i = 0; i < 100; ++i) sampled += log.ShouldSample(0.5) ? 1 : 0;
+  EXPECT_EQ(sampled, 50);
+  QueryLog quarter;
+  sampled = 0;
+  for (int i = 0; i < 100; ++i) sampled += quarter.ShouldSample(0.25) ? 1 : 0;
+  EXPECT_EQ(sampled, 25);
+}
+
+}  // namespace
+}  // namespace hasj::obs

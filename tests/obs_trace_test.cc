@@ -242,6 +242,26 @@ TEST(TraceSessionTest, OneTrackPerThread) {
   EXPECT_NE(json.find("\"tid\":3"), std::string::npos) << json;
 }
 
+TEST(TraceSessionTest, SpanWithArgsEmitsAllArgs) {
+  // The PMU scopes attach up to kMaxSpanArgs event deltas per span; all of
+  // them must land in the span's args object, and the JSON must stay valid.
+  TraceSession session;
+  session.SpanWithArgs("pmu.hw_fill", "pmu", 10.0, 5.0,
+                       {{"cycles", 1111},
+                        {"instructions", 2222},
+                        {"cache_misses", 33},
+                        {"branch_misses", 4}});
+  std::string json;
+  session.WriteJson(&json);
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(json.find("\"pmu.hw_fill\""), std::string::npos);
+  EXPECT_NE(json.find("\"cycles\":1111"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"instructions\":2222"), std::string::npos);
+  EXPECT_NE(json.find("\"cache_misses\":33"), std::string::npos);
+  EXPECT_NE(json.find("\"branch_misses\":4"), std::string::npos);
+  EXPECT_EQ(session.dropped_events(), 0);
+}
+
 TEST(TraceSessionTest, DropsEventsAtTrackCap) {
   TraceSession session;
   for (size_t i = 0; i < TraceSession::kMaxEventsPerTrack + 10; ++i) {
