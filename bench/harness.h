@@ -10,9 +10,10 @@
 // Every harness binary additionally supports the observability flags
 // (DESIGN.md §10):
 //
-//   --json=PATH    machine-readable report: the printed series plus a full
-//                  metrics-registry snapshot (schema_version 2, validated
-//                  by scripts/validate_bench_json.py);
+//   --json=PATH    machine-readable report: the printed series, a full
+//                  metrics-registry snapshot, and the run's query/truncated
+//                  accounting (schema_version 3, validated by
+//                  scripts/validate_bench_json.py);
 //   --trace=PATH   Chrome trace_event file of the run — open it in
 //                  chrome://tracing or https://ui.perfetto.dev;
 //   --explain      print an EXPLAIN ANALYZE pipeline report after the run;
@@ -227,7 +228,7 @@ inline void PrintUsage(const char* argv0, std::FILE* out) {
                "  --threads=N  refinement worker threads "
                "(default 1 = serial, 0 = hardware concurrency)\n"
                "  --json=PATH  write a machine-readable JSON report "
-               "(schema_version 2)\n"
+               "(schema_version 3)\n"
                "  --trace=PATH write a Chrome trace_event JSON file "
                "(chrome://tracing, ui.perfetto.dev)\n"
                "  --explain    print an EXPLAIN ANALYZE pipeline report "
@@ -334,6 +335,19 @@ class BenchReport {
     config->simd = args_.simd_mode;
   }
 
+  // Notes one executed query's terminal status for the report's run
+  // accounting (schema 3): kDeadlineExceeded means the query was truncated
+  // by its budget/cancellation, so downstream tooling can tell a fast run
+  // from a cut-short one. Benches that run whole pipelines rather than
+  // individual queries may never call this; the counts then stay 0.
+  void NoteQuery(const Status& status) {
+    ++queries_;
+    if (status.code() == StatusCode::kDeadlineExceeded) ++truncated_;
+  }
+
+  int64_t queries() const { return queries_; }
+  int64_t truncated() const { return truncated_; }
+
   // Records one plotted row — the series label plus its numeric columns —
   // reproduced verbatim in the --json report's "series" array.
   void Row(std::string series,
@@ -392,7 +406,7 @@ class BenchReport {
     obs::JsonWriter w(out);
     w.BeginObject();
     w.Key("schema_version");
-    w.Int(2);
+    w.Int(3);
     w.Key("bench_name");
     w.String(bench_name_);
     w.Key("scale");
@@ -419,6 +433,10 @@ class BenchReport {
     w.Int(query_log_.written());
     w.Key("query_log_dropped");
     w.Int(query_log_.dropped());
+    w.Key("queries");
+    w.Int(queries_);
+    w.Key("truncated");
+    w.Int(truncated_);
     w.Key("series");
     w.BeginArray();
     for (const SeriesRow& row : rows_) {
@@ -507,6 +525,8 @@ class BenchReport {
   std::optional<obs::PerfCounters> pmu_;
   obs::QueryLog query_log_;
   bool query_log_failed_ = false;
+  int64_t queries_ = 0;
+  int64_t truncated_ = 0;
   std::optional<FaultInjector> faults_;
   std::vector<SeriesRow> rows_;
 };

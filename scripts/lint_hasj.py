@@ -229,9 +229,13 @@ def check_metric_name(path, lines, src, root):
 STATUS_APIS = (
     r"(?:Validate|CheckInvariants|SaveDataset|WriteSvg"
     r"|BeginRender|BeginScan|BeginFill|TryClear|HwStep|ParallelFor|Check"
-    r"|BuildIntervalApprox|ReloadDatasetInPlace)"
+    r"|BuildIntervalApprox|ReloadDatasetInPlace"
+    # Mutable-store / server Status APIs (DESIGN.md §16): discarding an
+    # Insert/Delete/SeedFrom/ApplyUpdateOp status hides a lost update;
+    # discarding QueryServer::Start hides a server that never ran.
+    r"|Insert|Delete|SeedFrom|ApplyUpdateOp|Start)"
 )
-VOID_LAUNDER = re.compile(rf"\(void\)\s*[\w.->]*\b{STATUS_APIS}\s*\(")
+VOID_LAUNDER = re.compile(rf"\(void\)\s*[\w.>-]*\b{STATUS_APIS}\s*\(")
 
 
 def check_status_discard(path, lines, root):

@@ -4,10 +4,12 @@
 Checks two file kinds against their stable schemas:
 
   * --json PATH   bench report written by a fig*/table*/ablation_* binary's
-                  --json flag: schema_version 2, the printed series rows,
-                  and a full metrics-registry snapshot (counters, gauges,
-                  power-of-two-bucket histograms with p50/p90/p99).
-                  schema_version 1 (pre-quantile) files still validate.
+                  --json flag: schema_version 3, the printed series rows,
+                  a full metrics-registry snapshot (counters, gauges,
+                  power-of-two-bucket histograms with p50/p90/p99), and the
+                  run's query/truncated accounting. schema_version 1
+                  (pre-quantile) and 2 (pre-accounting) files still
+                  validate.
   * --trace PATH  Chrome trace_event file written by --trace: a
                   "traceEvents" array of complete ("X"), instant ("i") and
                   metadata ("M") events with per-track monotonic timestamps
@@ -63,8 +65,19 @@ def validate_report(path, required_counters=()):
         return [f"{path}: top level must be an object"]
 
     schema = doc.get("schema_version")
-    if schema not in (1, 2):
-        err(f"schema_version must be 1 or 2, got {schema!r}")
+    if schema not in (1, 2, 3):
+        err(f"schema_version must be 1, 2 or 3, got {schema!r}")
+    if schema == 3:
+        # Schema 3 adds run-level query accounting: how many queries the
+        # bench executed and how many a deadline/cancellation truncated.
+        queries = doc.get("queries")
+        truncated = doc.get("truncated")
+        if not _is_int(queries) or queries < 0:
+            err(f"queries must be a non-negative integer, got {queries!r}")
+        if not _is_int(truncated) or truncated < 0:
+            err(f"truncated must be a non-negative integer, got {truncated!r}")
+        if _is_int(queries) and _is_int(truncated) and truncated > queries:
+            err(f"truncated ({truncated}) must not exceed queries ({queries})")
     if not isinstance(doc.get("bench_name"), str) or not doc.get("bench_name"):
         err("bench_name must be a non-empty string")
     if not _is_number(doc.get("scale")) or not 0 < doc.get("scale", 0) <= 1:
@@ -131,7 +144,7 @@ def validate_report(path, required_counters=()):
         for field in ("count", "sum", "min", "max"):
             if not _is_int(hist.get(field)):
                 err(f"{where}.{field} must be an integer, got {hist.get(field)!r}")
-        if schema == 2:
+        if schema >= 2:
             for field in ("p50", "p90", "p99"):
                 if not _is_int(hist.get(field)):
                     err(

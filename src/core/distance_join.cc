@@ -17,7 +17,7 @@ namespace hasj::core {
 
 WithinDistanceJoin::WithinDistanceJoin(const data::Dataset& a,
                                        const data::Dataset& b)
-    : a_(a), b_(b), rtree_a_(a.BuildRTree()), rtree_b_(b.BuildRTree()) {}
+    : index_a_(a), index_b_(b) {}
 
 DistanceJoinResult WithinDistanceJoin::Run(
     double d, const DistanceJoinOptions& options) const {
@@ -27,11 +27,15 @@ DistanceJoinResult WithinDistanceJoin::Run(
   const QueryDeadline deadline =
       QueryDeadline::Start(options.hw.deadline_ms, options.hw.cancel);
   obs::ManualSpan stage_span;
+  // Pin one version of each dataset for the whole query: a concurrent
+  // ReloadDatasetInPlace cannot change what this run sees.
+  const data::DatasetIndex::Pinned a = index_a_.Acquire();
+  const data::DatasetIndex::Pinned b = index_b_.Acquire();
 
   // Stage 1: MBR distance join (MBR distance lower-bounds object distance).
   stage_span.Start(options.hw.trace, "mbr", "stage");
   const std::vector<std::pair<int64_t, int64_t>> candidates =
-      index::JoinWithinDistance(rtree_a_, rtree_b_, d);
+      index::JoinWithinDistance(*a.rtree, *b.rtree, d);
   result.counts.candidates = static_cast<int64_t>(candidates.size());
   result.costs.mbr_ms = watch.ElapsedMillis();
   stage_span.End();
@@ -48,14 +52,14 @@ DistanceJoinResult WithinDistanceJoin::Run(
   std::shared_ptr<const filter::IntervalApprox> intervals_a;
   std::shared_ptr<const filter::IntervalApprox> intervals_b;
   if (options.hw.use_intervals && d >= 0.0 && result.status.ok()) {
-    geom::Box frame = a_.Bounds();
-    frame.Extend(b_.Bounds());
+    geom::Box frame = a.Bounds();
+    frame.Extend(b.Bounds());
     const filter::IntervalApproxConfig interval_config =
         IntervalConfigFrom(options.hw, options.num_threads);
-    auto acquired_a = interval_cache_a_.Acquire(a_.polygons(), frame,
-                                                a_.epoch(), interval_config);
-    auto acquired_b = interval_cache_b_.Acquire(b_.polygons(), frame,
-                                                b_.epoch(), interval_config);
+    auto acquired_a = interval_cache_a_.Acquire(a.data.polygons(), frame,
+                                                a.epoch(), interval_config);
+    auto acquired_b = interval_cache_b_.Acquire(b.data.polygons(), frame,
+                                                b.epoch(), interval_config);
     if (acquired_a.ok() && acquired_b.ok()) {
       intervals_a = std::move(acquired_a).value();
       intervals_b = std::move(acquired_b).value();
@@ -81,8 +85,8 @@ DistanceJoinResult WithinDistanceJoin::Run(
       break;
     }
     const auto& [ida, idb] = candidates[ci];
-    const geom::Box& ba = a_.mbr(static_cast<size_t>(ida));
-    const geom::Box& bb = b_.mbr(static_cast<size_t>(idb));
+    const geom::Box& ba = a.mbr(static_cast<size_t>(ida));
+    const geom::Box& bb = b.mbr(static_cast<size_t>(idb));
     if (options.use_zero_object_filter &&
         filter::ZeroObjectUpperBound(ba, bb) <= d) {
       result.pairs.emplace_back(ida, idb);
@@ -95,8 +99,8 @@ DistanceJoinResult WithinDistanceJoin::Run(
       // one-sided bound.
       const bool a_larger = ba.Area() >= bb.Area();
       const geom::Polygon& larger = a_larger
-                                        ? a_.polygon(static_cast<size_t>(ida))
-                                        : b_.polygon(static_cast<size_t>(idb));
+                                        ? a.polygon(static_cast<size_t>(ida))
+                                        : b.polygon(static_cast<size_t>(idb));
       const geom::Box& other = a_larger ? bb : ba;
       if (filter::OneObjectUpperBound(larger, other) <= d) {
         result.pairs.emplace_back(ida, idb);
@@ -110,8 +114,8 @@ DistanceJoinResult WithinDistanceJoin::Run(
                              intervals_b->object(static_cast<size_t>(idb))) ==
           filter::IntervalVerdict::kHit) {
         HASJ_PARANOID_ONLY(paranoid::CheckIntervalAccept(
-            a_.polygon(static_cast<size_t>(ida)),
-            b_.polygon(static_cast<size_t>(idb)), options.hw));
+            a.polygon(static_cast<size_t>(ida)),
+            b.polygon(static_cast<size_t>(idb)), options.hw));
         result.pairs.emplace_back(ida, idb);
         ++result.interval_hits;
         ++result.counts.filter_hits;
@@ -147,8 +151,8 @@ DistanceJoinResult WithinDistanceJoin::Run(
           undecided,
           [&] { return BatchHardwareTester(hw_config, {}, options.sw); },
           [&](const std::pair<int64_t, int64_t>& c) {
-            return PolygonPair{&a_.polygon(static_cast<size_t>(c.first)),
-                               &b_.polygon(static_cast<size_t>(c.second))};
+            return PolygonPair{&a.polygon(static_cast<size_t>(c.first)),
+                               &b.polygon(static_cast<size_t>(c.second))};
           },
           [d](BatchHardwareTester& tester, std::span<const PolygonPair> pairs,
               uint8_t* verdicts) {
@@ -159,8 +163,8 @@ DistanceJoinResult WithinDistanceJoin::Run(
           undecided, [&] { return HwDistanceTester(hw_config, options.sw); },
           [&](HwDistanceTester& tester,
               const std::pair<int64_t, int64_t>& c) {
-            return tester.Test(a_.polygon(static_cast<size_t>(c.first)),
-                               b_.polygon(static_cast<size_t>(c.second)), d);
+            return tester.Test(a.polygon(static_cast<size_t>(c.first)),
+                               b.polygon(static_cast<size_t>(c.second)), d);
           });
     }
     result.counts.compared += refined.attempted;

@@ -10,6 +10,7 @@
 #include "core/hw_config.h"
 #include "core/query_stats.h"
 #include "data/dataset.h"
+#include "data/dataset_index.h"
 #include "filter/interval_approx.h"
 #include "index/rtree.h"
 
@@ -57,10 +58,10 @@ class WithinDistanceJoin {
   [[nodiscard]] DistanceJoinResult Run(double d, const DistanceJoinOptions& options = {}) const;
 
  private:
-  const data::Dataset& a_;
-  const data::Dataset& b_;
-  index::RTree rtree_a_;
-  index::RTree rtree_b_;
+  // Epoch-keyed snapshot + R-tree pairs; Run() pins one consistent view of
+  // each side at entry so a concurrent reload cannot mix versions mid-query.
+  data::DatasetIndex index_a_;
+  data::DatasetIndex index_b_;
   // Per-side raster-interval approximations (hw.use_intervals) over the
   // union frame; keyed on each dataset's epoch.
   filter::IntervalApproxCache interval_cache_a_;

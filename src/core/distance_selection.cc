@@ -16,7 +16,7 @@
 namespace hasj::core {
 
 WithinDistanceSelection::WithinDistanceSelection(const data::Dataset& dataset)
-    : dataset_(dataset), rtree_(dataset.BuildRTree()) {}
+    : index_(dataset) {}
 
 DistanceSelectionResult WithinDistanceSelection::Run(
     const geom::Polygon& query, double d,
@@ -27,11 +27,14 @@ DistanceSelectionResult WithinDistanceSelection::Run(
   const QueryDeadline deadline =
       QueryDeadline::Start(options.hw.deadline_ms, options.hw.cancel);
   obs::ManualSpan stage_span;
+  // Pin one dataset version for the whole query: a concurrent
+  // ReloadDatasetInPlace cannot change what this run sees.
+  const data::DatasetIndex::Pinned pin = index_.Acquire();
 
   // Stage 1: MBR distance filtering.
   stage_span.Start(options.hw.trace, "mbr", "stage");
   const std::vector<int64_t> candidates =
-      rtree_.QueryWithinDistance(query.Bounds(), d);
+      pin.rtree->QueryWithinDistance(query.Bounds(), d);
   result.counts.candidates = static_cast<int64_t>(candidates.size());
   result.costs.mbr_ms = watch.ElapsedMillis();
   stage_span.End();
@@ -48,7 +51,7 @@ DistanceSelectionResult WithinDistanceSelection::Run(
   filter::ObjectIntervals query_intervals;
   if (options.hw.use_intervals && result.status.ok()) {
     auto acquired = interval_cache_.Acquire(
-        dataset_.polygons(), dataset_.Bounds(), dataset_.epoch(),
+        pin.data.polygons(), pin.Bounds(), pin.epoch(),
         IntervalConfigFrom(options.hw, options.num_threads));
     if (acquired.ok()) {
       intervals = std::move(acquired).value();
@@ -74,7 +77,7 @@ DistanceSelectionResult WithinDistanceSelection::Run(
       break;
     }
     const int64_t id = candidates[ci];
-    const geom::Box& mbr = dataset_.mbr(static_cast<size_t>(id));
+    const geom::Box& mbr = pin.mbr(static_cast<size_t>(id));
     if (options.use_zero_object_filter &&
         filter::ZeroObjectUpperBound(mbr, query.Bounds()) <= d) {
       result.ids.push_back(id);
@@ -94,7 +97,7 @@ DistanceSelectionResult WithinDistanceSelection::Run(
                              intervals->object(static_cast<size_t>(id))) ==
           filter::IntervalVerdict::kHit) {
         HASJ_PARANOID_ONLY(paranoid::CheckIntervalAccept(
-            dataset_.polygon(static_cast<size_t>(id)), query, options.hw));
+            pin.polygon(static_cast<size_t>(id)), query, options.hw));
         result.ids.push_back(id);
         ++result.interval_hits;
         ++result.counts.filter_hits;
@@ -129,7 +132,7 @@ DistanceSelectionResult WithinDistanceSelection::Run(
           undecided,
           [&] { return BatchHardwareTester(hw_config, {}, options.sw); },
           [&](int64_t id) {
-            return PolygonPair{&dataset_.polygon(static_cast<size_t>(id)),
+            return PolygonPair{&pin.polygon(static_cast<size_t>(id)),
                                &query};
           },
           [d](BatchHardwareTester& tester, std::span<const PolygonPair> pairs,
@@ -140,7 +143,7 @@ DistanceSelectionResult WithinDistanceSelection::Run(
       refined = executor.Refine(
           undecided, [&] { return HwDistanceTester(hw_config, options.sw); },
           [&](HwDistanceTester& tester, int64_t id) {
-            return tester.Test(dataset_.polygon(static_cast<size_t>(id)),
+            return tester.Test(pin.polygon(static_cast<size_t>(id)),
                                query, d);
           });
     }

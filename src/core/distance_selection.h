@@ -9,6 +9,7 @@
 #include "core/hw_config.h"
 #include "core/query_stats.h"
 #include "data/dataset.h"
+#include "data/dataset_index.h"
 #include "filter/interval_approx.h"
 #include "geom/polygon.h"
 #include "index/rtree.h"
@@ -58,8 +59,9 @@ class WithinDistanceSelection {
                               const DistanceSelectionOptions& options = {}) const;
 
  private:
-  const data::Dataset& dataset_;
-  index::RTree rtree_;
+  // Epoch-keyed snapshot + R-tree pair; Run() pins one consistent view at
+  // entry so a concurrent reload cannot mix dataset versions mid-query.
+  data::DatasetIndex index_;
   // Dataset-level raster-interval approximation (hw.use_intervals), built
   // on first use and keyed on the dataset epoch.
   filter::IntervalApproxCache interval_cache_;

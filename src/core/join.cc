@@ -17,7 +17,7 @@ namespace hasj::core {
 
 IntersectionJoin::IntersectionJoin(const data::Dataset& a,
                                    const data::Dataset& b)
-    : a_(a), b_(b), rtree_a_(a.BuildRTree()), rtree_b_(b.BuildRTree()) {}
+    : index_a_(a), index_b_(b) {}
 
 JoinResult IntersectionJoin::Run(const JoinOptions& options) const {
   JoinResult result;
@@ -30,11 +30,14 @@ JoinResult IntersectionJoin::Run(const JoinOptions& options) const {
   executor.SetDeadline(&deadline);
   executor.SetFaults(options.hw.faults);
   obs::ManualSpan stage_span;
+  // Pin both dataset versions for the whole query.
+  const data::DatasetIndex::Pinned a = index_a_.Acquire();
+  const data::DatasetIndex::Pinned b = index_b_.Acquire();
 
   // Stage 1: MBR join.
   stage_span.Start(options.hw.trace, "mbr", "stage");
   const std::vector<std::pair<int64_t, int64_t>> candidates =
-      index::JoinIntersects(rtree_a_, rtree_b_);
+      index::JoinIntersects(*a.rtree, *b.rtree);
   result.counts.candidates = static_cast<int64_t>(candidates.size());
   result.costs.mbr_ms = watch.ElapsedMillis();
   stage_span.End();
@@ -55,14 +58,14 @@ JoinResult IntersectionJoin::Run(const JoinOptions& options) const {
   std::shared_ptr<const filter::IntervalApprox> intervals_a;
   std::shared_ptr<const filter::IntervalApprox> intervals_b;
   if (options.hw.use_intervals && result.status.ok()) {
-    geom::Box frame = a_.Bounds();
-    frame.Extend(b_.Bounds());
+    geom::Box frame = a.Bounds();
+    frame.Extend(b.Bounds());
     const filter::IntervalApproxConfig interval_config =
         IntervalConfigFrom(options.hw, options.num_threads);
-    auto acquired_a = interval_cache_a_.Acquire(a_.polygons(), frame,
-                                                a_.epoch(), interval_config);
-    auto acquired_b = interval_cache_b_.Acquire(b_.polygons(), frame,
-                                                b_.epoch(), interval_config);
+    auto acquired_a = interval_cache_a_.Acquire(a.data.polygons(), frame,
+                                                a.epoch(), interval_config);
+    auto acquired_b = interval_cache_b_.Acquire(b.data.polygons(), frame,
+                                                b.epoch(), interval_config);
     if (acquired_a.ok() && acquired_b.ok()) {
       intervals_a = std::move(acquired_a).value();
       intervals_b = std::move(acquired_b).value();
@@ -75,10 +78,10 @@ JoinResult IntersectionJoin::Run(const JoinOptions& options) const {
     std::optional<filter::SignatureCache::Snapshot> sig_a;
     std::optional<filter::SignatureCache::Snapshot> sig_b;
     if (use_raster) {
-      sig_a = sig_cache_a_.Acquire(options.raster_filter_grid, a_.size(),
-                                   a_.epoch());
-      sig_b = sig_cache_b_.Acquire(options.raster_filter_grid, b_.size(),
-                                   b_.epoch());
+      sig_a = sig_cache_a_.Acquire(options.raster_filter_grid, a.size(),
+                                   a.epoch());
+      sig_b = sig_cache_b_.Acquire(options.raster_filter_grid, b.size(),
+                                   b.epoch());
       if (executor.threads() > 1) {
         if (Status s = executor.ParallelFor(
                 static_cast<int64_t>(candidates.size()),
@@ -87,9 +90,9 @@ JoinResult IntersectionJoin::Run(const JoinOptions& options) const {
                     const auto& [ida, idb] =
                         candidates[static_cast<size_t>(i)];
                     sig_a->Get(static_cast<size_t>(ida),
-                               a_.polygon(static_cast<size_t>(ida)));
+                               a.polygon(static_cast<size_t>(ida)));
                     sig_b->Get(static_cast<size_t>(idb),
-                               b_.polygon(static_cast<size_t>(idb)));
+                               b.polygon(static_cast<size_t>(idb)));
                   }
                 });
             !s.ok()) {
@@ -122,16 +125,16 @@ JoinResult IntersectionJoin::Run(const JoinOptions& options) const {
             intervals_b->object(static_cast<size_t>(idb)))) {
           case filter::IntervalVerdict::kHit:
             HASJ_PARANOID_ONLY(paranoid::CheckIntervalAccept(
-                a_.polygon(static_cast<size_t>(ida)),
-                b_.polygon(static_cast<size_t>(idb)), options.hw));
+                a.polygon(static_cast<size_t>(ida)),
+                b.polygon(static_cast<size_t>(idb)), options.hw));
             result.pairs.emplace_back(ida, idb);
             ++result.interval_hits;
             ++result.counts.filter_hits;
             break;
           case filter::IntervalVerdict::kMiss:
             HASJ_PARANOID_ONLY(paranoid::CheckIntervalReject(
-                a_.polygon(static_cast<size_t>(ida)),
-                b_.polygon(static_cast<size_t>(idb)), options.hw));
+                a.polygon(static_cast<size_t>(ida)),
+                b.polygon(static_cast<size_t>(idb)), options.hw));
             ++result.interval_misses;
             ++result.counts.filter_hits;
             break;
@@ -148,9 +151,9 @@ JoinResult IntersectionJoin::Run(const JoinOptions& options) const {
       }
       switch (filter::CompareRasterSignatures(
           sig_a->Get(static_cast<size_t>(ida),
-                     a_.polygon(static_cast<size_t>(ida))),
+                     a.polygon(static_cast<size_t>(ida))),
           sig_b->Get(static_cast<size_t>(idb),
-                     b_.polygon(static_cast<size_t>(idb))))) {
+                     b.polygon(static_cast<size_t>(idb))))) {
         case filter::RasterFilterDecision::kIntersect:
           result.pairs.emplace_back(ida, idb);
           ++result.raster_positives;
@@ -191,8 +194,8 @@ JoinResult IntersectionJoin::Run(const JoinOptions& options) const {
           *to_compare,
           [&] { return BatchHardwareTester(hw_config, options.sw); },
           [&](const std::pair<int64_t, int64_t>& c) {
-            return PolygonPair{&a_.polygon(static_cast<size_t>(c.first)),
-                               &b_.polygon(static_cast<size_t>(c.second))};
+            return PolygonPair{&a.polygon(static_cast<size_t>(c.first)),
+                               &b.polygon(static_cast<size_t>(c.second))};
           },
           [](BatchHardwareTester& tester, std::span<const PolygonPair> pairs,
              uint8_t* verdicts) {
@@ -204,8 +207,8 @@ JoinResult IntersectionJoin::Run(const JoinOptions& options) const {
           [&] { return HwIntersectionTester(hw_config, options.sw); },
           [&](HwIntersectionTester& tester,
               const std::pair<int64_t, int64_t>& c) {
-            return tester.Test(a_.polygon(static_cast<size_t>(c.first)),
-                               b_.polygon(static_cast<size_t>(c.second)));
+            return tester.Test(a.polygon(static_cast<size_t>(c.first)),
+                               b.polygon(static_cast<size_t>(c.second)));
           });
     }
     result.counts.compared += refined.attempted;

@@ -12,6 +12,7 @@
 #include "data/dataset.h"
 #include "filter/interval_approx.h"
 #include "filter/signature_cache.h"
+#include "data/dataset_index.h"
 #include "index/rtree.h"
 
 namespace hasj::core {
@@ -59,16 +60,17 @@ struct JoinResult {
 // caches; per-worker testers), so concurrent Run() calls are safe.
 class IntersectionJoin {
  public:
-  // Keeps references to both datasets; builds both R-trees once.
+  // Keeps references to both datasets; builds both R-trees eagerly. Each
+  // Run() pins both datasets' content and trees at entry, so an in-place
+  // reload mid-query cannot mix epochs (DESIGN.md §16).
   IntersectionJoin(const data::Dataset& a, const data::Dataset& b);
 
   [[nodiscard]] JoinResult Run(const JoinOptions& options = {}) const;
 
  private:
-  const data::Dataset& a_;
-  const data::Dataset& b_;
-  index::RTree rtree_a_;
-  index::RTree rtree_b_;
+  // Epoch-pinned content + R-tree per side, acquired once per Run().
+  data::DatasetIndex index_a_;
+  data::DatasetIndex index_b_;
   // Per-side raster signatures, cached across runs at a fixed grid.
   filter::SignatureCache sig_cache_a_;
   filter::SignatureCache sig_cache_b_;

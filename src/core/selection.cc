@@ -17,7 +17,7 @@
 namespace hasj::core {
 
 IntersectionSelection::IntersectionSelection(const data::Dataset& dataset)
-    : dataset_(dataset), rtree_(dataset.BuildRTree()) {}
+    : index_(dataset) {}
 
 IntersectionSelection::~IntersectionSelection() = default;
 
@@ -33,11 +33,14 @@ SelectionResult IntersectionSelection::Run(
   executor.SetDeadline(&deadline);
   executor.SetFaults(options.hw.faults);
   obs::ManualSpan stage_span;
+  // Pin the dataset version for the whole query: content, tree, and every
+  // derived cache below key off this one epoch.
+  const data::DatasetIndex::Pinned pin = index_.Acquire();
 
   // Stage 1: MBR filtering.
   stage_span.Start(options.hw.trace, "mbr", "stage");
   const std::vector<int64_t> candidates =
-      rtree_.QueryIntersects(query.Bounds());
+      pin.rtree->QueryIntersects(query.Bounds());
   result.counts.candidates = static_cast<int64_t>(candidates.size());
   result.costs.mbr_ms = watch.ElapsedMillis();
   stage_span.End();
@@ -57,7 +60,7 @@ SelectionResult IntersectionSelection::Run(
   if (options.raster_filter_grid > 0) {
     query_signature.emplace(query, options.raster_filter_grid);
     signatures = signature_cache_.Acquire(options.raster_filter_grid,
-                                          dataset_.size(), dataset_.epoch());
+                                          pin.size(), pin.epoch());
     // Pre-build the candidate signatures in parallel (per-slot call_once,
     // so duplicate builds cannot happen); the serial decision loop below
     // then reads a warm cache. Candidates the interior filter will decide
@@ -69,10 +72,10 @@ SelectionResult IntersectionSelection::Run(
                 for (int64_t i = begin; i < end; ++i) {
                   const size_t id = static_cast<size_t>(candidates[i]);
                   if (interior.has_value() &&
-                      interior->IdentifiesPositive(dataset_.mbr(id))) {
+                      interior->IdentifiesPositive(pin.mbr(id))) {
                     continue;
                   }
-                  signatures->Get(id, dataset_.polygon(id));
+                  signatures->Get(id, pin.polygon(id));
                 }
               });
           !s.ok()) {
@@ -87,7 +90,7 @@ SelectionResult IntersectionSelection::Run(
   filter::ObjectIntervals query_intervals;
   if (options.hw.use_intervals && result.status.ok()) {
     auto acquired = interval_cache_.Acquire(
-        dataset_.polygons(), dataset_.Bounds(), dataset_.epoch(),
+        pin.data.polygons(), pin.Bounds(), pin.epoch(),
         IntervalConfigFrom(options.hw, options.num_threads));
     if (acquired.ok()) {
       intervals = std::move(acquired).value();
@@ -114,7 +117,7 @@ SelectionResult IntersectionSelection::Run(
     }
     const int64_t id = candidates[ci];
     if (interior.has_value() &&
-        interior->IdentifiesPositive(dataset_.mbr(static_cast<size_t>(id)))) {
+        interior->IdentifiesPositive(pin.mbr(static_cast<size_t>(id)))) {
       result.ids.push_back(id);
       ++result.counts.filter_hits;
       continue;
@@ -124,14 +127,14 @@ SelectionResult IntersectionSelection::Run(
                                  intervals->object(static_cast<size_t>(id)))) {
         case filter::IntervalVerdict::kHit:
           HASJ_PARANOID_ONLY(paranoid::CheckIntervalAccept(
-              dataset_.polygon(static_cast<size_t>(id)), query, options.hw));
+              pin.polygon(static_cast<size_t>(id)), query, options.hw));
           result.ids.push_back(id);
           ++result.interval_hits;
           ++result.counts.filter_hits;
           continue;
         case filter::IntervalVerdict::kMiss:
           HASJ_PARANOID_ONLY(paranoid::CheckIntervalReject(
-              dataset_.polygon(static_cast<size_t>(id)), query, options.hw));
+              pin.polygon(static_cast<size_t>(id)), query, options.hw));
           ++result.interval_misses;
           ++result.counts.filter_hits;
           continue;
@@ -143,7 +146,7 @@ SelectionResult IntersectionSelection::Run(
     if (query_signature.has_value()) {
       switch (filter::CompareRasterSignatures(
           signatures->Get(static_cast<size_t>(id),
-                          dataset_.polygon(static_cast<size_t>(id))),
+                          pin.polygon(static_cast<size_t>(id))),
           *query_signature)) {
         case filter::RasterFilterDecision::kIntersect:
           result.ids.push_back(id);
@@ -181,7 +184,7 @@ SelectionResult IntersectionSelection::Run(
       refined = executor.RefineBatches(
           undecided, [&] { return BatchHardwareTester(hw_config, options.sw); },
           [&](int64_t id) {
-            return PolygonPair{&dataset_.polygon(static_cast<size_t>(id)),
+            return PolygonPair{&pin.polygon(static_cast<size_t>(id)),
                                &query};
           },
           [](BatchHardwareTester& tester, std::span<const PolygonPair> pairs,
@@ -191,7 +194,7 @@ SelectionResult IntersectionSelection::Run(
           undecided,
           [&] { return HwIntersectionTester(hw_config, options.sw); },
           [&](HwIntersectionTester& tester, int64_t id) {
-            return tester.Test(dataset_.polygon(static_cast<size_t>(id)), query);
+            return tester.Test(pin.polygon(static_cast<size_t>(id)), query);
           });
     }
     result.counts.compared += refined.attempted;

@@ -10,6 +10,7 @@
 #include "core/hw_config.h"
 #include "core/query_stats.h"
 #include "data/dataset.h"
+#include "data/dataset_index.h"
 #include "filter/interval_approx.h"
 #include "filter/signature_cache.h"
 #include "geom/polygon.h"
@@ -68,7 +69,9 @@ struct SelectionResult {
 // parallel refinement workers inside one call — are safe.
 class IntersectionSelection {
  public:
-  // Keeps a reference to the dataset; builds the R-tree once.
+  // Keeps a reference to the dataset; builds the R-tree eagerly. Each
+  // Run() pins the dataset content and tree at entry, so a reload-in-place
+  // mid-query cannot mix epochs (DESIGN.md §16).
   explicit IntersectionSelection(const data::Dataset& dataset);
   ~IntersectionSelection();
 
@@ -76,8 +79,8 @@ class IntersectionSelection {
                       const SelectionOptions& options = {}) const;
 
  private:
-  const data::Dataset& dataset_;
-  index::RTree rtree_;
+  // Epoch-pinned content + R-tree, acquired once per Run().
+  data::DatasetIndex index_;
   // Lazy raster signatures, keyed by object id; a run acquires a snapshot
   // for its grid size, so grid changes install a fresh slot array instead
   // of clearing one that another run may still be reading.

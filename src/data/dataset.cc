@@ -1,16 +1,118 @@
 #include "data/dataset.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace hasj::data {
 
+Dataset::Dataset(const Dataset& other) {
+  MutexLock lock(&other.mu_);
+  name_ = other.name_;
+  content_ = other.content_;  // shared until either side mutates
+  extent_ = other.extent_;
+  epoch_.store(other.epoch_.load(std::memory_order_acquire),
+               std::memory_order_release);
+}
+
+Dataset::Dataset(Dataset&& other) noexcept {
+  MutexLock lock(&other.mu_);
+  name_ = std::move(other.name_);
+  content_ = std::move(other.content_);
+  other.content_ = std::make_shared<std::vector<geom::Polygon>>();
+  extent_ = other.extent_;
+  other.extent_ = geom::Box::Empty();
+  epoch_.store(other.epoch_.load(std::memory_order_acquire),
+               std::memory_order_release);
+}
+
+Dataset& Dataset::operator=(const Dataset& other) {
+  if (this == &other) return *this;
+  Dataset copy(other);
+  return *this = std::move(copy);
+}
+
+Dataset& Dataset::operator=(Dataset&& other) noexcept {
+  if (this == &other) return *this;
+  std::shared_ptr<std::vector<geom::Polygon>> content;
+  geom::Box extent;
+  std::string name;
+  uint64_t other_epoch;
+  {
+    MutexLock lock(&other.mu_);
+    name = std::move(other.name_);
+    content = std::move(other.content_);
+    other.content_ = std::make_shared<std::vector<geom::Polygon>>();
+    extent = other.extent_;
+    other.extent_ = geom::Box::Empty();
+    other_epoch = other.epoch_.load(std::memory_order_acquire);
+  }
+  {
+    MutexLock lock(&mu_);
+    name_ = std::move(name);
+    content_ = std::move(content);
+    extent_ = extent;
+    // Keep the epoch monotone for any cache already keyed on this dataset.
+    const uint64_t mine = epoch_.load(std::memory_order_acquire);
+    epoch_.store(std::max(mine + 1, other_epoch + 1),
+                 std::memory_order_release);
+  }
+  return *this;
+}
+
+void Dataset::EnsureUniqueLocked() {
+  if (content_.use_count() > 1) {
+    content_ = std::make_shared<std::vector<geom::Polygon>>(*content_);
+  }
+}
+
+void Dataset::Add(geom::Polygon polygon) {
+  MutexLock lock(&mu_);
+  EnsureUniqueLocked();
+  extent_.Extend(polygon.Bounds());
+  content_->push_back(std::move(polygon));
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+void Dataset::Clear() {
+  MutexLock lock(&mu_);
+  // Snapshots holding the old content keep it alive; start fresh here.
+  content_ = std::make_shared<std::vector<geom::Polygon>>();
+  extent_ = geom::Box::Empty();
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+void Dataset::ReplaceWith(Dataset&& other) {
+  std::shared_ptr<std::vector<geom::Polygon>> content;
+  geom::Box extent;
+  {
+    MutexLock lock(&other.mu_);
+    content = std::move(other.content_);
+    other.content_ = std::make_shared<std::vector<geom::Polygon>>();
+    extent = other.extent_;
+    other.extent_ = geom::Box::Empty();
+  }
+  MutexLock lock(&mu_);
+  content_ = std::move(content);
+  extent_ = extent;
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+DatasetSnapshot Dataset::snapshot() const {
+  DatasetSnapshot snap;
+  MutexLock lock(&mu_);
+  snap.polygons_ = content_;
+  snap.extent_ = extent_;
+  snap.epoch_ = epoch_.load(std::memory_order_acquire);
+  return snap;
+}
+
 DatasetStats Dataset::Stats() const {
   DatasetStats s;
-  s.count = static_cast<int64_t>(polygons_.size());
+  s.count = static_cast<int64_t>(content_->size());
   s.extent = extent_;
-  if (polygons_.empty()) return s;
+  if (content_->empty()) return s;
   RunningStats vertices, widths, heights;
-  for (const geom::Polygon& p : polygons_) {
+  for (const geom::Polygon& p : *content_) {
     vertices.Add(static_cast<double>(p.size()));
     widths.Add(p.Bounds().Width());
     heights.Add(p.Bounds().Height());
@@ -26,9 +128,9 @@ DatasetStats Dataset::Stats() const {
 
 index::RTree Dataset::BuildRTree(int max_entries) const {
   std::vector<index::RTree::Entry> entries;
-  entries.reserve(polygons_.size());
-  for (size_t i = 0; i < polygons_.size(); ++i) {
-    entries.push_back({polygons_[i].Bounds(), static_cast<int64_t>(i)});
+  entries.reserve(content_->size());
+  for (size_t i = 0; i < content_->size(); ++i) {
+    entries.push_back({(*content_)[i].Bounds(), static_cast<int64_t>(i)});
   }
   return index::RTree::BulkLoad(std::move(entries), max_entries);
 }

@@ -264,4 +264,65 @@ Dataset GenerateDataset(const GeneratorProfile& profile) {
   return out;
 }
 
+std::vector<UpdateOp> GenerateUpdateStream(const UpdateStreamProfile& profile) {
+  const GeneratorProfile& obj = profile.objects;
+  HASJ_CHECK(profile.operations >= 0);
+  HASJ_CHECK(!obj.extent.IsEmpty());
+  HASJ_CHECK(obj.mean_vertices >= 3.0);
+  HASJ_CHECK(profile.insert_fraction >= 0.0 && profile.insert_fraction <= 1.0);
+  Rng rng(profile.seed);
+
+  // Same vertex-count and sizing model as GenerateDataset, calibrated
+  // against the reference population obj.count so inserted objects are
+  // exchangeable with a base dataset drawn from the same profile.
+  const double sigma = obj.sigma;
+  const double mu = std::log(obj.mean_vertices) - 0.5 * sigma * sigma;
+  const double expected_sum_nv =
+      obj.mean_vertices * static_cast<double>(std::max<int64_t>(1, obj.count));
+  const double k = std::sqrt(obj.coverage * obj.extent.Area() /
+                             (4.0 * std::max(1.0, expected_sum_nv)));
+
+  std::vector<UpdateOp> ops;
+  ops.reserve(static_cast<size_t>(profile.operations));
+  std::vector<int64_t> live;
+  int64_t next_key = 0;
+  for (int64_t i = 0; i < profile.operations; ++i) {
+    UpdateOp op;
+    if (live.empty() || rng.Bernoulli(profile.insert_fraction)) {
+      const double draw = rng.LogNormal(mu, sigma);
+      const int nv = static_cast<int>(std::llround(std::clamp(
+          draw, static_cast<double>(obj.min_vertices),
+          static_cast<double>(obj.max_vertices))));
+      const double radius = k * std::sqrt(static_cast<double>(nv));
+      const geom::Point center = {
+          rng.Uniform(obj.extent.min_x, obj.extent.max_x),
+          rng.Uniform(obj.extent.min_y, obj.extent.max_y)};
+      op.kind = UpdateOp::Kind::kInsert;
+      op.key = next_key++;
+      if (nv >= 8 && rng.Bernoulli(obj.snake_fraction)) {
+        op.polygon = obj.follow_terrain
+                         ? GenerateTerrainSnakePolygon(
+                               center, radius, nv, obj.snake_curvature,
+                               rng.Next())
+                         : GenerateSnakePolygon(center, radius, nv,
+                                                obj.snake_curvature,
+                                                rng.Next());
+      } else {
+        op.polygon = GenerateBlobPolygon(center, radius, nv, obj.roughness,
+                                         rng.Next());
+      }
+      live.push_back(op.key);
+    } else {
+      const size_t pick = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(live.size()) - 1));
+      op.kind = UpdateOp::Kind::kDelete;
+      op.key = live[pick];
+      live[pick] = live.back();
+      live.pop_back();
+    }
+    ops.push_back(std::move(op));
+  }
+  return ops;
+}
+
 }  // namespace hasj::data

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "data/dataset.h"
 #include "geom/box.h"
@@ -68,6 +69,39 @@ geom::Polygon GenerateBlobPolygon(geom::Point center, double radius,
 geom::Polygon GenerateSnakePolygon(geom::Point center, double radius,
                                    int vertices, double curvature,
                                    uint64_t seed);
+
+// Recipe for a deterministic stream of insert/delete operations — the one
+// traffic source shared by bench/serve and the concurrent chaos suite, so
+// both exercise identical workloads for a given seed (DESIGN.md §16).
+struct UpdateStreamProfile {
+  // Shape/extent recipe for inserted polygons. `objects.count` is not a
+  // stream length; it is the reference population used to size objects the
+  // same way GenerateDataset(objects) would (coverage calibration), so
+  // inserts are statistically exchangeable with a base dataset generated
+  // from the same profile. Centers are drawn uniformly (no clustering).
+  GeneratorProfile objects;
+  int64_t operations = 0;
+  // Probability an op is an insert; the rest are deletes of a uniformly
+  // chosen live key. When nothing is live, an insert is emitted instead.
+  double insert_fraction = 0.6;
+  uint64_t seed = 1;
+};
+
+// One operation of an update stream. Keys are stream-local: kInsert
+// introduces `key` (dense, starting at 0), kDelete targets a key that a
+// preceding kInsert in the same stream introduced and no earlier kDelete
+// consumed — so a stream can never reference objects it does not own, and
+// concurrent writers applying disjoint streams cannot conflict. Consumers
+// map keys to store ids (data::ApplyUpdateOp).
+struct UpdateOp {
+  enum class Kind { kInsert, kDelete };
+  Kind kind = Kind::kInsert;
+  int64_t key = 0;
+  geom::Polygon polygon;  // kInsert only
+};
+
+// Deterministic in profile.seed.
+std::vector<UpdateOp> GenerateUpdateStream(const UpdateStreamProfile& profile);
 
 // The shared terrain flow direction (radians) at a point: a fixed smooth
 // pseudo-random field, identical for every dataset so that objects from

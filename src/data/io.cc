@@ -64,11 +64,10 @@ Status ReloadDatasetInPlace(const std::string& path, Dataset* dataset,
                             const LoadLimits& limits) {
   Result<Dataset> loaded = LoadDataset(path, dataset->name(), limits);
   if (!loaded.ok()) return loaded.status();
-  Dataset fresh = std::move(loaded).value();
-  dataset->Clear();
-  for (const geom::Polygon& polygon : fresh.polygons()) {
-    dataset->Add(polygon);
-  }
+  // Single-bump atomic swap: a reader pinning a snapshot concurrently sees
+  // either the full pre-reload or full post-reload content, never the
+  // emptied-out intermediate the old Clear+Add loop exposed mid-swap.
+  dataset->ReplaceWith(std::move(loaded).value());
   return Status::Ok();
 }
 

@@ -122,6 +122,21 @@ inline constexpr char kBreakerOpens[] = "breaker.opens";
 inline constexpr char kQueryDeadlineExceeded[] = "query.deadline_exceeded";
 inline constexpr char kQueryTruncated[] = "query.truncated";
 
+// Query server (core/server.h, DESIGN.md §16): bounded admission queue with
+// overload shedding and a deterministic degradation ladder.
+inline constexpr char kServerQueueDepth[] = "server.queue_depth";  // gauge
+inline constexpr char kServerQueueDepthMax[] =
+    "server.queue_depth_max";                                      // gauge
+inline constexpr char kServerAdmitted[] = "server.admitted";
+inline constexpr char kServerShed[] = "server.shed";
+inline constexpr char kServerCompleted[] = "server.completed";
+inline constexpr char kServerDegradedL1[] = "server.degraded_l1";
+inline constexpr char kServerDegradedL2[] = "server.degraded_l2";
+inline constexpr char kServerDegradedL3[] = "server.degraded_l3";
+inline constexpr char kServerVerified[] = "server.verified";
+inline constexpr char kServerVerifyMismatch[] = "server.verify_mismatch";
+inline constexpr char kHistAdmissionWaitUs[] = "server.admission_wait_us";
+
 }  // namespace hasj::obs
 
 #endif  // HASJ_OBS_NAMES_H_

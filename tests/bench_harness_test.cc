@@ -203,6 +203,9 @@ TEST(BenchReportTest, JsonReportRoundTrips) {
   report.metrics()->GetCounter("events").Add(5);
   report.metrics()->GetHistogram("sizes").Record(9);
   report.Row("series-a", {{"compare_ms", 1.5}, {"results", 10.0}});
+  report.NoteQuery(Status::Ok());
+  report.NoteQuery(Status::DeadlineExceeded("budget"));
+  report.NoteQuery(Status::Ok());
   EXPECT_EQ(report.Finish(), 0);
 
   std::FILE* f = std::fopen(path.c_str(), "rb");
@@ -214,7 +217,7 @@ TEST(BenchReportTest, JsonReportRoundTrips) {
   std::fclose(f);
   std::remove(path.c_str());
 
-  EXPECT_NE(json.find("\"schema_version\":2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"schema_version\":3"), std::string::npos) << json;
   EXPECT_NE(json.find("\"bench_name\":\"test_bench\""), std::string::npos);
   EXPECT_NE(json.find("\"series\":\"series-a\""), std::string::npos);
   EXPECT_NE(json.find("\"compare_ms\":1.5"), std::string::npos);
@@ -226,6 +229,10 @@ TEST(BenchReportTest, JsonReportRoundTrips) {
   EXPECT_NE(json.find("\"p50\":9"), std::string::npos) << json;
   EXPECT_NE(json.find("\"p99\":9"), std::string::npos);
   EXPECT_NE(json.find("\"pmu_requested\":false"), std::string::npos);
+  // Schema 3: run-level query accounting (NoteQuery); only the
+  // kDeadlineExceeded outcome counts as truncated.
+  EXPECT_NE(json.find("\"queries\":3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"truncated\":1"), std::string::npos) << json;
   EXPECT_NE(json.find("\"pmu_available\":false"), std::string::npos);
   EXPECT_NE(json.find("\"query_log_records\":0"), std::string::npos);
 }

@@ -252,6 +252,70 @@ TEST(ChaosFaultTest, BreakerReopensWhileFaultsPersist) {
             baseline.hw_counters.hw_tests);  // every hw-routed pair fell back
 }
 
+TEST(ChaosFaultTest, BatchedBreakerRecoversThroughHalfOpenReprobe) {
+  // Batched-mode breaker coverage: a burst of batch-fill faults feeds the
+  // breaker once per faulted batch and routes those batches' pairs through
+  // the per-pair retry, whose HwStep drives the open -> half-open reprobe.
+  // Once the burst passes, the reprobe succeeds, the breaker closes, and
+  // later sub-batches run in the atlas again — batched hardware executions
+  // alongside breaker_opens >= 1. Results stay identical throughout.
+  const data::Dataset a = MakeDataset(925, 90, 0.4);
+  const data::Dataset b = MakeDataset(926, 70, 0.4);
+  const IntersectionJoin join(a, b);
+  JoinOptions options;
+  options.use_hw = true;
+  options.hw.use_batching = true;
+  options.hw.backend = HwBackend::kBitmask;
+  options.hw.batch_size = 16;  // several sub-batches, so some run post-open
+  const JoinResult baseline = join.Run(options);
+  ASSERT_TRUE(baseline.status.ok());
+  ASSERT_GT(baseline.hw_counters.batch.batches, 2);
+
+  FaultInjector faults(0);
+  faults.SetPlan(FaultSite::kBatchFill, FaultPlan::Burst(1, 2));
+  faults.SetPlan(FaultSite::kRenderPass, FaultPlan::Burst(1, 2));
+  options.hw.faults = &faults;
+  options.hw.breaker_fault_threshold = 2;
+  options.hw.breaker_reprobe_pairs = 4;
+  const JoinResult r = join.Run(options);
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(r.pairs, baseline.pairs);
+  EXPECT_GE(r.hw_counters.breaker_opens, 1);
+  // Hardware batching resumed after the half-open probe closed the
+  // breaker: atlas passes completed despite the earlier open.
+  EXPECT_GT(r.hw_counters.batch.batched_pairs, 0);
+  EXPECT_GT(r.hw_counters.hw_tests, 0);
+}
+
+TEST(ChaosFaultTest, BatchedBreakerReopensWhileFaultsPersist) {
+  // probability=1.0 in batched mode: every atlas attempt and every
+  // per-pair half-open probe faults, so the breaker cycles open ->
+  // half-open -> open for the whole run, no batch ever completes, and
+  // every hardware-routed pair falls back to software — identically.
+  const data::Dataset a = MakeDataset(927, 80, 0.4);
+  const data::Dataset b = MakeDataset(928, 70, 0.4);
+  const IntersectionJoin join(a, b);
+  JoinOptions options;
+  options.use_hw = true;
+  options.hw.use_batching = true;
+  options.hw.backend = HwBackend::kBitmask;
+  const JoinResult baseline = join.Run(options);
+  ASSERT_TRUE(baseline.status.ok());
+  ASSERT_GT(baseline.hw_counters.hw_tests, 40);
+
+  FaultInjector faults(ChaosSeed(1.0));
+  ArmAllHwSites(&faults, 1.0);
+  options.hw.faults = &faults;
+  options.hw.breaker_fault_threshold = 2;
+  options.hw.breaker_reprobe_pairs = 8;
+  const JoinResult r = join.Run(options);
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(r.pairs, baseline.pairs);
+  EXPECT_EQ(r.hw_counters.hw_tests, 0);
+  EXPECT_EQ(r.hw_counters.batch.batched_pairs, 0);
+  EXPECT_GT(r.hw_counters.breaker_opens, 1);  // re-opened after probes
+}
+
 TEST(ChaosFaultTest, PreCancelledQueryReturnsEmptyPrefix) {
   const data::Dataset ds = MakeDataset(913, 80, 0.3);
   const data::Dataset queries = MakeDataset(914, 1, 0.0);

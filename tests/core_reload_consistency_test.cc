@@ -1,0 +1,139 @@
+// Regression tests for reload-during-query consistency (DESIGN.md §16):
+// every pipeline Run() pins one dataset version at entry, and
+// ReloadDatasetInPlace swaps content in a single epoch bump. A query that
+// races a reload must therefore return the complete result for the old
+// content or the complete result for the new content — never a mix, and
+// never the emptied-out intermediate the old Clear+Add reload exposed.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/selection.h"
+#include "data/dataset.h"
+#include "data/io.h"
+#include "geom/polygon.h"
+
+namespace hasj {
+namespace {
+
+using core::IntersectionSelection;
+using core::SelectionResult;
+
+// A small square polygon centered at (cx, cy).
+geom::Polygon SquareAt(double cx, double cy, double half) {
+  return geom::Polygon({{cx - half, cy - half},
+                        {cx + half, cy - half},
+                        {cx + half, cy + half},
+                        {cx - half, cy + half}});
+}
+
+// count squares inside the 100x100 extent, all intersecting the probe
+// square at (50, 50). Distinct counts make the dataset version a query
+// observes readable off the result size alone.
+data::Dataset ClusterDataset(int count) {
+  data::Dataset ds("cluster");
+  for (int i = 0; i < count; ++i) {
+    ds.Add(SquareAt(45.0 + (i % 5), 45.0 + (i / 5), 2.0));
+  }
+  return ds;
+}
+
+std::string WriteClusterFile(int count, const std::string& tag) {
+  const data::Dataset ds = ClusterDataset(count);
+  const std::string path = ::testing::TempDir() + "/hasj_reload_" + tag + ".wkt";
+  EXPECT_TRUE(data::SaveDataset(ds, path).ok());
+  return path;
+}
+
+TEST(ReloadConsistencyTest, SnapshotPinnedBeforeReloadKeepsOldContent) {
+  data::Dataset ds = ClusterDataset(7);
+  const data::DatasetSnapshot before = ds.snapshot();
+  const uint64_t epoch_before = before.epoch();
+
+  const std::string path = WriteClusterFile(13, "pin");
+  ASSERT_TRUE(data::ReloadDatasetInPlace(path, &ds).ok());
+  std::remove(path.c_str());
+
+  // The pinned snapshot still reads the old content in full.
+  EXPECT_EQ(before.size(), 7u);
+  EXPECT_EQ(before.epoch(), epoch_before);
+  // The dataset itself moved on, in a single epoch bump.
+  EXPECT_EQ(ds.size(), 13u);
+  EXPECT_EQ(ds.epoch(), epoch_before + 1);
+  const data::DatasetSnapshot after = ds.snapshot();
+  EXPECT_EQ(after.size(), 13u);
+}
+
+TEST(ReloadConsistencyTest, QueriesBeforeAndAfterReloadSeeFullVersions) {
+  data::Dataset ds = ClusterDataset(7);
+  const IntersectionSelection selection(ds);
+  const geom::Polygon probe = SquareAt(50.0, 50.0, 40.0);
+
+  const SelectionResult before = selection.Run(probe);
+  ASSERT_TRUE(before.status.ok());
+  EXPECT_EQ(before.ids.size(), 7u);
+
+  const std::string path = WriteClusterFile(13, "seq");
+  ASSERT_TRUE(data::ReloadDatasetInPlace(path, &ds).ok());
+  std::remove(path.c_str());
+
+  // The same pipeline object re-acquires the new epoch on the next run.
+  const SelectionResult after = selection.Run(probe);
+  ASSERT_TRUE(after.status.ok());
+  EXPECT_EQ(after.ids.size(), 13u);
+}
+
+// The race this file exists for: queries running while the dataset is
+// reloaded back and forth between a 7-object and a 13-object version must
+// observe exactly 7 or exactly 13 hits. Any other count means a query saw
+// a half-built version.
+TEST(ReloadConsistencyTest, ReloadDuringQueryYieldsOldOrNewNeverMixed) {
+  data::Dataset ds = ClusterDataset(7);
+  const IntersectionSelection selection(ds);
+  const geom::Polygon probe = SquareAt(50.0, 50.0, 40.0);
+  const std::string path_a = WriteClusterFile(7, "mix_a");
+  const std::string path_b = WriteClusterFile(13, "mix_b");
+
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> queries_done{0};
+  std::atomic<int> reload_failures{0};
+  std::thread writer([&] {
+    // Hold the reloads until the reader is demonstrably querying, so the
+    // two genuinely overlap even when this thread gets scheduled first.
+    while (queries_done.load(std::memory_order_acquire) == 0) {
+      std::this_thread::yield();
+    }
+    for (int i = 0; i < 60 && !stop.load(std::memory_order_acquire); ++i) {
+      const std::string& path = (i % 2 == 0) ? path_b : path_a;
+      if (!data::ReloadDatasetInPlace(path, &ds).ok()) {
+        reload_failures.fetch_add(1, std::memory_order_acq_rel);
+      }
+    }
+    stop.store(true, std::memory_order_release);
+  });
+
+  std::vector<size_t> observed;
+  do {
+    const SelectionResult result = selection.Run(probe);
+    ASSERT_TRUE(result.status.ok());
+    observed.push_back(result.ids.size());
+    queries_done.fetch_add(1, std::memory_order_acq_rel);
+  } while (!stop.load(std::memory_order_acquire));
+  writer.join();
+  std::remove(path_a.c_str());
+  std::remove(path_b.c_str());
+
+  EXPECT_EQ(reload_failures.load(std::memory_order_acquire), 0);
+  ASSERT_FALSE(observed.empty());
+  for (const size_t hits : observed) {
+    EXPECT_TRUE(hits == 7u || hits == 13u)
+        << "query observed a mixed dataset version: " << hits << " hits";
+  }
+}
+
+}  // namespace
+}  // namespace hasj

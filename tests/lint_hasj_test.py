@@ -202,6 +202,26 @@ class GuardedByCoverageTest(unittest.TestCase):
         })
         self.assertEqual(code, 0, out)
 
+    def test_server_shaped_queue_state_checked(self):
+        # The QueryServer shape (core/server.h): cvs and annotated queue /
+        # lifecycle state are clean, a forgotten deque member is flagged.
+        body = (
+            "#include \"common/mutex.h\"\n"
+            "class QueryServer {\n"
+            " private:\n"
+            "  mutable Mutex mu_;\n"
+            "  CondVar work_cv_;\n"
+            "  bool stopping_ HASJ_GUARDED_BY(mu_) = false;\n"
+            "  std::deque<PendingQuery*> interactive_ HASJ_GUARDED_BY(mu_);\n"
+            "  std::deque<PendingQuery*> batch_;\n"
+            "};\n"
+        )
+        code, out = run_lint({"core/server.h": header("core/server.h", body)})
+        self.assertEqual(code, 1, out)
+        self.assertIn("'batch_'", out)
+        self.assertNotIn("'interactive_'", out)
+        self.assertNotIn("'work_cv_'", out)
+
     def test_class_without_mutex_not_checked(self):
         code, out = run_lint({
             "core/state.h": header("core/state.h", (
@@ -235,6 +255,49 @@ class GuardedByCoverageTest(unittest.TestCase):
                 "  Mutex* mu_ = nullptr;\n"
                 "  int count_ = 0;\n"
                 "};\n"
+            )),
+        })
+        self.assertEqual(code, 0, out)
+
+
+class StatusDiscardTest(unittest.TestCase):
+    """The mutable-store / server Status APIs (DESIGN.md §16) are covered:
+    laundering an Insert/Delete/SeedFrom/ApplyUpdateOp/Start status through
+    (void) hides a lost update or a server that never ran."""
+
+    def test_store_and_server_apis_flagged(self):
+        code, out = run_lint({
+            "core/use.h": header("core/use.h", (
+                "inline void Mutate(Store* s, Server* server) {\n"
+                "  (void)s->Insert(polygon);\n"
+                "  (void)s->Delete(3);\n"
+                "  (void)s->SeedFrom(base);\n"
+                "  (void)ApplyUpdateOp(op, s, &key_to_id);\n"
+                "  (void)server->Start();\n"
+                "}\n"
+            )),
+        })
+        self.assertEqual(code, 1, out)
+        self.assertEqual(out.count("[status-discard]"), 5, out)
+
+    def test_handled_statuses_clean(self):
+        code, out = run_lint({
+            "core/use.h": header("core/use.h", (
+                "inline Status Mutate(Store* s) {\n"
+                "  if (const Status st = s->Delete(3); !st.ok()) return st;\n"
+                "  return s->SeedFrom(base);\n"
+                "}\n"
+            )),
+        })
+        self.assertEqual(code, 0, out)
+
+    def test_allow_suppresses(self):
+        code, out = run_lint({
+            "core/use.h": header("core/use.h", (
+                "inline void Warm(Store* s) {\n"
+                "  // lint:allow(status-discard): best-effort cache warmup\n"
+                "  (void)s->Insert(polygon);\n"
+                "}\n"
             )),
         })
         self.assertEqual(code, 0, out)
